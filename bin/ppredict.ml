@@ -1,0 +1,324 @@
+(* ppredict: command-line driver for the performance prediction framework.
+
+   Subcommands:
+     predict   FILE        symbolic performance expressions for each routine
+     schedule  FILE        atomic ops + bin diagram of the innermost block
+     compare   F1 F2       symbolic comparison of two variants
+     search    FILE        performance-guided restructuring
+     machine   [NAME]      print a machine description (textual format)
+*)
+
+open Cmdliner
+open Pperf_lang
+open Pperf_machine
+open Pperf_sched
+open Pperf_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let machine_of_spec spec =
+  match spec with
+  | "power1" -> Machine.power1
+  | "power1x2" -> Machine.power1_wide
+  | "alpha21064" | "alpha" -> Machine.alpha21064
+  | "scalar" -> Machine.scalar
+  | path when Sys.file_exists path -> Descr.of_string (read_file path)
+  | other -> failwith (Printf.sprintf "unknown machine %s (power1|power1x2|alpha21064|scalar|FILE)" other)
+
+let machine_arg =
+  let doc = "Target machine: power1, power1x2, scalar, or a description file." in
+  Arg.(value & opt string "power1" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let memory_arg =
+  let doc = "Include the cache cost model." in
+  Arg.(value & flag & info [ "memory" ] ~doc)
+
+let file_arg idx name =
+  Arg.(required & pos idx (some file) None & info [] ~docv:name ~doc:"PF source file")
+
+let eval_arg =
+  let doc = "Evaluate the expression at VAR=VALUE (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "eval" ] ~docv:"VAR=VALUE" ~doc)
+
+let parse_bindings specs =
+  List.map
+    (fun s ->
+      match String.index_opt s '=' with
+      | Some i ->
+        ( String.sub s 0 i,
+          float_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+      | None -> failwith ("malformed binding " ^ s))
+    specs
+
+let options_of ~memory =
+  { Aggregate.default_options with include_memory = memory }
+
+let handle f =
+  try
+    f ();
+    0
+  with
+  | Parser.Error (msg, loc) ->
+    Printf.eprintf "parse error at %s: %s\n" (Srcloc.to_string loc) msg;
+    1
+  | Typecheck.Type_error (msg, loc) ->
+    Printf.eprintf "type error at %s: %s\n" (Srcloc.to_string loc) msg;
+    1
+  | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+(* ---- predict ---- *)
+
+let interproc_arg =
+  let doc = "Charge call sites with callee performance expressions (§3.5)." in
+  Arg.(value & flag & info [ "interprocedural"; "i" ] ~doc)
+
+let predict_cmd =
+  let run mspec memory interproc evals file =
+    handle (fun () ->
+        let machine = machine_of_spec mspec in
+        let options = options_of ~memory in
+        let bindings = parse_bindings evals in
+        if interproc then (
+          let t = Interproc.of_source ~options ~machine (read_file file) in
+          Format.printf "%a" Interproc.pp t;
+          if bindings <> [] then
+            List.iter
+              (fun (rp : Interproc.routine_prediction) ->
+                let total = Perf_expr.total rp.prediction.cost in
+                let v =
+                  Pperf_symbolic.Poly.eval_float
+                    (fun x -> match List.assoc_opt x bindings with Some f -> f | None -> 1.0)
+                    total
+                in
+                Format.printf "  %s at bindings: %.0f cycles@." rp.checked.routine.rname v)
+              t.routines)
+        else
+          List.iter
+            (fun p ->
+              Format.printf "%a@." Predict.pp p;
+              if Predict.prob_vars p <> [] then
+                Format.printf "  branch probabilities: %s (in [0,1])@."
+                  (String.concat ", " (Predict.prob_vars p));
+              if bindings <> [] then
+                Format.printf "  at %s: %.0f cycles@."
+                  (String.concat ", "
+                     (List.map (fun (v, x) -> Printf.sprintf "%s=%g" v x) bindings))
+                  (Predict.eval p bindings))
+            (Predict.of_program ~options ~machine (read_file file)))
+  in
+  let doc = "Predict performance expressions for each routine in a PF file." in
+  Cmd.v (Cmd.info "predict" ~doc)
+    Term.(const run $ machine_arg $ memory_arg $ interproc_arg $ eval_arg $ file_arg 0 "FILE")
+
+(* ---- schedule ---- *)
+
+let schedule_cmd =
+  let run mspec file =
+    handle (fun () ->
+        let machine = machine_of_spec mspec in
+        let checked = Typecheck.check_program (Parser.parse_program (read_file file)) in
+        List.iter
+          (fun (c : Typecheck.checked) ->
+            Format.printf "routine %s:@." c.routine.rname;
+            List.iter
+              (fun (loops, body) ->
+                let loop_vars = List.map (fun (l : Analysis.loop_ctx) -> l.lvar) loops in
+                let assigned = Analysis.assigned_vars c.routine.body in
+                let invariants =
+                  Analysis.SSet.diff
+                    (Analysis.SSet.union (Analysis.used_vars c.routine.body) assigned)
+                    assigned
+                in
+                let res =
+                  Pperf_translate.Translator.translate_block ~machine ~symtab:c.symbols
+                    ~loop_vars ~invariants body
+                in
+                Format.printf "@.innermost block under loops [%s]:@.%a@."
+                  (String.concat "," loop_vars) Dag.pp res.body;
+                let bins = Bins.create machine in
+                let s = Bins.drop_dag bins res.body in
+                Format.printf "%a@." Bins.pp bins;
+                Format.printf
+                  "cost %d cycles | critical path %d | operation count %d | reference %d@."
+                  s.cost (Dag.critical_path res.body)
+                  (Bins.Opcount.cost res.body)
+                  (Pperf_backend.Pipeline.reference_cycles machine res.body))
+              (Analysis.innermost_bodies c.routine.body))
+          checked)
+  in
+  let doc = "Show the translated atomic operations and their bin schedule." in
+  Cmd.v (Cmd.info "schedule" ~doc) Term.(const run $ machine_arg $ file_arg 0 "FILE")
+
+(* ---- compare ---- *)
+
+let range_arg =
+  let doc = "Range of an unknown: VAR=LO:HI (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "range" ] ~docv:"VAR=LO:HI" ~doc)
+
+let compare_cmd =
+  let run mspec memory ranges f1 f2 =
+    handle (fun () ->
+        let machine = machine_of_spec mspec in
+        let options = options_of ~memory in
+        let env =
+          List.fold_left
+            (fun env spec ->
+              match String.split_on_char '=' spec with
+              | [ v; range ] -> (
+                match String.split_on_char ':' range with
+                | [ lo; hi ] ->
+                  Pperf_symbolic.Interval.Env.add v
+                    (Pperf_symbolic.Interval.of_ints (int_of_string lo) (int_of_string hi))
+                    env
+                | _ -> failwith ("malformed range " ^ spec))
+              | _ -> failwith ("malformed range " ^ spec))
+            Pperf_symbolic.Interval.Env.empty ranges
+        in
+        let p1 = Predict.of_source ~options ~machine (read_file f1) in
+        let p2 = Predict.of_source ~options ~machine (read_file f2) in
+        Format.printf "first:  %a@." Predict.pp p1;
+        Format.printf "second: %a@." Predict.pp p2;
+        let d = Compare.decide env (Predict.cost p1) (Predict.cost p2) in
+        Format.printf "%a@." Compare.pp_decision d;
+        match d.verdict with
+        | Pperf_symbolic.Signs.Undecided diff ->
+          let t = Runtime_test.of_difference env diff in
+          Format.printf "suggested run-time test: %a@." Runtime_test.pp t
+        | _ -> ())
+  in
+  let doc = "Compare two program variants symbolically." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ machine_arg $ memory_arg $ range_arg $ file_arg 0 "FILE1" $ file_arg 1 "FILE2")
+
+(* ---- search ---- *)
+
+let search_cmd =
+  let run mspec memory file =
+    handle (fun () ->
+        let machine = machine_of_spec mspec in
+        let options = options_of ~memory in
+        let checked = Typecheck.check_routine (Parser.parse_routine (read_file file)) in
+        let out = Pperf_transform.Search.run ~machine ~options ~max_nodes:150 ~max_depth:3 checked in
+        Format.printf "explored %d states@." out.explored;
+        Format.printf "sequence: %s@."
+          (if out.trace = [] then "(none)"
+           else
+             String.concat " ; "
+               (List.map (fun (s : Pperf_transform.Search.step) -> s.action) out.trace));
+        Format.printf "predicted: %a  ->  %a@." Perf_expr.pp out.initial Perf_expr.pp
+          out.predicted;
+        Format.printf "@.%s" (Pp_ast.routine_to_string out.best.routine))
+  in
+  let doc = "Performance-guided automatic restructuring (A*-style search)." in
+  Cmd.v (Cmd.info "search" ~doc) Term.(const run $ machine_arg $ memory_arg $ file_arg 0 "FILE")
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run mspec memory ranges file =
+    handle (fun () ->
+        let machine = machine_of_spec mspec in
+        let options = options_of ~memory in
+        let env =
+          List.fold_left
+            (fun env spec ->
+              match String.split_on_char '=' spec with
+              | [ v; range ] -> (
+                match String.split_on_char ':' range with
+                | [ lo; hi ] ->
+                  Pperf_symbolic.Interval.Env.add v
+                    (Pperf_symbolic.Interval.of_ints (int_of_string lo) (int_of_string hi))
+                    env
+                | _ -> failwith ("malformed range " ^ spec))
+              | _ -> failwith ("malformed range " ^ spec))
+            Pperf_symbolic.Interval.Env.empty ranges
+        in
+        List.iter
+          (fun checked ->
+            let r = Report.generate ~options ~env ~machine checked in
+            Format.printf "%a@." Report.pp r)
+          (Typecheck.check_program (Parser.parse_program (read_file file))))
+  in
+  let doc = "Full prediction report: expression, unknowns, sensitivity, hot spots." in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ machine_arg $ memory_arg $ range_arg $ file_arg 0 "FILE")
+
+(* ---- deps ---- *)
+
+let deps_cmd =
+  let run file =
+    handle (fun () ->
+        let checked = Typecheck.check_program (Parser.parse_program (read_file file)) in
+        List.iter
+          (fun (c : Typecheck.checked) ->
+            Format.printf "routine %s:@." c.routine.rname;
+            let deps = Depend.dependences_in c.routine.body in
+            if deps = [] then Format.printf "  no data dependences@."
+            else
+              List.iter
+                (fun (d : Depend.dependence) ->
+                  Format.printf "  %a  (line %d -> line %d)@." Depend.pp_dependence d
+                    d.src.Analysis.at.Srcloc.line d.dst.Analysis.at.Srcloc.line)
+                deps;
+            (* interchange legality of each outer perfect nest *)
+            Ast.iter_stmts
+              (fun s ->
+                match s.Ast.kind with
+                | Ast.Do d when (match d.body with [ { kind = Ast.Do _; _ } ] -> true | _ -> false) ->
+                  Format.printf "  nest at line %d: interchange %s@." s.loc.Srcloc.line
+                    (if Depend.interchange_legal d then "legal" else "ILLEGAL")
+                | _ -> ())
+              c.routine.body)
+          checked)
+  in
+  let doc = "Report data dependences and interchange legality." in
+  Cmd.v (Cmd.info "deps" ~doc) Term.(const run $ file_arg 0 "FILE")
+
+(* ---- run (interpreter + profile) ---- *)
+
+let run_cmd =
+  let run mspec evals file =
+    handle (fun () ->
+        let machine = machine_of_spec mspec in
+        let bindings = parse_bindings evals in
+        let args =
+          List.map (fun (v, f) ->
+              (v, if Float.is_integer f then Pperf_exec.Interp.VInt (int_of_float f)
+                  else Pperf_exec.Interp.VReal f))
+            bindings
+        in
+        let res = Pperf_exec.Interp.run_source ~machine ~args (read_file file) in
+        Format.printf "dynamic cycles: %.0f@." res.cycles;
+        Format.printf "profile:@.%a" Pperf_exec.Interp.Profile.pp res.profile;
+        (* compare with the static prediction at the same bindings *)
+        let p = Predict.of_source ~machine (read_file file) in
+        let static = Predict.eval p bindings in
+        Format.printf "static prediction %a = %.0f (%.2f%% from dynamic)@." Predict.pp p static
+          (100.0 *. Float.abs (static -. res.cycles) /. Float.max 1.0 res.cycles))
+  in
+  let doc = "Interpret the program, profile it, and validate the static prediction." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ machine_arg $ eval_arg $ file_arg 0 "FILE")
+
+(* ---- machine ---- *)
+
+let machine_cmd =
+  let run mspec =
+    handle (fun () ->
+        let m = machine_of_spec mspec in
+        print_string (Descr.to_string m))
+  in
+  let doc = "Print a machine description in the portable textual format." in
+  let spec = Arg.(value & pos 0 string "power1" & info [] ~docv:"MACHINE" ~doc:"machine name or file") in
+  Cmd.v (Cmd.info "machine" ~doc) Term.(const run $ spec)
+
+let () =
+  let doc = "compile-time performance prediction for superscalar machines" in
+  let info = Cmd.info "ppredict" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; machine_cmd ]))

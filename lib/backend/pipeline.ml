@@ -1,0 +1,157 @@
+open Pperf_machine
+open Pperf_sched
+
+type exec_result = { cycles : int; issue : int array; stalls : int }
+
+(* per-unit busy state: the cycle at which the unit becomes free *)
+type state = {
+  machine : Machine.t;
+  free_at : int array;
+  kind_candidates : int array array;
+}
+
+let make_state (m : Machine.t) =
+  let n = Machine.num_units m in
+  let kind_candidates =
+    Array.init n (fun u ->
+        let kind = m.Machine.units.(u).Funit.kind in
+        Array.of_list
+          (Array.to_list m.Machine.units
+          |> List.filter_map (fun (v : Funit.t) -> if v.kind = kind then Some v.id else None)))
+  in
+  { machine = m; free_at = Array.make n 0; kind_candidates }
+
+(* can all components of [op] issue at [cycle]? if so return the chosen
+   units (one per component needing occupancy) *)
+let units_available st cycle (op : Atomic_op.t) =
+  (* greedy per-component choice; components of one op are on distinct
+     kinds in practice, so greedy is exact *)
+  let taken = Hashtbl.create 4 in
+  let rec choose = function
+    | [] -> Some []
+    | (c : Atomic_op.component) :: rest ->
+      if c.noncoverable = 0 then Option.map (fun l -> (c, -1) :: l) (choose rest)
+      else (
+        let cand =
+          Array.to_list st.kind_candidates.(c.unit_id)
+          |> List.find_opt (fun u -> st.free_at.(u) <= cycle && not (Hashtbl.mem taken u))
+        in
+        match cand with
+        | None -> None
+        | Some u ->
+          Hashtbl.add taken u ();
+          (match choose rest with
+           | Some l -> Some ((c, u) :: l)
+           | None -> None))
+  in
+  choose op.components
+
+let do_issue st cycle (op : Atomic_op.t) chosen =
+  List.iter
+    (fun ((c : Atomic_op.component), u) ->
+      if u >= 0 then st.free_at.(u) <- cycle + c.noncoverable)
+    chosen;
+  cycle + Atomic_op.result_latency op
+
+(* generic engine: [pick ready] chooses the next op to try to issue among
+   ready ones (indices into the dag) *)
+let run ~pick (m : Machine.t) (dag : Dag.t) =
+  let n = Dag.length dag in
+  let st = make_state m in
+  let issue = Array.make n (-1) in
+  let result_at = Array.make n max_int in
+  let remaining = ref n in
+  let cycle = ref 0 in
+  let stalls = ref 0 in
+  let makespan = ref 0 in
+  let guard = ref 0 in
+  while !remaining > 0 do
+    incr guard;
+    if !guard > 10_000_000 then failwith "Pipeline.run: livelock";
+    (* ops whose predecessors' results are available at this cycle *)
+    let ready =
+      List.filter
+        (fun i ->
+          issue.(i) < 0
+          && List.for_all (fun d -> result_at.(d) <= !cycle) (Dag.node dag i).Dag.deps)
+        (List.init n (fun i -> i))
+    in
+    let issued_this_cycle = ref 0 in
+    let continue_issuing = ref true in
+    let ready = ref (pick ready) in
+    while !continue_issuing && !issued_this_cycle < m.Machine.issue_width do
+      match !ready with
+      | [] -> continue_issuing := false
+      | i :: rest -> (
+        let op = (Dag.node dag i).Dag.op in
+        match units_available st !cycle op with
+        | Some chosen ->
+          let res = do_issue st !cycle op chosen in
+          issue.(i) <- !cycle;
+          result_at.(i) <- res;
+          makespan := max !makespan res;
+          decr remaining;
+          incr issued_this_cycle;
+          ready := rest
+        | None ->
+          (* structural hazard: in-order semantics stop at the first
+             blocked op; list scheduling skips it and tries the next *)
+          ready := rest)
+    done;
+    if !issued_this_cycle = 0 then incr stalls;
+    incr cycle
+  done;
+  { cycles = !makespan; issue; stalls = !stalls }
+
+let run_in_order m dag =
+  (* strict program order with head-of-line blocking: an op may not issue
+     before all earlier ops have issued *)
+  let n = Dag.length dag in
+  let st = make_state m in
+  let issue = Array.make n (-1) in
+  let result_at = Array.make n max_int in
+  let cycle = ref 0 in
+  let stalls = ref 0 in
+  let makespan = ref 0 in
+  let next = ref 0 in
+  while !next < n do
+    let issued_this_cycle = ref 0 in
+    let blocked = ref false in
+    while (not !blocked) && !next < n && !issued_this_cycle < m.Machine.issue_width do
+      let i = !next in
+      let nd = Dag.node dag i in
+      let deps_ready = List.for_all (fun d -> result_at.(d) <= !cycle) nd.Dag.deps in
+      if not deps_ready then blocked := true
+      else (
+        match units_available st !cycle nd.Dag.op with
+        | Some chosen ->
+          let res = do_issue st !cycle nd.Dag.op chosen in
+          issue.(i) <- !cycle;
+          result_at.(i) <- res;
+          makespan := max !makespan res;
+          incr next;
+          incr issued_this_cycle
+        | None -> blocked := true)
+    done;
+    if !issued_this_cycle = 0 then incr stalls;
+    incr cycle
+  done;
+  { cycles = !makespan; issue; stalls = !stalls }
+
+let run_list_scheduled m dag =
+  (* priority = critical-path height to any sink *)
+  let n = Dag.length dag in
+  let height = Array.make n 0 in
+  (* successors from deps *)
+  for i = n - 1 downto 0 do
+    let nd = Dag.node dag i in
+    let lat = Atomic_op.result_latency nd.Dag.op in
+    height.(i) <- max height.(i) lat;
+    List.iter (fun d -> height.(d) <- max height.(d) (height.(i) + Atomic_op.result_latency (Dag.node dag d).Dag.op)) nd.Dag.deps
+  done;
+  let pick ready =
+    List.sort (fun a b -> compare (height.(b), a) (height.(a), b)) ready
+  in
+  run ~pick m dag
+
+let reference_cycles m dag = (run_list_scheduled m dag).cycles

@@ -1,0 +1,36 @@
+(** Reference back-end: a real instruction scheduler plus an in-order
+    superscalar pipeline timing model.
+
+    This plays the role IBM xlf's [-qdebug=cycles] listings played in the
+    paper's evaluation (Fig. 7): an independent, more expensive measurement
+    of how many cycles a competently scheduled basic block takes on the
+    declared machine. The predictor (the Tetris model in {!Pperf_sched})
+    and this oracle share only the machine description — units, costs,
+    issue width — not the algorithm:
+
+    - the oracle picks instructions by critical-path priority from a ready
+      set, cycle by cycle, like a production list scheduler;
+    - it enforces the issue width, which the drop model ignores;
+    - it never reorders across the dependence DAG, and charges structural
+      stalls exactly.
+
+    [run_in_order] additionally models a naive back-end that issues in
+    program order (no scheduling) — the lower baseline. *)
+
+open Pperf_machine
+open Pperf_sched
+
+type exec_result = {
+  cycles : int;  (** makespan: last result available *)
+  issue : int array;  (** issue cycle per DAG node *)
+  stalls : int;  (** cycles in which nothing could be issued *)
+}
+
+val run_list_scheduled : Machine.t -> Dag.t -> exec_result
+(** Greedy critical-path list scheduling — the reference measurement. *)
+
+val run_in_order : Machine.t -> Dag.t -> exec_result
+(** Strict program-order issue (still multi-issue and pipelined). *)
+
+val reference_cycles : Machine.t -> Dag.t -> int
+(** [= (run_list_scheduled m d).cycles]. *)

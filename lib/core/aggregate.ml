@@ -1,0 +1,420 @@
+open Pperf_num
+open Pperf_symbolic
+open Pperf_lang
+open Pperf_machine
+open Pperf_commcost
+open Pperf_sched
+open Pperf_translate
+module SSet = Analysis.SSet
+
+type options = {
+  flags : Flags.t;
+  focus_span : int;
+  include_memory : bool;
+  layouts : Commcost.layouts option;
+  branch_prob : Srcloc.t -> Poly.t option;
+  near_equal_tol : float;
+  iteration_overlap : bool;
+  library : Libtable.t option;
+}
+
+let default_options =
+  {
+    flags = Flags.default;
+    focus_span = 64;
+    include_memory = false;
+    layouts = None;
+    branch_prob = (fun _ -> None);
+    near_equal_tol = 0.05;
+    iteration_overlap = true;
+    library = None;
+  }
+
+type prediction = { cost : Perf_expr.t; prob_vars : string list }
+
+(* shared across the [{ ctx with ... }] copies made when entering loops *)
+type prob_state = { mutable counter : int; mutable vars : string list }
+
+type ctx = {
+  machine : Machine.t;
+  options : options;
+  symtab : Typecheck.symtab;
+  loops : Analysis.loop_ctx list;
+  invariants : SSet.t;
+  probs : prob_state;
+}
+
+let loop_vars ctx = List.map (fun (l : Analysis.loop_ctx) -> l.lvar) ctx.loops
+
+let fresh_prob ctx =
+  ctx.probs.counter <- ctx.probs.counter + 1;
+  let v = Printf.sprintf "p%d" ctx.probs.counter in
+  ctx.probs.vars <- v :: ctx.probs.vars;
+  v
+
+(* drop a dag into fresh bins and return its standalone cost *)
+let dag_cost ctx dag =
+  if Dag.length dag = 0 then 0
+  else (
+    let bins = Bins.create ~focus_span:ctx.options.focus_span ctx.machine in
+    (Bins.drop_dag bins dag).cost)
+
+(* steady-state per-iteration cost: drop the block (body + loop control)
+   twice; the increment is what one more iteration costs once overlap with
+   the previous iteration is accounted for *)
+let per_iteration_cost ctx dag =
+  if Dag.length dag = 0 then 0
+  else (
+    let bins = Bins.create ~focus_span:ctx.options.focus_span ctx.machine in
+    let s1 = Bins.drop_dag bins dag in
+    if not ctx.options.iteration_overlap then s1.cost
+    else (
+      let s2 = Bins.drop_dag bins dag in
+      max 1 (s2.cost - s1.cost)))
+
+let trip_of (d : Ast.do_loop) =
+  match Sym_expr.trip_count ~lo:d.lo ~hi:d.hi ~step:d.step with
+  | Some p -> p
+  | None -> Poly.var ("trip_" ^ d.var)
+
+(* is this statement straight-line at this level? *)
+let is_straight (s : Ast.stmt) =
+  match s.kind with
+  | Ast.Assign _ | Ast.Call_stmt _ | Ast.Return -> true
+  | Ast.Do _ | Ast.If _ -> false
+
+let library_extra ctx (run : Ast.stmt list) =
+  match ctx.options.library with
+  | None -> Perf_expr.zero
+  | Some lib ->
+    let charge acc f args =
+      match Libtable.call_cost lib f args with Some c -> Perf_expr.add acc c | None -> acc
+    in
+    let charge_expr acc e =
+      Ast.fold_expr
+        (fun acc e ->
+          match e with
+          | Ast.Call (f, args) when not (Intrinsics.is_intrinsic f) -> charge acc f args
+          | _ -> acc)
+        acc e
+    in
+    List.fold_left
+      (fun acc (s : Ast.stmt) ->
+        match s.kind with
+        | Ast.Call_stmt (f, args) ->
+          List.fold_left charge_expr (charge acc f args) args
+        | Ast.Assign (lhs, e) ->
+          charge_expr (List.fold_left charge_expr acc lhs.subs) e
+        | _ -> acc)
+      Perf_expr.zero run
+
+let translate_run ctx (run : Ast.stmt list) =
+  Translator.translate_block ~machine:ctx.machine ~flags:ctx.options.flags
+    ~symtab:ctx.symtab ~loop_vars:(loop_vars ctx) ~invariants:ctx.invariants run
+
+(* probability that [cond] holds, as count-of-true iterations of the
+   innermost loop when the condition tests the loop index (§3.3.2), or
+   None when that heuristic does not apply *)
+let index_cond_count (d : Ast.do_loop) cond =
+  if d.step <> None && d.step <> Some (Ast.Int 1) then None
+  else (
+    let lo_p = Sym_expr.to_poly d.lo and hi_p = Sym_expr.to_poly d.hi in
+    match (lo_p, hi_p) with
+    | Some lo, Some hi -> (
+      let trip = Poly.add (Poly.sub hi lo) Poly.one in
+      let count op k_e flipped =
+        match Sym_expr.to_poly k_e with
+        | None -> None
+        | Some k ->
+          (* number of iterations lo..hi satisfying (i op k); assumes k in
+             range, as the paper does for its example *)
+          let c =
+            match (op, flipped) with
+            | Ast.Le, false | Ast.Ge, true -> Poly.add (Poly.sub k lo) Poly.one
+            | Ast.Lt, false | Ast.Gt, true -> Poly.sub k lo
+            | Ast.Ge, false | Ast.Le, true -> Poly.add (Poly.sub hi k) Poly.one
+            | Ast.Gt, false | Ast.Lt, true -> Poly.sub hi k
+            | Ast.Eq, _ -> Poly.one
+            | Ast.Ne, _ -> Poly.sub trip Poly.one
+            | _ -> Poly.zero
+          in
+          Some (c, trip)
+      in
+      match cond with
+      | Ast.Binop ((Ast.Le | Ast.Lt | Ast.Ge | Ast.Gt | Ast.Eq | Ast.Ne) as op, Ast.Var i, k_e)
+        when String.equal i d.var && not (SSet.mem d.var (Analysis.expr_reads k_e)) ->
+        count op k_e false
+      | Ast.Binop ((Ast.Le | Ast.Lt | Ast.Ge | Ast.Gt | Ast.Eq | Ast.Ne) as op, k_e, Ast.Var i)
+        when String.equal i d.var && not (SSet.mem d.var (Analysis.expr_reads k_e)) ->
+        count op k_e true
+      | _ -> None)
+    | _ -> None)
+
+(* §2.2.2 branch optimization: "matching shapes of the cost blocks to
+   decide whether the branching cost needs to be included". The taken-
+   branch penalty is reduced by however much the branch body's leading
+   straight-line block really overlaps the condition's block when both are
+   dropped into the same bins. *)
+let branch_penalty ctx (cond_body : Dag.t) (body : Ast.stmt list) =
+  let c_br = ctx.machine.Machine.branch_taken_cycles in
+  let rec leading acc = function
+    | (s : Ast.stmt) :: rest when is_straight s -> leading (s :: acc) rest
+    | _ -> List.rev acc
+  in
+  match leading [] body with
+  | [] -> c_br
+  | run -> (
+    match translate_run ctx run with
+    | exception _ -> c_br
+    | res ->
+      if Dag.length res.body = 0 || Dag.length cond_body = 0 then c_br
+      else (
+        let bins = Bins.create ~focus_span:ctx.options.focus_span ctx.machine in
+        let c_cond = (Bins.drop_dag bins cond_body).cost in
+        let combined = (Bins.drop_dag bins res.body).cost in
+        let alone =
+          let b2 = Bins.create ~focus_span:ctx.options.focus_span ctx.machine in
+          (Bins.drop_dag b2 res.body).cost
+        in
+        let overlap = max 0 (c_cond + alone - combined) in
+        max 0 (c_br - overlap)))
+
+let near_equal tol a b =
+  match (Poly.to_const (Perf_expr.total a), Poly.to_const (Perf_expr.total b)) with
+  | Some ca, Some cb ->
+    let fa = Rat.to_float ca and fb = Rat.to_float cb in
+    let m = Float.max (Float.abs fa) (Float.abs fb) in
+    m = 0.0 || Float.abs (fa -. fb) <= tol *. m
+  | _ -> Poly.equal (Perf_expr.total a) (Perf_expr.total b)
+
+let rec agg_stmts ctx (stmts : Ast.stmt list) : Perf_expr.t =
+  (* segment into straight-line runs and control statements *)
+  let rec go acc = function
+    | [] -> acc
+    | s :: _ as rest when is_straight s ->
+      let run, rest' = split_run rest in
+      let res = translate_run ctx run in
+      (* outside a loop there is no "per entry" distinction *)
+      let c = dag_cost ctx (Dag.concat res.one_time res.body) in
+      let acc = Perf_expr.add acc (Perf_expr.of_cycles c) in
+      go (Perf_expr.add acc (library_extra ctx run)) rest'
+    | { Ast.kind = Ast.Do d; _ } :: rest ->
+      let acc = Perf_expr.add acc (agg_do ctx d) in
+      go acc rest
+    | ({ Ast.kind = Ast.If _; _ } as s) :: rest ->
+      let acc = Perf_expr.add acc (agg_if ctx s) in
+      go acc rest
+    | _ :: rest -> go acc rest
+  and split_run stmts =
+    let rec take acc = function
+      | s :: rest when is_straight s -> take (s :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    take [] stmts
+  in
+  go Perf_expr.zero stmts
+
+and agg_if ctx (s : Ast.stmt) : Perf_expr.t =
+  match s.kind with
+  | Ast.If (branches, els) ->
+    let cond_dags =
+      List.map
+        (fun (c, _) ->
+          (Translator.translate_condition ~machine:ctx.machine ~flags:ctx.options.flags
+             ~symtab:ctx.symtab ~loop_vars:(loop_vars ctx) ~invariants:ctx.invariants c)
+            .body)
+        branches
+    in
+    let cond_cost = List.fold_left (fun acc d -> acc + dag_cost ctx d) 0 cond_dags in
+    let first_cond = match cond_dags with d :: _ -> d | [] -> Dag.make [||] in
+    let branch_costs =
+      List.map2
+        (fun d (_, body) ->
+          Perf_expr.add (agg_stmts ctx body)
+            (Perf_expr.of_cycles (branch_penalty ctx d body)))
+        cond_dags branches
+    in
+    let else_cost =
+      Perf_expr.add (agg_stmts ctx els)
+        (Perf_expr.of_cycles (if els = [] then 0 else branch_penalty ctx first_cond els))
+    in
+    let combined =
+      match branch_costs with
+      | [ bt ] when near_equal ctx.options.near_equal_tol bt else_cost ->
+        (* §3.3.2: near-equal branches need no probability *)
+        Perf_expr.scale_rat Rat.half (Perf_expr.add bt else_cost)
+      | _ ->
+        (* fresh probability per branch, complement to the else *)
+        let probs =
+          List.map
+            (fun (c, _) ->
+              match ctx.options.branch_prob s.loc with
+              | Some p -> p
+              | None -> (
+                ignore c;
+                Poly.var (fresh_prob ctx)))
+            branches
+        in
+        let p_else =
+          List.fold_left (fun acc p -> Poly.sub acc p) Poly.one probs
+        in
+        let weighted =
+          List.map2 (fun p bc -> Perf_expr.scale p bc) probs branch_costs
+        in
+        Perf_expr.add (Perf_expr.sum weighted) (Perf_expr.scale p_else else_cost)
+    in
+    Perf_expr.add (Perf_expr.of_cycles cond_cost) combined
+  | _ -> assert false
+
+and agg_do ctx (d : Ast.do_loop) : Perf_expr.t =
+  let trip = trip_of d in
+  (* bound evaluation, once per loop entry *)
+  let bounds_res =
+    Translator.translate_exprs ~machine:ctx.machine ~flags:ctx.options.flags
+      ~symtab:ctx.symtab ~loop_vars:(loop_vars ctx) ~invariants:ctx.invariants
+      (d.lo :: d.hi :: Option.to_list d.step)
+  in
+  let entry_cost = dag_cost ctx (Dag.concat bounds_res.one_time bounds_res.body) in
+  (* context inside the loop *)
+  let assigned = SSet.add d.var (Analysis.assigned_vars d.body) in
+  let visible =
+    SSet.union (Analysis.used_vars d.body) (SSet.of_list (List.map fst (Typecheck.symbols_list ctx.symtab)))
+  in
+  let invariants = SSet.diff visible assigned in
+  let inner_ctx =
+    { ctx with loops = ctx.loops @ [ Analysis.{ lvar = d.var; llo = d.lo; lhi = d.hi; lstep = d.step } ];
+               invariants }
+  in
+  (* walk the body: straight-line runs fold the loop-control overhead into
+     the per-iteration drop; index conditionals use iteration counts *)
+  let overhead = Translator.loop_overhead_dag ~machine:ctx.machine () in
+  let per_iter = ref Perf_expr.zero in
+  let per_entry = ref (Perf_expr.of_cycles entry_cost) in
+  let loop_total_extra = ref Perf_expr.zero in
+  let overhead_charged = ref false in
+  let rec walk = function
+    | [] -> ()
+    | s :: _ as rest when is_straight s ->
+      let rec take acc = function
+        | x :: r when is_straight x -> take (x :: acc) r
+        | r -> (List.rev acc, r)
+      in
+      let run, rest' = take [] rest in
+      let res = translate_run inner_ctx run in
+      let dag =
+        if not !overhead_charged then (
+          overhead_charged := true;
+          Dag.concat res.body overhead)
+        else res.body
+      in
+      per_iter := Perf_expr.add !per_iter (Perf_expr.of_cycles (per_iteration_cost inner_ctx dag));
+      per_iter := Perf_expr.add !per_iter (library_extra inner_ctx run);
+      per_entry := Perf_expr.add !per_entry (Perf_expr.of_cycles (dag_cost inner_ctx res.one_time));
+      walk rest'
+    | { Ast.kind = Ast.Do inner; _ } :: rest ->
+      per_iter := Perf_expr.add !per_iter (agg_do inner_ctx inner);
+      walk rest
+    | ({ Ast.kind = Ast.If ([ (cond, then_body) ], else_body); _ } as s) :: rest -> (
+      match index_cond_count d cond with
+      | Some (count_true, trip_if) when Poly.equal trip_if trip ->
+        (* the paper's §3.3.2 pattern: charge iteration counts directly *)
+        let ct = agg_stmts inner_ctx then_body in
+        let cf = agg_stmts inner_ctx else_body in
+        let cond_res =
+          Translator.translate_condition ~machine:ctx.machine ~flags:ctx.options.flags
+            ~symtab:ctx.symtab ~loop_vars:(loop_vars inner_ctx) ~invariants:inner_ctx.invariants cond
+        in
+        let pen_t = branch_penalty inner_ctx cond_res.body then_body in
+        let pen_f =
+          if else_body = [] then 0 else branch_penalty inner_ctx cond_res.body else_body
+        in
+        let cond_cycles = dag_cost ctx cond_res.body in
+        let ct = Perf_expr.add ct (Perf_expr.of_cycles pen_t) in
+        let cf = Perf_expr.add cf (Perf_expr.of_cycles pen_f) in
+        let count_false = Poly.sub trip count_true in
+        (if ctx.options.near_equal_tol > 0.0 && near_equal ctx.options.near_equal_tol ct cf
+         then
+           (* if C(Bt) ~ C(Bf), C(L) simplifies to trip * C(Bf) (§3.3.2) *)
+           loop_total_extra := Perf_expr.add !loop_total_extra (Perf_expr.scale trip cf)
+         else
+           loop_total_extra :=
+             Perf_expr.add !loop_total_extra
+               (Perf_expr.add (Perf_expr.scale count_true ct) (Perf_expr.scale count_false cf)));
+        loop_total_extra :=
+          Perf_expr.add !loop_total_extra (Perf_expr.scale trip (Perf_expr.of_cycles cond_cycles));
+        walk rest
+      | _ ->
+        per_iter := Perf_expr.add !per_iter (agg_if inner_ctx s);
+        walk rest)
+    | ({ Ast.kind = Ast.If _; _ } as s) :: rest ->
+      per_iter := Perf_expr.add !per_iter (agg_if inner_ctx s);
+      walk rest
+    | _ :: rest -> walk rest
+  in
+  walk d.body;
+  (* if no straight-line run charged the loop control, charge it now *)
+  if not !overhead_charged then
+    per_iter := Perf_expr.add !per_iter (Perf_expr.of_cycles (per_iteration_cost inner_ctx overhead));
+  (* memory and communication are nest-global (§2.3): charge them when this
+     is an outermost loop *)
+  let mem_cost =
+    if ctx.options.include_memory && ctx.loops = [] then (
+      let nests =
+        Analysis.innermost_bodies [ Ast.mk (Ast.Do d) ]
+      in
+      List.fold_left
+        (fun acc (loops, body) ->
+          Poly.add acc (Pperf_memcost.Memcost.nest_cost ~machine:ctx.machine ~symtab:ctx.symtab loops body))
+        Poly.zero nests)
+    else Poly.zero
+  in
+  let comm_cost =
+    match ctx.options.layouts with
+    | Some layouts when ctx.loops = [] ->
+      (match ctx.machine.Machine.comm with
+       | Some comm ->
+         (* communication happens per phase: boundary exchanges of the whole
+            nest are vectorized outside the innermost loops *)
+         Commcost.nest_cost ~comm ~symtab:ctx.symtab ~layouts [] [ Ast.mk (Ast.Do d) ]
+       | None -> Poly.zero)
+    | _ -> Poly.zero
+  in
+  Perf_expr.add
+    (Perf_expr.add
+       (Perf_expr.add (Perf_expr.scale trip !per_iter) !per_entry)
+       !loop_total_extra)
+    (Perf_expr.add (Perf_expr.of_mem mem_cost) (Perf_expr.of_comm comm_cost))
+
+let make_ctx ~machine ~options ~symtab =
+  {
+    machine;
+    options;
+    symtab;
+    loops = [];
+    invariants = SSet.empty;
+    probs = { counter = 0; vars = [] };
+  }
+
+let stmts ~machine ?(options = default_options) ~symtab body =
+  let ctx = make_ctx ~machine ~options ~symtab in
+  let cost = agg_stmts ctx body in
+  { cost; prob_vars = List.rev ctx.probs.vars }
+
+let routine ~machine ?(options = default_options) (checked : Typecheck.checked) =
+  stmts ~machine ~options ~symtab:checked.symbols checked.routine.body
+
+let if_penalty ~machine ?(options = default_options) ~symtab ?(loop_vars = [])
+    ?(invariants = SSet.empty) cond_dag body =
+  let ctx = make_ctx ~machine ~options ~symtab in
+  let loops =
+    List.map
+      (fun v -> Analysis.{ lvar = v; llo = Ast.Int 1; lhi = Ast.Int 1; lstep = None })
+      loop_vars
+  in
+  let ctx = { ctx with loops; invariants } in
+  branch_penalty ctx cond_dag body
+
+let block_cycles ~machine ?(options = default_options) ~symtab body =
+  let ctx = make_ctx ~machine ~options ~symtab in
+  let res = translate_run ctx body in
+  dag_cost ctx (Dag.concat res.one_time res.body)

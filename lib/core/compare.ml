@@ -1,0 +1,78 @@
+(** Symbolic comparison of performance expressions (§3.1–3.2).
+
+    Wraps {!Pperf_symbolic.Signs.compare_over} with performance-expression
+    conveniences: evaluate both candidates, decide over the variable
+    ranges, and when undecidable produce the run-time test condition.
+    Probability variables default to the range [0,1] if the caller's
+    environment does not bind them. *)
+
+open Pperf_num
+open Pperf_symbolic
+
+type choice = First | Second | Either
+
+type decision = {
+  verdict : Signs.verdict;
+  recommended : choice;
+      (** when the verdict has regions or is undecided, the choice that
+          wins on the larger share of the range (by P⁻/P⁺ measure or at
+          the midpoint) *)
+  difference : Poly.t;  (** [C(first) - C(second)] *)
+}
+
+let widen_env env diff =
+  (* default probability unknowns to [0,1], trip counts to n >= 0 *)
+  List.fold_left
+    (fun env v ->
+      match Interval.Env.find_opt v env with
+      | Some _ -> env
+      | None ->
+        if String.length v > 0 && v.[0] = 'p' then Interval.Env.add v Interval.unit_prob env
+        else Interval.Env.add v Interval.nonneg env)
+    env (Poly.vars diff)
+
+let decide ?eps ?depth env (cf : Perf_expr.t) (cg : Perf_expr.t) : decision =
+  let f = Perf_expr.total cf and g = Perf_expr.total cg in
+  let diff = Poly.sub f g in
+  let env = widen_env env diff in
+  let verdict = Signs.compare_over ?eps ?depth env f g in
+  let recommended =
+    match verdict with
+    | Signs.Always_le -> First
+    | Signs.Always_ge -> Second
+    | Signs.Equal -> Either
+    | Signs.Crossover regions -> (
+      (* weigh by measure of the negative (first wins) vs positive part *)
+      let measure sign =
+        List.fold_left
+          (fun acc (r : Signs.region) ->
+            if r.sign = sign then
+              match Interval.width r.range with
+              | Some w -> Rat.add acc w
+              | None -> Rat.add acc (Rat.of_int 1_000_000)
+            else acc)
+          Rat.zero regions
+      in
+      let neg = measure Signs.Neg and pos = measure Signs.Pos in
+      match Rat.compare neg pos with
+      | c when c > 0 -> First
+      | 0 -> Either
+      | _ -> Second)
+    | Signs.Undecided _ -> (
+      (* midpoint evaluation as the tie-breaker the compiler would use if
+         forced to guess *)
+      let v = Poly.eval (Interval.Env.midpoint_valuation env) diff in
+      match Rat.sign v with
+      | s when s < 0 -> First
+      | 0 -> Either
+      | _ -> Second)
+  in
+  { verdict; recommended; difference = diff }
+
+let pp_choice fmt = function
+  | First -> Format.pp_print_string fmt "first"
+  | Second -> Format.pp_print_string fmt "second"
+  | Either -> Format.pp_print_string fmt "either"
+
+let pp_decision fmt d =
+  Format.fprintf fmt "%a (recommend %a)" Signs.pp_verdict d.verdict pp_choice d.recommended

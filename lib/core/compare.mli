@@ -1,0 +1,31 @@
+(** Symbolic comparison of performance expressions (§3.1–3.2).
+
+    Wraps {!Pperf_symbolic.Signs.compare_over} with performance-expression
+    conveniences: compare two candidates over the variables' ranges and,
+    when no side wins everywhere, recommend the one favoured on the larger
+    share of the range — the systematic decision procedure the paper wants
+    restructurers to use instead of guessing. Probability unknowns default
+    to [0,1]; other unbound unknowns to non-negative ranges. *)
+
+open Pperf_symbolic
+
+type choice = First | Second | Either
+
+type decision = {
+  verdict : Signs.verdict;
+  recommended : choice;
+      (** for crossover/undecided verdicts: the candidate winning on the
+          larger measure of the range (or at the midpoint) *)
+  difference : Poly.t;  (** [total first - total second] *)
+}
+
+val decide :
+  ?eps:Pperf_num.Rat.t ->
+  ?depth:int ->
+  Interval.Env.t ->
+  Perf_expr.t ->
+  Perf_expr.t ->
+  decision
+
+val pp_choice : Format.formatter -> choice -> unit
+val pp_decision : Format.formatter -> decision -> unit

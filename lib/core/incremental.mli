@@ -1,0 +1,26 @@
+(** Incremental update of predictions (§3.3.1).
+
+    "Each transformation defines an affected region of performance based on
+    the structure it changes"; everything outside keeps its cached estimate.
+    Realized structurally: per-subtree costs are memoized under a full
+    structural fingerprint (verified by equality on hits, so collisions can
+    never return a stale cost); re-predicting a transformed program
+    recomputes exactly the subtrees the transformation rebuilt. *)
+
+open Pperf_lang
+open Pperf_machine
+
+type t
+
+val create : ?options:Aggregate.options -> Machine.t -> t
+
+val predict : t -> Typecheck.checked -> Perf_expr.t
+(** Same result as {!Aggregate.routine} (asserted in tests), reusing cached
+    subtree costs. *)
+
+val stats : t -> int * int
+(** [(hits, misses)] since creation or the last {!clear}. *)
+
+val clear : t -> unit
+val invalidate_routine : t -> Typecheck.checked -> unit
+(** Drop the cached entries for this routine's top-level statements. *)

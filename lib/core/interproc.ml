@@ -1,0 +1,132 @@
+(** Interprocedural prediction (§3.5).
+
+    "If source code is available, the performance expressions of the
+    external library routines can be computed and stored in an external
+    library cost table. The performance expressions are parameterized with
+    the formal parameters. Actual parameters are substituted at the call
+    site."
+
+    We predict a whole program by processing routines in reverse
+    call-graph order: callees first, each registered in a shared library
+    cost table under its formal parameters, so callers charge specialized
+    costs at every call site. Recursive cycles fall back to the plain
+    per-call overhead (with a warning flag in the result). *)
+
+open Pperf_lang
+
+type routine_prediction = {
+  checked : Typecheck.checked;
+  prediction : Aggregate.prediction;
+  in_cycle : bool;  (** true when the routine is part of a recursion cycle *)
+}
+
+type t = {
+  routines : routine_prediction list;  (** in processing (callee-first) order *)
+  table : Libtable.t;
+}
+
+(* callees of a routine: call statements and non-intrinsic function calls *)
+let callees (r : Ast.routine) =
+  let acc = ref [] in
+  let add f = if not (List.mem f !acc) then acc := f :: !acc in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Ast.Call (f, args) ->
+      if not (Intrinsics.is_intrinsic f) then add f;
+      List.iter expr args
+    | Ast.Index (_, subs) -> List.iter expr subs
+    | Ast.Unop (_, a) -> expr a
+    | Ast.Binop (_, a, b) ->
+      expr a;
+      expr b
+    | _ -> ()
+  in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Assign (lhs, e) ->
+        List.iter expr lhs.subs;
+        expr e
+      | Ast.Call_stmt (f, args) ->
+        add f;
+        List.iter expr args
+      | Ast.If (branches, _) -> List.iter (fun (c, _) -> expr c) branches
+      | Ast.Do d ->
+        expr d.lo;
+        expr d.hi;
+        Option.iter expr d.step
+      | Ast.Return -> ())
+    r.body;
+  !acc
+
+(* Tarjan-free topological order with cycle detection: repeatedly emit
+   routines all of whose callees (within the program) are already emitted;
+   whatever remains is cyclic. *)
+let order (checkeds : Typecheck.checked list) =
+  let names = List.map (fun (c : Typecheck.checked) -> c.routine.rname) checkeds in
+  let remaining = ref checkeds in
+  let emitted = ref [] in
+  let emitted_names = ref [] in
+  let progress = ref true in
+  while !progress && !remaining <> [] do
+    progress := false;
+    let ready, blocked =
+      List.partition
+        (fun (c : Typecheck.checked) ->
+          List.for_all
+            (fun f -> (not (List.mem f names)) || List.mem f !emitted_names)
+            (callees c.routine))
+        !remaining
+    in
+    if ready <> [] then (
+      progress := true;
+      List.iter
+        (fun (c : Typecheck.checked) ->
+          emitted := (c, false) :: !emitted;
+          emitted_names := c.routine.rname :: !emitted_names)
+        ready;
+      remaining := blocked)
+  done;
+  (* leftovers are cyclic: emit in given order, flagged *)
+  List.rev !emitted @ List.map (fun c -> (c, true)) !remaining
+
+let predict_program ?(options = Aggregate.default_options) ~machine
+    (checkeds : Typecheck.checked list) : t =
+  let table = Libtable.create () in
+  let options = { options with library = Some table } in
+  let routines =
+    List.map
+      (fun ((c : Typecheck.checked), in_cycle) ->
+        let prediction = Aggregate.routine ~machine ~options c in
+        Libtable.register table c.routine.rname ~formals:c.routine.params prediction.cost;
+        { checked = c; prediction; in_cycle })
+      (order checkeds)
+  in
+  { routines; table }
+
+let of_source ?options ~machine src =
+  predict_program ?options ~machine (Typecheck.check_program (Parser.parse_program src))
+
+let find t name =
+  List.find_opt
+    (fun rp -> String.equal rp.checked.routine.rname name)
+    t.routines
+
+let main_cost t =
+  match
+    List.find_opt
+      (fun rp -> rp.checked.routine.rkind = Ast.Main)
+      t.routines
+  with
+  | Some rp -> Some rp.prediction.cost
+  | None -> (
+    (* fall back to the last routine in source order = last processed *)
+    match List.rev t.routines with rp :: _ -> Some rp.prediction.cost | [] -> None)
+
+let pp fmt t =
+  List.iter
+    (fun rp ->
+      Format.fprintf fmt "%s%s: %a@." rp.checked.routine.rname
+        (if rp.in_cycle then " (recursive: call-overhead only)" else "")
+        Perf_expr.pp rp.prediction.cost)
+    t.routines

@@ -1,0 +1,37 @@
+(** Interprocedural prediction (§3.5).
+
+    Routines are processed callee-first along the call graph; each is
+    registered in a shared {!Libtable} under its formal parameters, so
+    callers charge specialized costs at every call site ("actual parameters
+    are substituted at the call site to get more specific performance
+    expressions"). Members of recursion cycles fall back to plain call
+    overhead and are flagged. *)
+
+open Pperf_lang
+open Pperf_machine
+
+type routine_prediction = {
+  checked : Typecheck.checked;
+  prediction : Aggregate.prediction;
+  in_cycle : bool;
+}
+
+type t = {
+  routines : routine_prediction list;  (** callee-first order *)
+  table : Libtable.t;
+}
+
+val callees : Ast.routine -> string list
+(** Direct callees: [call] statements plus non-intrinsic function calls. *)
+
+val predict_program :
+  ?options:Aggregate.options -> machine:Machine.t -> Typecheck.checked list -> t
+
+val of_source : ?options:Aggregate.options -> machine:Machine.t -> string -> t
+
+val find : t -> string -> routine_prediction option
+
+val main_cost : t -> Perf_expr.t option
+(** The [program] unit's cost, falling back to the last routine. *)
+
+val pp : Format.formatter -> t -> unit

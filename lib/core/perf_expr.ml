@@ -1,0 +1,46 @@
+(** Performance expressions: the framework's unified currency.
+
+    "Different categories of program costs are unified into a single,
+    comparable performance expression" (§4). A performance expression keeps
+    the instruction, memory and communication components separate (so a
+    transformation can update just its affected category — §3.3.1) but
+    compares and prints as their sum, in cycles. Each component is a
+    symbolic polynomial over program unknowns. *)
+
+open Pperf_symbolic
+
+type t = { cpu : Poly.t; mem : Poly.t; comm : Poly.t }
+
+let zero = { cpu = Poly.zero; mem = Poly.zero; comm = Poly.zero }
+let of_cpu cpu = { zero with cpu }
+let of_mem mem = { zero with mem }
+let of_comm comm = { zero with comm }
+let of_cycles n = of_cpu (Poly.of_int n)
+
+let total t = Poly.add t.cpu (Poly.add t.mem t.comm)
+
+let add a b =
+  { cpu = Poly.add a.cpu b.cpu; mem = Poly.add a.mem b.mem; comm = Poly.add a.comm b.comm }
+
+let sub a b =
+  { cpu = Poly.sub a.cpu b.cpu; mem = Poly.sub a.mem b.mem; comm = Poly.sub a.comm b.comm }
+
+let scale p t = { cpu = Poly.mul p t.cpu; mem = Poly.mul p t.mem; comm = Poly.mul p t.comm }
+let scale_rat r t = { cpu = Poly.scale r t.cpu; mem = Poly.scale r t.mem; comm = Poly.scale r t.comm }
+let sum = List.fold_left add zero
+
+let is_zero t = Poly.is_zero t.cpu && Poly.is_zero t.mem && Poly.is_zero t.comm
+let equal a b = Poly.equal a.cpu b.cpu && Poly.equal a.mem b.mem && Poly.equal a.comm b.comm
+
+let eval env t = Pperf_num.Rat.to_float (Poly.eval env (total t))
+
+let map f t = { cpu = f t.cpu; mem = f t.mem; comm = f t.comm }
+
+let pp fmt t =
+  if Poly.is_zero t.mem && Poly.is_zero t.comm then Poly.pp fmt t.cpu
+  else (
+    Format.fprintf fmt "cpu: %a" Poly.pp t.cpu;
+    if not (Poly.is_zero t.mem) then Format.fprintf fmt " | mem: %a" Poly.pp t.mem;
+    if not (Poly.is_zero t.comm) then Format.fprintf fmt " | comm: %a" Poly.pp t.comm)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,45 @@
+(** Performance expressions: the framework's unified currency.
+
+    "Different categories of program costs are unified into a single,
+    comparable performance expression" (§4). The instruction, memory and
+    communication components stay separate — so a transformation can update
+    just its affected category (§3.3.1) — but compare and print as their
+    sum, in cycles. Each component is a symbolic polynomial over program
+    unknowns. *)
+
+open Pperf_symbolic
+
+type t = {
+  cpu : Poly.t;  (** instruction cycles (the Tetris model) *)
+  mem : Poly.t;  (** cache/TLB cycles (§2.3) *)
+  comm : Poly.t;  (** message-passing cycles *)
+}
+
+val zero : t
+val of_cpu : Poly.t -> t
+val of_mem : Poly.t -> t
+val of_comm : Poly.t -> t
+val of_cycles : int -> t
+
+val total : t -> Poly.t
+(** The single comparable expression: [cpu + mem + comm]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val scale : Poly.t -> t -> t
+(** Multiply every category (e.g. by a symbolic trip count). *)
+
+val scale_rat : Pperf_num.Rat.t -> t -> t
+val sum : t list -> t
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val eval : (string -> Pperf_num.Rat.t) -> t -> float
+(** Total cycles under a valuation of the unknowns. *)
+
+val map : (Poly.t -> Poly.t) -> t -> t
+(** Apply to each category (e.g. substitution at a call site). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,52 @@
+(** Top-level prediction entry points: source text in, performance
+    expression out. *)
+
+open Pperf_lang
+open Pperf_machine
+
+type t = {
+  routine : Ast.routine;
+  symbols : Typecheck.symtab;
+  machine : Machine.t;
+  prediction : Aggregate.prediction;
+}
+
+let of_checked ?(options = Aggregate.default_options) ~machine (checked : Typecheck.checked) =
+  {
+    routine = checked.routine;
+    symbols = checked.symbols;
+    machine;
+    prediction = Aggregate.routine ~machine ~options checked;
+  }
+
+let of_source ?options ~machine src =
+  let checked = Typecheck.check_routine (Parser.parse_routine src) in
+  of_checked ?options ~machine checked
+
+let of_program ?options ~machine src =
+  Parser.parse_program src
+  |> Typecheck.check_program
+  |> List.map (of_checked ?options ~machine)
+
+let cost t = t.prediction.cost
+let total t = Perf_expr.total t.prediction.cost
+let prob_vars t = t.prediction.prob_vars
+
+(** Evaluate the prediction at concrete values of the unknowns; probability
+    variables default to 1/2 when unbound. *)
+let eval t (bindings : (string * float) list) =
+  Pperf_symbolic.Poly.eval_float
+    (fun v ->
+      match List.assoc_opt v bindings with
+      | Some f -> f
+      | None -> if List.mem v t.prediction.prob_vars then 0.5 else 1.0)
+    (total t)
+
+let pp fmt t =
+  Format.fprintf fmt "%s on %s: %a" t.routine.rname t.machine.Machine.name Perf_expr.pp
+    t.prediction.cost
+
+(** Register a routine's own prediction in a library cost table so its
+    callers can charge it at call sites (§3.5). *)
+let register_in_library lib t =
+  Libtable.register lib t.routine.rname ~formals:t.routine.params t.prediction.cost

@@ -1,0 +1,34 @@
+(** Top-level prediction entry points: source text in, performance
+    expression out. *)
+
+open Pperf_lang
+open Pperf_machine
+
+type t = {
+  routine : Ast.routine;
+  symbols : Typecheck.symtab;
+  machine : Machine.t;
+  prediction : Aggregate.prediction;
+}
+
+val of_checked : ?options:Aggregate.options -> machine:Machine.t -> Typecheck.checked -> t
+val of_source : ?options:Aggregate.options -> machine:Machine.t -> string -> t
+(** Parse, check and predict a single-routine source.
+    @raise Parser.Error or Typecheck.Type_error on bad input. *)
+
+val of_program : ?options:Aggregate.options -> machine:Machine.t -> string -> t list
+(** Every routine of a multi-unit source, each predicted independently
+    (see {!Interproc} for call-site charging). *)
+
+val cost : t -> Perf_expr.t
+val total : t -> Pperf_symbolic.Poly.t
+val prob_vars : t -> string list
+
+val eval : t -> (string * float) list -> float
+(** Total cycles at concrete unknowns; unbound probability variables
+    default to 1/2, other unbound unknowns to 1. *)
+
+val pp : Format.formatter -> t -> unit
+
+val register_in_library : Libtable.t -> t -> unit
+(** Make this routine's prediction available to its callers (§3.5). *)

@@ -1,0 +1,120 @@
+(** Human-readable prediction reports.
+
+    Collects in one place what a compiler engineer (or the paper's reader)
+    wants to see about a prediction: the performance expression by cost
+    category, the unknowns and their assumed ranges, evaluations at sample
+    points, the sensitivity ranking (§3.4), and per-loop-nest hot spots. *)
+
+open Pperf_num
+open Pperf_symbolic
+open Pperf_lang
+open Pperf_machine
+
+type hotspot = {
+  loops : string list;  (** enclosing loop variables, outermost first *)
+  at : Srcloc.t;
+  cycles_per_iteration : int;
+}
+
+type t = {
+  routine : string;
+  machine : string;
+  cost : Perf_expr.t;
+  prob_vars : string list;
+  unknowns : (string * Interval.t) list;
+  samples : (float * float) list;  (** (n, predicted cycles) with others at midpoints *)
+  sensitivity : Sensitivity.report list;
+  hotspots : hotspot list;
+}
+
+let hotspots ~machine ~options (checked : Typecheck.checked) =
+  List.filter_map
+    (fun (loops, body) ->
+      match body with
+      | [] -> None
+      | first :: _ ->
+        let loop_vars = List.map (fun (l : Analysis.loop_ctx) -> l.lvar) loops in
+        let assigned = Analysis.assigned_vars checked.routine.body in
+        let invariants =
+          Analysis.SSet.diff
+            (Analysis.SSet.union (Analysis.used_vars checked.routine.body) assigned)
+            assigned
+        in
+        (match
+           Pperf_translate.Translator.translate_block ~machine
+             ~flags:options.Aggregate.flags ~symtab:checked.symbols ~loop_vars ~invariants
+             body
+         with
+         | exception _ -> None
+         | res ->
+           (* include the loop-control overhead so the number matches the
+              per-iteration coefficient of the aggregate expression *)
+           let dag =
+             Pperf_sched.Dag.concat res.body
+               (Pperf_translate.Translator.loop_overhead_dag ~machine ())
+           in
+           let bins = Pperf_sched.Bins.create machine in
+           let s1 = Pperf_sched.Bins.drop_dag bins dag in
+           let s2 = Pperf_sched.Bins.drop_dag bins dag in
+           Some
+             {
+               loops = loop_vars;
+               at = first.Ast.loc;
+               cycles_per_iteration = max 1 (s2.cost - s1.cost);
+             }))
+    (Analysis.innermost_bodies checked.routine.body)
+
+let generate ?(options = Aggregate.default_options) ?(env = Interval.Env.empty) ~machine
+    (checked : Typecheck.checked) : t =
+  let prediction = Aggregate.routine ~machine ~options checked in
+  let total = Perf_expr.total prediction.cost in
+  let unknowns = List.map (fun v -> (v, Interval.Env.find v env)) (Poly.vars total) in
+  let valuation n v =
+    if List.mem v prediction.prob_vars then 0.5
+    else if String.equal v "n" then n
+    else Rat.to_float (Interval.Env.midpoint_valuation env v)
+  in
+  let samples =
+    if Poly.mem_var "n" total then
+      List.map (fun n -> (n, Poly.eval_float (valuation n) total)) [ 64.; 256.; 1024. ]
+    else []
+  in
+  {
+    routine = checked.routine.rname;
+    machine = machine.Machine.name;
+    cost = prediction.cost;
+    prob_vars = prediction.prob_vars;
+    unknowns;
+    samples;
+    sensitivity = Sensitivity.rank env total;
+    hotspots =
+      List.sort
+        (fun a b -> compare b.cycles_per_iteration a.cycles_per_iteration)
+        (hotspots ~machine ~options checked);
+  }
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "# Performance prediction: %s on %s@.@." t.routine t.machine;
+  Format.fprintf fmt "expression: %a@." Perf_expr.pp t.cost;
+  if t.unknowns <> [] then (
+    Format.fprintf fmt "@.unknowns:@.";
+    List.iter
+      (fun (v, iv) ->
+        Format.fprintf fmt "  %-12s in %s%s@." v (Interval.to_string iv)
+          (if List.mem v t.prob_vars then "  (branch probability)" else ""))
+      t.unknowns);
+  if t.samples <> [] then (
+    Format.fprintf fmt "@.evaluations (other unknowns at range midpoints):@.";
+    List.iter (fun (n, c) -> Format.fprintf fmt "  n = %-6.0f -> %.0f cycles@." n c) t.samples);
+  if t.sensitivity <> [] then (
+    Format.fprintf fmt "@.sensitivity (most influential unknowns first):@.";
+    List.iter (fun r -> Format.fprintf fmt "  %a@." Sensitivity.pp_report r) t.sensitivity);
+  if t.hotspots <> [] then (
+    Format.fprintf fmt "@.innermost loop bodies (steady-state cycles per iteration):@.";
+    List.iter
+      (fun h ->
+        Format.fprintf fmt "  line %-4d loops [%s]: %d cycles/iter@." h.at.Srcloc.line
+          (String.concat "," h.loops) h.cycles_per_iteration)
+      t.hotspots)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,36 @@
+(** Human-readable prediction reports: the expression by cost category, the
+    unknowns and their assumed ranges, sample evaluations, the §3.4
+    sensitivity ranking, and per-loop-nest hot spots (steady-state cycles
+    per iteration, consistent with the aggregate expression's
+    coefficients). *)
+
+open Pperf_symbolic
+open Pperf_lang
+open Pperf_machine
+
+type hotspot = {
+  loops : string list;  (** enclosing loop variables, outermost first *)
+  at : Srcloc.t;
+  cycles_per_iteration : int;
+}
+
+type t = {
+  routine : string;
+  machine : string;
+  cost : Perf_expr.t;
+  prob_vars : string list;
+  unknowns : (string * Interval.t) list;
+  samples : (float * float) list;
+  sensitivity : Sensitivity.report list;
+  hotspots : hotspot list;  (** hottest first *)
+}
+
+val generate :
+  ?options:Aggregate.options ->
+  ?env:Interval.Env.t ->
+  machine:Machine.t ->
+  Typecheck.checked ->
+  t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,139 @@
+(** Run-time test generation (§3.4).
+
+    When symbolic comparison cannot decide between two program variants,
+    the compiler can emit both, guarded by a run-time test. "Usually only a
+    few run-time tests can be afforded"; sensitivity analysis picks the
+    variables that perturb the performance expression most, and the test
+    condition comes from the sign condition of [P = C(f) - C(g)]. *)
+
+open Pperf_num
+open Pperf_symbolic
+
+type test = {
+  condition : Poly.t;  (** choose the first variant iff [condition <= 0] *)
+  test_vars : string list;  (** variables the test reads, most sensitive first *)
+  cost_cycles : int;  (** estimated cycles to evaluate the test at run time *)
+  source : string;  (** PF-ish source text of the guard *)
+}
+
+(* pessimistic per-operation cost of evaluating a polynomial at run time:
+   one multiply-add per term per degree *)
+let eval_cost p =
+  List.fold_left
+    (fun acc (_, m) ->
+      acc + 2 + List.fold_left (fun a (_, k) -> a + abs k) 0 (Monomial.to_list m))
+    2 (Poly.terms p)
+
+let rec expr_of_poly p =
+  (* render the polynomial as PF source *)
+  let term_src (c, m) =
+    let vars =
+      List.concat_map
+        (fun (v, k) -> List.init (abs k) (fun _ -> v))
+        (Monomial.to_list m)
+    in
+    let prod = String.concat "*" vars in
+    let cs = Rat.to_string (Rat.abs c) in
+    if prod = "" then cs else if Rat.equal (Rat.abs c) Rat.one then prod else cs ^ "*" ^ prod
+  in
+  match Poly.terms p with
+  | [] -> "0"
+  | first :: rest ->
+    let b = Buffer.create 64 in
+    let c0, _ = first in
+    if Rat.sign c0 < 0 then Buffer.add_string b "-";
+    Buffer.add_string b (term_src first);
+    List.iter
+      (fun (c, m) ->
+        Buffer.add_string b (if Rat.sign c < 0 then " - " else " + ");
+        Buffer.add_string b (term_src (c, m)))
+      rest;
+    ignore expr_of_poly;
+    Buffer.contents b
+
+(** The guard condition as a PF expression (for emitting versioned code). *)
+let ast_of_poly p =
+  let open Pperf_lang in
+  let term (c, m) =
+    (* |c| * v1^k1 * ... as nested multiplications; rationals become
+       float literals *)
+    let cabs = Rat.abs c in
+    let coeff_expr =
+      if Rat.equal cabs Rat.one && not (Monomial.is_unit m) then None
+      else if Rat.is_integer cabs then
+        Some (Ast.Int (match Rat.to_int cabs with Some i -> i | None -> 0))
+      else Some (Ast.Real (Rat.to_float cabs, Ast.Treal))
+    in
+    let vars =
+      List.concat_map
+        (fun (v, k) ->
+          if k < 0 then [] (* negative powers don't appear in cost guards *)
+          else List.init k (fun _ -> Ast.Var v))
+        (Monomial.to_list m)
+    in
+    let factors = Option.to_list coeff_expr @ vars in
+    match factors with
+    | [] -> Ast.Int 1
+    | f :: rest -> List.fold_left (fun acc x -> Ast.Binop (Ast.Mul, acc, x)) f rest
+  in
+  match Poly.terms p with
+  | [] -> Ast.Int 0
+  | first :: rest ->
+    let c0, _ = first in
+    let head = term first in
+    let head = if Rat.sign c0 < 0 then Ast.Unop (Ast.Neg, head) else head in
+    List.fold_left
+      (fun acc ((c, _) as t) ->
+        let op = if Rat.sign c < 0 then Ast.Sub else Ast.Add in
+        Ast.Binop (op, acc, term t))
+      head rest
+
+let guard_expr t =
+  (* choose the first variant iff condition <= 0 *)
+  Pperf_lang.Ast.Binop (Pperf_lang.Ast.Le, ast_of_poly t.condition, Pperf_lang.Ast.Int 0)
+
+(** Build the run-time test for an undecidable comparison: the paper's
+    recipe is to simplify the condition by dropping negligible terms over
+    the known ranges, then test the sign. *)
+let of_difference ?(max_vars = 3) env (diff : Poly.t) : test =
+  let simplified = Simplify.drop_negligible env diff in
+  let ranked = Sensitivity.rank env simplified in
+  let test_vars =
+    List.filteri (fun i _ -> i < max_vars) ranked
+    |> List.map (fun (r : Sensitivity.report) -> r.variable)
+  in
+  {
+    condition = simplified;
+    test_vars;
+    cost_cycles = eval_cost simplified;
+    source = Printf.sprintf "if (%s .le. 0) then" (expr_of_poly simplified);
+  }
+
+(** Is the test worth it? Compare its evaluation cost against the expected
+    gain: the mean of |P| over the box (sampled), i.e. what a wrong static
+    guess would cost on average. *)
+let worthwhile ?(samples = 3) env (t : test) (diff : Poly.t) : bool =
+  let vars = Poly.vars diff in
+  let rec enum acc = function
+    | [] -> [ acc ]
+    | v :: rest ->
+      Interval.sample (Interval.Env.find v env) samples
+      |> List.concat_map (fun s -> enum ((v, s) :: acc) rest)
+  in
+  let points = enum [] vars in
+  let total =
+    List.fold_left
+      (fun acc asg ->
+        let value =
+          Poly.eval (fun x -> match List.assoc_opt x asg with Some v -> v | None -> Rat.one) diff
+        in
+        acc +. Float.abs (Rat.to_float value))
+      0.0 points
+  in
+  let mean_gain = total /. float_of_int (max 1 (List.length points)) in
+  mean_gain > float_of_int t.cost_cycles
+
+let pp fmt t =
+  Format.fprintf fmt "%s  ! tests %s; ~%d cycles" t.source
+    (String.concat ", " t.test_vars)
+    t.cost_cycles

@@ -1,0 +1,33 @@
+(** Run-time test generation (§3.4).
+
+    When symbolic comparison cannot decide between two variants, the
+    compiler can emit both behind a guard. The guard comes from the sign
+    condition of [P = C(f) − C(g)], simplified over the known ranges
+    (§3.1's term dropping); sensitivity analysis names the variables the
+    test should read; and a cost/benefit check decides whether the test
+    pays for itself. *)
+
+open Pperf_symbolic
+open Pperf_lang
+
+type test = {
+  condition : Poly.t;  (** choose the first variant iff [condition <= 0] *)
+  test_vars : string list;  (** most sensitive first *)
+  cost_cycles : int;  (** estimated cycles to evaluate the guard *)
+  source : string;  (** PF text of the guard, e.g. ["if (31*m - 5*n .le. 0) then"] *)
+}
+
+val of_difference : ?max_vars:int -> Interval.Env.t -> Poly.t -> test
+
+val worthwhile : ?samples:int -> Interval.Env.t -> test -> Poly.t -> bool
+(** Is the guard's evaluation cost below the mean |P| over the box — the
+    expected price of a wrong static guess? *)
+
+val ast_of_poly : Poly.t -> Ast.expr
+(** Render a (non-Laurent) polynomial as a PF expression; round-trips
+    through {!Pperf_lang.Sym_expr.to_poly}. *)
+
+val guard_expr : test -> Ast.expr
+(** The complete guard condition [condition <= 0] as a PF expression. *)
+
+val pp : Format.formatter -> test -> unit

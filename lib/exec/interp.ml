@@ -1,0 +1,611 @@
+open Pperf_lang
+open Pperf_machine
+open Pperf_sched
+module SSet = Analysis.SSet
+
+type value = VInt of int | VReal of float | VLog of bool
+
+exception Runtime_error of string * Srcloc.t
+
+exception Return_exn
+
+let err loc fmt = Printf.ksprintf (fun m -> raise (Runtime_error (m, loc))) fmt
+
+(* ---- profile ---- *)
+
+module Profile = struct
+  type t = {
+    branches : (Srcloc.t, int array) Hashtbl.t;  (** per-branch taken counts, else last *)
+    loops : (Srcloc.t, int * int) Hashtbl.t;  (** entries, iterations *)
+  }
+
+  let empty () = { branches = Hashtbl.create 16; loops = Hashtbl.create 16 }
+
+  let record_branch t loc ~arity ~taken =
+    let counts =
+      match Hashtbl.find_opt t.branches loc with
+      | Some c -> c
+      | None ->
+        let c = Array.make arity 0 in
+        Hashtbl.add t.branches loc c;
+        c
+    in
+    counts.(taken) <- counts.(taken) + 1
+
+  let record_loop t loc ~iterations =
+    let entries, total =
+      match Hashtbl.find_opt t.loops loc with Some x -> x | None -> (0, 0)
+    in
+    Hashtbl.replace t.loops loc (entries + 1, total + iterations)
+
+  let branch_prob t loc =
+    match Hashtbl.find_opt t.branches loc with
+    | None -> None
+    | Some counts ->
+      let total = Array.fold_left ( + ) 0 counts in
+      if total = 0 then None
+      else
+        Some
+          (Pperf_symbolic.Poly.of_rat (Pperf_num.Rat.of_ints counts.(0) total))
+
+  let branch_counts t = Hashtbl.fold (fun loc c acc -> (loc, c) :: acc) t.branches []
+  let trip_counts t = Hashtbl.fold (fun loc (e, n) acc -> (loc, e, n) :: acc) t.loops []
+
+  let pp fmt t =
+    List.iter
+      (fun (loc, counts) ->
+        Format.fprintf fmt "if at %s: [%s]@." (Srcloc.to_string loc)
+          (String.concat "; " (Array.to_list (Array.map string_of_int counts))))
+      (branch_counts t);
+    List.iter
+      (fun (loc, entries, total) ->
+        Format.fprintf fmt "do at %s: %d entries, %d iterations@." (Srcloc.to_string loc)
+          entries total)
+      (trip_counts t)
+end
+
+(* ---- storage ---- *)
+
+type arr = {
+  ty : Ast.dtype;
+  lows : int array;
+  extents : int array;
+  fdata : float array;  (** used for real/double *)
+  idata : int array;  (** used for int/logical (0/1) *)
+}
+
+type frame = {
+  scalars : (string, value) Hashtbl.t;
+  arrays : (string, arr) Hashtbl.t;
+}
+
+type state = {
+  machine : Machine.t;
+  options : Pperf_core.Aggregate.options;
+  program : Typecheck.checked list;
+  profile : Profile.t;
+  mutable cycles : float;
+  mutable steps : int;
+  block_costs : (Srcloc.t * string, int * int) Hashtbl.t;
+      (** (first-stmt loc, loop ctx) -> (per-execution cycles, one-time cycles) *)
+  cond_costs : (Srcloc.t, int) Hashtbl.t;
+  charged_one_time : (Srcloc.t * string, int) Hashtbl.t;
+      (** block -> activation id for which one-time cost was last charged *)
+  mutable next_activation : int;
+      (** loop-entry counter; each [do] entry gets a fresh id, which is the
+          key under which its body's hoisted (one-time) costs are charged *)
+}
+
+let max_steps = 50_000_000
+
+let budget st loc =
+  st.steps <- st.steps + 1;
+  if st.steps > max_steps then err loc "interpreter budget exceeded (%d steps)" max_steps
+
+(* ---- value helpers ---- *)
+
+let as_int loc = function
+  | VInt i -> i
+  | VReal f -> int_of_float f
+  | VLog _ -> err loc "logical used as number"
+
+let as_float loc = function
+  | VReal f -> f
+  | VInt i -> float_of_int i
+  | VLog _ -> err loc "logical used as number"
+
+let as_bool loc = function
+  | VLog b -> b
+  | _ -> err loc "number used as logical"
+
+(* ---- expression evaluation ---- *)
+
+let rec eval st frame loc (e : Ast.expr) : value =
+  match e with
+  | Ast.Int i -> VInt i
+  | Ast.Real (f, _) -> VReal f
+  | Ast.Logical b -> VLog b
+  | Ast.Var x -> (
+    match Hashtbl.find_opt frame.scalars x with
+    | Some v -> v
+    | None -> err loc "unbound variable %s" x)
+  | Ast.Index (a, subs) -> (
+    let arr = lookup_array st frame loc a in
+    let off = element_offset st frame loc arr a subs in
+    match arr.ty with
+    | Ast.Treal | Ast.Tdouble -> VReal arr.fdata.(off)
+    | Ast.Tint -> VInt arr.idata.(off)
+    | Ast.Tlogical -> VLog (arr.idata.(off) <> 0))
+  | Ast.Unop (Ast.Neg, a) -> (
+    match eval st frame loc a with
+    | VInt i -> VInt (-i)
+    | VReal f -> VReal (-.f)
+    | VLog _ -> err loc "negation of logical")
+  | Ast.Unop (Ast.Not, a) -> VLog (not (as_bool loc (eval st frame loc a)))
+  | Ast.Binop (op, a, b) -> eval_binop st frame loc op a b
+  | Ast.Call (f, args) -> eval_call st frame loc f args
+
+and eval_binop st frame loc op a b =
+  let va = eval st frame loc a and vb = eval st frame loc b in
+  let num_op fi ff =
+    match (va, vb) with
+    | VInt x, VInt y -> VInt (fi x y)
+    | _ -> VReal (ff (as_float loc va) (as_float loc vb))
+  in
+  let cmp f = VLog (f (compare (as_float loc va) (as_float loc vb)) 0) in
+  match op with
+  | Ast.Add -> num_op ( + ) ( +. )
+  | Ast.Sub -> num_op ( - ) ( -. )
+  | Ast.Mul -> num_op ( * ) ( *. )
+  | Ast.Div -> (
+    match (va, vb) with
+    | VInt _, VInt 0 -> err loc "integer division by zero"
+    | VInt x, VInt y -> VInt (x / y)
+    | _ ->
+      let d = as_float loc vb in
+      if d = 0.0 then err loc "division by zero";
+      VReal (as_float loc va /. d))
+  | Ast.Pow -> (
+    match (va, vb) with
+    | VInt x, VInt y when y >= 0 ->
+      let rec go acc b n = if n = 0 then acc else if n land 1 = 1 then go (acc * b) (b * b) (n asr 1) else go acc (b * b) (n asr 1) in
+      VInt (go 1 x y)
+    | _ -> VReal (Float.pow (as_float loc va) (as_float loc vb)))
+  | Ast.Eq -> cmp ( = )
+  | Ast.Ne -> cmp ( <> )
+  | Ast.Lt -> cmp ( < )
+  | Ast.Le -> cmp ( <= )
+  | Ast.Gt -> cmp ( > )
+  | Ast.Ge -> cmp ( >= )
+  | Ast.And -> VLog (as_bool loc va && as_bool loc vb)
+  | Ast.Or -> VLog (as_bool loc va || as_bool loc vb)
+
+and eval_call st frame loc f args =
+  match (f, List.map (eval st frame loc) args) with
+  | "sqrt", [ v ] -> VReal (sqrt (as_float loc v))
+  | "sin", [ v ] -> VReal (sin (as_float loc v))
+  | "cos", [ v ] -> VReal (cos (as_float loc v))
+  | "exp", [ v ] -> VReal (exp (as_float loc v))
+  | "log", [ v ] -> VReal (log (as_float loc v))
+  | "tanh", [ v ] -> VReal (tanh (as_float loc v))
+  | "abs", [ v ] -> (
+    match v with VInt i -> VInt (abs i) | VReal f -> VReal (Float.abs f) | _ -> err loc "abs")
+  | "iabs", [ v ] -> VInt (abs (as_int loc v))
+  | ("min" | "min0"), (v :: _ as vs) ->
+    let floats = List.map (as_float loc) vs in
+    let m = List.fold_left Float.min infinity floats in
+    (match v with VInt _ -> VInt (int_of_float m) | _ -> VReal m)
+  | ("max" | "max0"), (v :: _ as vs) ->
+    let floats = List.map (as_float loc) vs in
+    let m = List.fold_left Float.max neg_infinity floats in
+    (match v with VInt _ -> VInt (int_of_float m) | _ -> VReal m)
+  | "mod", [ a; b ] -> (
+    match (a, b) with
+    | VInt x, VInt y -> if y = 0 then err loc "mod by zero" else VInt (x mod y)
+    | _ -> VReal (Float.rem (as_float loc a) (as_float loc b)))
+  | ("float" | "dble"), [ v ] -> VReal (as_float loc v)
+  | "int", [ v ] -> VInt (int_of_float (as_float loc v))
+  | "nint", [ v ] -> VInt (int_of_float (Float.round (as_float loc v)))
+  | "sign", [ a; b ] ->
+    let m = Float.abs (as_float loc a) in
+    VReal (if as_float loc b >= 0.0 then m else -.m)
+  | _, vargs -> call_routine st loc f vargs
+
+and call_routine st loc f vargs =
+  match
+    List.find_opt
+      (fun (c : Typecheck.checked) -> String.equal c.routine.rname f)
+      st.program
+  with
+  | None -> err loc "call to unknown routine %s" f
+  | Some callee -> (
+    (* by-value for scalars; arrays cannot be passed by expression here *)
+    let bindings =
+      try List.combine callee.routine.params vargs
+      with Invalid_argument _ -> err loc "arity mismatch calling %s" f
+    in
+    let named = List.map (fun (p, v) -> (p, v)) bindings in
+    let res = exec_routine st callee named in
+    match res with Some v -> v | None -> VInt 0)
+
+(* ---- arrays ---- *)
+
+and lookup_array st frame loc a =
+  ignore st;
+  match Hashtbl.find_opt frame.arrays a with
+  | Some arr -> arr
+  | None -> err loc "unbound array %s" a
+
+and element_offset st frame loc arr name subs =
+  let idxs = List.map (fun s -> as_int loc (eval st frame loc s)) subs in
+  if List.length idxs <> Array.length arr.extents then
+    err loc "array %s: rank mismatch" name;
+  let off = ref 0 and scale = ref 1 in
+  List.iteri
+    (fun d i ->
+      let low = arr.lows.(d) and ext = arr.extents.(d) in
+      if i < low || i >= low + ext then
+        err loc "array %s: subscript %d out of bounds [%d, %d] in dimension %d" name i low
+          (low + ext - 1) (d + 1);
+      off := !off + ((i - low) * !scale);
+      scale := !scale * ext)
+    idxs;
+  !off
+
+(* ---- cost accounting (mirrors Aggregate's recipe) ---- *)
+
+and loop_ctx_key loop_vars = String.concat "," loop_vars
+
+(* mode mirrors Aggregate's cost rules:
+   - Direct_loop_body: per-iteration steady-state cost; the first run of an
+     iteration absorbs the loop-control overhead; one-time parts charged
+     once per loop activation.
+   - Standalone: plain drop cost with the one-time part folded in (used at
+     the routine top level and inside if-branches, like Aggregate's
+     agg_stmts). *)
+and block_cost st (symtab : Typecheck.symtab) ~standalone ~with_overhead loop_vars invariants
+    first_loc run =
+  let key = (first_loc, loop_ctx_key loop_vars ^ if with_overhead then "+o" else "") in
+  match Hashtbl.find_opt st.block_costs key with
+  | Some c -> c
+  | None ->
+    let res =
+      Pperf_translate.Translator.translate_block ~machine:st.machine
+        ~flags:st.options.Pperf_core.Aggregate.flags ~symtab ~loop_vars ~invariants run
+    in
+    let result =
+      if standalone then (
+        let bins = Bins.create ~focus_span:st.options.focus_span st.machine in
+        ((Bins.drop_dag bins (Dag.concat res.one_time res.body)).cost, 0))
+      else (
+        let overhead =
+          if with_overhead then Pperf_translate.Translator.loop_overhead_dag ~machine:st.machine ()
+          else Dag.make [||]
+        in
+        let dag = Dag.concat res.body overhead in
+        let bins = Bins.create ~focus_span:st.options.focus_span st.machine in
+        let s1 = Bins.drop_dag bins dag in
+        let per_exec =
+          if not st.options.iteration_overlap then s1.cost
+          else (
+            let s2 = Bins.drop_dag bins dag in
+            max 1 (s2.cost - s1.cost))
+        in
+        let one_time =
+          if Dag.length res.one_time = 0 then 0
+          else (
+            let one_bins = Bins.create ~focus_span:st.options.focus_span st.machine in
+            (Bins.drop_dag one_bins res.one_time).cost)
+        in
+        (per_exec, one_time))
+    in
+    Hashtbl.replace st.block_costs key result;
+    result
+
+and cond_dag st symtab loop_vars invariants cond =
+  (Pperf_translate.Translator.translate_condition ~machine:st.machine
+     ~flags:st.options.Pperf_core.Aggregate.flags ~symtab ~loop_vars ~invariants cond)
+    .body
+
+and cond_cost st symtab loop_vars invariants loc cond =
+  (* condition evaluation only; the taken-branch penalty is shape-matched
+     per branch (§2.2.2) and charged separately *)
+  match Hashtbl.find_opt st.cond_costs loc with
+  | Some c -> c
+  | None ->
+    let d = cond_dag st symtab loop_vars invariants cond in
+    let bins = Bins.create st.machine in
+    let c = (Bins.drop_dag bins d).cost in
+    Hashtbl.replace st.cond_costs loc c;
+    c
+
+and charge_block st symtab ~standalone ~with_overhead ~activation loop_vars invariants
+    (run : Ast.stmt list) =
+  match run with
+  | [] -> ()
+  | first :: _ ->
+    let per_exec, one_time =
+      block_cost st symtab ~standalone ~with_overhead loop_vars invariants first.Ast.loc run
+    in
+    st.cycles <- st.cycles +. float_of_int per_exec;
+    if one_time > 0 then (
+      let key = (first.Ast.loc, loop_ctx_key loop_vars) in
+      let already =
+        match Hashtbl.find_opt st.charged_one_time key with
+        | Some act -> act = activation
+        | None -> false
+      in
+      if not already then (
+        Hashtbl.replace st.charged_one_time key activation;
+        st.cycles <- st.cycles +. float_of_int one_time))
+
+(* ---- statement execution ---- *)
+
+and is_straight (s : Ast.stmt) =
+  match s.kind with Ast.Assign _ | Ast.Call_stmt _ | Ast.Return -> true | _ -> false
+
+and exec_stmts st (checked : Typecheck.checked) frame ?overhead_pending ~activation loop_vars
+    invariants stmts =
+  let symtab = checked.symbols in
+  (* overhead_pending = Some r: we are a direct loop body; the first
+     straight-line run absorbs the loop-control overhead (Aggregate's
+     rule); r is set once absorbed. None: standalone costing. *)
+  let rec go = function
+    | [] -> ()
+    | s :: _ as rest when is_straight s ->
+      let rec take acc = function
+        | x :: r when is_straight x -> take (x :: acc) r
+        | r -> (List.rev acc, r)
+      in
+      let run, rest' = take [] rest in
+      (match overhead_pending with
+       | Some r ->
+         let with_overhead = not !r in
+         r := true;
+         charge_block st symtab ~standalone:false ~with_overhead ~activation loop_vars
+           invariants run
+       | None ->
+         charge_block st symtab ~standalone:true ~with_overhead:false ~activation loop_vars
+           invariants run);
+      List.iter (exec_straight st checked frame) run;
+      go rest'
+    | { Ast.kind = Ast.Do d; loc } :: rest ->
+      exec_do st checked frame loop_vars invariants loc d;
+      go rest
+    | { Ast.kind = Ast.If (branches, els); loc } :: rest ->
+      exec_if st checked frame ~activation loop_vars invariants loc branches els;
+      go rest
+    | _ :: rest -> go rest
+  in
+  go stmts
+
+and exec_straight st checked frame (s : Ast.stmt) =
+  let loc = s.Ast.loc in
+  budget st loc;
+  match s.kind with
+  | Ast.Assign (lhs, e) ->
+    let v = eval st frame loc e in
+    if lhs.subs = [] then (
+      (* coerce to the declared type *)
+      let v' =
+        match Typecheck.lookup checked.Typecheck.symbols lhs.base with
+        | Some { ty = Ast.Tint; _ } -> VInt (as_int loc v)
+        | Some { ty = Ast.Treal | Ast.Tdouble; _ } -> VReal (as_float loc v)
+        | Some { ty = Ast.Tlogical; _ } -> VLog (as_bool loc v)
+        | None -> v
+      in
+      Hashtbl.replace frame.scalars lhs.base v')
+    else (
+      let arr = lookup_array st frame loc lhs.base in
+      let off = element_offset st frame loc arr lhs.base lhs.subs in
+      match arr.ty with
+      | Ast.Treal | Ast.Tdouble -> arr.fdata.(off) <- as_float loc v
+      | Ast.Tint -> arr.idata.(off) <- as_int loc v
+      | Ast.Tlogical -> arr.idata.(off) <- (if as_bool loc v then 1 else 0))
+  | Ast.Call_stmt (f, args) ->
+    let vargs = List.map (eval st frame loc) args in
+    ignore (call_routine st loc f vargs)
+  | Ast.Return -> raise Return_exn
+  | _ -> assert false
+
+and exec_do st checked frame loop_vars invariants loc (d : Ast.do_loop) =
+  let lo = as_int loc (eval st frame loc d.lo) in
+  let hi = as_int loc (eval st frame loc d.hi) in
+  let step = match d.step with None -> 1 | Some e -> as_int loc (eval st frame loc e) in
+  if step = 0 then err loc "zero loop step";
+  (* bound evaluation cost, once per entry *)
+  let bounds_res =
+    Pperf_translate.Translator.translate_exprs ~machine:st.machine
+      ~flags:st.options.Pperf_core.Aggregate.flags ~symtab:checked.Typecheck.symbols
+      ~loop_vars ~invariants
+      (d.lo :: d.hi :: Option.to_list d.step)
+  in
+  let bins = Bins.create st.machine in
+  st.cycles <-
+    st.cycles
+    +. float_of_int (Bins.drop_dag bins (Dag.concat bounds_res.one_time bounds_res.body)).cost;
+  (* inner context *)
+  let assigned = SSet.add d.var (Analysis.assigned_vars d.body) in
+  let visible =
+    SSet.union (Analysis.used_vars d.body)
+      (SSet.of_list (List.map fst (Typecheck.symbols_list checked.Typecheck.symbols)))
+  in
+  let invariants' = SSet.diff visible assigned in
+  let loop_vars' = loop_vars @ [ d.var ] in
+  st.next_activation <- st.next_activation + 1;
+  let activation = st.next_activation in
+  (* per-iteration loop-control overhead when no straight-line run absorbs
+     it (mirrors Aggregate's fallback) *)
+  let overhead_dag = Pperf_translate.Translator.loop_overhead_dag ~machine:st.machine () in
+  let overhead_alone =
+    let b = Bins.create ~focus_span:st.options.focus_span st.machine in
+    let s1 = Bins.drop_dag b overhead_dag in
+    if not st.options.iteration_overlap then s1.cost
+    else (
+      let s2 = Bins.drop_dag b overhead_dag in
+      max 1 (s2.cost - s1.cost))
+  in
+  let iterations = ref 0 in
+  let i = ref lo in
+  while (step > 0 && !i <= hi) || (step < 0 && !i >= hi) do
+    budget st loc;
+    incr iterations;
+    Hashtbl.replace frame.scalars d.var (VInt !i);
+    let absorbed = ref false in
+    exec_stmts st checked frame ~overhead_pending:absorbed ~activation loop_vars' invariants'
+      d.body;
+    if not !absorbed then st.cycles <- st.cycles +. float_of_int overhead_alone;
+    i := !i + step
+  done;
+  Profile.record_loop st.profile loc ~iterations:!iterations
+
+and exec_if st checked frame ~activation loop_vars invariants loc branches els =
+  budget st loc;
+  let symtab = checked.Typecheck.symbols in
+  let arity = List.length branches + 1 in
+  (* static aggregation charges every condition's evaluation; mirror that *)
+  List.iter
+    (fun (cond, _) ->
+      st.cycles <- st.cycles +. float_of_int (cond_cost st symtab loop_vars invariants loc cond))
+    branches;
+  let rec pick idx = function
+    | [] -> (List.length branches, els)
+    | (cond, body) :: rest ->
+      if as_bool loc (eval st frame loc cond) then (idx, body) else pick (idx + 1) rest
+  in
+  let taken, body = pick 0 branches in
+  Profile.record_branch st.profile loc ~arity ~taken;
+  (* shape-matched taken-branch penalty, cached per (if, alternative) *)
+  (if body <> [] then (
+     let pkey = (loc, "pen" ^ string_of_int taken) in
+     let pen =
+       match Hashtbl.find_opt st.block_costs pkey with
+       | Some (p, _) -> p
+       | None ->
+         let which_cond =
+           if taken < List.length branches then fst (List.nth branches taken)
+           else fst (List.hd branches)
+         in
+         let d = cond_dag st symtab loop_vars invariants which_cond in
+         let p =
+           Pperf_core.Aggregate.if_penalty ~machine:st.machine ~options:st.options ~symtab
+             ~loop_vars ~invariants d body
+         in
+         Hashtbl.replace st.block_costs pkey (p, 0);
+         p
+     in
+     st.cycles <- st.cycles +. float_of_int pen));
+  exec_stmts st checked frame ~activation loop_vars invariants body
+
+(* ---- routine setup ---- *)
+
+and make_frame st (checked : Typecheck.checked) (args : (string * value) list) =
+  let frame = { scalars = Hashtbl.create 32; arrays = Hashtbl.create 8 } in
+  (* scalar parameters and defaults *)
+  List.iter
+    (fun (name, sym) ->
+      if sym.Typecheck.dims = [] then (
+        let default =
+          match sym.ty with
+          | Ast.Tint -> VInt 10
+          | Ast.Treal | Ast.Tdouble -> VReal 1.0
+          | Ast.Tlogical -> VLog false
+        in
+        let v = match List.assoc_opt name args with Some v -> v | None -> default in
+        Hashtbl.replace frame.scalars name v))
+    (Typecheck.symbols_list checked.symbols);
+  (* arrays: evaluate extents under the scalar bindings *)
+  List.iter
+    (fun (name, sym) ->
+      if sym.Typecheck.dims <> [] then (
+        let eval_int_expr e =
+          let loc = Srcloc.dummy in
+          as_int loc (eval st frame loc e)
+        in
+        let lows =
+          List.map
+            (fun (dim : Ast.array_dim) ->
+              match dim.dim_lo with None -> 1 | Some e -> eval_int_expr e)
+            sym.dims
+          |> Array.of_list
+        in
+        let extents =
+          List.map
+            (fun (dim : Ast.array_dim) ->
+              let hi = eval_int_expr dim.dim_hi in
+              let lo = match dim.dim_lo with None -> 1 | Some e -> eval_int_expr e in
+              max 0 (hi - lo + 1))
+            sym.dims
+          |> Array.of_list
+        in
+        let size = Array.fold_left ( * ) 1 extents in
+        if size > 50_000_000 then
+          raise (Runtime_error (Printf.sprintf "array %s too large (%d elems)" name size, Srcloc.dummy));
+        let arr =
+          match sym.ty with
+          | Ast.Treal | Ast.Tdouble ->
+            { ty = sym.ty; lows; extents; fdata = Array.make size 0.0; idata = [||] }
+          | Ast.Tint | Ast.Tlogical ->
+            { ty = sym.ty; lows; extents; fdata = [||]; idata = Array.make size 0 }
+        in
+        Hashtbl.replace frame.arrays name arr))
+    (Typecheck.symbols_list checked.symbols);
+  frame
+
+and exec_routine st (checked : Typecheck.checked) (args : (string * value) list) :
+    value option =
+  let frame = make_frame st checked args in
+  (try exec_stmts st checked frame ~activation:0 [] SSet.empty checked.routine.body
+   with Return_exn -> ());
+  match checked.routine.rkind with
+  | Ast.Function _ -> Hashtbl.find_opt frame.scalars checked.routine.rname
+  | _ -> None
+
+(* ---- public API ---- *)
+
+type result = {
+  cycles : float;
+  profile : Profile.t;
+  return_value : value option;
+  scalars : (string * value) list;
+}
+
+let run ~machine ?(options = Pperf_core.Aggregate.default_options) ?(args = [])
+    ?(program = []) (checked : Typecheck.checked) =
+  let st =
+    {
+      machine;
+      options;
+      program = checked :: program;
+      profile = Profile.empty ();
+      cycles = 0.0;
+      steps = 0;
+      block_costs = Hashtbl.create 64;
+      cond_costs = Hashtbl.create 16;
+      charged_one_time = Hashtbl.create 64;
+      next_activation = 0;
+    }
+  in
+  let frame = make_frame st checked args in
+  let return_value =
+    try
+      exec_stmts st checked frame ~activation:0 [] SSet.empty checked.routine.body;
+      None
+    with Return_exn -> None
+  in
+  let return_value =
+    match checked.routine.rkind with
+    | Ast.Function _ -> Hashtbl.find_opt frame.scalars checked.routine.rname
+    | _ -> return_value
+  in
+  {
+    cycles = st.cycles;
+    profile = st.profile;
+    return_value;
+    scalars = Hashtbl.fold (fun k v acc -> (k, v) :: acc) frame.scalars [];
+  }
+
+let run_source ~machine ?options ?args src =
+  match Typecheck.check_program (Parser.parse_program src) with
+  | [] -> failwith "empty program"
+  | main :: rest -> run ~machine ?options ?args ~program:rest main

@@ -1,0 +1,168 @@
+module SSet = Set.Make (String)
+
+type loop_ctx = {
+  lvar : string;
+  llo : Ast.expr;
+  lhi : Ast.expr;
+  lstep : Ast.expr option;
+}
+
+type array_ref = {
+  array : string;
+  subs : Ast.expr list;
+  is_write : bool;
+  loops : loop_ctx list;
+  at : Srcloc.t;
+}
+
+let ctx_of_do (d : Ast.do_loop) = { lvar = d.var; llo = d.lo; lhi = d.hi; lstep = d.step }
+
+let rec expr_array_refs loops at acc (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Real _ | Ast.Logical _ | Ast.Var _ -> acc
+  | Ast.Index (a, subs) ->
+    let acc = { array = a; subs; is_write = false; loops; at } :: acc in
+    List.fold_left (expr_array_refs loops at) acc subs
+  | Ast.Call (_, args) -> List.fold_left (expr_array_refs loops at) acc args
+  | Ast.Unop (_, a) -> expr_array_refs loops at acc a
+  | Ast.Binop (_, a, b) -> expr_array_refs loops at (expr_array_refs loops at acc a) b
+
+let array_refs stmts =
+  let rec go loops acc stmts =
+    List.fold_left
+      (fun acc (s : Ast.stmt) ->
+        let at = s.loc in
+        match s.kind with
+        | Ast.Assign (lhs, e) ->
+          let acc =
+            if lhs.subs = [] then acc
+            else (
+              let acc = { array = lhs.base; subs = lhs.subs; is_write = true; loops; at } :: acc in
+              List.fold_left (expr_array_refs loops at) acc lhs.subs)
+          in
+          expr_array_refs loops at acc e
+        | Ast.If (branches, els) ->
+          let acc =
+            List.fold_left
+              (fun acc (c, body) -> go loops (expr_array_refs loops at acc c) body)
+              acc branches
+          in
+          go loops acc els
+        | Ast.Do d ->
+          let acc = List.fold_left (expr_array_refs loops at) acc (d.lo :: d.hi :: Option.to_list d.step) in
+          go (loops @ [ ctx_of_do d ]) acc d.body
+        | Ast.Call_stmt (_, args) -> List.fold_left (expr_array_refs loops at) acc args
+        | Ast.Return -> acc)
+      acc stmts
+  in
+  List.rev (go [] [] stmts)
+
+let expr_reads e =
+  Ast.fold_expr
+    (fun acc e ->
+      match e with
+      | Ast.Var x -> SSet.add x acc
+      | Ast.Index (a, _) -> SSet.add a acc
+      | _ -> acc)
+    SSet.empty e
+
+let assigned_vars stmts =
+  let acc = ref SSet.empty in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Assign (lhs, _) -> acc := SSet.add lhs.base !acc
+      | Ast.Do d -> acc := SSet.add d.var !acc
+      | Ast.Call_stmt (_, args) ->
+        (* conservatively: any variable passed to a call may be modified *)
+        List.iter
+          (fun a ->
+            match a with
+            | Ast.Var x | Ast.Index (x, _) -> acc := SSet.add x !acc
+            | _ -> ())
+          args
+      | _ -> ())
+    stmts;
+  !acc
+
+let used_vars stmts =
+  let acc = ref SSet.empty in
+  let add_expr e = acc := SSet.union (expr_reads e) !acc in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Assign (lhs, e) ->
+        List.iter add_expr lhs.subs;
+        add_expr e
+      | Ast.If (branches, _) -> List.iter (fun (c, _) -> add_expr c) branches
+      | Ast.Do d ->
+        add_expr d.lo;
+        add_expr d.hi;
+        Option.iter add_expr d.step
+      | Ast.Call_stmt (_, args) -> List.iter add_expr args
+      | Ast.Return -> ())
+    stmts;
+  !acc
+
+let loop_indices stmts =
+  let acc = ref SSet.empty in
+  Ast.iter_stmts
+    (fun s -> match s.Ast.kind with Ast.Do d -> acc := SSet.add d.var !acc | _ -> ())
+    stmts;
+  !acc
+
+let rec has_call (e : Ast.expr) =
+  match e with
+  | Ast.Call _ -> true
+  | Ast.Int _ | Ast.Real _ | Ast.Logical _ | Ast.Var _ -> false
+  | Ast.Index (_, subs) -> List.exists has_call subs
+  | Ast.Unop (_, a) -> has_call a
+  | Ast.Binop (_, a, b) -> has_call a || has_call b
+
+let is_invariant_expr assigned e =
+  (not (has_call e)) && SSet.is_empty (SSet.inter (expr_reads e) assigned)
+
+let rec perfect_nest (d : Ast.do_loop) =
+  match d.body with
+  | [ { Ast.kind = Ast.Do inner; _ } ] ->
+    let inner_ctxs, body = perfect_nest inner in
+    (ctx_of_do d :: inner_ctxs, body)
+  | body -> ([ ctx_of_do d ], body)
+
+let innermost_bodies stmts =
+  let out = ref [] in
+  let rec go loops stmts =
+    let has_inner_do =
+      List.exists (fun (s : Ast.stmt) -> match s.kind with Ast.Do _ -> true | _ -> false) stmts
+    in
+    if (not has_inner_do) && loops <> [] && stmts <> [] then out := (loops, stmts) :: !out
+    else
+      List.iter
+        (fun (s : Ast.stmt) ->
+          match s.kind with
+          | Ast.Do d -> go (loops @ [ ctx_of_do d ]) d.body
+          | Ast.If (branches, els) ->
+            List.iter (fun (_, b) -> go loops b) branches;
+            go loops els
+          | _ -> ())
+        stmts
+  in
+  go [] stmts;
+  List.rev !out
+
+let count_statements stmts =
+  let n = ref 0 in
+  Ast.iter_stmts (fun _ -> incr n) stmts;
+  !n
+
+let scalar_expansion_candidates stmts =
+  let written = ref SSet.empty and read = ref SSet.empty in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Assign (lhs, e) ->
+        if lhs.subs = [] then written := SSet.add lhs.base !written;
+        read := SSet.union (expr_reads e) !read
+      | _ -> ())
+    stmts;
+  SSet.inter !written !read

@@ -1,0 +1,114 @@
+(** Abstract syntax of PF, the mini Fortran-90/HPF-like source language.
+
+    PF covers what the paper's workloads need: typed scalars and arrays,
+    arbitrarily nested [do] loops with symbolic bounds, [if]/[else if]/
+    [else], assignments, intrinsic calls and subroutine calls. *)
+
+type dtype = Tint | Treal | Tdouble | Tlogical [@@deriving show { with_path = false }, eq]
+
+type unop = Neg | Not [@@deriving show { with_path = false }, eq]
+
+type binop =
+  | Add | Sub | Mul | Div | Pow
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+[@@deriving show { with_path = false }, eq]
+
+type expr =
+  | Int of int
+  | Real of float * dtype  (** [Treal] or [Tdouble] literal *)
+  | Logical of bool
+  | Var of string
+  | Index of string * expr list  (** array element reference *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list  (** intrinsic or user function *)
+[@@deriving show { with_path = false }, eq]
+
+type lhs = { base : string; subs : expr list  (** [[]] for a scalar *) }
+[@@deriving show { with_path = false }, eq]
+
+type stmt = { kind : stmt_kind; loc : Srcloc.t [@equal fun _ _ -> true] }
+
+and stmt_kind =
+  | Assign of lhs * expr
+  | If of (expr * stmt list) list * stmt list
+      (** branches in order (condition, body); final list is the [else] *)
+  | Do of do_loop
+  | Call_stmt of string * expr list
+  | Return
+
+and do_loop = {
+  var : string;
+  lo : expr;
+  hi : expr;
+  step : expr option;  (** [None] = step 1 *)
+  body : stmt list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type array_dim = { dim_lo : expr option;  (** default 1 *) dim_hi : expr }
+[@@deriving show { with_path = false }, eq]
+
+type decl = {
+  dname : string;
+  dty : dtype;
+  dims : array_dim list;  (** [[]] for a scalar *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type routine_kind = Subroutine | Function of dtype | Main
+[@@deriving show { with_path = false }, eq]
+
+type routine = {
+  rname : string;
+  rkind : routine_kind;
+  params : string list;
+  decls : decl list;
+  body : stmt list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type program = routine list [@@deriving show { with_path = false }, eq]
+
+(* ---- convenience constructors (used heavily by tests and examples) ---- *)
+
+let mk ?(loc = Srcloc.dummy) kind = { kind; loc }
+let assign ?loc base subs e = mk ?loc (Assign ({ base; subs }, e))
+let sassign ?loc base e = assign ?loc base [] e
+let do_ ?loc var lo hi ?step body = mk ?loc (Do { var; lo; hi; step; body })
+let if_ ?loc cond then_ else_ = mk ?loc (If ([ (cond, then_) ], else_))
+let int i = Int i
+let real f = Real (f, Treal)
+let v x = Var x
+let idx a subs = Index (a, subs)
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Int _ | Real _ | Logical _ | Var _ -> acc
+  | Index (_, subs) | Call (_, subs) -> List.fold_left (fold_expr f) acc subs
+  | Unop (_, a) -> fold_expr f acc a
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+
+let rec iter_stmts f stmts =
+  List.iter
+    (fun s ->
+      f s;
+      match s.kind with
+      | Assign _ | Call_stmt _ | Return -> ()
+      | If (branches, els) ->
+        List.iter (fun (_, body) -> iter_stmts f body) branches;
+        iter_stmts f els
+      | Do d -> iter_stmts f d.body)
+    stmts
+
+let expr_vars e =
+  fold_expr
+    (fun acc e -> match e with Var x -> x :: acc | Index (a, _) -> a :: acc | _ -> acc)
+    [] e
+  |> List.sort_uniq String.compare

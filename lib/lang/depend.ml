@@ -1,0 +1,258 @@
+open Pperf_num
+open Pperf_symbolic
+
+type direction = Lt | Eq | Gt
+
+type dep_kind = Flow | Anti | Output
+
+type dependence = {
+  kind : dep_kind;
+  directions : direction list;
+  src : Analysis.array_ref;
+  dst : Analysis.array_ref;
+}
+
+(* internal: 'any' extends direction during hierarchical refinement *)
+type dir_or_any = D of direction | Any
+
+let direction_to_string = function Lt -> "<" | Eq -> "=" | Gt -> ">"
+
+(* constant loop bounds when available *)
+let const_bounds (l : Analysis.loop_ctx) =
+  let const e =
+    match Sym_expr.to_poly e with
+    | Some p -> (match Poly.to_const p with Some c -> Rat.to_int c | None -> None)
+    | None -> None
+  in
+  let step_ok = match l.lstep with None -> true | Some (Ast.Int 1) -> true | _ -> false in
+  if not step_ok then None
+  else
+    match (const l.llo, const l.lhi) with
+    | Some lo, Some hi when lo <= hi -> Some (lo, hi)
+    | _ -> None
+
+(* one subscript pair viewed affinely in the common loop indices:
+   (a_coeffs, b_coeffs, diff) with  sum a_j x_j - sum b_j y_j = diff
+   (diff constant); None = not analyzable -> assume dependent *)
+let subscript_pair common (f : Ast.expr) (g : Ast.expr) =
+  let vars = List.map (fun (l : Analysis.loop_ctx) -> l.lvar) common in
+  match (Sym_expr.affine_in vars f, Sym_expr.affine_in vars g) with
+  | Some (fa, frest), Some (ga, grest) ->
+    let diff = Poly.sub grest frest in
+    (match Poly.to_const diff with
+     | Some c when Rat.is_integer c -> (
+       match Rat.to_int c with Some ci -> Some (fa, ga, ci) | None -> None)
+     | _ -> None)
+  | _ -> None
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* GCD test: independent when gcd of all coefficients does not divide diff *)
+let gcd_disproves (fa, ga, diff) =
+  let g = List.fold_left (fun acc c -> gcd acc c) 0 (fa @ ga) in
+  if g = 0 then diff <> 0 else diff mod g <> 0
+
+(* sound bound of the term a*x - b*y under a direction constraint; bounds
+   known: x,y in [lo,hi]. Returns (min, max). *)
+let term_bounds a b lo hi (dir : dir_or_any) =
+  let pos v = max v 0 and neg v = max (-v) 0 in
+  let span = hi - lo in
+  match dir with
+  | Any ->
+    let mn = (pos a * lo) - (neg a * hi) - ((pos b * hi) - (neg b * lo)) in
+    let mx = (pos a * hi) - (neg a * lo) - ((pos b * lo) - (neg b * hi)) in
+    Some (mn, mx)
+  | D Eq ->
+    let c = a - b in
+    Some ((pos c * lo) - (neg c * hi), (pos c * hi) - (neg c * lo))
+  | D Lt ->
+    (* x < y: y = x + d, d in [1, span]; t = (a-b)x - b*d, relaxed *)
+    if span < 1 then None (* direction infeasible *)
+    else (
+      let c = a - b in
+      let mnx = (pos c * lo) - (neg c * hi) and mxx = (pos c * hi) - (neg c * lo) in
+      let mnd = min (-b) (-b * span) and mxd = max (-b) (-b * span) in
+      Some (mnx + mnd, mxx + mxd))
+  | D Gt ->
+    if span < 1 then None
+    else (
+      let c = a - b in
+      let mnx = (pos c * lo) - (neg c * hi) and mxx = (pos c * hi) - (neg c * lo) in
+      let mnd = min b (b * span) and mxd = max b (b * span) in
+      Some (mnx + mnd, mxx + mxd))
+
+(* Banerjee-style test of one subscript pair against a direction vector:
+   true = disproved (no dependence with these directions) *)
+let banerjee_disproves common dirs (fa, ga, diff) =
+  let rec go common dirs fa ga (mn, mx) =
+    match (common, dirs, fa, ga) with
+    | [], [], [], [] -> diff < mn || diff > mx
+    | l :: common', d :: dirs', a :: fa', b :: ga' -> (
+      match const_bounds l with
+      | None ->
+        (* unknown bounds: only the Eq direction allows exact treatment of
+           the (a-b) x term when a = b (contributes 0) *)
+        (match d with
+         | D Eq when a = b -> go common' dirs' fa' ga' (mn, mx)
+         | _ ->
+           (* unbounded contribution unless both coefficients are zero *)
+           if a = 0 && b = 0 then go common' dirs' fa' ga' (mn, mx) else false)
+      | Some (lo, hi) -> (
+        match term_bounds a b lo hi d with
+        | None -> true (* direction infeasible for this loop *)
+        | Some (tmn, tmx) -> go common' dirs' fa' ga' (mn + tmn, mx + tmx)))
+    | _ -> false
+  in
+  go common dirs fa ga (0, 0)
+
+(* test a full direction vector against all subscript pairs; true = the
+   tests disproved a dependence with this direction vector *)
+let vector_disproved common dirs pairs =
+  List.exists
+    (fun pair ->
+      match pair with
+      | None -> false (* unanalyzable dimension: cannot disprove *)
+      | Some p -> gcd_disproves p || banerjee_disproves common dirs p)
+    pairs
+
+(* strong-SIV sharpening: when a dim is a*x - a*y = diff with a <> 0, the
+   dependence distance is fixed: diff/a. Directions inconsistent with the
+   distance sign are disproved. *)
+let siv_direction common pairs =
+  (* returns, per loop level, the direction forced by some subscript, if any *)
+  List.mapi
+    (fun j (l : Analysis.loop_ctx) ->
+      ignore l;
+      List.fold_left
+        (fun forced pair ->
+          match (forced, pair) with
+          | Some _, _ -> forced
+          | None, Some (fa, ga, diff) ->
+            let a = List.nth fa j and b = List.nth ga j in
+            let others_zero =
+              List.for_all2 (fun i (x, y) -> i = j || (x = 0 && y = 0))
+                (List.mapi (fun i _ -> i) fa)
+                (List.combine fa ga)
+            in
+            if a = b && a <> 0 && others_zero then
+              if diff mod a <> 0 then Some `Impossible
+              else (
+                (* x - y = dist: a positive distance means the first
+                   reference's iteration is later (direction >) *)
+                let dist = diff / a in
+                if dist = 0 then Some (`Dir Eq)
+                else if dist > 0 then Some (`Dir Gt)
+                else Some (`Dir Lt))
+            else None
+          | None, None -> None)
+        None pairs)
+    common
+
+let directions ~common (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
+  if not (String.equal r1.array r2.array) then []
+  else if List.length r1.subs <> List.length r2.subs then
+    (* inconsistent shapes: be conservative, all-any *)
+    [ List.map (fun _ -> Eq) common ]
+  else (
+    let pairs = List.map2 (fun f g -> subscript_pair common f g) r1.subs r2.subs in
+    let forced = siv_direction common pairs in
+    if List.exists (fun f -> f = Some `Impossible) forced then []
+    else (
+      (* hierarchical refinement of direction vectors *)
+      let n = List.length common in
+      let results = ref [] in
+      let rec refine prefix j =
+        if j = n then (
+          let dirs = List.rev prefix in
+          if not (vector_disproved common (List.map (fun d -> D d) dirs) pairs) then
+            results := dirs :: !results)
+        else (
+          let candidates =
+            match List.nth forced j with
+            | Some (`Dir d) -> [ d ]
+            | _ -> [ Lt; Eq; Gt ]
+          in
+          List.iter
+            (fun d ->
+              (* prune early with the partial vector extended by Any *)
+              let partial =
+                List.rev_append (List.map (fun d -> D d) (d :: prefix))
+                  (List.init (n - j - 1) (fun _ -> Any))
+              in
+              if not (vector_disproved common partial pairs) then refine (d :: prefix) (j + 1))
+            candidates)
+      in
+      refine [] 0;
+      List.rev !results))
+
+let may_depend ~common r1 r2 = directions ~common r1 r2 <> []
+
+let common_loops (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
+  let rec go l1 l2 =
+    match (l1, l2) with
+    | (a : Analysis.loop_ctx) :: t1, (b : Analysis.loop_ctx) :: t2
+      when String.equal a.lvar b.lvar ->
+      a :: go t1 t2
+    | _ -> []
+  in
+  go r1.loops r2.loops
+
+let classify (src : Analysis.array_ref) (dst : Analysis.array_ref) =
+  match (src.is_write, dst.is_write) with
+  | true, false -> Flow
+  | false, true -> Anti
+  | true, true -> Output
+  | false, false -> assert false
+
+let dependences_in stmts =
+  let refs = Analysis.array_refs stmts in
+  let deps = ref [] in
+  let arr = Array.of_list refs in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let r1 = arr.(i) and r2 = arr.(j) in
+      if String.equal r1.array r2.array && (r1.is_write || r2.is_write) && not (i = j && not r1.is_write)
+      then (
+        let common = common_loops r1 r2 in
+        let dirs = directions ~common r1 r2 in
+        List.iter
+          (fun dvec ->
+            (* orient the dependence source-before-destination *)
+            let self_eq = List.for_all (fun d -> d = Eq) dvec in
+            if i = j && self_eq then () (* same access, same iteration *)
+            else (
+              let reversed = List.exists (fun d -> d = Gt) dvec
+                             && not (List.exists (fun d -> d = Lt) dvec) in
+              let src, dst, dvec =
+                if reversed then (r2, r1, List.map (function Gt -> Lt | Lt -> Gt | Eq -> Eq) dvec)
+                else (r1, r2, dvec)
+              in
+              if src.is_write || dst.is_write then
+                deps := { kind = classify src dst; directions = dvec; src; dst } :: !deps))
+          dirs)
+    done
+  done;
+  List.rev !deps
+
+let carried_dependences (d : Ast.do_loop) =
+  let deps = dependences_in [ Ast.mk (Ast.Do d) ] in
+  List.filter
+    (fun dep -> match dep.directions with (Lt | Gt) :: _ -> true | _ -> false)
+    deps
+
+let interchange_legal (d : Ast.do_loop) =
+  let deps = dependences_in [ Ast.mk (Ast.Do d) ] in
+  not
+    (List.exists
+       (fun dep ->
+         match dep.directions with
+         | Lt :: Gt :: _ -> true
+         | _ -> false)
+       deps)
+
+let kind_to_string = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
+
+let pp_dependence fmt d =
+  Format.fprintf fmt "%s dep on %s (%s)" (kind_to_string d.kind) d.src.Analysis.array
+    (String.concat "," (List.map direction_to_string d.directions))

@@ -1,0 +1,47 @@
+(** Data-dependence testing for array references in loop nests.
+
+    Classic PLDI-era machinery: subscript-wise GCD and Banerjee tests over
+    affine subscripts, refined into direction vectors by hierarchical
+    testing. Used to gate restructuring transformations (legality) and to
+    derive loop-carried dependences for the scheduler's iteration-overlap
+    estimates. Conservative: anything non-affine or symbolic beyond the
+    loop indices is assumed dependent. *)
+
+type direction = Lt  (** carried forward ( < ) *) | Eq | Gt  (** ( > ) *)
+
+type dep_kind = Flow | Anti | Output
+
+type dependence = {
+  kind : dep_kind;
+  directions : direction list;  (** one per common loop, outermost first *)
+  src : Analysis.array_ref;
+  dst : Analysis.array_ref;
+}
+
+val may_depend :
+  common:Analysis.loop_ctx list -> Analysis.array_ref -> Analysis.array_ref -> bool
+(** Subscript-by-subscript GCD + Banerjee disproof attempt, any direction. *)
+
+val directions :
+  common:Analysis.loop_ctx list ->
+  Analysis.array_ref ->
+  Analysis.array_ref ->
+  direction list list
+(** All direction vectors (outermost first) that the tests could not
+    disprove; empty = independent. *)
+
+val dependences_in : Ast.stmt list -> dependence list
+(** All pairwise dependences among array references of the fragment that
+    share an array, classified by kind. Scalars are ignored here (handled
+    by the translator's renaming/reduction logic). *)
+
+val carried_dependences : Ast.do_loop -> dependence list
+(** Dependences carried by this loop (direction [Lt] or [Gt] at its
+    level). *)
+
+val interchange_legal : Ast.do_loop -> bool
+(** True when the outer two loops of the (perfect) nest can be swapped:
+    no dependence with direction (<, >). *)
+
+val pp_dependence : Format.formatter -> dependence -> unit
+val direction_to_string : direction -> string

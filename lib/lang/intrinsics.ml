@@ -1,0 +1,42 @@
+(** PF intrinsic functions: names, result typing, and how the translator
+    should cost them. *)
+
+type cost_class =
+  | Arith of string
+      (** maps to a single atomic operation of the given name, e.g. sqrt *)
+  | Minmax  (** compare + select sequence *)
+  | Conversion  (** int<->float conversion *)
+  | Free  (** no generated code (abs folded into FP ops, sign tricks) *)
+
+type info = {
+  name : string;
+  arity : int;  (** -1 = variadic (>= 2) *)
+  cost : cost_class;
+  result_real : bool;
+      (** true: result is floating; false: follows/returns integer *)
+}
+
+let table =
+  [
+    { name = "sqrt"; arity = 1; cost = Arith "fsqrt"; result_real = true };
+    { name = "sin"; arity = 1; cost = Arith "fsin"; result_real = true };
+    { name = "cos"; arity = 1; cost = Arith "fcos"; result_real = true };
+    { name = "exp"; arity = 1; cost = Arith "fexp"; result_real = true };
+    { name = "log"; arity = 1; cost = Arith "flog"; result_real = true };
+    { name = "tanh"; arity = 1; cost = Arith "ftanh"; result_real = true };
+    { name = "abs"; arity = 1; cost = Free; result_real = true };
+    { name = "iabs"; arity = 1; cost = Free; result_real = false };
+    { name = "min"; arity = -1; cost = Minmax; result_real = true };
+    { name = "max"; arity = -1; cost = Minmax; result_real = true };
+    { name = "min0"; arity = -1; cost = Minmax; result_real = false };
+    { name = "max0"; arity = -1; cost = Minmax; result_real = false };
+    { name = "mod"; arity = 2; cost = Arith "idiv"; result_real = false };
+    { name = "dble"; arity = 1; cost = Conversion; result_real = true };
+    { name = "float"; arity = 1; cost = Conversion; result_real = true };
+    { name = "int"; arity = 1; cost = Conversion; result_real = false };
+    { name = "nint"; arity = 1; cost = Conversion; result_real = false };
+    { name = "sign"; arity = 2; cost = Free; result_real = true };
+  ]
+
+let find name = List.find_opt (fun i -> String.equal i.name name) table
+let is_intrinsic name = Option.is_some (find name)

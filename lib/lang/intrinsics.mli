@@ -1,0 +1,20 @@
+(** PF intrinsic functions: names, typing behaviour, and how the translator
+    costs them. *)
+
+type cost_class =
+  | Arith of string
+      (** a single atomic operation of this name (e.g. [fsqrt]) *)
+  | Minmax  (** n-ary compare+select chain; result type follows arguments *)
+  | Conversion  (** int<->float *)
+  | Free  (** no generated code (e.g. [abs] folded into FP sign bits) *)
+
+type info = {
+  name : string;
+  arity : int;  (** [-1] = variadic (at least 2) *)
+  cost : cost_class;
+  result_real : bool;
+}
+
+val table : info list
+val find : string -> info option
+val is_intrinsic : string -> bool

@@ -1,0 +1,26 @@
+(** Hand-written lexer for PF source (menhir/ocamllex are not available in
+    the sealed build environment, and the language is small). *)
+
+type token =
+  | IDENT of string  (** lowercased; keywords are resolved by the parser *)
+  | INT_LIT of int
+  | REAL_LIT of float * Ast.dtype  (** [d] exponents give [Tdouble] *)
+  | LOGICAL_LIT of bool
+  | PLUS | MINUS | STAR | SLASH | POW
+  | LPAREN | RPAREN | COMMA | COLON
+  | ASSIGN  (** [=] *)
+  | EQ | NE | LT | LE | GT | GE
+  | AND | OR | NOT
+  | NEWLINE
+  | EOF
+
+type spanned = { tok : token; loc : Srcloc.t }
+
+exception Error of string * Srcloc.t
+
+val tokenize : string -> spanned array
+(** Comments ([!] to end of line), blank lines, and [&] continuations are
+    handled here; consecutive separators are collapsed to one [NEWLINE].
+    @raise Error on an unrecognizable character sequence. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,29 @@
+(** Recursive-descent parser for PF.
+
+    Grammar sketch (see the README for examples):
+    {v
+    unit   ::= header NL (decl | stmt)* "end" ... NL
+    header ::= "program" id | "subroutine" id [ "(" ids ")" ]
+             | type "function" id "(" ids ")"
+    decl   ::= type name [ "(" dims ")" ] { "," ... }
+    stmt   ::= lhs "=" expr NL
+             | "do" id "=" expr "," expr ["," expr] NL stmt* "enddo" NL
+             | "if" "(" expr ")" "then" NL ... ["else" ...] "endif" NL
+             | "if" "(" expr ")" stmt
+             | "call" id ["(" exprs ")"] NL
+             | "return" NL
+    v} *)
+
+exception Error of string * Srcloc.t
+
+val parse_program : string -> Ast.program
+(** @raise Error (also re-raised from {!Lexer.Error}) with position info. *)
+
+val parse_routine : string -> Ast.routine
+(** Parse a source containing exactly one unit. *)
+
+val parse_stmts : string -> Ast.stmt list
+(** Parse a bare statement sequence (no enclosing unit) — convenient for
+    tests and examples. *)
+
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,8 @@
+(** Source positions for diagnostics. *)
+
+type t = { line : int; col : int } [@@deriving show, eq]
+
+let dummy = { line = 0; col = 0 }
+let make line col = { line; col }
+let to_string t = Printf.sprintf "%d:%d" t.line t.col
+let pp_short fmt t = Format.fprintf fmt "%d:%d" t.line t.col

@@ -1,0 +1,117 @@
+(** Conversion of PF integer expressions to symbolic polynomials.
+
+    This is the bridge the paper's aggregation model relies on: "unknowns in
+    control statements and array subscripts are treated as variables in the
+    performance expressions" (§2). Program variables become polynomial
+    variables of the same name. *)
+
+open Pperf_num
+open Pperf_symbolic
+
+(** [to_poly e] is [Some p] when [e] is a polynomial expression over program
+    variables: literals, variables, [+], [-], [*], integer [**], and
+    division by a nonzero constant (yielding rational coefficients, as in a
+    trip count [(n-1)/2]). [None] otherwise (calls, array elements,
+    logicals, symbolic divisors). *)
+let rec to_poly (e : Ast.expr) : Poly.t option =
+  match e with
+  | Ast.Int i -> Some (Poly.of_int i)
+  | Ast.Real (f, _) -> if Float.is_integer f then Some (Poly.of_int (int_of_float f)) else None
+  | Ast.Logical _ -> None
+  | Ast.Var x -> Some (Poly.var x)
+  | Ast.Index _ | Ast.Call _ -> None
+  | Ast.Unop (Ast.Neg, a) -> Option.map Poly.neg (to_poly a)
+  | Ast.Unop (Ast.Not, _) -> None
+  | Ast.Binop (op, a, b) -> (
+    match (to_poly a, to_poly b) with
+    | Some pa, Some pb -> (
+      match op with
+      | Ast.Add -> Some (Poly.add pa pb)
+      | Ast.Sub -> Some (Poly.sub pa pb)
+      | Ast.Mul -> Some (Poly.mul pa pb)
+      | Ast.Div -> (
+        match Poly.to_const pb with
+        | Some c when not (Rat.is_zero c) -> Some (Poly.scale (Rat.inv c) pa)
+        | _ -> None)
+      | Ast.Pow -> (
+        match Poly.to_const pb with
+        | Some c when Rat.is_integer c && Rat.sign c >= 0 -> (
+          match Rat.to_int c with Some k -> Some (Poly.pow pa k) | None -> None)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+
+(** Affine view of a subscript w.r.t. given index variables:
+    [Some (coeffs, rest)] where the subscript equals
+    [sum_i coeffs_i * var_i + rest] and [rest] does not mention the index
+    variables. Coefficients must be integer constants. *)
+let affine_in (vars : string list) (e : Ast.expr) : (int list * Poly.t) option =
+  match to_poly e with
+  | None -> None
+  | Some p ->
+    let rec extract coeffs rest = function
+      | [] -> Some (List.rev coeffs, rest)
+      | v :: more ->
+        let cpolys = Poly.coeffs_in v rest in
+        let ok =
+          List.for_all
+            (fun (k, _) -> k = 0 || k = 1)
+            cpolys
+        in
+        if not ok then None
+        else (
+          let c1 = match List.assoc_opt 1 cpolys with Some c -> c | None -> Poly.zero in
+          match Poly.to_const c1 with
+          | Some c when Rat.is_integer c -> (
+            match Rat.to_int c with
+            | Some ci ->
+              (* ensure the coefficient itself does not mention other index vars *)
+              let rest' = Poly.sub rest (Poly.mul (Poly.of_rat c) (Poly.var v)) in
+              extract (ci :: coeffs) rest' more
+            | None -> None)
+          | Some _ -> None
+          | None -> None)
+    in
+    extract [] p vars
+
+(** Trip count of a [do] loop as a polynomial: [(hi - lo + step) / step]
+    requires a constant nonzero [step]. [None] when the bounds are not
+    polynomial or the step is symbolic/zero. The result uses Fortran
+    semantics [max(0, floor((hi-lo+step)/step))] — the max/floor are not
+    representable in a polynomial, so callers should interpret the result
+    under the assumption of a nonempty loop (the paper does the same:
+    performance expressions live in the region where bounds make sense). *)
+let trip_count ~(lo : Ast.expr) ~(hi : Ast.expr) ~(step : Ast.expr option) : Poly.t option =
+  (* recognizable restructuring idioms first: *)
+  match (lo, hi, step) with
+  (* strip-mined inner loop: do i = s, min(s + (w-1), H) runs w iterations
+     on all but the last strip *)
+  | _, Ast.Call ("min", [ Ast.Binop (Ast.Add, lo', Ast.Int w1); _ ]), None
+    when Ast.equal_expr lo' lo ->
+    Some (Poly.of_int (w1 + 1))
+  | _, Ast.Call ("min", [ _; Ast.Binop (Ast.Add, lo', Ast.Int w1) ]), None
+    when Ast.equal_expr lo' lo ->
+    Some (Poly.of_int (w1 + 1))
+  (* unroll remainder loop: do i = H - mod(E, f) + 1, H runs mod(E, f)
+     iterations; estimate by the average (f-1)/2 — a justified guess in
+     the paper's sense, bounded by the unroll factor *)
+  | ( Ast.Binop (Ast.Add, Ast.Binop (Ast.Sub, hi', Ast.Call ("mod", [ _; Ast.Int f ])), Ast.Int 1),
+      _, None )
+    when Ast.equal_expr hi' hi && f > 0 ->
+    Some (Poly.of_rat (Rat.of_ints (f - 1) 2))
+  | _ ->
+  let step_poly =
+    match step with
+    | None -> Some Rat.one
+    | Some s -> (
+      match to_poly s with
+      | Some p -> (
+        match Poly.to_const p with
+        | Some c when not (Rat.is_zero c) -> Some c
+        | _ -> None)
+      | None -> None)
+  in
+  match (to_poly lo, to_poly hi, step_poly) with
+  | Some plo, Some phi, Some s ->
+    Some (Poly.scale (Rat.inv s) (Poly.add (Poly.sub phi plo) (Poly.of_rat s)))
+  | _ -> None

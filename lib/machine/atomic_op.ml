@@ -1,0 +1,35 @@
+type component = { unit_id : int; noncoverable : int; coverable : int }
+
+type t = { name : string; components : component list }
+
+let make name comps =
+  if comps = [] then invalid_arg "Atomic_op.make: no components";
+  let seen = Hashtbl.create 4 in
+  let components =
+    List.map
+      (fun (unit_id, noncoverable, coverable) ->
+        if noncoverable < 0 || coverable < 0 then
+          invalid_arg "Atomic_op.make: negative cost";
+        if Hashtbl.mem seen unit_id then
+          invalid_arg "Atomic_op.make: duplicate unit component";
+        Hashtbl.add seen unit_id ();
+        { unit_id; noncoverable; coverable })
+      comps
+  in
+  { name; components }
+
+let result_latency t =
+  List.fold_left (fun acc c -> max acc (c.noncoverable + c.coverable)) 0 t.components
+
+let busy_cycles t = List.fold_left (fun acc c -> acc + c.noncoverable) 0 t.components
+
+let serial_cycles = result_latency
+
+let component_on t unit_id = List.find_opt (fun c -> c.unit_id = unit_id) t.components
+
+let pp fmt t =
+  Format.fprintf fmt "%s[%a]" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       (fun fmt c -> Format.fprintf fmt "u%d:%d+%dc" c.unit_id c.noncoverable c.coverable))
+    t.components

@@ -1,0 +1,46 @@
+(** Atomic operations and their two-component costs (§2.1).
+
+    Each atomic operation carries, per functional unit it touches:
+
+    - a {e noncoverable} cost — cycles the unit truly dedicates to it
+      (a solid Tetris piece: cannot share its time slots);
+    - a {e coverable} cost — latency cycles during which {e independent}
+      operations may proceed, but consumers of the result must wait
+      (a transparent piece acting as a filter for dependents).
+
+    The paper's canonical example: a POWER floating-point add is one
+    noncoverable plus one coverable cycle on the FPU — it costs one cycle
+    if the compiler can cover the second, two if not. A floating-point
+    store occupies the FPU two cycles (one coverable) {e and} an integer
+    unit one cycle. *)
+
+type component = {
+  unit_id : int;
+  noncoverable : int;  (** >= 0 *)
+  coverable : int;  (** >= 0 *)
+}
+
+type t = {
+  name : string;
+  components : component list;  (** at most one component per unit *)
+}
+
+val make : string -> (int * int * int) list -> t
+(** [make name [(unit, noncoverable, coverable); ...]].
+    @raise Invalid_argument on negative costs, an empty component list, or
+    duplicate units. *)
+
+val result_latency : t -> int
+(** Cycles from issue until a dependent may start:
+    max over components of (noncoverable + coverable). *)
+
+val busy_cycles : t -> int
+(** Total noncoverable cycles summed over components — the work a pure
+    operation-count model would charge. *)
+
+val serial_cycles : t -> int
+(** What a non-overlapping (fully serial) machine pays: equals
+    {!result_latency}. *)
+
+val component_on : t -> int -> component option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,211 @@
+exception Parse_error of string
+
+(* ---- a tiny S-expression reader ---- *)
+
+type sexp = Atom of string | List of sexp list
+
+let parse_sexp (s : string) : sexp =
+  let n = String.length s in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let error msg = raise (Parse_error (Printf.sprintf "line %d: %s" !line msg)) in
+  let rec skip_ws () =
+    if !pos < n then (
+      match s.[!pos] with
+      | ' ' | '\t' | '\r' -> incr pos; skip_ws ()
+      | '\n' -> incr line; incr pos; skip_ws ()
+      | ';' ->
+        while !pos < n && s.[!pos] <> '\n' do incr pos done;
+        skip_ws ()
+      | _ -> ())
+  in
+  let atom () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with
+          | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' -> false
+          | _ -> true)
+    do
+      incr pos
+    done;
+    if !pos = start then error "expected atom";
+    Atom (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    if !pos >= n then error "unexpected end of input";
+    if s.[!pos] = '(' then (
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        if !pos >= n then error "unterminated list";
+        if s.[!pos] = ')' then incr pos
+        else (
+          items := value () :: !items;
+          loop ())
+      in
+      loop ();
+      List (List.rev !items))
+    else if s.[!pos] = ')' then error "unexpected )"
+    else atom ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then error "trailing input after machine description";
+  v
+
+(* ---- interpretation ---- *)
+
+let as_atom = function Atom a -> a | List _ -> raise (Parse_error "expected atom")
+
+let as_int sx =
+  let a = as_atom sx in
+  match int_of_string_opt a with
+  | Some i -> i
+  | None -> raise (Parse_error ("expected integer, got " ^ a))
+
+let as_bool sx =
+  match as_atom sx with
+  | "true" -> true
+  | "false" -> false
+  | a -> raise (Parse_error ("expected bool, got " ^ a))
+
+let field name fields =
+  List.find_map
+    (function List (Atom key :: rest) when String.equal key name -> Some rest | _ -> None)
+    fields
+
+let field_exn name fields =
+  match field name fields with
+  | Some v -> v
+  | None -> raise (Parse_error ("missing field " ^ name))
+
+let int_field name default fields =
+  match field name fields with Some [ v ] -> as_int v | Some _ -> raise (Parse_error name) | None -> default
+
+let of_string str =
+  match parse_sexp str with
+  | List (Atom "machine" :: fields) ->
+    let name =
+      match field_exn "name" fields with
+      | [ v ] -> as_atom v
+      | _ -> raise (Parse_error "name")
+    in
+    let units =
+      match field_exn "units" fields with
+      | us ->
+        List.map
+          (function
+            | List [ Atom uname; Atom kind ] -> (uname, Funit.kind_of_string kind)
+            | _ -> raise (Parse_error "unit entries must be (NAME kind)"))
+          us
+    in
+    let unit_index =
+      List.mapi (fun i (uname, _) -> (uname, i)) units
+    in
+    let resolve_unit u =
+      match List.assoc_opt u unit_index with
+      | Some i -> i
+      | None -> raise (Parse_error ("unknown unit in atomic op: " ^ u))
+    in
+    let atomics =
+      match field_exn "atomics" fields with
+      | ops ->
+        List.map
+          (function
+            | List (Atom opname :: comps) ->
+              ( opname,
+                List.map
+                  (function
+                    | List [ Atom u; nc; cv ] -> (resolve_unit u, as_int nc, as_int cv)
+                    | _ -> raise (Parse_error ("bad component in op " ^ opname)))
+                  comps )
+            | _ -> raise (Parse_error "atomic entries must be (name (UNIT nc cv) ...)"))
+          ops
+    in
+    let cache =
+      match field "cache" fields with
+      | None -> Machine.default_cache
+      | Some cfields ->
+        {
+          Machine.line_bytes = int_field "line-bytes" Machine.default_cache.line_bytes cfields;
+          cache_bytes = int_field "cache-bytes" Machine.default_cache.cache_bytes cfields;
+          associativity = int_field "associativity" Machine.default_cache.associativity cfields;
+          miss_cycles = int_field "miss-cycles" Machine.default_cache.miss_cycles cfields;
+          tlb_entries = int_field "tlb-entries" Machine.default_cache.tlb_entries cfields;
+          page_bytes = int_field "page-bytes" Machine.default_cache.page_bytes cfields;
+          tlb_miss_cycles = int_field "tlb-miss-cycles" Machine.default_cache.tlb_miss_cycles cfields;
+        }
+    in
+    let comm =
+      match field "comm" fields with
+      | None -> None
+      | Some cfields ->
+        Some
+          {
+            Machine.processors = int_field "processors" 1 cfields;
+            startup_cycles = int_field "startup-cycles" 1000 cfields;
+            per_byte_cycles =
+              (match field "per-byte-cycles" cfields with
+               | Some [ Atom a ] ->
+                 (match float_of_string_opt a with
+                  | Some f -> f
+                  | None -> raise (Parse_error "per-byte-cycles"))
+               | _ -> 1.0);
+          }
+    in
+    let has_fma = match field "fma" fields with Some [ v ] -> as_bool v | _ -> false in
+    Machine.make ~name ~units ~atomics
+      ~issue_width:(int_field "issue-width" 4 fields)
+      ~branch_taken_cycles:(int_field "branch-taken-cycles" 3 fields)
+      ~register_load_limit:(int_field "register-load-limit" 24 fields)
+      ~has_fma ~cache ?comm ()
+  | _ -> raise (Parse_error "expected (machine ...)")
+
+let of_channel ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  of_string (Buffer.contents buf)
+
+let to_string (m : Machine.t) =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "(machine (name %s)\n" m.name;
+  pf "  (issue-width %d)\n" m.issue_width;
+  pf "  (branch-taken-cycles %d)\n" m.branch_taken_cycles;
+  pf "  (register-load-limit %d)\n" m.register_load_limit;
+  pf "  (fma %b)\n" m.has_fma;
+  pf "  (units";
+  Array.iter
+    (fun (u : Funit.t) -> pf " (%s %s)" u.name (Funit.kind_to_string u.kind))
+    m.units;
+  pf ")\n  (atomics\n";
+  let ops = Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.atomics [] in
+  let ops = List.sort (fun (a, _) (b, _) -> String.compare a b) ops in
+  List.iter
+    (fun (opname, (op : Atomic_op.t)) ->
+      pf "    (%s" opname;
+      List.iter
+        (fun (c : Atomic_op.component) ->
+          pf " (%s %d %d)" m.units.(c.unit_id).name c.noncoverable c.coverable)
+        op.components;
+      pf ")\n")
+    ops;
+  pf "  )\n";
+  pf "  (cache (line-bytes %d) (cache-bytes %d) (associativity %d) (miss-cycles %d)\n"
+    m.cache.line_bytes m.cache.cache_bytes m.cache.associativity m.cache.miss_cycles;
+  pf "         (tlb-entries %d) (page-bytes %d) (tlb-miss-cycles %d))\n" m.cache.tlb_entries
+    m.cache.page_bytes m.cache.tlb_miss_cycles;
+  (match m.comm with
+   | Some c ->
+     pf "  (comm (processors %d) (startup-cycles %d) (per-byte-cycles %g))\n" c.processors
+       c.startup_cycles c.per_byte_cycles
+   | None -> ());
+  pf ")\n";
+  Buffer.contents b

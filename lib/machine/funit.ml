@@ -1,0 +1,28 @@
+type kind =
+  | Fixed_point
+  | Float_point
+  | Branch
+  | Cr_logic
+  | Load_store
+  | Custom of string
+
+type t = { id : int; name : string; kind : kind }
+
+let kind_to_string = function
+  | Fixed_point -> "fxu"
+  | Float_point -> "fpu"
+  | Branch -> "branch"
+  | Cr_logic -> "cr"
+  | Load_store -> "lsu"
+  | Custom s -> s
+
+let kind_of_string = function
+  | "fxu" -> Fixed_point
+  | "fpu" -> Float_point
+  | "branch" -> Branch
+  | "cr" -> Cr_logic
+  | "lsu" -> Load_store
+  | s -> Custom s
+
+let pp fmt t = Format.fprintf fmt "%s(#%d:%s)" t.name t.id (kind_to_string t.kind)
+let equal a b = a.id = b.id

@@ -1,0 +1,23 @@
+(** Functional units ("bins") of a target machine.
+
+    The paper's conceptual picture (§2.1, Fig. 3) is a two-dimensional grid
+    with one bin per instruction execution unit; POWER-like machines have
+    fixed-point, floating-point, branch, condition-register-logic and
+    load/store units, possibly replicated. *)
+
+type kind =
+  | Fixed_point
+  | Float_point
+  | Branch
+  | Cr_logic
+  | Load_store
+  | Custom of string
+
+type t = { id : int;  (** index into the machine's unit array *)
+           name : string;
+           kind : kind }
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

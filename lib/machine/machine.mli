@@ -1,0 +1,95 @@
+(** Target machine descriptions.
+
+    A machine bundles its functional units, its table of atomic operations
+    with their costs (the paper's {e atomic operation cost table}), pipeline
+    parameters used by the reference back-end, a memory hierarchy
+    description for the cache cost model, and optionally message-passing
+    parameters for distributed-memory configurations.
+
+    Porting the predictor to a new architecture is, per the paper, "a matter
+    of defining the atomic operation mapping and the atomic operation cost
+    table" — see {!builder} and {!Descr} for the textual format. *)
+
+type cache_params = {
+  line_bytes : int;
+  cache_bytes : int;
+  associativity : int;  (** 0 = fully associative *)
+  miss_cycles : int;
+  tlb_entries : int;
+  page_bytes : int;
+  tlb_miss_cycles : int;
+}
+
+type comm_params = {
+  processors : int;
+  startup_cycles : int;  (** per-message software overhead (alpha) *)
+  per_byte_cycles : float;  (** inverse bandwidth (beta) *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  units : Funit.t array;
+  atomics : (string, Atomic_op.t) Hashtbl.t;
+  issue_width : int;
+  branch_taken_cycles : int;
+      (** extra cycles charged for a taken branch that the schedule cannot
+          hide *)
+  register_load_limit : int;
+      (** §2.2.1: limited registers are simulated by forcing a store after
+          this many outstanding loads *)
+  has_fma : bool;
+  cache : cache_params;
+  comm : comm_params option;
+}
+
+val make :
+  name:string ->
+  ?description:string ->
+  units:(string * Funit.kind) list ->
+  atomics:(string * (int * int * int) list) list ->
+  ?issue_width:int ->
+  ?branch_taken_cycles:int ->
+  ?register_load_limit:int ->
+  ?has_fma:bool ->
+  ?cache:cache_params ->
+  ?comm:comm_params ->
+  unit ->
+  t
+(** @raise Invalid_argument on dangling unit ids or duplicate names. *)
+
+val atomic : t -> string -> Atomic_op.t
+(** @raise Failure naming the machine and operation when the operation is
+    not in the cost table. *)
+
+val atomic_opt : t -> string -> Atomic_op.t option
+val has_atomic : t -> string -> bool
+val num_units : t -> int
+val units_of_kind : t -> Funit.kind -> Funit.t list
+val default_cache : cache_params
+
+val pp_summary : Format.formatter -> t -> unit
+
+(** {1 Built-in machines} *)
+
+val power1 : t
+(** RS/6000-like: the machine of the paper's evaluation. Five units (FXU,
+    FPU, branch, CR-logic, load/store), fused multiply-add, FP add/multiply
+    1 noncoverable + 1 coverable on the FPU, FP store 2 cycles FPU (one
+    coverable) + 1 cycle FXU, integer multiply 3 cycles for a small
+    multiplier and 5 in general (§2.2.1). *)
+
+val power1_wide : t
+(** A 2-way superscalar variant of {!power1} with duplicated FXU/FPU/LSU —
+    used for cross-architecture portability experiments. *)
+
+val alpha21064 : t
+(** DEC Alpha 21064-like — the Cray T3D node mentioned in the paper's
+    introduction. Dual issue, no fused multiply-add, 6-cycle pipelined FP,
+    long integer multiplies, a small direct-mapped cache, and T3D-style
+    message-passing parameters. *)
+
+val scalar : t
+(** A strictly sequential single-unit machine: every cost noncoverable on
+    one bin. On this machine the Tetris model degenerates to operation
+    counting — the baseline the paper contrasts against. *)

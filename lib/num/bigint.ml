@@ -1,0 +1,392 @@
+(* Arbitrary-precision integers in sign-magnitude form.
+
+   Magnitudes are little-endian arrays of base-2^24 digits. With 63-bit
+   native ints, a digit product is < 2^48 and a full schoolbook row
+   accumulation stays well below 2^62, so no intermediate overflows. *)
+
+let base_bits = 24
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; (* -1, 0, 1 *) mag : int array (* canonical: no leading zeros *) }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ---- magnitude helpers (arrays of digits, little-endian) ---- *)
+
+let mag_normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else (
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1))
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lmax = if la > lb then la else lb in
+  let r = Array.make (lmax + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to lmax - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r.(lmax) <- !carry;
+  mag_normalize r
+
+(* precondition: a >= b *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then (
+      r.(i) <- s + base;
+      borrow := 1)
+    else (
+      r.(i) <- s;
+      borrow := 0)
+  done;
+  assert (!borrow = 0);
+  mag_normalize r
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else (
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then (
+        for j = 0 to lb - 1 do
+          let s = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- s land base_mask;
+          carry := s lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let s = r.(!k) + !carry in
+          r.(!k) <- s land base_mask;
+          carry := s lsr base_bits;
+          incr k
+        done)
+    done;
+    mag_normalize r)
+
+(* divide magnitude by small int d in (0, base); returns (quotient, remainder) *)
+let mag_divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_normalize q, !r)
+
+let mag_shift_left_digits a k =
+  if Array.length a = 0 then [||]
+  else (
+    let r = Array.make (Array.length a + k) 0 in
+    Array.blit a 0 r k (Array.length a);
+    r)
+
+let mag_shift_left_bits a s =
+  (* 0 <= s < base_bits *)
+  if s = 0 then Array.copy a
+  else (
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl s) lor !carry in
+      r.(i) <- v land base_mask;
+      carry := v lsr base_bits
+    done;
+    r.(la) <- !carry;
+    mag_normalize r)
+
+let mag_shift_right_bits a s =
+  (* 0 <= s < base_bits *)
+  if s = 0 then Array.copy a
+  else (
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    for i = 0 to la - 1 do
+      let hi = if i + 1 < la then a.(i + 1) else 0 in
+      r.(i) <- (a.(i) lsr s) lor ((hi lsl (base_bits - s)) land base_mask)
+    done;
+    mag_normalize r)
+
+(* Knuth algorithm D. Preconditions: |v| >= 2 digits, |u| >= |v|. *)
+let mag_divmod_knuth u v =
+  let n = Array.length v in
+  (* normalize so that top digit of v >= base/2 *)
+  let s =
+    let top = v.(n - 1) in
+    let rec go s = if top lsl s >= base / 2 then s else go (s + 1) in
+    go 0
+  in
+  let v = mag_shift_left_bits v s in
+  let u = mag_shift_left_bits u s in
+  let n = Array.length v in
+  (* pad u with one extra high digit *)
+  let m = Array.length u - n in
+  let u = Array.append u [| 0 |] in
+  let q = Array.make (m + 1) 0 in
+  let vn1 = v.(n - 1) in
+  let vn2 = if n >= 2 then v.(n - 2) else 0 in
+  for j = m downto 0 do
+    let num = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+    let qhat = ref (num / vn1) in
+    let rhat = ref (num mod vn1) in
+    let continue_adjust = ref true in
+    while !continue_adjust do
+      if !qhat >= base || !qhat * vn2 > (!rhat lsl base_bits) lor u.(j + n - 2) then (
+        decr qhat;
+        rhat := !rhat + vn1;
+        if !rhat >= base then continue_adjust := false)
+      else continue_adjust := false
+    done;
+    (* multiply-subtract: u[j .. j+n] -= qhat * v *)
+    let borrow = ref 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr base_bits;
+      let sub = u.(i + j) - (p land base_mask) - !borrow in
+      if sub < 0 then (
+        u.(i + j) <- sub + base;
+        borrow := 1)
+      else (
+        u.(i + j) <- sub;
+        borrow := 0)
+    done;
+    let sub = u.(j + n) - !carry - !borrow in
+    if sub < 0 then (
+      (* qhat was one too large: add back *)
+      u.(j + n) <- sub + base;
+      decr qhat;
+      let carry2 = ref 0 in
+      for i = 0 to n - 1 do
+        let sum = u.(i + j) + v.(i) + !carry2 in
+        u.(i + j) <- sum land base_mask;
+        carry2 := sum lsr base_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !carry2) land base_mask)
+    else u.(j + n) <- sub;
+    q.(j) <- !qhat
+  done;
+  let r = mag_shift_right_bits (mag_normalize (Array.sub u 0 n)) s in
+  (mag_normalize q, r)
+
+let mag_divmod u v =
+  match Array.length v with
+  | 0 -> raise Division_by_zero
+  | 1 ->
+    let q, r = mag_divmod_small u v.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  | _ -> if mag_compare u v < 0 then ([||], Array.copy u) else mag_divmod_knuth u v
+
+(* ---- signed interface ---- *)
+
+let make sign mag =
+  let mag = mag_normalize mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let one = { sign = 1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+let ten = { sign = 1; mag = [| 10 |] }
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
+
+let equal a b = a.sign = b.sign && mag_compare a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_compare a.mag b.mag
+  else mag_compare b.mag a.mag
+
+let hash t = Hashtbl.hash (t.sign, t.mag)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then { t with sign = 1 } else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { sign = a.sign; mag = mag_add a.mag b.mag }
+  else (
+    let c = mag_compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then { sign = a.sign; mag = mag_sub a.mag b.mag }
+    else { sign = b.sign; mag = mag_sub b.mag a.mag })
+
+let sub a b = add a (neg b)
+let succ a = add a one
+let pred a = sub a one
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = mag_mul a.mag b.mag }
+
+let of_int i =
+  if i = 0 then zero
+  else (
+    let rec digits v acc =
+      if v = 0 then List.rev acc else digits (v lsr base_bits) ((v land base_mask) :: acc)
+    in
+    if i = min_int then neg (add { sign = 1; mag = Array.of_list (digits max_int []) } one)
+    else (
+      let sign = if i > 0 then 1 else -1 in
+      { sign; mag = Array.of_list (digits (Stdlib.abs i) []) }))
+
+let mul_int a i = mul a (of_int i)
+let add_int a i = add a (of_int i)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else (
+    let qm, rm = mag_divmod a.mag b.mag in
+    let q = make (a.sign * b.sign) qm in
+    let r = make a.sign rm in
+    (q, r))
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv a b =
+  let q, r = divmod a b in
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (pred q, add r b)
+  else (succ q, sub r b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let lcm a b = if is_zero a || is_zero b then zero else abs (div (mul a b) (gcd a b))
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc x n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc x) (mul x x) (n asr 1)
+    else go acc (mul x x) (n asr 1)
+  in
+  go one x n
+
+let shift_left t n =
+  if n < 0 then invalid_arg "Bigint.shift_left";
+  if t.sign = 0 then zero
+  else (
+    let digits = n / base_bits and bits = n mod base_bits in
+    let m = mag_shift_left_bits (mag_shift_left_digits t.mag digits) bits in
+    make t.sign m)
+
+let shift_right t n =
+  if n < 0 then invalid_arg "Bigint.shift_right";
+  if t.sign = 0 then zero
+  else (
+    let digits = n / base_bits and bits = n mod base_bits in
+    let la = Array.length t.mag in
+    if digits >= la then (if t.sign > 0 then zero else minus_one)
+    else (
+      let m = mag_shift_right_bits (Array.sub t.mag digits (la - digits)) bits in
+      let q = make t.sign m in
+      if t.sign < 0 then (
+        (* floor semantics for negatives: if any bits were shifted out, round down *)
+        let shifted_back = shift_left q n in
+        if equal shifted_back t then q else pred q)
+      else q))
+
+let num_bits t =
+  let la = Array.length t.mag in
+  if la = 0 then 0
+  else (
+    let top = t.mag.(la - 1) in
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    ((la - 1) * base_bits) + bits top 0)
+
+let is_even t = t.sign = 0 || t.mag.(0) land 1 = 0
+let is_odd t = not (is_even t)
+
+let to_int t =
+  if t.sign = 0 then Some 0
+  else if num_bits t <= 62 then (
+    let v = Array.fold_right (fun d acc -> (acc lsl base_bits) lor d) t.mag 0 in
+    Some (if t.sign < 0 then -v else v))
+  else if t.sign < 0 && equal t (of_int min_int) then Some min_int
+  else None
+
+let to_int_exn t =
+  match to_int t with Some i -> i | None -> failwith "Bigint.to_int_exn: out of range"
+
+let to_float t =
+  let m = Array.fold_right (fun d acc -> (acc *. float_of_int base) +. float_of_int d) t.mag 0.0 in
+  if t.sign < 0 then -.m else m
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else (
+    let buf = Buffer.create 32 in
+    let rec go m =
+      if Array.length m = 0 then ()
+      else (
+        let q, r = mag_divmod_small m 1_000_000 in
+        if Array.length q = 0 then Buffer.add_string buf (string_of_int r)
+        else (
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%06d" r)))
+    in
+    go t.mag;
+    (if t.sign < 0 then "-" else "") ^ Buffer.contents buf)
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start =
+    match s.[0] with '-' -> (-1, 1) | '+' -> (1, 1) | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: invalid character";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if sign < 0 then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( mod ) = rem
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,149 @@
+(* Exact rationals, normalized: den > 0, gcd(num, den) = 1. *)
+
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let normalize num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else (
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.is_one g then { num; den } else { num = B.div num g; den = B.div den g })
+
+let make num den = normalize num den
+let of_bigint n = { num = n; den = B.one }
+let of_int i = of_bigint (B.of_int i)
+let of_ints a b = normalize (B.of_int a) (B.of_int b)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+let half = of_ints 1 2
+
+let num t = t.num
+let den t = t.den
+let sign t = B.sign t.num
+let is_zero t = B.is_zero t.num
+let is_integer t = B.is_one t.den
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
+  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let hash t = Hashtbl.hash (B.hash t.num, B.hash t.den)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg t = { t with num = B.neg t.num }
+let abs t = { t with num = B.abs t.num }
+
+let add a b =
+  normalize (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = normalize (B.mul a.num b.num) (B.mul a.den b.den)
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  if B.sign t.num < 0 then { num = B.neg t.den; den = B.neg t.num }
+  else { num = t.den; den = t.num }
+
+let div a b = mul a (inv b)
+
+let pow t n =
+  if n >= 0 then { num = B.pow t.num n; den = B.pow t.den n }
+  else inv { num = B.pow t.num (-n); den = B.pow t.den (-n) }
+
+let floor t = fst (B.ediv t.num t.den)
+
+let ceil t =
+  let q, r = B.ediv t.num t.den in
+  if B.is_zero r then q else B.succ q
+
+let round t =
+  (* half away from zero *)
+  let doubled = { num = B.mul B.two (B.abs t.num); den = t.den } in
+  let fl = floor { num = B.add doubled.num t.den; den = B.mul B.two t.den } in
+  if sign t < 0 then B.neg fl else fl
+
+let mediant a b = normalize (B.add a.num b.num) (B.add a.den b.den)
+
+let to_float t = B.to_float t.num /. B.to_float t.den
+
+let to_int t = if is_integer t then B.to_int t.num else None
+
+let of_float f =
+  if not (Float.is_finite f) then invalid_arg "Rat.of_float: not finite";
+  let m, e = Float.frexp f in
+  (* f = m * 2^e with 0.5 <= |m| < 1; m * 2^53 is integral *)
+  let mi = Int64.to_int (Int64.of_float (m *. 9007199254740992.0 (* 2^53 *))) in
+  let e = e - 53 in
+  let n = B.of_int mi in
+  if e >= 0 then of_bigint (B.shift_left n e)
+  else normalize n (B.shift_left B.one (-e))
+
+let of_float_approx ?(tol = 1e-9) f =
+  if not (Float.is_finite f) then invalid_arg "Rat.of_float_approx: not finite";
+  if Float.abs f < 1e-300 then zero
+  else (
+    let neg_in = f < 0.0 in
+    let x = Float.abs f in
+    (* continued-fraction convergents h_k / k_k until within tolerance *)
+    let rec go a (h1, k1) (h2, k2) depth =
+      let ai = int_of_float a in
+      let h = (ai * h1) + h2 and k = (ai * k1) + k2 in
+      let approx = float_of_int h /. float_of_int k in
+      if Float.abs (approx -. x) <= tol *. x || depth > 40 then of_ints h k
+      else (
+        let frac = a -. float_of_int ai in
+        if frac <= 1e-12 then of_ints h k
+        else go (1.0 /. frac) (h, k) (h1, k1) (depth + 1))
+    in
+    let r = go x (1, 0) (0, 1) 0 in
+    if neg_in then neg r else r)
+
+let to_string t =
+  if is_integer t then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let n = B.of_string (String.sub s 0 i) in
+    let d = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    normalize n d
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (B.of_string s)
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       let digits = String.length frac in
+       let sign = if String.length int_part > 0 && int_part.[0] = '-' then -1 else 1 in
+       let ip = if int_part = "" || int_part = "-" || int_part = "+" then B.zero else B.of_string int_part in
+       let fp = if frac = "" then B.zero else B.of_string frac in
+       let scale = B.pow B.ten digits in
+       let total = B.add (B.mul (B.abs ip) scale) fp in
+       let total = if sign < 0 then B.neg total else total in
+       normalize total scale)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

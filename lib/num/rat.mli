@@ -1,0 +1,108 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalized: the denominator is strictly positive and
+    [gcd num den = 1], so structural equality coincides with numeric
+    equality. Used as the coefficient field of symbolic performance
+    polynomials, where exactness matters (Sturm sequences, sign tests). *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+val half : t
+
+(** {1 Construction} *)
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den]; normalizes. @raise Division_by_zero if [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints a b] is the rational [a/b]. *)
+
+val of_float : float -> t
+(** Exact dyadic conversion of a finite float.
+    @raise Invalid_argument on NaN or infinities. *)
+
+val of_float_approx : ?tol:float -> float -> t
+(** Smallest-denominator rational within relative [tol] (default 1e-9) of
+    the float — continued-fraction convergents. Keeps printed coefficients
+    humane where exact dyadic conversion would produce 2{^52}-denominator
+    fractions. *)
+
+val of_string : string -> t
+(** Accepts ["3"], ["-3/4"], ["2.5"]. *)
+
+(** {1 Accessors} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+val to_float : t -> float
+
+val to_int : t -> int option
+(** [Some i] when the value is an integer fitting in native [int]. *)
+
+val is_integer : t -> bool
+
+(** {1 Predicates and comparisons} *)
+
+val sign : t -> int
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val div : t -> t -> t
+(** @raise Division_by_zero when the divisor is zero. *)
+
+val pow : t -> int -> t
+(** Integer exponent, may be negative (then the base must be nonzero). *)
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+val round : t -> Bigint.t
+(** Round half away from zero. *)
+
+val mediant : t -> t -> t
+(** [(a+c)/(b+d)] — lies strictly between its arguments; used for
+    root-isolation refinement. *)
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( <> ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,154 @@
+open Pperf_machine
+
+type t = {
+  machine : Machine.t;
+  slots : Slots.t array;
+  focus_span : int;
+  kind_candidates : int array array;  (** unit id -> ids of same-kind units *)
+  mutable makespan : int;
+  cover_tops : int array;
+}
+
+let create ?(focus_span = 64) machine =
+  let n = Machine.num_units machine in
+  let kind_candidates =
+    Array.init n (fun u ->
+        let kind = machine.Machine.units.(u).Funit.kind in
+        let same =
+          Array.to_list machine.Machine.units
+          |> List.filter_map (fun (v : Funit.t) -> if v.kind = kind then Some v.id else None)
+        in
+        (* prefer the named unit itself, then its twins *)
+        Array.of_list (u :: List.filter (fun v -> v <> u) same))
+  in
+  {
+    machine;
+    slots = Array.init n (fun _ -> Slots.create ());
+    focus_span;
+    kind_candidates;
+    makespan = 0;
+    cover_tops = Array.make n 0;
+  }
+
+let reset t =
+  Array.iter Slots.reset t.slots;
+  t.makespan <- 0;
+  Array.fill t.cover_tops 0 (Array.length t.cover_tops) 0
+
+let machine t = t.machine
+
+type placement = {
+  node : int;
+  start : int;
+  finish : int;
+  filled : (int * int * int) list;
+}
+
+type schedule = { placements : placement array; cost : int; block : Costblock.t }
+
+let global_hwm t =
+  Array.fold_left (fun acc s -> max acc (Slots.high_water s)) 0 t.slots
+
+(* find the lowest start >= floor where every component fits simultaneously;
+   returns (start, chosen unit per component) *)
+let coordinated_fit t ~floor (op : Atomic_op.t) =
+  let rec attempt start guard =
+    if guard > 100_000 then failwith "Bins: coordinated fit did not converge";
+    let worst = ref start in
+    let choices =
+      List.map
+        (fun (c : Atomic_op.component) ->
+          if c.noncoverable = 0 then (c, c.unit_id, start)
+          else (
+            let best = ref max_int and best_u = ref c.unit_id in
+            Array.iter
+              (fun u ->
+                let s = Slots.first_fit t.slots.(u) ~floor:start ~len:c.noncoverable in
+                if s < !best then (
+                  best := s;
+                  best_u := u))
+              t.kind_candidates.(c.unit_id);
+            if !best > !worst then worst := !best;
+            (c, !best_u, !best)))
+        op.components
+    in
+    if !worst = start then (start, choices) else attempt !worst (guard + 1)
+  in
+  attempt floor 0
+
+let drop_op_full t ~ready node (op : Atomic_op.t) =
+  let floor = max ready (max 0 (global_hwm t - t.focus_span)) in
+  let start, choices = coordinated_fit t ~floor op in
+  let filled =
+    List.map
+      (fun ((c : Atomic_op.component), u, _) ->
+        if c.noncoverable > 0 then Slots.fill t.slots.(u) ~start ~len:c.noncoverable;
+        t.cover_tops.(u) <- max t.cover_tops.(u) (start + c.noncoverable + c.coverable);
+        (u, start, c.noncoverable))
+      choices
+  in
+  let finish = start + Atomic_op.result_latency op in
+  t.makespan <- max t.makespan finish;
+  { node; start; finish; filled }
+
+let drop_op t ~ready op = (drop_op_full t ~ready (-1) op).start
+
+let cost_block t =
+  let per_unit =
+    Array.mapi
+      (fun u s ->
+        {
+          Costblock.first = Slots.first_occupied s;
+          last = Slots.last_occupied s;
+          occupied = Slots.occupied_cells s;
+          cover_top = t.cover_tops.(u);
+        })
+      t.slots
+  in
+  let start =
+    Array.fold_left
+      (fun acc (p : Costblock.unit_profile) ->
+        match p.first with Some f -> min acc f | None -> acc)
+      max_int per_unit
+  in
+  let start = if start = max_int then 0 else start in
+  { Costblock.start; finish = t.makespan; per_unit }
+
+let current_cost t = Costblock.cost (cost_block t)
+
+let drop_dag ?(start_at = 0) t (dag : Dag.t) =
+  let n = Dag.length dag in
+  let placements = Array.make n { node = 0; start = 0; finish = 0; filled = [] } in
+  for i = 0 to n - 1 do
+    let nd = Dag.node dag i in
+    let ready =
+      List.fold_left (fun acc d -> max acc placements.(d).finish) start_at nd.Dag.deps
+    in
+    placements.(i) <- drop_op_full t ~ready i nd.Dag.op
+  done;
+  let block = cost_block t in
+  { placements; cost = Costblock.cost block; block }
+
+let unit_slots t u = t.slots.(u)
+
+let pp fmt t =
+  let top = max (global_hwm t) t.makespan in
+  Format.fprintf fmt "t   ";
+  Array.iter (fun (u : Funit.t) -> Format.fprintf fmt "%-6s" u.name) t.machine.Machine.units;
+  Format.pp_print_newline fmt ();
+  for row = 0 to top - 1 do
+    Format.fprintf fmt "%-4d" row;
+    Array.iteri
+      (fun u s ->
+        let occupied = not (Slots.is_free s ~start:row ~len:1) in
+        let covered = (not occupied) && row < t.cover_tops.(u) in
+        Format.fprintf fmt "%-6s" (if occupied then "##" else if covered then "::" else "..")
+      )
+      t.slots;
+    Format.pp_print_newline fmt ()
+  done
+
+module Opcount = struct
+  let cost = Dag.serial_cost
+  let busy_cost = Dag.busy_cost
+end

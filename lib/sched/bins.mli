@@ -1,0 +1,71 @@
+(** The virtual architecture bins and the drop algorithm (§2.1, Fig. 3/5).
+
+    Estimating a basic block's cost "can be viewed as finding a way to drop
+    all operation objects into the virtual architecture bin with the goal
+    of minimizing the unfilled slots" — the paper's Tetris analogy. The
+    approximate solution implemented here places each operation's cost
+    object at the lowest time slots where {e all} its components fit
+    simultaneously, at or after the operation's dependence-ready time.
+
+    The {e focus span} bounds how far below the high-water mark the search
+    looks, trading accuracy for speed (§2.1); with the run-encoded
+    {!Slots} lists this makes each drop effectively constant-time and the
+    whole block linear in the number of operations.
+
+    On machines with replicated units, a component may be placed on any
+    unit of the same kind as the one named by the cost table. *)
+
+open Pperf_machine
+
+type t
+
+val create : ?focus_span:int -> Machine.t -> t
+(** [focus_span] defaults to 64 slots. *)
+
+val reset : t -> unit
+val machine : t -> Machine.t
+
+type placement = {
+  node : int;
+  start : int;  (** issue slot *)
+  finish : int;  (** start + result latency: when consumers may start *)
+  filled : (int * int * int) list;  (** (unit, start, noncoverable len) *)
+}
+
+type schedule = {
+  placements : placement array;
+  cost : int;
+      (** highest minus lowest occupied slot, coverable tail of the last
+          operation included — what the block costs if executed alone *)
+  block : Costblock.t;
+}
+
+val drop_dag : ?start_at:int -> t -> Dag.t -> schedule
+(** Drop all operations of the block, in program order, honoring
+    dependences. [start_at] offsets the whole block (used when chaining
+    blocks into the same bins). The bins are {e not} reset first. *)
+
+val drop_op : t -> ready:int -> Atomic_op.t -> int
+(** Low-level: place one operation, returning its issue slot. *)
+
+val cost_block : t -> Costblock.t
+(** Shape of everything currently in the bins. *)
+
+val current_cost : t -> int
+
+val unit_slots : t -> int -> Slots.t
+(** Read-only access for tests and visualization. *)
+
+val pp : Format.formatter -> t -> unit
+(** Vertical diagram of the bins, one column per unit (Fig. 3 style). *)
+
+(** {1 Baselines} *)
+
+module Opcount : sig
+  val cost : Dag.t -> int
+  (** The conventional operation-count model the paper criticizes: every
+      operation pays its full serial latency; no overlap, no units. *)
+
+  val busy_cost : Dag.t -> int
+  (** Even more naive: noncoverable cycles only. *)
+end

@@ -1,0 +1,234 @@
+(* Run-length encoded time slots (paper Fig. 4).
+
+   cells.(i) is meaningful only at run boundaries: for a run spanning
+   [s, e) (length L = e - s), cells.(s) and cells.(e - 1) hold L for a
+   filled run and -L for an empty run. Interior cells are stale. Runs
+   cover [0, hwm); the topmost run (ending at hwm) is always filled, and
+   everything at or above hwm is implicitly free. *)
+
+type t = { mutable cells : int array; mutable hwm : int }
+
+let create ?(capacity = 64) () = { cells = Array.make (max capacity 4) 0; hwm = 0 }
+
+let reset t = t.hwm <- 0
+
+let high_water t = t.hwm
+
+let ensure_capacity t n =
+  if n > Array.length t.cells then (
+    let cap = ref (Array.length t.cells) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let cells = Array.make !cap 0 in
+    Array.blit t.cells 0 cells 0 t.hwm;
+    t.cells <- cells)
+
+(* write run boundaries for [s, e), filled if v > 0 *)
+let write_run t s e filled =
+  let l = e - s in
+  if l > 0 then (
+    let v = if filled then l else -l in
+    t.cells.(s) <- v;
+    t.cells.(e - 1) <- v)
+
+(* the run whose last cell is at [b - 1] (requires 0 < b <= hwm):
+   returns (start, filled) *)
+let run_ending_at t b =
+  let v = t.cells.(b - 1) in
+  if v > 0 then (b - v, true) else (b + v, false)
+
+(* walk runs downward from hwm collecting those intersecting [floor, hwm),
+   in bottom-to-top order *)
+let runs_down_to t floor =
+  let acc = ref [] in
+  let b = ref t.hwm in
+  while !b > floor && !b > 0 do
+    let s, filled = run_ending_at t !b in
+    acc := (s, !b, filled) :: !acc;
+    b := s
+  done;
+  !acc
+
+let first_fit t ~floor ~len =
+  let floor = max floor 0 in
+  if len <= 0 then floor
+  else if floor >= t.hwm then floor
+  else (
+    let candidates = runs_down_to t floor in
+    let rec scan = function
+      | [] -> t.hwm
+      | (s, e, filled) :: rest ->
+        if filled then scan rest
+        else (
+          let s' = max s floor in
+          if e - s' >= len then s' else scan rest)
+    in
+    scan candidates)
+
+let is_free t ~start ~len =
+  let start = max start 0 in
+  if len <= 0 then true
+  else if start >= t.hwm then true
+  else (
+    (* the run containing start must be free and contain the whole range;
+       ranges crossing hwm are impossible since the top run is filled *)
+    let rec find b =
+      if b <= 0 then false
+      else (
+        let s, filled = run_ending_at t b in
+        if start >= s then (not filled) && start + len <= b
+        else find s)
+    in
+    find t.hwm)
+
+let fill t ~start ~len =
+  if len <= 0 then ()
+  else (
+    let start = if start < 0 then invalid_arg "Slots.fill: negative start" else start in
+    let e = start + len in
+    ensure_capacity t (max e (t.hwm + 1));
+    if start >= t.hwm then (
+      (* gap of implicit free space becomes an explicit empty run *)
+      if start > t.hwm then write_run t t.hwm start false;
+      (* merge with a filled run ending exactly at hwm *)
+      let fs =
+        if start = t.hwm && t.hwm > 0 then (
+          let s, filled = run_ending_at t t.hwm in
+          if filled then s else start)
+        else start
+      in
+      write_run t fs e true;
+      t.hwm <- e)
+    else (
+      (* locate the free run [s0, e0) containing [start, e) *)
+      let rec find b =
+        if b <= 0 then invalid_arg "Slots.fill: slot already filled"
+        else (
+          let s, filled = run_ending_at t b in
+          if start >= s then (
+            if filled || e > b then invalid_arg "Slots.fill: slot already filled";
+            (s, b))
+          else find s)
+      in
+      let s0, e0 = find t.hwm in
+      (* left part stays free *)
+      if start > s0 then write_run t s0 start false;
+      (* merge new filled run with filled neighbours *)
+      let fs =
+        if start = s0 && s0 > 0 then fst (run_ending_at t s0)
+        else start
+      in
+      let fe =
+        if e = e0 then (
+          (* right neighbour is filled (the run starting at e0) *)
+          let l = t.cells.(e0) in
+          e0 + l)
+        else e
+      in
+      if e < e0 then write_run t e e0 false;
+      write_run t fs fe true))
+
+let runs t = runs_down_to t 0 |> List.map (fun (s, e, filled) -> (s, e - s, filled))
+
+let num_runs t = List.length (runs t)
+
+let first_occupied t =
+  let rec scan = function
+    | [] -> None
+    | (s, _, true) :: _ -> Some s
+    | _ :: rest -> scan rest
+  in
+  scan (runs_down_to t 0)
+
+let last_occupied t = if t.hwm = 0 then None else Some (t.hwm - 1)
+
+let occupied_cells t =
+  List.fold_left (fun acc (s, e, filled) -> if filled then acc + (e - s) else acc) 0 (runs_down_to t 0)
+
+let pp fmt t =
+  List.iter
+    (fun (_, len, filled) ->
+      for _ = 1 to len do
+        Format.pp_print_char fmt (if filled then '#' else '.')
+      done)
+    (runs t)
+
+module Naive = struct
+  type t = { mutable occ : bool array; mutable hwm : int }
+
+  let create ?(capacity = 64) () = { occ = Array.make (max capacity 4) false; hwm = 0 }
+
+  let reset t =
+    Array.fill t.occ 0 (Array.length t.occ) false;
+    t.hwm <- 0
+
+  let high_water t = t.hwm
+
+  let ensure t n =
+    if n > Array.length t.occ then (
+      let cap = ref (Array.length t.occ) in
+      while !cap < n do
+        cap := !cap * 2
+      done;
+      let occ = Array.make !cap false in
+      Array.blit t.occ 0 occ 0 t.hwm;
+      t.occ <- occ)
+
+  let is_free t ~start ~len =
+    let start = max start 0 in
+    let ok = ref true in
+    for i = start to start + len - 1 do
+      if i < t.hwm && t.occ.(i) then ok := false
+    done;
+    !ok
+
+  let first_fit t ~floor ~len =
+    let floor = max floor 0 in
+    if len <= 0 then floor
+    else (
+      let pos = ref floor in
+      while not (is_free t ~start:!pos ~len) do
+        incr pos
+      done;
+      !pos)
+
+  let fill t ~start ~len =
+    if len > 0 then (
+      if start < 0 then invalid_arg "Slots.Naive.fill: negative start";
+      ensure t (start + len);
+      for i = start to start + len - 1 do
+        if t.occ.(i) then invalid_arg "Slots.Naive.fill: slot already filled";
+        t.occ.(i) <- true
+      done;
+      t.hwm <- max t.hwm (start + len))
+
+  let first_occupied t =
+    let rec go i = if i >= t.hwm then None else if t.occ.(i) then Some i else go (i + 1) in
+    go 0
+
+  let last_occupied t =
+    let rec go i = if i < 0 then None else if t.occ.(i) then Some i else go (i - 1) in
+    go (t.hwm - 1)
+
+  let occupied_cells t =
+    let n = ref 0 in
+    for i = 0 to t.hwm - 1 do
+      if t.occ.(i) then incr n
+    done;
+    !n
+
+  let runs t =
+    let acc = ref [] in
+    let i = ref 0 in
+    while !i < t.hwm do
+      let v = t.occ.(!i) in
+      let j = ref !i in
+      while !j < t.hwm && t.occ.(!j) = v do
+        incr j
+      done;
+      acc := (!i, !j - !i, v) :: !acc;
+      i := !j
+    done;
+    List.rev !acc
+end

@@ -1,0 +1,68 @@
+(** Time-slot lists for one functional unit — the paper's Fig. 4 data
+    structure.
+
+    The slots of a unit are decomposed into alternating filled and empty
+    blocks ("runs") encoded in a flat integer array: the first and last
+    cell of each run store the run's length, negated for empty runs. This
+    gives doubly-linked-list navigation (the adjacent run is one array
+    access away) while keeping corresponding slots of different units
+    aligned by index — "simultaneously searching for empty spaces in
+    multiple bins can be done much more efficiently ... than regular array
+    or list representations" (§2.1).
+
+    Everything above the high-water mark (the top of the highest filled
+    run) is implicitly one infinite empty run. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is just the initial array size; it grows on demand. *)
+
+val reset : t -> unit
+(** Flush the bin (the paper flushes bins before each new block). *)
+
+val high_water : t -> int
+(** Index one above the highest filled slot; 0 when empty. *)
+
+val first_fit : t -> floor:int -> len:int -> int
+(** Lowest [start >= floor] such that [len] consecutive slots starting at
+    [start] are all free. [len = 0] returns [floor]. Walks runs downward
+    from the high-water mark, so its cost is proportional to the number of
+    runs between [floor] and the top — the focus-span argument of §2.1. *)
+
+val is_free : t -> start:int -> len:int -> bool
+
+val fill : t -> start:int -> len:int -> unit
+(** Mark [len] slots starting at [start] as filled.
+    @raise Invalid_argument if any of them is already filled. *)
+
+val first_occupied : t -> int option
+val last_occupied : t -> int option
+val occupied_cells : t -> int
+
+val runs : t -> (int * int * bool) list
+(** [(start, len, filled)] from bottom to top, up to the high-water mark;
+    adjacent runs alternate. Mainly for tests and debugging. *)
+
+val num_runs : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** One character per slot, bottom to top: [#] filled, [.] empty. *)
+
+(** A reference implementation with a plain boolean array and linear scans:
+    same observable behaviour, used by property tests (equivalence) and by
+    the data-structure ablation benchmark. *)
+module Naive : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val reset : t -> unit
+  val high_water : t -> int
+  val first_fit : t -> floor:int -> len:int -> int
+  val is_free : t -> start:int -> len:int -> bool
+  val fill : t -> start:int -> len:int -> unit
+  val first_occupied : t -> int option
+  val last_occupied : t -> int option
+  val occupied_cells : t -> int
+  val runs : t -> (int * int * bool) list
+end

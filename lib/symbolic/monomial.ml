@@ -1,0 +1,60 @@
+(* Monomials as strictly-sorted (var, exponent) association lists.
+   Invariant: variables strictly increasing, exponents nonzero. *)
+
+module Rat = Pperf_num.Rat
+
+type t = (string * int) list
+
+let unit = []
+let is_unit m = m = []
+
+let var_pow x k = if k = 0 then [] else [ (x, k) ]
+let var x = var_pow x 1
+
+(* merge two sorted lists, summing exponents, dropping zeros *)
+let rec merge a b =
+  match (a, b) with
+  | [], m | m, [] -> m
+  | (xa, ka) :: ta, (xb, kb) :: tb ->
+    let c = String.compare xa xb in
+    if c < 0 then (xa, ka) :: merge ta b
+    else if c > 0 then (xb, kb) :: merge a tb
+    else (
+      let k = ka + kb in
+      if k = 0 then merge ta tb else (xa, k) :: merge ta tb)
+
+let mul = merge
+
+let of_list l = List.fold_left (fun acc (x, k) -> mul acc (var_pow x k)) unit l
+let to_list m = m
+
+let pow m n = List.filter_map (fun (x, k) -> if k * n = 0 then None else Some (x, k * n)) m
+let div a b = mul a (pow b (-1))
+
+let exponent x m = match List.assoc_opt x m with Some k -> k | None -> 0
+let vars m = List.map fst m
+let total_degree m = List.fold_left (fun acc (_, k) -> acc + k) 0 m
+
+let max_negative_exponent m =
+  List.fold_left (fun acc (_, k) -> if k < 0 then max acc (-k) else acc) 0 m
+
+let is_polynomial m = List.for_all (fun (_, k) -> k > 0) m
+
+let compare = Stdlib.compare
+let equal a b = a = b
+let hash = Hashtbl.hash
+
+let eval env m =
+  List.fold_left (fun acc (x, k) -> Rat.mul acc (Rat.pow (env x) k)) Rat.one m
+
+let pp fmt m =
+  match m with
+  | [] -> Format.pp_print_string fmt "1"
+  | _ ->
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "*")
+      (fun fmt (x, k) ->
+        if k = 1 then Format.pp_print_string fmt x else Format.fprintf fmt "%s^%d" x k)
+      fmt m
+
+let to_string m = Format.asprintf "%a" pp m

@@ -1,0 +1,220 @@
+(* Multivariate Laurent polynomials: canonical map monomial -> nonzero Rat. *)
+
+open Pperf_num
+module MMap = Map.Make (Monomial)
+
+type t = Rat.t MMap.t
+
+let zero = MMap.empty
+
+let monomial c m = if Rat.is_zero c then zero else MMap.singleton m c
+let const c = monomial c Monomial.unit
+let of_rat = const
+let of_int i = const (Rat.of_int i)
+let one = of_int 1
+let var x = monomial Rat.one (Monomial.var x)
+let var_pow x k = monomial Rat.one (Monomial.var_pow x k)
+
+let add_term m c p =
+  if Rat.is_zero c then p
+  else
+    MMap.update m
+      (function
+        | None -> Some c
+        | Some c0 ->
+          let s = Rat.add c0 c in
+          if Rat.is_zero s then None else Some s)
+      p
+
+let of_terms l = List.fold_left (fun acc (c, m) -> add_term m c acc) zero l
+
+let neg p = MMap.map Rat.neg p
+let add p q = MMap.fold (fun m c acc -> add_term m c acc) q p
+let sub p q = add p (neg q)
+
+let scale r p = if Rat.is_zero r then zero else MMap.map (Rat.mul r) p
+let scale_int i p = scale (Rat.of_int i) p
+let add_const r p = add_term Monomial.unit r p
+
+let mul p q =
+  MMap.fold
+    (fun mp cp acc ->
+      MMap.fold (fun mq cq acc -> add_term (Monomial.mul mp mq) (Rat.mul cp cq) acc) q acc)
+    p zero
+
+let sum = List.fold_left add zero
+
+let is_zero p = MMap.is_empty p
+let num_terms p = MMap.cardinal p
+let terms p = MMap.fold (fun m c acc -> (c, m) :: acc) p [] |> List.rev
+let coeff m p = match MMap.find_opt m p with Some c -> c | None -> Rat.zero
+let constant_term p = coeff Monomial.unit p
+
+let is_const p =
+  MMap.is_empty p || (MMap.cardinal p = 1 && Monomial.is_unit (fst (MMap.min_binding p)))
+
+let to_const p =
+  if MMap.is_empty p then Some Rat.zero
+  else if is_const p then Some (snd (MMap.min_binding p))
+  else None
+
+let pow p n =
+  if n >= 0 then (
+    let rec go acc b n =
+      if n = 0 then acc else if n land 1 = 1 then go (mul acc b) (mul b b) (n asr 1) else go acc (mul b b) (n asr 1)
+    in
+    go one p n)
+  else if MMap.cardinal p = 1 then (
+    let m, c = MMap.min_binding p in
+    monomial (Rat.pow c n) (Monomial.pow m n))
+  else invalid_arg "Poly.pow: negative exponent of a multi-term polynomial"
+
+let div_exact p q =
+  if MMap.cardinal q = 1 then (
+    let mq, cq = MMap.min_binding q in
+    Some (MMap.fold (fun m c acc -> add_term (Monomial.div m mq) (Rat.div c cq) acc) p zero))
+  else None
+
+let vars p =
+  MMap.fold (fun m _ acc -> List.fold_left (fun s x -> x :: s) acc (Monomial.vars m)) p []
+  |> List.sort_uniq String.compare
+
+let mem_var x p = MMap.exists (fun m _ -> Monomial.exponent x m <> 0) p
+
+let total_degree p = MMap.fold (fun m _ acc -> max acc (Monomial.total_degree m)) p 0
+
+let degree_in x p =
+  MMap.fold (fun m _ acc -> max acc (Monomial.exponent x m)) p min_int
+  |> fun d -> if d = min_int then 0 else d
+
+let min_degree_in x p =
+  MMap.fold (fun m _ acc -> min acc (Monomial.exponent x m)) p max_int
+  |> fun d -> if d = max_int then 0 else d
+
+let is_polynomial p = MMap.for_all (fun m _ -> Monomial.is_polynomial m) p
+
+let is_univariate p = match vars p with [ x ] -> Some x | _ -> None
+
+let eval env p =
+  MMap.fold (fun m c acc -> Rat.add acc (Rat.mul c (Monomial.eval env m))) p Rat.zero
+
+let eval_float env p =
+  MMap.fold
+    (fun m c acc ->
+      let mv =
+        List.fold_left
+          (fun a (x, k) -> a *. (env x ** float_of_int k))
+          1.0 (Monomial.to_list m)
+      in
+      acc +. (Rat.to_float c *. mv))
+    p 0.0
+
+let eval_partial env p =
+  MMap.fold
+    (fun m c acc ->
+      let kept, value =
+        List.fold_left
+          (fun (kept, value) (x, k) ->
+            match env x with
+            | Some v -> (kept, Rat.mul value (Rat.pow v k))
+            | None -> (Monomial.mul kept (Monomial.var_pow x k), value))
+          (Monomial.unit, c) (Monomial.to_list m)
+      in
+      add_term kept value acc)
+    p zero
+
+let subst x q p =
+  MMap.fold
+    (fun m c acc ->
+      let k = Monomial.exponent x m in
+      if k = 0 then add_term m c acc
+      else (
+        let rest = Monomial.div m (Monomial.var_pow x k) in
+        let qk =
+          if k >= 0 then pow q k
+          else if MMap.cardinal q = 1 then pow q k
+          else invalid_arg "Poly.subst: negative power of a multi-term substituend"
+        in
+        add acc (mul (monomial c rest) qk)))
+    p zero
+
+let deriv x p =
+  MMap.fold
+    (fun m c acc ->
+      let k = Monomial.exponent x m in
+      if k = 0 then acc
+      else (
+        let m' = Monomial.mul m (Monomial.var_pow x (-1)) in
+        add_term m' (Rat.mul c (Rat.of_int k)) acc))
+    p zero
+
+let coeffs_in x p =
+  let tbl = Hashtbl.create 8 in
+  MMap.iter
+    (fun m c ->
+      let k = Monomial.exponent x m in
+      let rest = Monomial.div m (Monomial.var_pow x k) in
+      let cur = match Hashtbl.find_opt tbl k with Some q -> q | None -> zero in
+      Hashtbl.replace tbl k (add_term rest c cur))
+    p;
+  Hashtbl.fold (fun k q acc -> (k, q) :: acc) tbl []
+  |> List.filter (fun (_, q) -> not (is_zero q))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let univariate_coeffs x p =
+  let d = degree_in x p in
+  let lo = min_degree_in x p in
+  if lo < 0 then invalid_arg "Poly.univariate_coeffs: negative exponents present";
+  let d = max d 0 in
+  let cs = Array.make (d + 1) Rat.zero in
+  MMap.iter
+    (fun m c ->
+      let k = Monomial.exponent x m in
+      if not (Monomial.equal m (Monomial.var_pow x k)) then
+        invalid_arg "Poly.univariate_coeffs: polynomial is not univariate";
+      cs.(k) <- Rat.add cs.(k) c)
+    p;
+  cs
+
+let of_univariate_coeffs x cs =
+  let p = ref zero in
+  Array.iteri (fun k c -> p := add_term (Monomial.var_pow x k) c !p) cs;
+  !p
+
+let clear_denominators x p =
+  let lo = min_degree_in x p in
+  if lo >= 0 then p else mul p (var_pow x (-lo))
+
+let equal = MMap.equal Rat.equal
+let compare = MMap.compare Rat.compare
+let hash p = Hashtbl.hash (List.map (fun (c, m) -> (Rat.hash c, Monomial.hash m)) (terms p))
+
+let pp fmt p =
+  if MMap.is_empty p then Format.pp_print_string fmt "0"
+  else (
+    (* print highest total degree first for readability *)
+    let ts =
+      terms p
+      |> List.sort (fun (_, m1) (_, m2) ->
+             let d = Stdlib.compare (Monomial.total_degree m2) (Monomial.total_degree m1) in
+             if d <> 0 then d else Monomial.compare m1 m2)
+    in
+    List.iteri
+      (fun i (c, m) ->
+        let neg = Rat.sign c < 0 in
+        let ac = Rat.abs c in
+        if i = 0 then (if neg then Format.pp_print_string fmt "-")
+        else Format.pp_print_string fmt (if neg then " - " else " + ");
+        if Monomial.is_unit m then Format.fprintf fmt "%a" Rat.pp ac
+        else if Rat.equal ac Rat.one then Monomial.pp fmt m
+        else Format.fprintf fmt "%a*%a" Rat.pp ac Monomial.pp m)
+      ts)
+
+let to_string p = Format.asprintf "%a" pp p
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( ~- ) = neg
+end

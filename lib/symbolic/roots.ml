@@ -1,0 +1,308 @@
+open Pperf_num
+
+(* ---- dense univariate utilities (internal) ---- *)
+
+(* coefficient arrays, low-to-high, trimmed: last element nonzero (or empty = zero poly) *)
+
+let trim (a : Rat.t array) =
+  let n = ref (Array.length a) in
+  while !n > 0 && Rat.is_zero a.(!n - 1) do decr n done;
+  Array.sub a 0 !n
+
+let degree a = Array.length a - 1 (* -1 for zero poly *)
+
+let eval_dense a x =
+  let acc = ref Rat.zero in
+  for i = Array.length a - 1 downto 0 do
+    acc := Rat.add (Rat.mul !acc x) a.(i)
+  done;
+  !acc
+
+let deriv_dense a =
+  if Array.length a <= 1 then [||]
+  else Array.init (Array.length a - 1) (fun i -> Rat.mul (Rat.of_int (i + 1)) a.(i + 1))
+
+(* remainder of a / b, b nonzero *)
+let rem_dense a b =
+  let b = trim b in
+  let db = degree b in
+  if db < 0 then raise Division_by_zero;
+  let r = Array.copy a in
+  let lead_b = b.(db) in
+  let dr = ref (degree (trim r)) in
+  while !dr >= db do
+    let q = Rat.div r.(!dr) lead_b in
+    for i = 0 to db do
+      r.(!dr - db + i) <- Rat.sub r.(!dr - db + i) (Rat.mul q b.(i))
+    done;
+    (* the leading term cancels exactly *)
+    r.(!dr) <- Rat.zero;
+    let r' = trim r in
+    dr := degree r'
+  done;
+  trim r
+
+(* Sturm chain: p, p', then negated remainders *)
+let sturm_chain p =
+  let p = trim p in
+  if degree p <= 0 then [ p ]
+  else (
+    let rec go acc p0 p1 =
+      if Array.length p1 = 0 then List.rev (p0 :: acc)
+      else (
+        let r = rem_dense p0 p1 in
+        go (p0 :: acc) p1 (Array.map Rat.neg r))
+    in
+    go [] p (trim (deriv_dense p)))
+
+let variations chain x =
+  (* all queries are at finite points: infinities are clipped at the Cauchy
+     bound before any Sturm query *)
+  let signs =
+    List.filter_map
+      (fun p ->
+        let s = Rat.sign (eval_dense p x) in
+        if s = 0 then None else Some s)
+      chain
+  in
+  let rec count = function
+    | a :: (b :: _ as rest) -> (if a <> b then 1 else 0) + count rest
+    | _ -> 0
+  in
+  count signs
+
+(* distinct roots in (a, b] by Sturm *)
+let count_half_open chain a b = variations chain a - variations chain b
+
+(* Cauchy root bound: all roots have |x| <= 1 + max|a_i|/|a_n| *)
+let cauchy_bound p =
+  let d = degree p in
+  if d <= 0 then Rat.one
+  else (
+    let lead = Rat.abs p.(d) in
+    let m = ref Rat.zero in
+    for i = 0 to d - 1 do
+      m := Rat.max !m (Rat.abs p.(i))
+    done;
+    Rat.add Rat.one (Rat.div !m lead))
+
+(* ---- public interface over Poly ---- *)
+
+type enclosure = { lo : Rat.t; hi : Rat.t }
+
+let enclosure_mid e = Rat.mul Rat.half (Rat.add e.lo e.hi)
+
+let dense_of_poly p x =
+  let p = Poly.clear_denominators x p in
+  (match Poly.vars p with
+   | [] -> ()
+   | [ v ] when String.equal v x -> ()
+   | _ -> invalid_arg "Roots: polynomial is not univariate in the given variable");
+  trim (Poly.univariate_coeffs x p)
+
+let eval_at p x v =
+  (* evaluate the original (possibly Laurent) polynomial *)
+  Poly.eval (fun y -> if String.equal y x then v else invalid_arg "Roots.eval_at: extra variable") p
+
+let interval_points (iv : Interval.t) bound_hint =
+  (* produce finite endpoints for Sturm queries, clipping infinities at the
+     Cauchy bound (no roots beyond it) *)
+  let lo =
+    match Interval.lo iv with
+    | Interval.Neg_inf -> Rat.neg bound_hint
+    | Interval.Fin x -> x
+    | Interval.Pos_inf -> bound_hint
+  in
+  let hi =
+    match Interval.hi iv with
+    | Interval.Pos_inf -> bound_hint
+    | Interval.Fin x -> x
+    | Interval.Neg_inf -> Rat.neg bound_hint
+  in
+  (lo, hi)
+
+let count_in p x iv =
+  let d = dense_of_poly p x in
+  if degree d <= 0 then 0
+  else (
+    let chain = sturm_chain d in
+    let b = cauchy_bound d in
+    let lo, hi = interval_points iv b in
+    if Rat.compare lo hi >= 0 then (if Interval.contains iv lo && Rat.is_zero (eval_dense d lo) then 1 else 0)
+    else (
+      let n = count_half_open chain lo hi in
+      (* (lo, hi] -> adjust for lo itself being a root *)
+      let n = if Rat.is_zero (eval_dense d lo) then n + 1 else n in
+      n))
+
+let default_eps = Rat.make Pperf_num.Bigint.one (Pperf_num.Bigint.shift_left Pperf_num.Bigint.one 20)
+
+(* simplest rational in the closed interval [a, b] (a <= b), by the
+   continued-fraction construction; used to recognize exact rational roots
+   inside a narrow enclosure *)
+let rec simplest_in a b =
+  if Rat.compare a b > 0 then invalid_arg "simplest_in";
+  if Rat.sign a <= 0 && Rat.sign b >= 0 then Rat.zero
+  else if Rat.sign b < 0 then Rat.neg (simplest_in (Rat.neg b) (Rat.neg a))
+  else (
+    (* 0 < a <= b *)
+    let fa = Rat.floor a in
+    let fb = Rat.floor b in
+    if Pperf_num.Bigint.compare fa fb < 0 || Rat.is_integer a then
+      (* an integer lies within *)
+      Rat.of_bigint (Rat.ceil a)
+    else (
+      let fa_r = Rat.of_bigint fa in
+      let a' = Rat.sub a fa_r and b' = Rat.sub b fa_r in
+      (* recurse on reciprocals: simplest in [1/b', 1/a'] *)
+      let inner = simplest_in (Rat.inv b') (Rat.inv a') in
+      Rat.add fa_r (Rat.inv inner)))
+
+let isolate ?(eps = default_eps) p x iv =
+  let d = dense_of_poly p x in
+  if degree d <= 0 then []
+  else (
+    let chain = sturm_chain d in
+    let b = cauchy_bound d in
+    let lo, hi = interval_points iv b in
+    if Rat.compare lo hi > 0 then []
+    else (
+      let roots_in a b = count_half_open chain a b in
+      (* recursively split [a, b] (treating roots in (a,b]; root at global lo
+         handled separately) until each piece holds exactly one root, then
+         bisect to eps *)
+      let acc = ref [] in
+      let rec refine a b n =
+        if n = 0 then ()
+        else if n = 1 then (
+          (* single root in (a, b]: bisect until narrow or exact *)
+          let rec go a b =
+            if Rat.compare (Rat.sub b a) eps <= 0 then (
+              (* recognize exact rational roots: endpoints, then the
+                 simplest rational inside the enclosure *)
+              if Rat.is_zero (eval_dense d b) then acc := { lo = b; hi = b } :: !acc
+              else (
+                let cand = simplest_in a b in
+                if Rat.is_zero (eval_dense d cand) then acc := { lo = cand; hi = cand } :: !acc
+                else acc := { lo = a; hi = b } :: !acc))
+            else (
+              let m = Rat.mul Rat.half (Rat.add a b) in
+              if Rat.is_zero (eval_dense d m) then acc := { lo = m; hi = m } :: !acc
+              else if roots_in a m = 1 then go a m
+              else go m b)
+          in
+          go a b)
+        else (
+          let m = Rat.mul Rat.half (Rat.add a b) in
+          let nl = roots_in a m in
+          refine a m nl;
+          refine m b (n - nl))
+      in
+      (if Rat.is_zero (eval_dense d lo) && Interval.contains iv lo then
+         acc := { lo; hi = lo } :: !acc);
+      if Rat.compare lo hi < 0 then refine lo hi (roots_in lo hi);
+      List.sort (fun e1 e2 -> Rat.compare e1.lo e2.lo) !acc))
+
+(* ---- closed-form float solvers ---- *)
+
+module Closed_form = struct
+  let dedup_sorted xs =
+    let tol = 1e-9 in
+    let rec go = function
+      | a :: b :: rest when Float.abs (a -. b) <= tol *. (1.0 +. Float.abs a) -> go (a :: rest)
+      | a :: rest -> a :: go rest
+      | [] -> []
+    in
+    go (List.sort Float.compare xs)
+
+  let linear c =
+    if Float.abs c.(1) = 0.0 then []
+    else [ -.c.(0) /. c.(1) ]
+
+  let quadratic c =
+    let a = c.(2) and b = c.(1) and k = c.(0) in
+    if a = 0.0 then linear [| k; b |]
+    else (
+      let disc = (b *. b) -. (4.0 *. a *. k) in
+      if disc < 0.0 then []
+      else if disc = 0.0 then [ -.b /. (2.0 *. a) ]
+      else (
+        let sq = sqrt disc in
+        (* numerically stable form *)
+        let q = -0.5 *. (b +. (Float.of_int (compare b 0.0) |> fun s -> if s = 0. then 1. else s) *. sq) in
+        let r1 = q /. a in
+        let r2 = if q = 0.0 then -.b /. (2. *. a) else k /. q in
+        dedup_sorted [ r1; r2 ]))
+
+  let cubic c =
+    let a = c.(3) in
+    if a = 0.0 then quadratic [| c.(0); c.(1); c.(2) |]
+    else (
+      (* normalize to x^3 + px + q via depressed cubic *)
+      let b = c.(2) /. a and cc = c.(1) /. a and d = c.(0) /. a in
+      let p = cc -. (b *. b /. 3.0) in
+      let q = ((2.0 *. b *. b *. b) -. (9.0 *. b *. cc)) /. 27.0 +. d in
+      let shift = b /. 3.0 in
+      let disc = ((q *. q) /. 4.0) +. ((p *. p *. p) /. 27.0) in
+      let roots =
+        if disc > 1e-13 then (
+          let sq = sqrt disc in
+          let cbrt v = if v >= 0.0 then v ** (1.0 /. 3.0) else -.((-.v) ** (1.0 /. 3.0)) in
+          [ cbrt ((-.q /. 2.0) +. sq) +. cbrt ((-.q /. 2.0) -. sq) ])
+        else if Float.abs disc <= 1e-13 then
+          if Float.abs q <= 1e-13 && Float.abs p <= 1e-13 then [ 0.0 ]
+          else dedup_sorted [ 3.0 *. q /. p; -3.0 *. q /. (2.0 *. p) ]
+        else (
+          (* three real roots: trigonometric method *)
+          let r = sqrt (-.p *. p *. p /. 27.0) in
+          let phi = acos (Float.max (-1.0) (Float.min 1.0 (-.q /. (2.0 *. r)))) in
+          let m = 2.0 *. sqrt (-.p /. 3.0) in
+          [ m *. cos (phi /. 3.0);
+            m *. cos ((phi +. (2.0 *. Float.pi)) /. 3.0);
+            m *. cos ((phi +. (4.0 *. Float.pi)) /. 3.0) ])
+      in
+      dedup_sorted (List.map (fun x -> x -. shift) roots))
+
+  let quartic c =
+    let a = c.(4) in
+    if a = 0.0 then cubic [| c.(0); c.(1); c.(2); c.(3) |]
+    else (
+      (* Ferrari: depressed quartic y^4 + p y^2 + q y + r *)
+      let b = c.(3) /. a and cc = c.(2) /. a and d = c.(1) /. a and e = c.(0) /. a in
+      let p = cc -. (3.0 *. b *. b /. 8.0) in
+      let q = d -. (b *. cc /. 2.0) +. (b *. b *. b /. 8.0) in
+      let r =
+        e -. (b *. d /. 4.0) +. (b *. b *. cc /. 16.0) -. (3.0 *. b *. b *. b *. b /. 256.0)
+      in
+      let shift = b /. 4.0 in
+      let ys =
+        if Float.abs q <= 1e-12 then (
+          (* biquadratic *)
+          let zs = quadratic [| r; p; 1.0 |] in
+          List.concat_map (fun z -> if z > 0.0 then [ sqrt z; -.sqrt z ] else if z = 0.0 then [ 0.0 ] else []) zs)
+        else (
+          (* resolvent cubic: z^3 + 2p z^2 + (p^2 - 4r) z - q^2 = 0, pick a positive root *)
+          let res = cubic [| -.(q *. q); (p *. p) -. (4.0 *. r); 2.0 *. p; 1.0 |] in
+          match List.filter (fun z -> z > 1e-12) res with
+          | [] -> []
+          | z :: _ ->
+            let w = sqrt z in
+            let half1 = quadratic [| (p +. z) /. 2.0 -. (q /. (2.0 *. w)); w; 1.0 |] in
+            let half2 = quadratic [| (p +. z) /. 2.0 +. (q /. (2.0 *. w)); -.w; 1.0 |] in
+            half1 @ half2)
+      in
+      dedup_sorted (List.map (fun y -> y -. shift) ys))
+
+  let solve c =
+    let c = Array.copy c in
+    let n = ref (Array.length c) in
+    while !n > 0 && c.(!n - 1) = 0.0 do decr n done;
+    let c = Array.sub c 0 !n in
+    match Array.length c with
+    | 0 | 1 -> Some []
+    | 2 -> Some (linear c)
+    | 3 -> Some (quadratic c)
+    | 4 -> Some (cubic c)
+    | 5 -> Some (quartic c)
+    | _ -> None
+end

@@ -1,0 +1,36 @@
+open Pperf_num
+
+type report = { variable : string; sensitivity : Rat.t; gradient : Rat.t }
+
+let default_delta = Rat.of_ints 1 16
+
+let rank ?(delta = default_delta) env p =
+  let mid x = Interval.Env.midpoint_valuation env x in
+  let base = Poly.eval mid p in
+  let reports =
+    Poly.vars p
+    |> List.map (fun v ->
+           let iv = Interval.Env.find v env in
+           let m = mid v in
+           let step =
+             match Interval.width iv with
+             | Some w when Rat.sign w > 0 -> Rat.mul delta w
+             | _ ->
+               (* unbounded or degenerate range: perturb relative to the
+                  midpoint representative, with a floor of delta *)
+               Rat.max delta (Rat.mul delta (Rat.abs m))
+           in
+           let perturbed = Poly.eval (fun x -> if String.equal x v then Rat.add m step else mid x) p in
+           let sensitivity = Rat.abs (Rat.sub perturbed base) in
+           let gradient = Poly.eval mid (Poly.deriv v p) in
+           { variable = v; sensitivity; gradient })
+  in
+  List.sort (fun a b -> Rat.compare b.sensitivity a.sensitivity) reports
+
+let top ?delta n env p =
+  let all = rank ?delta env p in
+  List.filteri (fun i _ -> i < n) all
+
+let pp_report fmt r =
+  Format.fprintf fmt "%s: sensitivity %a (dP/d%s at midpoint = %a)" r.variable Rat.pp
+    r.sensitivity r.variable Rat.pp r.gradient

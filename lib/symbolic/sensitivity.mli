@@ -1,0 +1,26 @@
+(** Sensitivity analysis of performance expressions (paper §3.4).
+
+    "Sensitivity analysis varies the values of the variables for small
+    amounts and measures the resulting perturbations to the values of the
+    function. Run-time tests can be formulated based on the most sensitive
+    variables." *)
+
+open Pperf_num
+
+type report = {
+  variable : string;
+  sensitivity : Rat.t;
+      (** |P(mid with v perturbed by delta·width) − P(mid)|, the paper's
+          finite-perturbation measure *)
+  gradient : Rat.t;  (** ∂P/∂v at the range midpoint *)
+}
+
+val rank : ?delta:Rat.t -> Interval.Env.t -> Poly.t -> report list
+(** All variables of the polynomial ranked by decreasing sensitivity.
+    [delta] (default 1/16) is the relative perturbation; variables with
+    unbounded ranges are perturbed relative to their midpoint
+    representative. *)
+
+val top : ?delta:Rat.t -> int -> Interval.Env.t -> Poly.t -> report list
+
+val pp_report : Format.formatter -> report -> unit

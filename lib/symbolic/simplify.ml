@@ -1,0 +1,70 @@
+open Pperf_num
+
+(* magnitude bounds of coeff*monomial over the box: |c| * |m| range *)
+let term_magnitude env c m =
+  let iv =
+    List.fold_left
+      (fun acc (x, k) -> Interval.mul acc (Interval.pow (Interval.Env.find x env) k))
+      (Interval.point Rat.one) (Monomial.to_list m)
+  in
+  let iv = Interval.scale c iv in
+  (* |iv| as (lower, upper) with upper possibly None = unbounded *)
+  let mag_bound b = match b with Interval.Fin x -> Some (Rat.abs x) | _ -> None in
+  let lo_m = mag_bound (Interval.lo iv) and hi_m = mag_bound (Interval.hi iv) in
+  let upper = match (lo_m, hi_m) with Some a, Some b -> Some (Rat.max a b) | _ -> None in
+  let lower =
+    if Interval.contains iv Rat.zero then Rat.zero
+    else
+      match (lo_m, hi_m) with
+      | Some a, Some b -> Rat.min a b
+      | Some a, None | None, Some a -> a
+      | None, None -> Rat.zero
+  in
+  (lower, upper)
+
+let drop_negligible ?(rel_tol = Rat.of_ints 1 1000) env p =
+  let ts = Poly.terms p in
+  if List.length ts <= 1 then p
+  else (
+    let mags = List.map (fun (c, m) -> ((c, m), term_magnitude env c m)) ts in
+    (* dominant: the largest guaranteed (lower-bound) magnitude *)
+    let dominant =
+      List.fold_left (fun acc (_, (lower, _)) -> Rat.max acc lower) Rat.zero mags
+    in
+    if Rat.is_zero dominant then p
+    else (
+      let threshold = Rat.mul rel_tol dominant in
+      let kept =
+        List.filter
+          (fun (_, (_, upper)) ->
+            match upper with
+            | None -> true (* unbounded term can never be dropped *)
+            | Some u -> Rat.compare u threshold > 0)
+          mags
+      in
+      if List.length kept = List.length mags then p
+      else Poly.of_terms (List.map fst kept)))
+
+let max_relative_error env ~original ~simplified =
+  let vars = Poly.vars original in
+  let samples_per_var = 5 in
+  let rec enumerate acc = function
+    | [] -> [ acc ]
+    | v :: rest ->
+      let iv = Interval.Env.find v env in
+      Interval.sample iv samples_per_var
+      |> List.concat_map (fun s -> enumerate ((v, s) :: acc) rest)
+  in
+  let assignments = enumerate [] vars in
+  List.fold_left
+    (fun worst asg ->
+      let valuation x =
+        match List.assoc_opt x asg with Some v -> v | None -> Rat.one
+      in
+      let o = Poly.eval valuation original in
+      let s = Poly.eval valuation simplified in
+      if Rat.is_zero o then worst
+      else (
+        let e = Rat.to_float (Rat.abs (Rat.div (Rat.sub o s) o)) in
+        Float.max worst e))
+    0.0 assignments

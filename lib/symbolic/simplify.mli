@@ -1,0 +1,18 @@
+(** Expression simplification by range-justified term dropping (§3.1, §3.3.2).
+
+    The paper's example: over [x ∈ \[3,100\]] the expression
+    [4x⁴ + 2x³ − 4x + 1/x³] may be simplified to [4x⁴ + 2x³ − 4x] because
+    the dropped term is negligible throughout the range. *)
+
+open Pperf_num
+
+val drop_negligible : ?rel_tol:Rat.t -> Interval.Env.t -> Poly.t -> Poly.t
+(** Remove every term whose magnitude upper bound over the box is at most
+    [rel_tol] (default 1/1000) times the largest term-magnitude lower
+    bound. Conservative: terms with unbounded ranges are never the basis
+    of dropping others, and a term is only dropped against a term that
+    dominates it {e everywhere} in the box. *)
+
+val max_relative_error : Interval.Env.t -> original:Poly.t -> simplified:Poly.t -> float
+(** Sampled (not sound) estimate of [max |orig − simp| / |orig|] over the
+    box, for reporting simplification quality. *)

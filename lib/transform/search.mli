@@ -1,0 +1,69 @@
+(** Performance-guided transformation search (§3.2).
+
+    "Based on the symbolic performance comparison, the compiler can utilize
+    graph search algorithms, such as the A* algorithm, to choose program
+    transformation sequences systematically."
+
+    States are program variants; actions are legal transformations at
+    specific loops; the evaluation function is the framework's predicted
+    cost (evaluated at the midpoint of the variable ranges, with symbolic
+    comparison available to order close candidates). The search is A* with
+    a lower-bound heuristic of zero remaining improvement (best-first on
+    predicted cost), a visited set keyed on program structure, and a node
+    budget. *)
+
+open Pperf_lang
+open Pperf_machine
+open Pperf_symbolic
+open Pperf_core
+
+type step = { action : string; at : Transformations.path }
+
+type outcome = {
+  best : Typecheck.checked;
+  trace : step list;  (** transformations applied, in order *)
+  predicted : Perf_expr.t;
+  initial : Perf_expr.t;
+  explored : int;  (** states expanded *)
+}
+
+val candidate_actions :
+  Ast.routine -> (string * Transformations.path * (Ast.routine -> Ast.routine option)) list
+(** All transformation instances applicable (syntactically) to the
+    routine: unroll 2/4/8, interchange, strip-mine, tile 16/32, distribute
+    and fusion of adjacent loops. Legality is checked inside each action. *)
+
+val run :
+  machine:Machine.t ->
+  ?options:Aggregate.options ->
+  ?env:Interval.Env.t ->
+  ?max_nodes:int ->
+  ?max_depth:int ->
+  Typecheck.checked ->
+  outcome
+(** [env] gives the unknowns' ranges (prediction is scored at range
+    midpoints, default [n = 128]-ish for unbound variables). *)
+
+(** {1 Program versioning (§3.4)}
+
+    When the best transformation's benefit depends on unknowns, emit both
+    versions guarded by a generated run-time test. *)
+
+type versioned = {
+  guard : Ast.expr;  (** true selects the transformed version *)
+  routine : Ast.routine;  (** [if (guard) then transformed else original] *)
+  test : Runtime_test.test;
+}
+
+val make_versioned : guard:Ast.expr -> Ast.routine -> Ast.routine -> Ast.routine
+
+val run_versioned :
+  machine:Machine.t ->
+  ?options:Aggregate.options ->
+  ?env:Interval.Env.t ->
+  ?max_nodes:int ->
+  ?max_depth:int ->
+  Typecheck.checked ->
+  outcome * versioned option
+(** [None] when one version wins over the whole range (no test needed) or
+    the guard costs more than the expected gain. *)

@@ -1,0 +1,358 @@
+open Pperf_lang
+
+type path = int list
+
+(* ---- AST navigation ---- *)
+
+(* children of a statement as a list of statement lists *)
+let children (s : Ast.stmt) : Ast.stmt list list =
+  match s.kind with
+  | Ast.Do d -> [ d.body ]
+  | Ast.If (branches, els) -> List.map snd branches @ [ els ]
+  | _ -> []
+
+let with_children (s : Ast.stmt) (cs : Ast.stmt list list) : Ast.stmt =
+  match (s.kind, cs) with
+  | Ast.Do d, [ body ] -> { s with kind = Ast.Do { d with body } }
+  | Ast.If (branches, _), _ ->
+    let rec split n l = if n = 0 then ([], l) else (match l with
+      | x :: r -> let a, b = split (n - 1) r in (x :: a, b)
+      | [] -> ([], [])) in
+    let bs, rest = split (List.length branches) cs in
+    let els = match rest with [ e ] -> e | _ -> [] in
+    { s with kind = Ast.If (List.map2 (fun (c, _) b -> (c, b)) branches bs, els) }
+  | _ -> s
+
+let loops_in (r : Ast.routine) =
+  let out = ref [] in
+  let rec go path (ss : Ast.stmt list) =
+    List.iteri
+      (fun i s ->
+        let p = path @ [ i ] in
+        (match s.Ast.kind with Ast.Do d -> out := (p, d) :: !out | _ -> ());
+        List.iteri (fun j cs -> go (p @ [ j ]) cs) (children s))
+      ss
+  in
+  go [] r.body;
+  List.rev !out
+
+(* navigate: a path alternates (stmt index) and, for compound stmts with
+   several child lists, (child list index, stmt index). loops_in produces
+   paths of the form [i; branch; j; branch'; k; ...]. *)
+let rec stmt_at_stmts (ss : Ast.stmt list) (p : path) : Ast.stmt option =
+  match p with
+  | [] -> None
+  | [ i ] -> List.nth_opt ss i
+  | i :: j :: rest -> (
+    match List.nth_opt ss i with
+    | None -> None
+    | Some s -> (
+      match List.nth_opt (children s) j with
+      | None -> None
+      | Some cs -> stmt_at_stmts cs rest))
+
+let stmt_at (r : Ast.routine) p = stmt_at_stmts r.body p
+
+let rec replace_at_stmts (ss : Ast.stmt list) (p : path) (repl : Ast.stmt list) :
+    Ast.stmt list option =
+  match p with
+  | [] -> None
+  | [ i ] ->
+    if i < 0 || i >= List.length ss then None
+    else
+      Some
+        (List.concat
+           (List.mapi (fun k s -> if k = i then repl else [ s ]) ss))
+  | i :: j :: rest -> (
+    match List.nth_opt ss i with
+    | None -> None
+    | Some s -> (
+      let cs = children s in
+      match List.nth_opt cs j with
+      | None -> None
+      | Some child -> (
+        match replace_at_stmts child rest repl with
+        | None -> None
+        | Some child' ->
+          let cs' = List.mapi (fun k c -> if k = j then child' else c) cs in
+          Some
+            (List.mapi (fun k s0 -> if k = i then with_children s cs' else s0) ss))))
+
+let replace_at (r : Ast.routine) p repl =
+  Option.map (fun body -> { r with Ast.body }) (replace_at_stmts r.body p repl)
+
+(* ---- substitution ---- *)
+
+let rec subst_var_expr x repl (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Var y when String.equal x y -> repl
+  | Ast.Int _ | Ast.Real _ | Ast.Logical _ | Ast.Var _ -> e
+  | Ast.Index (a, subs) -> Ast.Index (a, List.map (subst_var_expr x repl) subs)
+  | Ast.Call (f, args) -> Ast.Call (f, List.map (subst_var_expr x repl) args)
+  | Ast.Unop (op, a) -> Ast.Unop (op, subst_var_expr x repl a)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, subst_var_expr x repl a, subst_var_expr x repl b)
+
+let rec subst_var_stmts x repl (ss : Ast.stmt list) : Ast.stmt list =
+  List.map
+    (fun (s : Ast.stmt) ->
+      let kind =
+        match s.kind with
+        | Ast.Assign (lhs, e) ->
+          Ast.Assign
+            ( { lhs with subs = List.map (subst_var_expr x repl) lhs.subs },
+              subst_var_expr x repl e )
+        | Ast.If (branches, els) ->
+          Ast.If
+            ( List.map
+                (fun (c, b) -> (subst_var_expr x repl c, subst_var_stmts x repl b))
+                branches,
+              subst_var_stmts x repl els )
+        | Ast.Do d ->
+          if String.equal d.var x then s.kind (* shadowed *)
+          else
+            Ast.Do
+              {
+                d with
+                lo = subst_var_expr x repl d.lo;
+                hi = subst_var_expr x repl d.hi;
+                step = Option.map (subst_var_expr x repl) d.step;
+                body = subst_var_stmts x repl d.body;
+              }
+        | Ast.Call_stmt (f, args) -> Ast.Call_stmt (f, List.map (subst_var_expr x repl) args)
+        | Ast.Return -> Ast.Return
+      in
+      { s with kind })
+    ss
+
+(* ---- simplification of index expressions like (i + 0) ---- *)
+
+let rec simpl (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Binop (Ast.Add, a, Ast.Int 0) | Ast.Binop (Ast.Add, Ast.Int 0, a) -> simpl a
+  | Ast.Binop (Ast.Sub, a, Ast.Int 0) -> simpl a
+  | Ast.Binop (op, a, b) -> (
+    let a = simpl a and b = simpl b in
+    match (op, a, b) with
+    | Ast.Add, Ast.Int x, Ast.Int y -> Ast.Int (x + y)
+    | Ast.Sub, Ast.Int x, Ast.Int y -> Ast.Int (x - y)
+    | Ast.Mul, Ast.Int x, Ast.Int y -> Ast.Int (x * y)
+    | Ast.Add, Ast.Binop (Ast.Add, a', Ast.Int x), Ast.Int y -> Ast.Binop (Ast.Add, a', Ast.Int (x + y))
+    | Ast.Add, Ast.Binop (Ast.Sub, a', Ast.Int x), Ast.Int y when y >= x -> simpl (Ast.Binop (Ast.Add, a', Ast.Int (y - x)))
+    | _ -> Ast.Binop (op, a, b))
+  | Ast.Unop (op, a) -> Ast.Unop (op, simpl a)
+  | Ast.Index (a, subs) -> Ast.Index (a, List.map simpl subs)
+  | Ast.Call (f, args) -> Ast.Call (f, List.map simpl args)
+  | _ -> e
+
+let simpl_stmts ss =
+  let rec go (ss : Ast.stmt list) =
+    List.map
+      (fun (s : Ast.stmt) ->
+        let kind =
+          match s.Ast.kind with
+          | Ast.Assign (lhs, e) ->
+            Ast.Assign ({ lhs with subs = List.map simpl lhs.subs }, simpl e)
+          | Ast.If (branches, els) ->
+            Ast.If (List.map (fun (c, b) -> (simpl c, go b)) branches, go els)
+          | Ast.Do d ->
+            Ast.Do { d with lo = simpl d.lo; hi = simpl d.hi; step = Option.map simpl d.step; body = go d.body }
+          | k -> k
+        in
+        { s with kind })
+      ss
+  in
+  go ss
+
+(* ---- transformations ---- *)
+
+let step_is_one (d : Ast.do_loop) =
+  match d.step with None -> true | Some (Ast.Int 1) -> true | Some _ -> false
+
+let const_trip (d : Ast.do_loop) =
+  match (d.lo, d.hi, step_is_one d) with
+  | Ast.Int lo, Ast.Int hi, true when hi >= lo -> Some ((hi - lo) + 1)
+  | _ -> None
+
+let unroll_body ~factor (d : Ast.do_loop) =
+  List.concat
+    (List.init factor (fun k ->
+         if k = 0 then d.body
+         else simpl_stmts (subst_var_stmts d.var (Ast.Binop (Ast.Add, Ast.Var d.var, Ast.Int k)) d.body)))
+
+let unroll_exact ~factor (d : Ast.do_loop) =
+  if factor < 2 || not (step_is_one d) then None
+  else
+    match const_trip d with
+    | Some trip when trip mod factor = 0 ->
+      Some
+        [ Ast.mk (Ast.Do { d with step = Some (Ast.Int factor); body = unroll_body ~factor d }) ]
+    | _ -> None
+
+let unroll ~factor (d : Ast.do_loop) =
+  if factor < 2 || not (step_is_one d) then None
+  else (
+    match unroll_exact ~factor d with
+    | Some r -> Some r
+    | None ->
+      (* main unrolled loop up to hi - factor + 1, then a remainder loop
+         from the saved index; we approximate the remainder with a fresh
+         loop from a conservative start (hi - mod): for cost purposes the
+         remainder trip is < factor *)
+      let main =
+        Ast.mk
+          (Ast.Do
+             {
+               d with
+               hi = Ast.Binop (Ast.Sub, d.hi, Ast.Int (factor - 1));
+               step = Some (Ast.Int factor);
+               body = unroll_body ~factor d;
+             })
+      in
+      let rem_var = d.var in
+      let remainder =
+        Ast.mk
+          (Ast.Do
+             {
+               var = rem_var;
+               lo =
+                 Ast.Binop
+                   ( Ast.Add,
+                     Ast.Binop (Ast.Sub, d.hi, Ast.Call ("mod", [ Ast.Binop (Ast.Add, Ast.Binop (Ast.Sub, d.hi, d.lo), Ast.Int 1); Ast.Int factor ])),
+                     Ast.Int 1 );
+               hi = d.hi;
+               step = None;
+               body = d.body;
+             })
+      in
+      Some [ main; remainder ])
+
+let interchange (d : Ast.do_loop) =
+  match d.body with
+  | [ { Ast.kind = Ast.Do inner; loc } ] ->
+    if Depend.interchange_legal d then
+      Some
+        [ Ast.mk ~loc
+            (Ast.Do { inner with body = [ Ast.mk (Ast.Do { d with body = inner.body }) ] })
+        ]
+    else None
+  | _ -> None
+
+let strip_mine ~width (d : Ast.do_loop) =
+  if width < 2 || not (step_is_one d) then None
+  else (
+    let sv = d.var ^ "_s" in
+    let inner =
+      Ast.mk
+        (Ast.Do
+           {
+             d with
+             lo = Ast.Var sv;
+             hi = Ast.Call ("min", [ Ast.Binop (Ast.Add, Ast.Var sv, Ast.Int (width - 1)); d.hi ]);
+           })
+    in
+    Some
+      [ Ast.mk
+          (Ast.Do { var = sv; lo = d.lo; hi = d.hi; step = Some (Ast.Int width); body = [ inner ] })
+      ])
+
+let tile2 ~width (d : Ast.do_loop) =
+  match d.body with
+  | [ { Ast.kind = Ast.Do inner; _ } ] when step_is_one d && step_is_one inner ->
+    if not (Depend.interchange_legal d) then None
+    else (
+      let iv = d.var ^ "_t" and jv = inner.var ^ "_t" in
+      (* do it = ..., width; do jt = ..., width; do i; do j *)
+      let j_loop =
+        Ast.mk
+          (Ast.Do
+             {
+               inner with
+               lo = Ast.Var jv;
+               hi = Ast.Call ("min", [ Ast.Binop (Ast.Add, Ast.Var jv, Ast.Int (width - 1)); inner.hi ]);
+             })
+      in
+      let i_loop =
+        Ast.mk
+          (Ast.Do
+             {
+               d with
+               lo = Ast.Var iv;
+               hi = Ast.Call ("min", [ Ast.Binop (Ast.Add, Ast.Var iv, Ast.Int (width - 1)); d.hi ]);
+               body = [ j_loop ];
+             })
+      in
+      let jt_loop =
+        Ast.mk
+          (Ast.Do
+             { var = jv; lo = inner.lo; hi = inner.hi; step = Some (Ast.Int width); body = [ i_loop ] })
+      in
+      Some
+        [ Ast.mk
+            (Ast.Do { var = iv; lo = d.lo; hi = d.hi; step = Some (Ast.Int width); body = [ jt_loop ] })
+        ])
+  | _ -> None
+
+(* fusion-style legality: no dependence from the later group back to the
+   earlier group carried with a forward direction that fusion would
+   reverse. We tag the two groups through statement locations. *)
+let groups_fusable (d : Ast.do_loop) body1 body2 =
+  let tag line (ss : Ast.stmt list) =
+    List.map (fun (s : Ast.stmt) -> { s with Ast.loc = Srcloc.make line 0 }) ss
+  in
+  let fused =
+    Ast.mk (Ast.Do { d with body = tag 1 body1 @ tag 2 body2 })
+  in
+  let deps = Depend.dependences_in [ fused ] in
+  not
+    (List.exists
+       (fun (dep : Depend.dependence) ->
+         (* a dependence whose source is in the second group and sink in the
+            first, carried by the fused loop, would be violated *)
+         dep.src.Analysis.at.Srcloc.line = 2
+         && dep.dst.Analysis.at.Srcloc.line = 1
+         && List.exists (fun dir -> dir <> Depend.Eq) dep.directions)
+       deps)
+
+let distribute (d : Ast.do_loop) =
+  let n = List.length d.body in
+  if n < 2 then None
+  else (
+    let rec try_split k =
+      if k >= n then None
+      else (
+        let rec split i = function
+          | [] -> ([], [])
+          | x :: rest ->
+            if i = 0 then ([], x :: rest)
+            else (
+              let a, b = split (i - 1) rest in
+              (x :: a, b))
+        in
+        let body1, body2 = split k d.body in
+        if groups_fusable d body1 body2 then
+          Some
+            [ Ast.mk (Ast.Do { d with body = body1 });
+              Ast.mk (Ast.Do { d with body = body2 }) ]
+        else try_split (k + 1))
+    in
+    try_split 1)
+
+let headers_equal (a : Ast.do_loop) (b : Ast.do_loop) =
+  String.equal a.var b.var && Ast.equal_expr a.lo b.lo && Ast.equal_expr a.hi b.hi
+  && Option.equal Ast.equal_expr a.step b.step
+
+let fuse (a : Ast.do_loop) (b : Ast.do_loop) =
+  if not (headers_equal a b) then None
+  else if groups_fusable a a.body b.body then
+    Some [ Ast.mk (Ast.Do { a with body = a.body @ b.body }) ]
+  else None
+
+let reverse (d : Ast.do_loop) =
+  if not (step_is_one d) then None
+  else if Depend.carried_dependences d <> [] then None
+  else
+    Some
+      [ Ast.mk (Ast.Do { d with lo = d.hi; hi = d.lo; step = Some (Ast.Int (-1)) }) ]
+
+let pp_path fmt p =
+  Format.fprintf fmt "[%s]" (String.concat "." (List.map string_of_int p))

@@ -1,0 +1,13 @@
+(** The atomic operation mapping: architecture-dependent, language-
+    independent lowering of basic operations to a machine's atomic
+    operations (Fig. 6, second translation level). *)
+
+open Pperf_machine
+
+val map : Machine.t -> Basic_op.t -> Atomic_op.t list
+(** The chain of atomic operations implementing the basic operation;
+    element [k+1] consumes element [k]'s result. Examples: a fused
+    multiply-add on a machine without FMA hardware becomes multiply then
+    add; min/max becomes compare then select; double-precision operations
+    use [d]-prefixed cost-table entries when the machine provides them.
+    @raise Failure when the machine's cost table lacks a required entry. *)

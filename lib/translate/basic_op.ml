@@ -1,0 +1,74 @@
+(** Basic operations: the middle layer of the paper's two-level translation
+    (Fig. 6). Language-independent, type-specific, architecture-agnostic.
+
+    The {e operation specialization mapping} (language-dependent) produces
+    these from source expressions; the {e atomic operation mapping}
+    (architecture-dependent, {!Atomic_map}) lowers them to a machine's
+    atomic operations. *)
+
+type precision = Single | Double
+
+type t =
+  | B_iadd
+  | B_isub
+  | B_imul of { small : bool }
+      (** [small]: the multiplier is a compile-time constant in [-128,127]
+          — the paper's variable-latency example (§2.2.1) *)
+  | B_ishift
+  | B_ilogic
+  | B_idiv
+  | B_ineg
+  | B_icmp
+  | B_fadd of precision
+  | B_fsub of precision
+  | B_fmul of precision
+  | B_fma of precision  (** fused multiply-add *)
+  | B_fdiv of precision
+  | B_fneg
+  | B_fcmp
+  | B_fselect  (** min/max selection *)
+  | B_cvt_if  (** int -> float *)
+  | B_cvt_fi  (** float -> int *)
+  | B_load of { float : bool }
+  | B_store of { float : bool }
+  | B_branch
+  | B_branch_cond
+  | B_call
+  | B_intrinsic of string  (** costed via a dedicated atomic op, e.g. fsqrt *)
+
+let to_string = function
+  | B_iadd -> "IADD"
+  | B_isub -> "ISUB"
+  | B_imul { small = true } -> "IMUL.S"
+  | B_imul { small = false } -> "IMUL"
+  | B_ishift -> "ISHIFT"
+  | B_ilogic -> "ILOGIC"
+  | B_idiv -> "IDIV"
+  | B_ineg -> "INEG"
+  | B_icmp -> "ICMP"
+  | B_fadd Single -> "FADD"
+  | B_fadd Double -> "DADD"
+  | B_fsub Single -> "FSUB"
+  | B_fsub Double -> "DSUB"
+  | B_fmul Single -> "FMUL"
+  | B_fmul Double -> "DMUL"
+  | B_fma Single -> "FMA"
+  | B_fma Double -> "DFMA"
+  | B_fdiv Single -> "FDIV"
+  | B_fdiv Double -> "DDIV"
+  | B_fneg -> "FNEG"
+  | B_fcmp -> "FCMP"
+  | B_fselect -> "FSEL"
+  | B_cvt_if -> "CVTIF"
+  | B_cvt_fi -> "CVTFI"
+  | B_load { float = true } -> "FLOAD"
+  | B_load { float = false } -> "ILOAD"
+  | B_store { float = true } -> "FSTORE"
+  | B_store { float = false } -> "ISTORE"
+  | B_branch -> "BR"
+  | B_branch_cond -> "BC"
+  | B_call -> "CALL"
+  | B_intrinsic s -> "INTR:" ^ s
+
+let is_store = function B_store _ -> true | _ -> false
+let is_load = function B_load _ -> true | _ -> false

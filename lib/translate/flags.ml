@@ -1,0 +1,56 @@
+(** Back-end capability flags (§2.2.2).
+
+    "Porting the cost model to a new compiler ... flags representing the
+    optimization capabilities of the back-end are defined and used for
+    tuning the cost model." Turning a flag off makes the translator stop
+    imitating that optimization, so the estimate matches a weaker
+    back-end. *)
+
+type t = {
+  cse : bool;  (** common-subexpression elimination / value numbering *)
+  licm : bool;  (** loop-invariant code motion into the one-time bins *)
+  fma_fusion : bool;  (** fuse a*b+c into multiply-add *)
+  sum_reduction : bool;
+      (** keep reduction scalars in registers across iterations,
+          eliminating all but one store (§2.2.2) *)
+  dce : bool;  (** dead code elimination *)
+  update_addressing : bool;
+      (** strength-reduce affine subscripts to update-form addressing:
+          index arithmetic that is affine in enclosing loop indices costs
+          nothing inside the block *)
+  register_pressure : bool;
+      (** simulate the limited register file by re-loading values evicted
+          after [Machine.register_load_limit] distinct live loads (§2.2.1) *)
+}
+
+let all_on =
+  {
+    cse = true;
+    licm = true;
+    fma_fusion = true;
+    sum_reduction = true;
+    dce = true;
+    update_addressing = true;
+    register_pressure = true;
+  }
+
+let all_off =
+  {
+    cse = false;
+    licm = false;
+    fma_fusion = false;
+    sum_reduction = false;
+    dce = false;
+    update_addressing = false;
+    register_pressure = false;
+  }
+
+let default = all_on
+
+let to_string f =
+  let b name v = if v then name else "no-" ^ name in
+  String.concat ","
+    [
+      b "cse" f.cse; b "licm" f.licm; b "fma" f.fma_fusion; b "red" f.sum_reduction;
+      b "dce" f.dce; b "upd" f.update_addressing; b "regs" f.register_pressure;
+    ]

@@ -1,0 +1,26 @@
+(** Back-end capability flags (§2.2.2).
+
+    "Porting the cost model to a new compiler ... flags representing the
+    optimization capabilities of the back-end are defined and used for
+    tuning the cost model." Turning a flag off makes the translator stop
+    imitating that optimization, matching a weaker back-end; the TAB-FLAGS
+    benchmark quantifies each flag's effect on prediction accuracy. *)
+
+type t = {
+  cse : bool;  (** common-subexpression elimination / value numbering *)
+  licm : bool;  (** loop-invariant code motion into the one-time bins *)
+  fma_fusion : bool;
+  sum_reduction : bool;
+      (** keep reduction scalars in registers across iterations (§2.2.2) *)
+  dce : bool;
+  update_addressing : bool;
+      (** affine subscript arithmetic costs nothing per iteration *)
+  register_pressure : bool;
+      (** simulate the register file by an LRU window of resident loads
+          (§2.2.1) *)
+}
+
+val all_on : t
+val all_off : t
+val default : t
+val to_string : t -> string

@@ -1,0 +1,44 @@
+The ppredict CLI end to end, on the shipped sample programs.
+
+Symbolic prediction of a doubly nested stencil:
+
+  $ ppredict predict ../../samples/jacobi.pf --eval n=100
+  jacobi on power1: 7*n^2 - 23*n + 21
+    at n=100: 67721 cycles
+
+Interprocedural prediction substitutes actuals at call sites:
+
+  $ ppredict predict ../../samples/calls.pf -i
+  leaf: 3*m + 2
+  caller: 9*n + 12
+
+Dependence report, including the classic interchange-blocking (<,>):
+
+  $ ppredict deps ../../samples/recurrence.pf
+  routine rec:
+    flow dep on a (<,>)  (line 6 -> line 6)
+    nest at line 4: interchange ILLEGAL
+
+The interpreter validates the static expression exactly:
+
+  $ ppredict run ../../samples/daxpy.pf --eval n=500
+  dynamic cycles: 2504
+  profile:
+  do at 4:5: 1 entries, 500 iterations
+  static prediction daxpy on power1: 5*n + 4 = 2504 (0.00% from dynamic)
+
+Machine descriptions are plain data:
+
+  $ ppredict machine scalar | head -6
+  (machine (name scalar)
+    (issue-width 1)
+    (branch-taken-cycles 2)
+    (register-load-limit 8)
+    (fma false)
+    (units (ALU alu))
+
+Parse errors carry positions:
+
+  $ ppredict predict ../../samples/daxpy.pf -m nosuchmachine
+  error: unknown machine nosuchmachine (power1|power1x2|alpha21064|scalar|FILE)
+  [1]

@@ -1,0 +1,263 @@
+(* Tests for the PF interpreter: semantics, cost accounting agreement with
+   the static predictor, and §3.4 profile-driven probabilities. *)
+
+open Pperf_machine
+open Pperf_core
+open Pperf_exec
+
+let p1 = Machine.power1
+
+let run ?args src = Interp.run_source ~machine:p1 ?args src
+
+let scalar res name = List.assoc name res.Interp.scalars
+
+(* ---- semantics ---- *)
+
+let test_arithmetic () =
+  let res = run "subroutine s\n  real x\n  integer k\n  x = 2.0 * 3.0 + 4.0 / 2.0\n  k = 7 / 2 + mod(9, 4)\nend\n" in
+  (match scalar res "x" with
+   | Interp.VReal v -> Alcotest.(check (float 1e-9)) "x" 8.0 v
+   | _ -> Alcotest.fail "x real");
+  match scalar res "k" with
+  | Interp.VInt 4 -> ()
+  | _ -> Alcotest.fail "k = 3 + 1"
+
+let test_loop_and_array () =
+  let res = run ~args:[ ("n", Interp.VInt 10) ]
+      "subroutine s(n)\n  integer n, i\n  real x(100), s1\n  s1 = 0.0\n  do i = 1, n\n    x(i) = float(i)\n  end do\n  do i = 1, n\n    s1 = s1 + x(i)\n  end do\nend\n" in
+  match scalar res "s1" with
+  | Interp.VReal v -> Alcotest.(check (float 1e-9)) "sum 1..10" 55.0 v
+  | _ -> Alcotest.fail "s1"
+
+let test_branches_and_intrinsics () =
+  let res = run "subroutine s\n  real y\n  y = sqrt(16.0)\n  if (y > 3.0) then\n    y = y + max(1.0, 2.0)\n  else\n    y = 0.0\n  end if\nend\n" in
+  match scalar res "y" with
+  | Interp.VReal v -> Alcotest.(check (float 1e-9)) "sqrt+max" 6.0 v
+  | _ -> Alcotest.fail "y"
+
+let test_function_call () =
+  let res = run "subroutine s\n  real y\n  y = twice(3.0)\nend\n\nreal function twice(a)\n  real a\n  twice = a * 2.0\nend\n" in
+  match scalar res "y" with
+  | Interp.VReal v -> Alcotest.(check (float 1e-9)) "call" 6.0 v
+  | _ -> Alcotest.fail "y"
+
+let test_step_and_bounds () =
+  let res = run "subroutine s\n  integer i, c\n  c = 0\n  do i = 10, 1, -2\n    c = c + 1\n  end do\nend\n" in
+  match scalar res "c" with
+  | Interp.VInt 5 -> ()
+  | Interp.VInt c -> Alcotest.failf "expected 5 iterations, got %d" c
+  | _ -> Alcotest.fail "c"
+
+let test_errors () =
+  Alcotest.(check bool) "out of bounds" true
+    (try ignore (run "subroutine s\n  real x(10)\n  x(11) = 1.0\nend\n"); false
+     with Interp.Runtime_error _ -> true);
+  Alcotest.(check bool) "division by zero" true
+    (try ignore (run "subroutine s\n  integer k\n  k = 1 / 0\nend\n"); false
+     with Interp.Runtime_error _ -> true);
+  Alcotest.(check bool) "unknown routine" true
+    (try ignore (run "subroutine s\n  call nonexistent(1)\nend\n"); false
+     with Interp.Runtime_error _ -> true)
+
+(* ---- cost accounting vs static prediction ---- *)
+
+let close_to ?(tol = 0.02) a b =
+  let d = Float.abs (a -. b) in
+  d <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let agree src args bindings =
+  let dynamic = (run ~args src).Interp.cycles in
+  let p = Predict.of_source ~machine:p1 src in
+  let static = Predict.eval p bindings in
+  Alcotest.(check bool)
+    (Printf.sprintf "static %.0f ~ dynamic %.0f" static dynamic)
+    true (close_to static dynamic)
+
+let test_agreement_daxpy () =
+  agree
+    "subroutine s(x, y, a, n)\n  integer n, i\n  real x(100000), y(100000), a\n  do i = 1, n\n    y(i) = y(i) + a * x(i)\n  end do\nend\n"
+    [ ("n", Interp.VInt 1000) ] [ ("n", 1000.0) ]
+
+let test_agreement_jacobi () =
+  agree
+    "subroutine jacobi(a, b, n)\n  integer n, i, j\n  real a(300,300), b(300,300)\n  do i = 2, n - 1\n    do j = 2, n - 1\n      a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))\n    end do\n  end do\nend\n"
+    [ ("n", Interp.VInt 200) ] [ ("n", 200.0) ]
+
+let test_agreement_index_cond () =
+  (* the §3.3.2 pattern: static C(L) = k*C(Bt) + (n-k)*C(Bf) must match the
+     interpreter's actual path *)
+  agree
+    "subroutine s(x, n, k)\n  integer n, k, i\n  real x(100000)\n  do i = 1, n\n    if (i .le. k) then\n      x(i) = x(i) * 2.0 + 1.0\n    else\n      x(i) = 0.0\n    end if\n  end do\nend\n"
+    [ ("n", Interp.VInt 500); ("k", Interp.VInt 125) ]
+    [ ("n", 500.0); ("k", 125.0) ]
+
+(* ---- profiling (§3.4) ---- *)
+
+let branchy_src =
+  "subroutine s(x, n, t)\n  integer n, i\n  real x(100000), t\n  do i = 1, n\n    x(i) = float(mod(i, 4))\n  end do\n  do i = 1, n\n    if (x(i) < t) then\n      x(i) = sqrt(x(i) + 1.0) + exp(x(i))\n    else\n      x(i) = 0.0\n    end if\n  end do\nend\n"
+
+let test_profile_counts () =
+  let res = run ~args:[ ("n", Interp.VInt 400); ("t", Interp.VReal 1.5) ] branchy_src in
+  (* x(i) in {0,1,2,3}; < 1.5 half the time *)
+  match Interp.Profile.branch_counts res.profile with
+  | [ (_, counts) ] ->
+    Alcotest.(check int) "then count" 200 counts.(0);
+    Alcotest.(check int) "else count" 200 counts.(1)
+  | l -> Alcotest.failf "expected 1 branch site, got %d" (List.length l)
+
+let test_profile_eliminates_variable () =
+  let res = run ~args:[ ("n", Interp.VInt 400); ("t", Interp.VReal 1.5) ] branchy_src in
+  (* without profile: a probability variable appears *)
+  let plain = Predict.of_source ~machine:p1 branchy_src in
+  Alcotest.(check bool) "prob var without profile" true (Predict.prob_vars plain <> []);
+  (* with the measured probabilities: none *)
+  let options =
+    { Aggregate.default_options with
+      branch_prob = Interp.Profile.branch_prob res.profile }
+  in
+  let profiled = Predict.of_source ~options ~machine:p1 branchy_src in
+  Alcotest.(check (list string)) "no prob vars with profile" [] (Predict.prob_vars profiled);
+  (* and the profiled static prediction matches the dynamic cycles *)
+  let static = Predict.eval profiled [ ("n", 400.0) ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "profiled static %.0f ~ dynamic %.0f" static res.cycles)
+    true
+    (close_to ~tol:0.12 static res.cycles)
+
+let test_trip_profile () =
+  let res = run ~args:[ ("n", Interp.VInt 50) ]
+      "subroutine s(x, n)\n  integer n, i\n  real x(1000)\n  do i = 1, n\n    x(i) = 1.0\n  end do\nend\n" in
+  match Interp.Profile.trip_counts res.profile with
+  | [ (_, entries, total) ] ->
+    Alcotest.(check int) "one entry" 1 entries;
+    Alcotest.(check int) "50 iterations" 50 total
+  | l -> Alcotest.failf "expected 1 loop site, got %d" (List.length l)
+
+open Pperf_lang
+
+(* ---- property: static (profiled) prediction = dynamic accumulation ---- *)
+
+let gen_expr_leaf =
+  QCheck.Gen.oneof
+    [ QCheck.Gen.map (fun i -> Ast.Int i) (QCheck.Gen.int_range 0 99);
+      QCheck.Gen.map (fun f -> Ast.real (float_of_int f /. 4.0)) (QCheck.Gen.int_range 1 40);
+      QCheck.Gen.oneofl [ Ast.Var "x"; Ast.Var "y"; Ast.Var "i" ];
+      QCheck.Gen.map (fun s -> Ast.Index ("arr", [ s ])) (QCheck.Gen.oneofl [ Ast.Var "i"; Ast.Int 1 ]);
+    ]
+
+let rec gen_expr depth st =
+  let open QCheck.Gen in
+  if depth = 0 then gen_expr_leaf st
+  else
+    (frequency
+       [ (2, gen_expr_leaf);
+         (3,
+          map3 (fun op a b -> Ast.Binop (op, a, b))
+            (oneofl [ Ast.Add; Ast.Sub; Ast.Mul ])
+            (gen_expr (depth - 1)) (gen_expr (depth - 1)));
+         (1, map (fun a -> Ast.Call ("sqrt", [ Ast.Call ("abs", [ a ]) ])) (gen_expr (depth - 1)));
+       ])
+      st
+
+(* one distinct loop index per nesting depth: Fortran forbids reusing an
+   active do index *)
+let rec gen_stmt depth st =
+  let open QCheck.Gen in
+  let lv = "i" ^ string_of_int depth in
+  if depth = 0 then map (fun e -> Ast.sassign "y" e) (gen_expr 2) st
+  else
+    (frequency
+       [ (4, map (fun e -> Ast.sassign "y" e) (gen_expr 2));
+         (2, map (fun e -> Ast.assign "arr" [ Ast.Var "i" ] e) (gen_expr 2));
+         (1,
+          map2
+            (fun hi body -> Ast.do_ lv (Ast.int 1) hi body)
+            (oneofl [ Ast.Var "n"; Ast.Int 7 ])
+            (list_size (int_range 1 3) (gen_stmt (depth - 1))));
+         (1,
+          map3
+            (fun c t e -> Ast.if_ (Ast.Binop (Ast.Lt, c, Ast.real 2.0)) t e)
+            (gen_expr 1)
+            (list_size (int_range 1 2) (gen_stmt (depth - 1)))
+            (list_size (int_range 1 2) (gen_stmt (depth - 1))));
+       ])
+      st
+
+let gen_routine =
+  QCheck.Gen.map
+    (fun body ->
+      {
+        Ast.rname = "r";
+        rkind = Ast.Subroutine;
+        params = [ "x"; "y"; "n" ];
+        decls =
+          [ { Ast.dname = "x"; dty = Ast.Treal; dims = [] };
+            { Ast.dname = "y"; dty = Ast.Treal; dims = [] };
+            { Ast.dname = "n"; dty = Ast.Tint; dims = [] };
+            { Ast.dname = "i"; dty = Ast.Tint; dims = [] };
+            { Ast.dname = "i1"; dty = Ast.Tint; dims = [] };
+            { Ast.dname = "i2"; dty = Ast.Tint; dims = [] };
+            { Ast.dname = "arr"; dty = Ast.Treal;
+              dims = [ { Ast.dim_lo = None; dim_hi = Ast.Int 100 } ] };
+          ];
+        body;
+      })
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 1 4) (gen_stmt 2))
+
+let prop_static_matches_dynamic =
+  QCheck.Test.make ~name:"profiled static prediction = dynamic cycles" ~count:120
+    (QCheck.make ~print:Pp_ast.routine_to_string gen_routine)
+    (fun r ->
+      (* re-parse so every statement carries a unique source location (the
+         interpreter's cost caches are keyed by location) *)
+      let checked =
+        Typecheck.check_routine (Parser.parse_routine (Pp_ast.routine_to_string r))
+      in
+      match
+        Interp.run ~machine:p1 ~args:[ ("n", Interp.VInt 6) ] checked
+      with
+      | exception Interp.Runtime_error _ -> true (* e.g. division blowups: discard *)
+      | res ->
+        let options =
+          { Aggregate.default_options with
+            branch_prob = Interp.Profile.branch_prob res.profile;
+            near_equal_tol = 0.0 (* exact branch accounting for the check *) }
+        in
+        let p = Aggregate.routine ~machine:p1 ~options checked in
+        let static =
+          Pperf_symbolic.Poly.eval_float
+            (fun v -> if v = "n" then 6.0 else 0.5)
+            (Perf_expr.total p.cost)
+        in
+        Float.abs (static -. res.cycles) <= (0.05 *. res.cycles) +. 6.0)
+
+let qsuite name tests =
+  ( name,
+    List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |])) tests )
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "loops/arrays" `Quick test_loop_and_array;
+          Alcotest.test_case "branches/intrinsics" `Quick test_branches_and_intrinsics;
+          Alcotest.test_case "function call" `Quick test_function_call;
+          Alcotest.test_case "negative step" `Quick test_step_and_bounds;
+          Alcotest.test_case "runtime errors" `Quick test_errors;
+        ] );
+      ( "cost-agreement",
+        [
+          Alcotest.test_case "daxpy" `Quick test_agreement_daxpy;
+          Alcotest.test_case "jacobi" `Quick test_agreement_jacobi;
+          Alcotest.test_case "index conditional" `Quick test_agreement_index_cond;
+        ] );
+      qsuite "agreement-props" [ prop_static_matches_dynamic ];
+      ( "profiling",
+        [
+          Alcotest.test_case "branch counts" `Quick test_profile_counts;
+          Alcotest.test_case "eliminates variables" `Quick test_profile_eliminates_variable;
+          Alcotest.test_case "trip counts" `Quick test_trip_profile;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Tests for machine descriptions: units, atomic ops, the textual format. *)
+
+open Pperf_machine
+
+let test_atomic_op () =
+  let op = Atomic_op.make "fadd" [ (1, 1, 1) ] in
+  Alcotest.(check int) "latency" 2 (Atomic_op.result_latency op);
+  Alcotest.(check int) "busy" 1 (Atomic_op.busy_cycles op);
+  let st = Atomic_op.make "store_fp" [ (1, 1, 1); (0, 1, 0); (4, 1, 0) ] in
+  Alcotest.(check int) "multi-unit busy" 3 (Atomic_op.busy_cycles st);
+  Alcotest.(check int) "multi-unit latency" 2 (Atomic_op.result_latency st);
+  Alcotest.(check bool) "component lookup" true (Atomic_op.component_on st 0 <> None);
+  Alcotest.(check bool) "component missing" true (Atomic_op.component_on st 2 = None);
+  Alcotest.check_raises "negative cost" (Invalid_argument "Atomic_op.make: negative cost")
+    (fun () -> ignore (Atomic_op.make "x" [ (0, -1, 0) ]));
+  Alcotest.check_raises "duplicate unit" (Invalid_argument "Atomic_op.make: duplicate unit component")
+    (fun () -> ignore (Atomic_op.make "x" [ (0, 1, 0); (0, 1, 0) ]))
+
+let test_power1 () =
+  let m = Machine.power1 in
+  Alcotest.(check int) "5 units" 5 (Machine.num_units m);
+  Alcotest.(check bool) "has fma" true m.has_fma;
+  (* the paper's stated costs *)
+  let fadd = Machine.atomic m "fadd" in
+  Alcotest.(check int) "fadd = 1nc + 1cv" 2 (Atomic_op.result_latency fadd);
+  Alcotest.(check int) "fadd busy 1" 1 (Atomic_op.busy_cycles fadd);
+  let imul_s = Machine.atomic m "imul_small" and imul = Machine.atomic m "imul" in
+  Alcotest.(check int) "imul small 3" 3 (Atomic_op.result_latency imul_s);
+  Alcotest.(check int) "imul general 5" 5 (Atomic_op.result_latency imul);
+  (* fp store: 2 cycles FPU (1 coverable) + 1 FXU *)
+  let st = Machine.atomic m "store_fp" in
+  (match Atomic_op.component_on st 1 with
+   | Some c -> Alcotest.(check (pair int int)) "FPU comp" (1, 1) (c.noncoverable, c.coverable)
+   | None -> Alcotest.fail "no FPU component");
+  (match Atomic_op.component_on st 0 with
+   | Some c -> Alcotest.(check (pair int int)) "FXU comp" (1, 0) (c.noncoverable, c.coverable)
+   | None -> Alcotest.fail "no FXU component")
+
+let test_machine_errors () =
+  Alcotest.(check bool) "dangling unit rejected" true
+    (try
+       ignore (Machine.make ~name:"bad" ~units:[ ("U", Funit.Fixed_point) ]
+                 ~atomics:[ ("op", [ (3, 1, 0) ]) ] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "missing op fails" true
+    (try ignore (Machine.atomic Machine.power1 "nosuchop"); false with Failure _ -> true)
+
+let test_units_of_kind () =
+  Alcotest.(check int) "power1 one fpu" 1 (List.length (Machine.units_of_kind Machine.power1 Funit.Float_point));
+  Alcotest.(check int) "wide two fpu" 2 (List.length (Machine.units_of_kind Machine.power1_wide Funit.Float_point))
+
+let test_descr_roundtrip () =
+  List.iter
+    (fun m ->
+      let txt = Descr.to_string m in
+      let m2 = Descr.of_string txt in
+      Alcotest.(check string) "name" m.Machine.name m2.Machine.name;
+      Alcotest.(check int) "units" (Machine.num_units m) (Machine.num_units m2);
+      Alcotest.(check int) "ops" (Hashtbl.length m.atomics) (Hashtbl.length m2.atomics);
+      Alcotest.(check int) "issue width" m.issue_width m2.issue_width;
+      Alcotest.(check bool) "fma" m.has_fma m2.has_fma;
+      Alcotest.(check int) "cache line" m.cache.line_bytes m2.cache.line_bytes;
+      (* costs survive *)
+      Hashtbl.iter
+        (fun name (op : Atomic_op.t) ->
+          let op2 = Machine.atomic m2 name in
+          Alcotest.(check int) (name ^ " latency") (Atomic_op.result_latency op)
+            (Atomic_op.result_latency op2);
+          Alcotest.(check int) (name ^ " busy") (Atomic_op.busy_cycles op)
+            (Atomic_op.busy_cycles op2))
+        m.atomics)
+    [ Machine.power1; Machine.power1_wide; Machine.scalar ]
+
+let test_descr_parse () =
+  let m = Descr.of_string {|
+(machine (name toy)
+  (issue-width 2)
+  (fma false)
+  (units (ALU fxu) (FP fpu))
+  (atomics
+    (iadd (ALU 1 0))
+    (fadd (FP 1 2))))
+|} in
+  Alcotest.(check string) "name" "toy" m.Machine.name;
+  Alcotest.(check int) "fadd latency" 3 (Atomic_op.result_latency (Machine.atomic m "fadd"))
+
+let test_machine_files () =
+  (* the shipped machines/*.pmach files parse and match the built-ins *)
+  let dir = "../machines" in
+  let dir = if Sys.file_exists dir then dir else "machines" in
+  if Sys.file_exists dir then
+    List.iter
+      (fun (file, builtin) ->
+        let path = Filename.concat dir file in
+        if Sys.file_exists path then (
+          let ic = open_in path in
+          let n = in_channel_length ic in
+          let src = really_input_string ic n in
+          close_in ic;
+          let m = Descr.of_string src in
+          Alcotest.(check string) file builtin.Machine.name m.Machine.name;
+          Alcotest.(check int) (file ^ " ops") (Hashtbl.length builtin.atomics)
+            (Hashtbl.length m.atomics)))
+      [ ("power1.pmach", Machine.power1); ("power1x2.pmach", Machine.power1_wide);
+        ("alpha21064.pmach", Machine.alpha21064); ("scalar.pmach", Machine.scalar) ]
+
+let test_alpha () =
+  let m = Machine.alpha21064 in
+  Alcotest.(check bool) "no fma" false m.Machine.has_fma;
+  Alcotest.(check int) "dual issue" 2 m.issue_width;
+  Alcotest.(check int) "fadd latency 6" 6 (Atomic_op.result_latency (Machine.atomic m "fadd"));
+  Alcotest.(check int) "fadd busy 1 (pipelined)" 1 (Atomic_op.busy_cycles (Machine.atomic m "fadd"))
+
+let test_descr_errors () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) "parse error" true
+        (try ignore (Descr.of_string src); false with Descr.Parse_error _ -> true))
+    [ "(machine"; "(notmachine)"; "(machine (name x) (units) (atomics (op (NOPE 1 0))))";
+      "(machine (units (A fxu)) (atomics))" (* missing name *) ]
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "atomic",
+        [ Alcotest.test_case "components" `Quick test_atomic_op ] );
+      ( "builtin",
+        [
+          Alcotest.test_case "power1 costs" `Quick test_power1;
+          Alcotest.test_case "errors" `Quick test_machine_errors;
+          Alcotest.test_case "unit kinds" `Quick test_units_of_kind;
+        ] );
+      ( "descr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_descr_roundtrip;
+          Alcotest.test_case "parse" `Quick test_descr_parse;
+          Alcotest.test_case "errors" `Quick test_descr_errors;
+          Alcotest.test_case "machine files" `Quick test_machine_files;
+          Alcotest.test_case "alpha21064" `Quick test_alpha;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Unit and property tests for the arbitrary-precision numeric substrate. *)
+
+open Pperf_num
+module B = Bigint
+module R = Rat
+
+let bi = B.of_int
+let check_b msg expected actual = Alcotest.(check string) msg expected (B.to_string actual)
+let check_r msg expected actual = Alcotest.(check string) msg expected (R.to_string actual)
+
+(* ---- unit tests: bigint ---- *)
+
+let test_constants () =
+  check_b "zero" "0" B.zero;
+  check_b "one" "1" B.one;
+  check_b "minus one" "-1" B.minus_one;
+  Alcotest.(check bool) "0 is zero" true (B.is_zero B.zero);
+  Alcotest.(check bool) "1 is one" true (B.is_one B.one);
+  Alcotest.(check int) "sign +" 1 (B.sign (bi 42));
+  Alcotest.(check int) "sign -" (-1) (B.sign (bi (-42)));
+  Alcotest.(check int) "sign 0" 0 (B.sign B.zero)
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> check_b ("roundtrip " ^ s) s (B.of_string s))
+    [ "0"; "1"; "-1"; "123456789"; "-987654321";
+      "123456789012345678901234567890123456789";
+      "-340282366920938463463374607431768211456" ]
+
+let test_add_sub () =
+  check_b "big add" "121932631137021795226185032733622923332237463801111263526900"
+    (B.mul (B.of_string "123456789012345678901234567890") (B.of_string "987654321098765432109876543210"));
+  check_b "cancel" "0" (B.sub (B.of_string "999999999999999999999999") (B.of_string "999999999999999999999999"));
+  check_b "carry chain" "10000000000000000000000000000000"
+    (B.add (B.of_string "9999999999999999999999999999999") B.one)
+
+let test_divmod () =
+  let a = B.of_string "987654321098765432109876543210" in
+  let b = B.of_string "123456789012345678901234567890" in
+  let q, r = B.divmod a b in
+  check_b "q" "8" q;
+  check_b "r" "9000000000900000000090" r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (B.div a B.zero));
+  (* truncation toward zero *)
+  let q, r = B.divmod (bi (-7)) (bi 2) in
+  check_b "(-7)/2" "-3" q;
+  check_b "(-7) mod 2" "-1" r;
+  let q, r = B.divmod (bi 7) (bi (-2)) in
+  check_b "7/(-2)" "-3" q;
+  check_b "7 mod -2" "1" r;
+  (* euclidean *)
+  let q, r = B.ediv (bi (-7)) (bi 2) in
+  check_b "ediv q" "-4" q;
+  check_b "ediv r" "1" r
+
+let test_minint () =
+  check_b "min_int" (string_of_int min_int) (bi min_int);
+  Alcotest.(check (option int)) "to_int min_int" (Some min_int) (B.to_int (bi min_int));
+  Alcotest.(check (option int)) "to_int max_int" (Some max_int) (B.to_int (bi max_int));
+  Alcotest.(check (option int)) "overflow" None
+    (B.to_int (B.mul (bi max_int) (bi 2)))
+
+let test_pow_gcd () =
+  check_b "3^40" "12157665459056928801" (B.pow (bi 3) 40);
+  check_b "x^0" "1" (B.pow (bi 99) 0);
+  check_b "gcd" "9000000000900000000090"
+    (B.gcd (B.of_string "123456789012345678901234567890") (B.of_string "987654321098765432109876543210"));
+  check_b "gcd 0 x" "15" (B.gcd B.zero (bi 15));
+  check_b "lcm" "12" (B.lcm (bi 4) (bi 6))
+
+let test_shifts () =
+  check_b "shl" "1267650600228229401496703205376" (B.shift_left B.one 100);
+  check_b "shr exact" "4" (B.shift_right (bi 16) 2);
+  check_b "shr floor neg" "-3" (B.shift_right (bi (-5)) 1);
+  check_b "shr floor neg exact" "-2" (B.shift_right (bi (-4)) 1);
+  Alcotest.(check int) "num_bits 0" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "num_bits 1" 1 (B.num_bits B.one);
+  Alcotest.(check int) "num_bits 2^100" 101 (B.num_bits (B.shift_left B.one 100))
+
+(* ---- property tests vs native ints ---- *)
+
+let small = QCheck.int_range (-1_000_000) 1_000_000
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"bigint add matches int" ~count:500 (QCheck.pair small small)
+    (fun (a, b) -> B.to_int_exn (B.add (bi a) (bi b)) = a + b)
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"bigint mul matches int" ~count:500 (QCheck.pair small small)
+    (fun (a, b) -> B.to_int_exn (B.mul (bi a) (bi b)) = a * b)
+
+let prop_divmod_matches_int =
+  QCheck.Test.make ~name:"bigint divmod matches int" ~count:500 (QCheck.pair small small)
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = B.divmod (bi a) (bi b) in
+      B.to_int_exn q = a / b && B.to_int_exn r = a mod b)
+
+let prop_divmod_reconstructs =
+  (* with large operands: a = q*b + r, |r| < |b|, sign r = sign a *)
+  let big = QCheck.map (fun (a, b, c) ->
+      B.add (B.mul (B.mul (bi a) (bi b)) (bi c)) (bi a))
+      (QCheck.triple small small small)
+  in
+  QCheck.Test.make ~name:"divmod reconstruction (large)" ~count:500 (QCheck.pair big big)
+    (fun (a, b) ->
+      QCheck.assume (not (B.is_zero b));
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r)
+      && B.compare (B.abs r) (B.abs b) < 0
+      && (B.is_zero r || B.sign r = B.sign a))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string . to_string = id" ~count:300
+    (QCheck.triple small small small) (fun (a, b, c) ->
+      let x = B.add (B.mul (bi a) (B.mul (bi b) (bi c))) (bi c) in
+      B.equal x (B.of_string (B.to_string x)))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:300 (QCheck.pair small small)
+    (fun (a, b) ->
+      QCheck.assume (a <> 0 || b <> 0);
+      let g = B.gcd (bi a) (bi b) in
+      B.is_zero (B.rem (bi a) g) && B.is_zero (B.rem (bi b) g))
+
+(* ---- rationals ---- *)
+
+let test_rat_basic () =
+  check_r "1/3+1/6" "1/2" (R.add (R.of_ints 1 3) (R.of_ints 1 6));
+  check_r "normalized" "-2/3" (R.of_ints 4 (-6));
+  check_r "mul" "1/2" (R.mul (R.of_ints 2 3) (R.of_ints 3 4));
+  check_r "div" "8/9" (R.div (R.of_ints 2 3) (R.of_ints 3 4));
+  check_r "pow neg" "9/4" (R.pow (R.of_ints 2 3) (-2));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (R.inv R.zero))
+
+let test_rat_rounding () =
+  let r = R.of_string in
+  check_b "floor 5/2" "2" (R.floor (r "5/2"));
+  check_b "floor -5/2" "-3" (R.floor (r "-5/2"));
+  check_b "ceil 5/2" "3" (R.ceil (r "5/2"));
+  check_b "ceil -5/2" "-2" (R.ceil (r "-5/2"));
+  check_b "round 5/2" "3" (R.round (r "5/2"));
+  check_b "round -5/2" "-3" (R.round (r "-5/2"));
+  check_b "round 2.4" "2" (R.round (r "12/5"))
+
+let test_rat_strings () =
+  check_r "decimal" "5/2" (R.of_string "2.5");
+  check_r "neg decimal" "-1/8" (R.of_string "-0.125");
+  check_r "int" "42" (R.of_string "42");
+  check_r "fraction" "-3/4" (R.of_string "-3/4")
+
+let test_rat_of_float_approx () =
+  Alcotest.(check string) "0.4 approx" "2/5" (R.to_string (R.of_float_approx 0.4));
+  Alcotest.(check string) "0.35 approx" "7/20" (R.to_string (R.of_float_approx 0.35));
+  Alcotest.(check string) "pi approx small den" "355/113"
+    (R.to_string (R.of_float_approx ~tol:1e-7 3.14159265358979));
+  Alcotest.(check string) "negative" "-1/3" (R.to_string (R.of_float_approx (-0.333333333333)));
+  Alcotest.(check string) "integer" "7" (R.to_string (R.of_float_approx 7.0));
+  Alcotest.(check string) "zero" "0" (R.to_string (R.of_float_approx 0.0))
+
+let test_rat_of_float () =
+  Alcotest.(check bool) "0.5 exact" true (R.equal (R.of_float 0.5) R.half);
+  Alcotest.(check bool) "0.1 exact dyadic" true
+    (R.to_float (R.of_float 0.1) = 0.1);
+  Alcotest.check_raises "nan" (Invalid_argument "Rat.of_float: not finite") (fun () ->
+      ignore (R.of_float Float.nan))
+
+let rat_gen =
+  QCheck.map
+    (fun (n, d) -> R.of_ints n (if d = 0 then 1 else d))
+    (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range (-50) 50))
+
+let prop_rat_field =
+  QCheck.Test.make ~name:"rat field laws" ~count:500 (QCheck.triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) ->
+      R.equal (R.add a b) (R.add b a)
+      && R.equal (R.mul a b) (R.mul b a)
+      && R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c))
+      && R.equal (R.add a (R.neg a)) R.zero
+      && (R.is_zero a || R.equal (R.mul a (R.inv a)) R.one))
+
+let prop_rat_compare_consistent =
+  QCheck.Test.make ~name:"rat compare matches float compare" ~count:500
+    (QCheck.pair rat_gen rat_gen) (fun (a, b) ->
+      let c = R.compare a b in
+      let fc = compare (R.to_float a) (R.to_float b) in
+      (* floats are exact for these small rationals only when denominators
+         are powers of two; accept sign agreement or float equality *)
+      c = fc || R.to_float a = R.to_float b)
+
+let prop_floor_ceil =
+  QCheck.Test.make ~name:"floor <= x <= ceil" ~count:500 rat_gen (fun a ->
+      R.compare (R.of_bigint (R.floor a)) a <= 0
+      && R.compare a (R.of_bigint (R.ceil a)) <= 0)
+
+let qsuite name tests =
+  (* fixed seed: property failures should be reproducible, not flaky *)
+  ( name,
+    List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |])) tests )
+
+let () =
+  Alcotest.run "num"
+    [
+      ( "bigint-unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "min_int" `Quick test_minint;
+          Alcotest.test_case "pow/gcd" `Quick test_pow_gcd;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+        ] );
+      qsuite "bigint-props"
+        [
+          prop_add_matches_int; prop_mul_matches_int; prop_divmod_matches_int;
+          prop_divmod_reconstructs; prop_string_roundtrip; prop_gcd_divides;
+        ];
+      ( "rat-unit",
+        [
+          Alcotest.test_case "basic" `Quick test_rat_basic;
+          Alcotest.test_case "rounding" `Quick test_rat_rounding;
+          Alcotest.test_case "strings" `Quick test_rat_strings;
+          Alcotest.test_case "of_float" `Quick test_rat_of_float;
+          Alcotest.test_case "of_float_approx" `Quick test_rat_of_float_approx;
+        ] );
+      qsuite "rat-props" [ prop_rat_field; prop_rat_compare_consistent; prop_floor_ceil ];
+    ]
