@@ -5,6 +5,7 @@
      schedule  FILE        atomic ops + bin diagram of the innermost block
      compare   F1 F2       symbolic comparison of two variants
      search    FILE        performance-guided restructuring
+     lint      FILE        static diagnostics (defects + precision losses)
      machine   [NAME]      print a machine description (textual format)
 *)
 
@@ -31,7 +32,7 @@ let machine_of_spec spec =
   | other -> failwith (Printf.sprintf "unknown machine %s (power1|power1x2|alpha21064|scalar|FILE)" other)
 
 let machine_arg =
-  let doc = "Target machine: power1, power1x2, scalar, or a description file." in
+  let doc = "Target machine: power1, power1x2, alpha21064, scalar, or a description file." in
   Arg.(value & opt string "power1" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
 
 let memory_arg =
@@ -49,20 +50,23 @@ let parse_bindings specs =
   List.map
     (fun s ->
       match String.index_opt s '=' with
-      | Some i ->
-        ( String.sub s 0 i,
-          float_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
-      | None -> failwith ("malformed binding " ^ s))
+      | Some i -> (
+        let value = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt value with
+        | Some f -> (String.sub s 0 i, f)
+        | None ->
+          failwith
+            (Printf.sprintf "malformed --eval binding '%s': '%s' is not a number" s value))
+      | None ->
+        failwith
+          (Printf.sprintf "malformed --eval binding '%s': expected VAR=VALUE" s))
     specs
 
 let options_of ~memory =
   { Aggregate.default_options with include_memory = memory }
 
-let handle f =
-  try
-    f ();
-    0
-  with
+let handle_code f =
+  try f () with
   | Parser.Error (msg, loc) ->
     Printf.eprintf "parse error at %s: %s\n" (Srcloc.to_string loc) msg;
     1
@@ -72,6 +76,11 @@ let handle f =
   | Failure msg ->
     Printf.eprintf "error: %s\n" msg;
     1
+
+let handle f =
+  handle_code (fun () ->
+      f ();
+      0)
 
 (* ---- predict ---- *)
 
@@ -106,6 +115,12 @@ let predict_cmd =
               if Predict.prob_vars p <> [] then
                 Format.printf "  branch probabilities: %s (in [0,1])@."
                   (String.concat ", " (Predict.prob_vars p));
+              let diags = Predict.precision_diagnostics p in
+              if diags <> [] then (
+                Format.printf "  precision diagnostics:@.";
+                List.iter
+                  (fun d -> Format.printf "    %a@." Pperf_lint.Diagnostic.pp_short d)
+                  diags);
               if bindings <> [] then
                 Format.printf "  at %s: %.0f cycles@."
                   (String.concat ", "
@@ -214,6 +229,13 @@ let search_cmd =
                (List.map (fun (s : Pperf_transform.Search.step) -> s.action) out.trace));
         Format.printf "predicted: %a  ->  %a@." Perf_expr.pp out.initial Perf_expr.pp
           out.predicted;
+        if out.blocked <> [] then (
+          Format.printf "@.blocked by dependences:@.";
+          List.iter
+            (fun (b : Pperf_transform.Search.blocked) ->
+              Format.printf "  %s at %a: %a@." b.action Pperf_transform.Transformations.pp_path
+                b.at Pperf_lint.Diagnostic.pp_short b.why)
+            out.blocked);
         Format.printf "@.%s" (Pp_ast.routine_to_string out.best.routine))
   in
   let doc = "Performance-guided automatic restructuring (A*-style search)." in
@@ -306,6 +328,29 @@ let run_cmd =
   let doc = "Interpret the program, profile it, and validate the static prediction." in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ machine_arg $ eval_arg $ file_arg 0 "FILE")
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let run json file =
+    handle_code (fun () ->
+        let reports = Pperf_lint.Lint.run_source (read_file file) in
+        if json then print_string (Pperf_lint.Lint.to_json reports)
+        else Format.printf "%a" Pperf_lint.Lint.pp reports;
+        Pperf_lint.Lint.exit_code reports)
+  in
+  let json_arg =
+    let doc = "Emit diagnostics as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let doc =
+    "Run the static diagnostic checks over a PF file: program defects \
+     (out-of-bounds subscripts, use before definition, zero loop steps, possible \
+     division by zero, dead branches) and the places where the performance \
+     prediction goes conservative (non-affine subscripts, unknown call costs). \
+     Exit status is 2 when any error is reported, 1 when any warning, else 0."
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ json_arg $ file_arg 0 "FILE")
+
 (* ---- machine ---- *)
 
 let machine_cmd =
@@ -321,4 +366,4 @@ let machine_cmd =
 let () =
   let doc = "compile-time performance prediction for superscalar machines" in
   let info = Cmd.info "ppredict" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; machine_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; machine_cmd ]))

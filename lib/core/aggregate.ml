@@ -30,10 +30,18 @@ let default_options =
     library = None;
   }
 
-type prediction = { cost : Perf_expr.t; prob_vars : string list }
+type prediction = {
+  cost : Perf_expr.t;
+  prob_vars : string list;
+  diagnostics : Pperf_lint.Diagnostic.t list;
+}
 
 (* shared across the [{ ctx with ... }] copies made when entering loops *)
-type prob_state = { mutable counter : int; mutable vars : string list }
+type prob_state = {
+  mutable counter : int;
+  mutable vars : string list;
+  mutable diags : Pperf_lint.Diagnostic.t list;
+}
 
 type ctx = {
   machine : Machine.t;
@@ -51,6 +59,14 @@ let fresh_prob ctx =
   let v = Printf.sprintf "p%d" ctx.probs.counter in
   ctx.probs.vars <- v :: ctx.probs.vars;
   v
+
+(* a place where the aggregation had to fall back on an unknown — the
+   prediction is still correct but now carries a free variable or a
+   default cost, which is exactly what a Precision diagnostic reports *)
+let imprecise ctx ~check ~loc message =
+  ctx.probs.diags <-
+    Pperf_lint.Diagnostic.make Pperf_lint.Diagnostic.Precision ~check ~loc message
+    :: ctx.probs.diags
 
 (* drop a dag into fresh bins and return its standalone cost *)
 let dag_cost ctx dag =
@@ -72,10 +88,16 @@ let per_iteration_cost ctx dag =
       let s2 = Bins.drop_dag bins dag in
       max 1 (s2.cost - s1.cost)))
 
-let trip_of (d : Ast.do_loop) =
+let trip_of ctx ~loc (d : Ast.do_loop) =
   match Sym_expr.trip_count ~lo:d.lo ~hi:d.hi ~step:d.step with
   | Some p -> p
-  | None -> Poly.var ("trip_" ^ d.var)
+  | None ->
+    let v = "trip_" ^ d.var in
+    imprecise ctx ~check:"symbolic-trip" ~loc
+      (Printf.sprintf
+         "trip count of the loop over '%s' has no closed form; prediction uses free variable '%s'"
+         d.var v);
+    Poly.var v
 
 (* is this statement straight-line at this level? *)
 let is_straight (s : Ast.stmt) =
@@ -84,29 +106,37 @@ let is_straight (s : Ast.stmt) =
   | Ast.Do _ | Ast.If _ -> false
 
 let library_extra ctx (run : Ast.stmt list) =
-  match ctx.options.library with
-  | None -> Perf_expr.zero
-  | Some lib ->
-    let charge acc f args =
-      match Libtable.call_cost lib f args with Some c -> Perf_expr.add acc c | None -> acc
+  let charge loc acc f args =
+    let cost =
+      match ctx.options.library with
+      | None -> None
+      | Some lib -> Libtable.call_cost lib f args
     in
-    let charge_expr acc e =
-      Ast.fold_expr
-        (fun acc e ->
-          match e with
-          | Ast.Call (f, args) when not (Intrinsics.is_intrinsic f) -> charge acc f args
-          | _ -> acc)
-        acc e
-    in
-    List.fold_left
-      (fun acc (s : Ast.stmt) ->
-        match s.kind with
-        | Ast.Call_stmt (f, args) ->
-          List.fold_left charge_expr (charge acc f args) args
-        | Ast.Assign (lhs, e) ->
-          charge_expr (List.fold_left charge_expr acc lhs.subs) e
+    match cost with
+    | Some c -> Perf_expr.add acc c
+    | None ->
+      imprecise ctx ~check:"unknown-call" ~loc
+        (Printf.sprintf
+           "no cost model for routine '%s'; the call is charged at the default call cost" f);
+      acc
+  in
+  let charge_expr loc acc e =
+    Ast.fold_expr
+      (fun acc e ->
+        match e with
+        | Ast.Call (f, args) when not (Intrinsics.is_intrinsic f) -> charge loc acc f args
         | _ -> acc)
-      Perf_expr.zero run
+      acc e
+  in
+  List.fold_left
+    (fun acc (s : Ast.stmt) ->
+      match s.kind with
+      | Ast.Call_stmt (f, args) ->
+        List.fold_left (charge_expr s.loc) (charge s.loc acc f args) args
+      | Ast.Assign (lhs, e) ->
+        charge_expr s.loc (List.fold_left (charge_expr s.loc) acc lhs.subs) e
+      | _ -> acc)
+    Perf_expr.zero run
 
 let translate_run ctx (run : Ast.stmt list) =
   Translator.translate_block ~machine:ctx.machine ~flags:ctx.options.flags
@@ -198,8 +228,8 @@ let rec agg_stmts ctx (stmts : Ast.stmt list) : Perf_expr.t =
       let c = dag_cost ctx (Dag.concat res.one_time res.body) in
       let acc = Perf_expr.add acc (Perf_expr.of_cycles c) in
       go (Perf_expr.add acc (library_extra ctx run)) rest'
-    | { Ast.kind = Ast.Do d; _ } :: rest ->
-      let acc = Perf_expr.add acc (agg_do ctx d) in
+    | ({ Ast.kind = Ast.Do d; _ } as s) :: rest ->
+      let acc = Perf_expr.add acc (agg_do ctx ~loc:s.loc d) in
       go acc rest
     | ({ Ast.kind = Ast.If _; _ } as s) :: rest ->
       let acc = Perf_expr.add acc (agg_if ctx s) in
@@ -250,9 +280,13 @@ and agg_if ctx (s : Ast.stmt) : Perf_expr.t =
             (fun (c, _) ->
               match ctx.options.branch_prob s.loc with
               | Some p -> p
-              | None -> (
+              | None ->
                 ignore c;
-                Poly.var (fresh_prob ctx)))
+                let v = fresh_prob ctx in
+                imprecise ctx ~check:"branch-prob" ~loc:s.loc
+                  (Printf.sprintf
+                     "branch probability is unknown; prediction uses free variable '%s' in [0,1]" v);
+                Poly.var v)
             branches
         in
         let p_else =
@@ -266,8 +300,8 @@ and agg_if ctx (s : Ast.stmt) : Perf_expr.t =
     Perf_expr.add (Perf_expr.of_cycles cond_cost) combined
   | _ -> assert false
 
-and agg_do ctx (d : Ast.do_loop) : Perf_expr.t =
-  let trip = trip_of d in
+and agg_do ctx ~loc (d : Ast.do_loop) : Perf_expr.t =
+  let trip = trip_of ctx ~loc d in
   (* bound evaluation, once per loop entry *)
   let bounds_res =
     Translator.translate_exprs ~machine:ctx.machine ~flags:ctx.options.flags
@@ -311,8 +345,8 @@ and agg_do ctx (d : Ast.do_loop) : Perf_expr.t =
       per_iter := Perf_expr.add !per_iter (library_extra inner_ctx run);
       per_entry := Perf_expr.add !per_entry (Perf_expr.of_cycles (dag_cost inner_ctx res.one_time));
       walk rest'
-    | { Ast.kind = Ast.Do inner; _ } :: rest ->
-      per_iter := Perf_expr.add !per_iter (agg_do inner_ctx inner);
+    | ({ Ast.kind = Ast.Do inner; _ } as s) :: rest ->
+      per_iter := Perf_expr.add !per_iter (agg_do inner_ctx ~loc:s.loc inner);
       walk rest
     | ({ Ast.kind = Ast.If ([ (cond, then_body) ], else_body); _ } as s) :: rest -> (
       match index_cond_count d cond with
@@ -392,13 +426,17 @@ let make_ctx ~machine ~options ~symtab =
     symtab;
     loops = [];
     invariants = SSet.empty;
-    probs = { counter = 0; vars = [] };
+    probs = { counter = 0; vars = []; diags = [] };
   }
 
 let stmts ~machine ?(options = default_options) ~symtab body =
   let ctx = make_ctx ~machine ~options ~symtab in
   let cost = agg_stmts ctx body in
-  { cost; prob_vars = List.rev ctx.probs.vars }
+  {
+    cost;
+    prob_vars = List.rev ctx.probs.vars;
+    diagnostics = Pperf_lint.Lint.dedupe ctx.probs.diags;
+  }
 
 let routine ~machine ?(options = default_options) (checked : Typecheck.checked) =
   stmts ~machine ~options ~symtab:checked.symbols checked.routine.body

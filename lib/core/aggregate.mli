@@ -49,6 +49,10 @@ val default_options : options
 type prediction = {
   cost : Perf_expr.t;
   prob_vars : string list;  (** fresh probability unknowns introduced *)
+  diagnostics : Pperf_lint.Diagnostic.t list;
+      (** [Precision] events recorded while aggregating: symbolic trip
+          counts, invented branch probabilities, calls without a cost
+          model — each one a place where the prediction went conservative *)
 }
 
 val stmts :

@@ -24,6 +24,11 @@ val cost : t -> Perf_expr.t
 val total : t -> Pperf_symbolic.Poly.t
 val prob_vars : t -> string list
 
+val precision_diagnostics : t -> Pperf_lint.Diagnostic.t list
+(** Every place the prediction went conservative: aggregation events
+    (symbolic trip counts, invented probabilities, default-cost calls)
+    merged with the static lint pass's [Precision] findings. *)
+
 val eval : t -> (string * float) list -> float
 (** Total cycles at concrete unknowns; unbound probability variables
     default to 1/2, other unbound unknowns to 1. *)

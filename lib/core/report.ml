@@ -25,6 +25,7 @@ type t = {
   samples : (float * float) list;  (** (n, predicted cycles) with others at midpoints *)
   sensitivity : Sensitivity.report list;
   hotspots : hotspot list;
+  diagnostics : Pperf_lint.Diagnostic.t list;
 }
 
 let hotspots ~machine ~options (checked : Typecheck.checked) =
@@ -91,6 +92,12 @@ let generate ?(options = Aggregate.default_options) ?(env = Interval.Env.empty) 
       List.sort
         (fun a b -> compare b.cycles_per_iteration a.cycles_per_iteration)
         (hotspots ~machine ~options checked);
+    diagnostics =
+      (* the aggregation's own events, merged with the static lint pass so
+         the report names every source of conservatism once *)
+      Pperf_lint.Lint.dedupe
+        (prediction.diagnostics
+        @ Pperf_lint.Lint.precision (Pperf_lint.Lint.run_checked checked));
   }
 
 let pp fmt (t : t) =
@@ -115,6 +122,11 @@ let pp fmt (t : t) =
       (fun h ->
         Format.fprintf fmt "  line %-4d loops [%s]: %d cycles/iter@." h.at.Srcloc.line
           (String.concat "," h.loops) h.cycles_per_iteration)
-      t.hotspots)
+      t.hotspots);
+  if t.diagnostics <> [] then (
+    Format.fprintf fmt "@.precision diagnostics (where the prediction is conservative):@.";
+    List.iter
+      (fun d -> Format.fprintf fmt "  %a@." Pperf_lint.Diagnostic.pp_short d)
+      t.diagnostics)
 
 let to_string t = Format.asprintf "%a" pp t

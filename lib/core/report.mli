@@ -23,6 +23,10 @@ type t = {
   samples : (float * float) list;
   sensitivity : Sensitivity.report list;
   hotspots : hotspot list;  (** hottest first *)
+  diagnostics : Pperf_lint.Diagnostic.t list;
+      (** [Precision] diagnostics: aggregation events (symbolic trips,
+          invented branch probabilities, default-cost calls) merged with
+          the static lint pass, deduplicated by check and location *)
 }
 
 val generate :

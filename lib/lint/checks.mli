@@ -1,0 +1,33 @@
+(** The diagnostic check registry: independent passes over a checked PF
+    routine.
+
+    Each check inspects one class of static fact the prediction framework
+    rests on (§2.2.2's analyzer assumptions) and reports where it is
+    violated ([Error]/[Warning]) or where the analyzer falls back to a
+    conservative answer ([Precision]). Checks are pure and independent —
+    they share only the type-checked routine — so the registry can grow
+    without coupling. *)
+
+open Pperf_lang
+
+type ctx = {
+  known : string -> bool;
+      (** routines with a known cost: defined in the same program or
+          registered in a library cost table *)
+}
+
+val default_ctx : ctx
+(** Nothing known beyond the intrinsics. *)
+
+type check = {
+  id : string;  (** stable identifier, shown as [severity[id]] *)
+  about : string;  (** one-line description for docs and [--help] *)
+  run : ctx -> Typecheck.checked -> Diagnostic.t list;
+}
+
+val registry : check list
+val ids : string list
+
+val loop_carried : loc:Srcloc.t -> Ast.do_loop -> Diagnostic.t list
+(** The carried-dependence diagnostics of one loop — exposed so the
+    transformation search can cite the diagnostic that blocked an action. *)

@@ -1,0 +1,82 @@
+open Pperf_lang
+
+type severity = Error | Warning | Precision | Hint
+
+type t = {
+  severity : severity;
+  check : string;
+  loc : Srcloc.t;
+  message : string;
+  fix : string option;
+}
+
+let make ?fix severity ~check ~loc message = { severity; check; loc; message; fix }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Precision -> "precision"
+  | Hint -> "hint"
+
+let severity_rank = function Error -> 3 | Warning -> 2 | Precision -> 1 | Hint -> 0
+
+let max_severity = function
+  | [] -> None
+  | d :: ds ->
+    Some
+      (List.fold_left
+         (fun acc d -> if severity_rank d.severity > severity_rank acc then d.severity else acc)
+         d.severity ds)
+
+let exit_code ds =
+  match max_severity ds with
+  | Some Error -> 2
+  | Some Warning -> 1
+  | Some Precision | Some Hint | None -> 0
+
+let compare a b =
+  let c = Stdlib.compare (a.loc.Srcloc.line, a.loc.Srcloc.col) (b.loc.Srcloc.line, b.loc.Srcloc.col) in
+  if c <> 0 then c
+  else (
+    let c = Stdlib.compare (severity_rank b.severity) (severity_rank a.severity) in
+    if c <> 0 then c
+    else (
+      let c = String.compare a.check b.check in
+      if c <> 0 then c else String.compare a.message b.message))
+
+let pp_short fmt d =
+  Format.fprintf fmt "%s %s[%s] %s" (Srcloc.to_string d.loc)
+    (severity_to_string d.severity) d.check d.message
+
+let pp fmt d =
+  pp_short fmt d;
+  match d.fix with None -> () | Some f -> Format.fprintf fmt "@.    fix: %s" f
+
+(* hand-rolled JSON: the toolchain has no JSON library and the shape is flat *)
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_json buf d =
+  Buffer.add_string buf "{\"severity\":\"";
+  Buffer.add_string buf (severity_to_string d.severity);
+  Buffer.add_string buf "\",\"check\":\"";
+  json_escape buf d.check;
+  Buffer.add_string buf (Printf.sprintf "\",\"line\":%d,\"col\":%d,\"message\":\"" d.loc.Srcloc.line d.loc.Srcloc.col);
+  json_escape buf d.message;
+  Buffer.add_string buf "\"";
+  (match d.fix with
+   | None -> ()
+   | Some f ->
+     Buffer.add_string buf ",\"fix\":\"";
+     json_escape buf f;
+     Buffer.add_string buf "\"");
+  Buffer.add_string buf "}"

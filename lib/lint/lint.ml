@@ -1,0 +1,76 @@
+open Pperf_lang
+
+type report = { routine : string; diagnostics : Diagnostic.t list }
+
+let run_checked ?known (c : Typecheck.checked) =
+  let ctx =
+    match known with None -> Checks.default_ctx | Some f -> { Checks.known = f }
+  in
+  List.concat_map (fun (check : Checks.check) -> check.run ctx c) Checks.registry
+  |> List.sort Diagnostic.compare
+
+let run_program (checkeds : Typecheck.checked list) =
+  let names = List.map (fun (c : Typecheck.checked) -> c.routine.Ast.rname) checkeds in
+  let known f = List.mem f names in
+  List.map
+    (fun (c : Typecheck.checked) ->
+      { routine = c.routine.Ast.rname; diagnostics = run_checked ~known c })
+    checkeds
+
+let run_source src = run_program (Typecheck.check_program (Parser.parse_program src))
+
+let precision = List.filter (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Precision)
+
+let dedupe ds =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (d : Diagnostic.t) ->
+      let k = (d.check, d.loc.Srcloc.line, d.loc.Srcloc.col) in
+      if Hashtbl.mem seen k then false
+      else (
+        Hashtbl.add seen k ();
+        true))
+    (List.sort Diagnostic.compare ds)
+
+let all_diagnostics reports = List.concat_map (fun r -> r.diagnostics) reports
+
+let exit_code reports = Diagnostic.exit_code (all_diagnostics reports)
+
+let pp fmt reports =
+  List.iter
+    (fun r ->
+      if r.diagnostics = [] then Format.fprintf fmt "%s: clean@." r.routine
+      else (
+        Format.fprintf fmt "%s: %d diagnostic%s@." r.routine
+          (List.length r.diagnostics)
+          (if List.length r.diagnostics = 1 then "" else "s");
+        List.iter (fun d -> Format.fprintf fmt "  %a@." Diagnostic.pp d) r.diagnostics))
+    reports
+
+let to_json reports =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"routines\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"routine\":\"";
+      Buffer.add_string buf r.routine;
+      Buffer.add_string buf "\",\"diagnostics\":[";
+      List.iteri
+        (fun j d ->
+          if j > 0 then Buffer.add_char buf ',';
+          Diagnostic.to_json buf d)
+        r.diagnostics;
+      Buffer.add_string buf "]}")
+    reports;
+  Buffer.add_string buf "],\"max_severity\":";
+  (match Diagnostic.max_severity (all_diagnostics reports) with
+   | None -> Buffer.add_string buf "null"
+   | Some s ->
+     Buffer.add_char buf '"';
+     Buffer.add_string buf (Diagnostic.severity_to_string s);
+     Buffer.add_char buf '"');
+  Buffer.add_string buf ",\"exit_code\":";
+  Buffer.add_string buf (string_of_int (exit_code reports));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Running the diagnostic registry over routines and programs, with the
+    text and JSON renderings the [ppredict lint] subcommand emits. *)
+
+open Pperf_lang
+
+type report = {
+  routine : string;
+  diagnostics : Diagnostic.t list;  (** in {!Diagnostic.compare} order *)
+}
+
+val run_checked : ?known:(string -> bool) -> Typecheck.checked -> Diagnostic.t list
+(** Every registry check over one routine. [known] marks routine names
+    with a known cost (defaults to none). *)
+
+val run_program : Typecheck.checked list -> report list
+(** Routines defined in the program are [known] to each other. *)
+
+val run_source : string -> report list
+(** Parse, check, lint. @raise Parser.Error / Typecheck.Type_error *)
+
+val precision : Diagnostic.t list -> Diagnostic.t list
+(** Only the [Precision] diagnostics — the subset predictions carry. *)
+
+val dedupe : Diagnostic.t list -> Diagnostic.t list
+(** Sort and drop diagnostics that repeat an earlier (check, location)
+    pair — used when merging aggregation events with lint passes. *)
+
+val all_diagnostics : report list -> Diagnostic.t list
+val exit_code : report list -> int
+
+val pp : Format.formatter -> report list -> unit
+val to_json : report list -> string

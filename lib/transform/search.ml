@@ -5,13 +5,56 @@ open Pperf_core
 
 type step = { action : string; at : Transformations.path }
 
+type blocked = {
+  action : string;
+  at : Transformations.path;
+  why : Pperf_lint.Diagnostic.t;
+}
+
 type outcome = {
   best : Typecheck.checked;
   trace : step list;
   predicted : Perf_expr.t;
   initial : Perf_expr.t;
   explored : int;
+  blocked : blocked list;
 }
+
+(* reordering transformations the dependence tests refuse on the original
+   routine, each citing the lint diagnostic that states the reason *)
+let blocked_actions (r : Ast.routine) =
+  List.concat_map
+    (fun (p, (d : Ast.do_loop)) ->
+      let loc =
+        match Transformations.stmt_at r p with
+        | Some s -> s.Ast.loc
+        | None -> Srcloc.dummy
+      in
+      let cite action =
+        let why =
+          match Pperf_lint.Checks.loop_carried ~loc d with
+          | diag :: _ -> diag
+          | [] ->
+            Pperf_lint.Diagnostic.make Pperf_lint.Diagnostic.Hint ~check:"carried-dep"
+              ~loc
+              (Printf.sprintf
+                 "dependence analysis could not prove the loop over %s reorderable" d.var)
+        in
+        { action; at = p; why }
+      in
+      let perfect2 =
+        match d.body with [ { Ast.kind = Ast.Do _; _ } ] -> true | _ -> false
+      in
+      let on_interchange =
+        if perfect2 && not (Depend.interchange_legal d) then
+          [ cite "interchange"; cite "tile" ]
+        else []
+      in
+      let on_reverse =
+        if Depend.carried_dependences d <> [] then [ cite "reverse" ] else []
+      in
+      on_interchange @ on_reverse)
+    (Transformations.loops_in r)
 
 let candidate_actions (r : Ast.routine) =
   let loops = Transformations.loops_in r in
@@ -129,7 +172,14 @@ let run ~machine ?(options = Aggregate.default_options) ?(env = default_env)
         (candidate_actions state.Typecheck.routine)
   done;
   let best_state, trace, cost, _ = !best in
-  { best = best_state; trace; predicted = cost; initial = init_cost; explored = !explored }
+  {
+    best = best_state;
+    trace;
+    predicted = cost;
+    initial = init_cost;
+    explored = !explored;
+    blocked = blocked_actions checked.Typecheck.routine;
+  }
 
 (* ---- §3.4 program versioning ---- *)
 

@@ -19,12 +19,22 @@ open Pperf_core
 
 type step = { action : string; at : Transformations.path }
 
+type blocked = {
+  action : string;  (** e.g. ["interchange"], ["reverse"] *)
+  at : Transformations.path;
+  why : Pperf_lint.Diagnostic.t;
+      (** the carried-dependence diagnostic that makes the action illegal *)
+}
+
 type outcome = {
   best : Typecheck.checked;
   trace : step list;  (** transformations applied, in order *)
   predicted : Perf_expr.t;
   initial : Perf_expr.t;
   explored : int;  (** states expanded *)
+  blocked : blocked list;
+      (** reordering actions the dependence tests refused on the original
+          routine, each citing the lint diagnostic that says why *)
 }
 
 val candidate_actions :

@@ -42,3 +42,93 @@ Parse errors carry positions:
   $ ppredict predict ../../samples/daxpy.pf -m nosuchmachine
   error: unknown machine nosuchmachine (power1|power1x2|alpha21064|scalar|FILE)
   [1]
+
+Malformed --eval bindings fail with a clear message, not a backtrace:
+
+  $ ppredict predict ../../samples/daxpy.pf --eval n=lots
+  error: malformed --eval binding 'n=lots': 'lots' is not a number
+  [1]
+
+  $ ppredict predict ../../samples/daxpy.pf --eval n
+  error: malformed --eval binding 'n': expected VAR=VALUE
+  [1]
+
+The lint subcommand runs every diagnostic check; the demo sample trips
+all of them, and the errors drive the exit status to 2:
+
+  $ ppredict lint ../../samples/lintdemo.pf
+  lintdemo: 14 diagnostics
+    0:0 hint[unused-var] variable unused is declared but never referenced
+      fix: remove the declaration of unused
+    8:4 warning[use-before-def] scalar t may be read before it is assigned
+      fix: assign t before this statement
+    9:7 warning[dead-store] value stored to dead is never read
+      fix: delete the assignment or use dead afterwards
+    12:6 error[oob-subscript] subscript of a reaches 101, past its upper bound 100
+      fix: shrink the loop bounds or enlarge the array
+    15:5 hint[carried-dep] loop over i carries a flow dependence on b (<): iterations are not independent
+      fix: do not parallelize or reorder this loop's iterations
+    19:5 hint[carried-dep] loop over i carries a output dependence on c (<): iterations are not independent
+      fix: do not parallelize or reorder this loop's iterations
+    20:6 precision[non-affine-subscript] non-affine subscript of c: the dependence tests assume a dependence, blocking transformations conservatively
+      fix: rewrite the subscript as an affine function of the loop indices
+    23:5 error[bad-step] zero step: the loop over k never advances
+      fix: use a nonzero step
+    28:7 error[index-shadowed] loop index i shadows the index of an enclosing loop
+      fix: rename the inner loop index
+    34:6 error[index-modified] loop index j is modified inside the loop body
+      fix: use a separate scalar for the computation
+    38:7 warning[unreachable-branch] condition i < 0 is always false: its branch is never taken
+      fix: remove the branch or fix the condition
+    41:6 error[div-by-zero] division by zero
+      fix: remove the division or fix the denominator
+    41:6 warning[dead-store] value stored to m is never read
+      fix: delete the assignment or use m afterwards
+    44:7 precision[unknown-call] call to unknown routine mystery falls back to the default call cost
+      fix: predict interprocedurally (-i) or register mystery in the library cost table
+  [2]
+
+The JSON rendering carries the same findings; all twelve check ids appear:
+
+  $ ppredict lint --json ../../samples/lintdemo.pf | tr ',' '\n' | grep -o '"check":"[a-z-]*"' | sort -u
+  "check":"bad-step"
+  "check":"carried-dep"
+  "check":"dead-store"
+  "check":"div-by-zero"
+  "check":"index-modified"
+  "check":"index-shadowed"
+  "check":"non-affine-subscript"
+  "check":"oob-subscript"
+  "check":"unknown-call"
+  "check":"unreachable-branch"
+  "check":"unused-var"
+  "check":"use-before-def"
+
+Clean programs lint clean and exit 0; informational hints do not fail:
+
+  $ ppredict lint ../../samples/daxpy.pf
+  daxpy: clean
+
+  $ ppredict lint ../../samples/recurrence.pf
+  rec: 1 diagnostic
+    4:5 hint[carried-dep] loop over i carries a flow dependence on a (<,>): iterations are not independent
+      fix: do not parallelize or reorder this loop's iterations
+
+Predictions surface the places they went conservative:
+
+  $ ppredict predict ../../samples/gather.pf --eval n=1000
+  gather on power1: 6*n + 2
+    precision diagnostics:
+      8:6 precision[non-affine-subscript] non-affine subscript of x: the dependence tests assume a dependence, blocking transformations conservatively
+    at n=1000: 6002 cycles
+
+The transformation search cites the diagnostic that blocked each
+reordering it could not apply:
+
+  $ ppredict search ../../samples/recurrence.pf | sed -n '/blocked by dependences:/,/^$/p'
+  blocked by dependences:
+    interchange at [0]: 4:5 hint[carried-dep] loop over i carries a flow dependence on a (<,>): iterations are not independent
+    tile at [0]: 4:5 hint[carried-dep] loop over i carries a flow dependence on a (<,>): iterations are not independent
+    reverse at [0]: 4:5 hint[carried-dep] loop over i carries a flow dependence on a (<,>): iterations are not independent
+  
+

@@ -291,6 +291,37 @@ let test_carried () =
     Alcotest.(check int) "one carried dep" 1 (List.length (Depend.carried_dependences d))
   | _ -> Alcotest.fail "parse"
 
+(* conservative fallbacks of the direction-vector refinement *)
+
+let dirs_of src =
+  let refs = Analysis.array_refs (Parser.parse_stmts src) in
+  let w = List.find (fun (r : Analysis.array_ref) -> r.is_write) refs in
+  let r = List.find (fun (r : Analysis.array_ref) -> not r.is_write) refs in
+  Depend.directions ~common:w.loops w r
+
+let test_dirs_non_affine () =
+  (* quadratic subscripts defeat GCD/Banerjee: every vector must survive *)
+  let ds = dirs_of "do i = 1, 100\n  x(i*i) = x(i*i - 1) + 1.0\nend do\n" in
+  Alcotest.(check int) "all three vectors survive" 3 (List.length ds);
+  List.iter (fun v -> Alcotest.(check int) "depth 1" 1 (List.length v)) ds
+
+let test_dirs_negative_step () =
+  (* descending loop: the constant offset disproves (=), and the tests keep
+     both carried directions rather than guessing the traversal order *)
+  let ds = dirs_of "do i = 100, 2, -1\n  x(i) = x(i - 1) + 1.0\nend do\n" in
+  Alcotest.(check bool) "dependent" true (ds <> []);
+  Alcotest.(check bool) "(=) disproved" false (List.mem [ Depend.Eq ] ds)
+
+let test_dirs_coupled () =
+  (* coupled subscript a(i+j): subscript-wise testing is conservative but
+     must keep the real dependence and drop the (=,=) self vector *)
+  let ds =
+    dirs_of
+      "do i = 1, 50\n  do j = 1, 50\n    a(i + j) = a(i + j - 1) + 1.0\n  end do\nend do\n"
+  in
+  Alcotest.(check bool) "dependent" true (ds <> []);
+  Alcotest.(check bool) "(=,=) excluded" false (List.mem [ Depend.Eq; Depend.Eq ] ds)
+
 
 (* qcheck: random ASTs survive print -> parse -> resolve round trips *)
 let gen_expr_leaf =
@@ -477,5 +508,8 @@ let () =
           Alcotest.test_case "jacobi none" `Quick test_dep_jacobi_none;
           Alcotest.test_case "interchange legality" `Quick test_interchange_legal;
           Alcotest.test_case "carried" `Quick test_carried;
+          Alcotest.test_case "directions non-affine" `Quick test_dirs_non_affine;
+          Alcotest.test_case "directions negative step" `Quick test_dirs_negative_step;
+          Alcotest.test_case "directions coupled" `Quick test_dirs_coupled;
         ] );
     ]

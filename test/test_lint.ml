@@ -1,0 +1,226 @@
+(* Tests for the lint diagnostics subsystem and its wiring into the
+   prediction pipeline and the transformation search. *)
+
+open Pperf_lang
+open Pperf_lint
+
+let machine = Pperf_machine.Machine.power1
+let lint src = Lint.run_checked (Typecheck.check_routine (Parser.parse_routine src))
+let ids ds = List.sort_uniq compare (List.map (fun (d : Diagnostic.t) -> d.check) ds)
+let has check ds = List.mem check (ids ds)
+
+let test_registry () =
+  Alcotest.(check int) "12 checks" 12 (List.length Checks.registry);
+  Alcotest.(check int) "ids distinct" 12 (List.length (List.sort_uniq compare Checks.ids))
+
+let test_use_before_def () =
+  Alcotest.(check bool) "read before assign flagged" true
+    (has "use-before-def" (lint "subroutine s(x)\n  real x, t\n  x = t + 1.0\nend\n"));
+  Alcotest.(check bool) "assigned first is clean" false
+    (has "use-before-def" (lint "subroutine s(x)\n  real x, t\n  t = 1.0\n  x = t + 1.0\nend\n"));
+  (* a variable assigned on only one side of an if is not definitely defined *)
+  Alcotest.(check bool) "one-sided if flagged" true
+    (has "use-before-def"
+       (lint
+          "subroutine s(x)\n  real x, t\n  if (x > 0.0) then\n    t = 1.0\n  end if\n  x = t\nend\n"));
+  Alcotest.(check bool) "both-sided if clean" false
+    (has "use-before-def"
+       (lint
+          "subroutine s(x)\n  real x, t\n  if (x > 0.0) then\n    t = 1.0\n  else\n    t = 2.0\n  end if\n  x = t\nend\n"))
+
+let test_oob_symbolic () =
+  (* a(i+1) with i <= n against extent n: off by one for every n *)
+  let src =
+    "subroutine s(a, n)\n  integer n, i\n  real a(n)\n  do i = 1, n\n    a(i + 1) = 0.0\n  end do\nend\n"
+  in
+  let ds = List.filter (fun (d : Diagnostic.t) -> d.check = "oob-subscript") (lint src) in
+  Alcotest.(check bool) "symbolic overflow flagged" true (ds <> []);
+  Alcotest.(check bool) "is an error" true
+    (List.exists (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) ds);
+  (* below the default lower bound of 1 *)
+  Alcotest.(check bool) "underflow flagged" true
+    (has "oob-subscript"
+       (lint
+          "subroutine s(a, n)\n  integer n, i\n  real a(n)\n  do i = 1, n\n    a(i - 1) = 0.0\n  end do\nend\n"));
+  (* in-bounds stays clean *)
+  Alcotest.(check bool) "in bounds clean" false
+    (has "oob-subscript"
+       (lint
+          "subroutine s(a, n)\n  integer n, i\n  real a(n)\n  do i = 1, n\n    a(i) = 0.0\n  end do\nend\n"))
+
+let test_bad_step () =
+  let sev src =
+    List.filter_map
+      (fun (d : Diagnostic.t) -> if d.check = "bad-step" then Some d.severity else None)
+      (lint src)
+  in
+  Alcotest.(check bool) "zero step is an error" true
+    (List.mem Diagnostic.Error
+       (sev "subroutine s(x)\n  integer i\n  real x\n  do i = 1, 10, 0\n    x = x + 1.0\n  end do\nend\n"));
+  Alcotest.(check bool) "backwards step warned" true
+    (List.mem Diagnostic.Warning
+       (sev "subroutine s(x)\n  integer i\n  real x\n  do i = 1, 10, -1\n    x = x + 1.0\n  end do\nend\n"));
+  Alcotest.(check (list bool)) "descending loop clean" []
+    (List.map (fun _ -> true)
+       (sev "subroutine s(x)\n  integer i\n  real x\n  do i = 10, 1, -1\n    x = x + 1.0\n  end do\nend\n"))
+
+let test_unreachable () =
+  Alcotest.(check bool) "index below range flagged" true
+    (has "unreachable-branch"
+       (lint
+          "subroutine s(x, n)\n  integer n, i\n  real x\n  do i = 1, n\n    if (i < 0) then\n      x = 0.0\n    end if\n  end do\nend\n"));
+  Alcotest.(check bool) "live branch clean" false
+    (has "unreachable-branch"
+       (lint
+          "subroutine s(x, n)\n  integer n, i\n  real x\n  do i = 1, n\n    if (i > 5) then\n      x = 0.0\n    end if\n  end do\nend\n"))
+
+let test_div_zero () =
+  let sev src =
+    List.filter_map
+      (fun (d : Diagnostic.t) -> if d.check = "div-by-zero" then Some d.severity else None)
+      (lint src)
+  in
+  Alcotest.(check bool) "identically zero denominator is an error" true
+    (List.mem Diagnostic.Error
+       (sev
+          "subroutine s(x, i)\n  integer i, m\n  real x\n  m = i / (i - i)\n  x = m * 1.0\nend\n"));
+  Alcotest.(check bool) "sign-unknown denominator warned" true
+    (List.mem Diagnostic.Warning
+       (sev "subroutine s(m, k)\n  integer m, k, r\n  r = m / k\n  k = r\nend\n"));
+  Alcotest.(check (list bool)) "positive denominator clean" []
+    (List.map (fun _ -> true)
+       (sev "subroutine s(x, n)\n  integer n, i\n  real x(100)\n  do i = 1, n\n    x(i) = x(i) / 2.0\n  end do\nend\n"))
+
+let test_known_routines () =
+  let prog =
+    "subroutine leaf(x)\n  real x\n  x = x + 1.0\nend\n\nsubroutine top(x)\n  real x\n  call leaf(x)\n  call stranger(x)\nend\n"
+  in
+  let reports = Lint.run_program (Typecheck.check_program (Parser.parse_program prog)) in
+  let top = List.find (fun (r : Lint.report) -> r.routine = "top") reports in
+  let calls =
+    List.filter (fun (d : Diagnostic.t) -> d.check = "unknown-call") top.diagnostics
+  in
+  Alcotest.(check int) "only the undefined callee flagged" 1 (List.length calls);
+  Alcotest.(check bool) "names stranger" true
+    (let d = List.hd calls in
+     String.length d.message >= 8
+     && (let found = ref false in
+         String.iteri
+           (fun i _ ->
+             if i + 8 <= String.length d.message && String.sub d.message i 8 = "stranger"
+             then found := true)
+           d.message;
+         !found))
+
+let test_exit_codes () =
+  let mk sev = Diagnostic.make sev ~check:"c" ~loc:Srcloc.dummy "m" in
+  Alcotest.(check int) "error is 2" 2 (Diagnostic.exit_code [ mk Diagnostic.Error; mk Diagnostic.Hint ]);
+  Alcotest.(check int) "warning is 1" 1 (Diagnostic.exit_code [ mk Diagnostic.Warning ]);
+  Alcotest.(check int) "precision passes" 0 (Diagnostic.exit_code [ mk Diagnostic.Precision ]);
+  Alcotest.(check int) "clean passes" 0 (Diagnostic.exit_code [])
+
+let test_dedupe () =
+  let loc = { Srcloc.line = 3; col = 1 } in
+  let a = Diagnostic.make Diagnostic.Precision ~check:"unknown-call" ~loc "first wording" in
+  let b = Diagnostic.make Diagnostic.Precision ~check:"unknown-call" ~loc "second wording" in
+  let c = Diagnostic.make Diagnostic.Precision ~check:"non-affine-subscript" ~loc "other" in
+  Alcotest.(check int) "same check+loc collapses" 2 (List.length (Lint.dedupe [ a; b; c ]))
+
+let test_json_escaping () =
+  let buf = Buffer.create 64 in
+  Diagnostic.to_json buf
+    (Diagnostic.make Diagnostic.Warning ~check:"c" ~loc:Srcloc.dummy "say \"hi\"\n\ttab");
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "escaped quote" true
+    (let found = ref false in
+     String.iteri
+       (fun i _ ->
+         if i + 2 <= String.length s && String.sub s i 2 = "\\\"" then found := true)
+       s;
+     !found);
+  Alcotest.(check bool) "no raw newline" true (not (String.contains s '\n'))
+
+(* ---- pipeline wiring ---- *)
+
+let predict src = Pperf_core.Predict.of_source ~machine src
+
+let test_aggregate_symbolic_trip () =
+  let p =
+    predict
+      "subroutine s(x, n, m)\n  integer n, m, i\n  real x(100)\n  do i = 1, n, m\n    x(1) = x(1) + 1.0\n  end do\nend\n"
+  in
+  Alcotest.(check bool) "symbolic-trip recorded" true
+    (has "symbolic-trip" (Pperf_core.Predict.precision_diagnostics p))
+
+let test_aggregate_branch_prob () =
+  let p =
+    predict
+      "subroutine s(x, y)\n  real x, y\n  if (x > 0.0) then\n    y = sqrt(x) + exp(x)\n  else\n    y = 0.0\n  end if\nend\n"
+  in
+  Alcotest.(check bool) "prob var introduced" true (Pperf_core.Predict.prob_vars p <> []);
+  Alcotest.(check bool) "branch-prob recorded" true
+    (has "branch-prob" (Pperf_core.Predict.precision_diagnostics p))
+
+let test_report_merges_lint () =
+  let checked =
+    Typecheck.check_routine
+      (Parser.parse_routine
+         "subroutine g(x, y, idx, n)\n  integer n, i\n  integer idx(1000)\n  real x(1000), y(1000)\n  do i = 1, n\n    y(i) = y(i) + x(idx(i))\n  end do\nend\n")
+  in
+  let r = Pperf_core.Report.generate ~machine checked in
+  Alcotest.(check bool) "non-affine surfaced in report" true
+    (List.exists
+       (fun (d : Diagnostic.t) -> d.check = "non-affine-subscript")
+       r.diagnostics);
+  Alcotest.(check bool) "all precision severity" true
+    (List.for_all
+       (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Precision)
+       r.diagnostics)
+
+let test_search_blocked () =
+  let checked =
+    Typecheck.check_routine
+      (Parser.parse_routine
+         "subroutine rec(a, n)\n  integer n, i, j\n  real a(512,512)\n  do i = 2, n\n    do j = 1, n - 1\n      a(i,j) = a(i-1,j+1) + 1.0\n    end do\n  end do\nend\n")
+  in
+  let out =
+    Pperf_transform.Search.run ~machine ~max_nodes:5 ~max_depth:1 checked
+  in
+  let actions =
+    List.sort_uniq compare
+      (List.map (fun (b : Pperf_transform.Search.blocked) -> b.action) out.blocked)
+  in
+  Alcotest.(check (list string)) "interchange, reverse and tile blocked"
+    [ "interchange"; "reverse"; "tile" ] actions;
+  Alcotest.(check bool) "each cites a carried-dep diagnostic" true
+    (List.for_all
+       (fun (b : Pperf_transform.Search.blocked) -> b.why.check = "carried-dep")
+       out.blocked)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "checks",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "use before def" `Quick test_use_before_def;
+          Alcotest.test_case "oob symbolic" `Quick test_oob_symbolic;
+          Alcotest.test_case "bad step" `Quick test_bad_step;
+          Alcotest.test_case "unreachable" `Quick test_unreachable;
+          Alcotest.test_case "div by zero" `Quick test_div_zero;
+          Alcotest.test_case "known routines" `Quick test_known_routines;
+        ] );
+      ( "diagnostic",
+        [
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "dedupe" `Quick test_dedupe;
+          Alcotest.test_case "json escaping" `Quick test_json_escaping;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "symbolic trip event" `Quick test_aggregate_symbolic_trip;
+          Alcotest.test_case "branch prob event" `Quick test_aggregate_branch_prob;
+          Alcotest.test_case "report merges lint" `Quick test_report_merges_lint;
+          Alcotest.test_case "search blocked" `Quick test_search_blocked;
+        ] );
+    ]
