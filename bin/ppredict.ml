@@ -6,6 +6,7 @@
      compare   F1 F2       symbolic comparison of two variants
      search    FILE        performance-guided restructuring
      lint      FILE        static diagnostics (defects + precision losses)
+     ranges    FILE        interval abstract interpretation: loop/variable ranges
      machine   [NAME]      print a machine description (textual format)
 *)
 
@@ -65,6 +66,14 @@ let parse_bindings specs =
 let options_of ~memory =
   { Aggregate.default_options with include_memory = memory }
 
+let ranges_flag =
+  let doc =
+    "Run the interval abstract interpretation first and use the inferred \
+     variable ranges (tighter trip counts, statically decided comparisons, \
+     fewer false positives)."
+  in
+  Arg.(value & flag & info [ "ranges" ] ~doc)
+
 let handle_code f =
   try f () with
   | Parser.Error (msg, loc) ->
@@ -89,10 +98,10 @@ let interproc_arg =
   Arg.(value & flag & info [ "interprocedural"; "i" ] ~doc)
 
 let predict_cmd =
-  let run mspec memory interproc evals file =
+  let run mspec memory interproc use_ranges evals file =
     handle (fun () ->
         let machine = machine_of_spec mspec in
-        let options = options_of ~memory in
+        let options = { (options_of ~memory) with Aggregate.infer_ranges = use_ranges } in
         let bindings = parse_bindings evals in
         if interproc then (
           let t = Interproc.of_source ~options ~machine (read_file file) in
@@ -115,7 +124,7 @@ let predict_cmd =
               if Predict.prob_vars p <> [] then
                 Format.printf "  branch probabilities: %s (in [0,1])@."
                   (String.concat ", " (Predict.prob_vars p));
-              let diags = Predict.precision_diagnostics p in
+              let diags = Predict.precision_diagnostics ~ranges:use_ranges p in
               if diags <> [] then (
                 Format.printf "  precision diagnostics:@.";
                 List.iter
@@ -130,7 +139,8 @@ let predict_cmd =
   in
   let doc = "Predict performance expressions for each routine in a PF file." in
   Cmd.v (Cmd.info "predict" ~doc)
-    Term.(const run $ machine_arg $ memory_arg $ interproc_arg $ eval_arg $ file_arg 0 "FILE")
+    Term.(const run $ machine_arg $ memory_arg $ interproc_arg $ ranges_flag $ eval_arg
+          $ file_arg 0 "FILE")
 
 (* ---- schedule ---- *)
 
@@ -178,11 +188,11 @@ let range_arg =
   Arg.(value & opt_all string [] & info [ "range" ] ~docv:"VAR=LO:HI" ~doc)
 
 let compare_cmd =
-  let run mspec memory ranges f1 f2 =
+  let run mspec memory ranges use_ranges f1 f2 =
     handle (fun () ->
         let machine = machine_of_spec mspec in
         let options = options_of ~memory in
-        let env =
+        let user_env =
           List.fold_left
             (fun env spec ->
               match String.split_on_char '=' spec with
@@ -196,8 +206,13 @@ let compare_cmd =
               | _ -> failwith ("malformed range " ^ spec))
             Pperf_symbolic.Interval.Env.empty ranges
         in
-        let p1 = Predict.of_source ~options ~machine (read_file f1) in
-        let p2 = Predict.of_source ~options ~machine (read_file f2) in
+        let c1 = Typecheck.check_routine (Parser.parse_routine (read_file f1)) in
+        let c2 = Typecheck.check_routine (Parser.parse_routine (read_file f2)) in
+        let env =
+          if use_ranges then Compare.inferred_env ~base:user_env [ c1; c2 ] else user_env
+        in
+        let p1 = Predict.of_checked ~options ~machine c1 in
+        let p2 = Predict.of_checked ~options ~machine c2 in
         Format.printf "first:  %a@." Predict.pp p1;
         Format.printf "second: %a@." Predict.pp p2;
         let d = Compare.decide env (Predict.cost p1) (Predict.cost p2) in
@@ -210,7 +225,8 @@ let compare_cmd =
   in
   let doc = "Compare two program variants symbolically." in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ machine_arg $ memory_arg $ range_arg $ file_arg 0 "FILE1" $ file_arg 1 "FILE2")
+    Term.(const run $ machine_arg $ memory_arg $ range_arg $ ranges_flag $ file_arg 0 "FILE1"
+          $ file_arg 1 "FILE2")
 
 (* ---- search ---- *)
 
@@ -331,9 +347,9 @@ let run_cmd =
 (* ---- lint ---- *)
 
 let lint_cmd =
-  let run json file =
+  let run json use_ranges file =
     handle_code (fun () ->
-        let reports = Pperf_lint.Lint.run_source (read_file file) in
+        let reports = Pperf_lint.Lint.run_source ~ranges:use_ranges (read_file file) in
         if json then print_string (Pperf_lint.Lint.to_json reports)
         else Format.printf "%a" Pperf_lint.Lint.pp reports;
         Pperf_lint.Lint.exit_code reports)
@@ -349,7 +365,74 @@ let lint_cmd =
      prediction goes conservative (non-affine subscripts, unknown call costs). \
      Exit status is 2 when any error is reported, 1 when any warning, else 0."
   in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ json_arg $ file_arg 0 "FILE")
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ json_arg $ ranges_flag $ file_arg 0 "FILE")
+
+(* ---- ranges ---- *)
+
+let ranges_cmd =
+  let module Absint = Pperf_absint.Absint in
+  let module Interval = Pperf_symbolic.Interval in
+  let run json file =
+    handle (fun () ->
+        let checkeds = Typecheck.check_program (Parser.parse_program (read_file file)) in
+        let analyzed =
+          List.map (fun (c : Typecheck.checked) -> (c, Absint.analyze c)) checkeds
+        in
+        if json then (
+          let buf = Buffer.create 1024 in
+          Buffer.add_string buf "{\"routines\":[";
+          List.iteri
+            (fun i ((c : Typecheck.checked), r) ->
+              if i > 0 then Buffer.add_char buf ',';
+              Printf.bprintf buf "{\"routine\":\"%s\",\"loops\":[" c.routine.rname;
+              List.iteri
+                (fun j (l : Absint.loop_range) ->
+                  if j > 0 then Buffer.add_char buf ',';
+                  Printf.bprintf buf
+                    "{\"var\":\"%s\",\"line\":%d,\"depth\":%d,\"index\":\"%s\",\"trip\":\"%s\"}"
+                    l.lvar l.at.Srcloc.line l.depth
+                    (Interval.to_string l.index)
+                    (Interval.to_string l.trip))
+                (Absint.loops r);
+              Buffer.add_string buf "],\"summary\":{";
+              List.iteri
+                (fun j (x, iv) ->
+                  if j > 0 then Buffer.add_char buf ',';
+                  Printf.bprintf buf "\"%s\":\"%s\"" x (Interval.to_string iv))
+                (Interval.Env.bindings (Absint.summary r));
+              Buffer.add_string buf "}}")
+            analyzed;
+          Buffer.add_string buf "]}\n";
+          print_string (Buffer.contents buf))
+        else
+          List.iter
+            (fun ((c : Typecheck.checked), r) ->
+              Format.printf "routine %s:@." c.routine.rname;
+              (match Absint.loops r with
+               | [] -> Format.printf "  no loops@."
+               | ls ->
+                 Format.printf "  loops:@.";
+                 List.iter (fun l -> Format.printf "    %a@." Absint.pp_loop_range l) ls);
+              match Interval.Env.bindings (Absint.summary r) with
+              | [] -> Format.printf "  no variable ranges inferred@."
+              | bs ->
+                Format.printf "  variable ranges:@.";
+                List.iter
+                  (fun (x, iv) -> Format.printf "    %s in %s@." x (Interval.to_string iv))
+                  bs)
+            analyzed)
+  in
+  let json_arg =
+    let doc = "Emit the ranges as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let doc =
+    "Run the interval abstract interpretation over each routine and print the \
+     inferred ranges: per-loop index and trip-count intervals (indented by \
+     nesting depth) and the routine-wide variable range summary."
+  in
+  Cmd.v (Cmd.info "ranges" ~doc) Term.(const run $ json_arg $ file_arg 0 "FILE")
 
 (* ---- machine ---- *)
 
@@ -366,4 +449,4 @@ let machine_cmd =
 let () =
   let doc = "compile-time performance prediction for superscalar machines" in
   let info = Cmd.info "ppredict" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; machine_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; ranges_cmd; machine_cmd ]))

@@ -1,0 +1,544 @@
+open Pperf_num
+open Pperf_symbolic
+open Pperf_lang
+module Env = Interval.Env
+
+type loop_range = {
+  at : Srcloc.t;
+  lvar : string;
+  index : Interval.t;
+  trip : Interval.t;
+  depth : int;
+}
+
+type result = {
+  at_stmt : (Srcloc.t, Env.t) Hashtbl.t;
+  loop_ranges : loop_range list;
+  exit_env : Env.t;
+  summary_env : Env.t;
+}
+
+(* ---------- bounds (Interval exposes the bound constructors) ---------- *)
+
+let bcmp a b =
+  match (a, b) with
+  | Interval.Neg_inf, Interval.Neg_inf | Interval.Pos_inf, Interval.Pos_inf -> 0
+  | Interval.Neg_inf, _ -> -1
+  | _, Interval.Neg_inf -> 1
+  | Interval.Pos_inf, _ -> 1
+  | _, Interval.Pos_inf -> -1
+  | Interval.Fin x, Interval.Fin y -> Rat.compare x y
+
+let bmin a b = if bcmp a b <= 0 then a else b
+let bmax a b = if bcmp a b >= 0 then a else b
+let bneg = function
+  | Interval.Neg_inf -> Interval.Pos_inf
+  | Interval.Pos_inf -> Interval.Neg_inf
+  | Interval.Fin x -> Interval.Fin (Rat.neg x)
+
+let lo_ge_zero iv = bcmp (Interval.lo iv) (Fin Rat.zero) >= 0
+let hi_le_zero iv = bcmp (Interval.hi iv) (Fin Rat.zero) <= 0
+
+(* ---------- environment lattice ---------- *)
+
+let domain_of a b =
+  List.sort_uniq String.compare
+    (List.map fst (Env.bindings a) @ List.map fst (Env.bindings b))
+
+let env_merge f a b =
+  List.fold_left
+    (fun acc x -> Env.add x (f (Env.find x a) (Env.find x b)) acc)
+    Env.empty (domain_of a b)
+
+let join_env a b = env_merge Interval.union a b
+let widen_env a b = env_merge Interval.widen a b
+let narrow_env a b = env_merge Interval.narrow a b
+
+let env_equal a b =
+  List.for_all
+    (fun x -> Interval.equal (Env.find x a) (Env.find x b))
+    (domain_of a b)
+
+let strip env =
+  List.fold_left
+    (fun acc (x, iv) -> if Interval.is_full iv then acc else Env.add x iv acc)
+    Env.empty (Env.bindings env)
+
+let restrict env ~keep =
+  List.fold_left
+    (fun acc (x, iv) -> if keep x then Env.add x iv acc else acc)
+    Env.empty (Env.bindings env)
+
+(* ---------- expression evaluation ---------- *)
+
+let imin a b =
+  Interval.make (bmin (Interval.lo a) (Interval.lo b)) (bmin (Interval.hi a) (Interval.hi b))
+
+let imax a b =
+  Interval.make (bmax (Interval.lo a) (Interval.lo b)) (bmax (Interval.hi a) (Interval.hi b))
+
+let iabs a =
+  if lo_ge_zero a then a
+  else if hi_le_zero a then Interval.neg a
+  else Interval.make (Fin Rat.zero) (bmax (bneg (Interval.lo a)) (Interval.hi a))
+
+let rec eval env (e : Ast.expr) : Interval.t =
+  match Sym_expr.to_poly e with
+  | Some p -> Interval.eval_poly env p
+  | None -> eval_raw env e
+
+and eval_raw env e =
+  match e with
+  | Ast.Int i -> Interval.of_int i
+  | Ast.Real (f, _) -> (
+    try Interval.point (Rat.of_float f) with Invalid_argument _ -> Interval.full)
+  | Ast.Logical _ -> Interval.full
+  | Ast.Var x -> Env.find x env
+  | Ast.Index _ -> Interval.full
+  | Ast.Unop (Ast.Neg, a) -> Interval.neg (eval env a)
+  | Ast.Unop (Ast.Not, _) -> Interval.full
+  | Ast.Binop (Ast.Add, a, b) -> Interval.add (eval env a) (eval env b)
+  | Ast.Binop (Ast.Sub, a, b) -> Interval.sub (eval env a) (eval env b)
+  | Ast.Binop (Ast.Mul, a, b) -> Interval.mul (eval env a) (eval env b)
+  | Ast.Binop (Ast.Div, a, b) -> (
+    let ia = eval env a and ib = eval env b in
+    try Interval.mul ia (Interval.pow ib (-1)) with Division_by_zero -> Interval.full)
+  | Ast.Binop (Ast.Pow, a, b) -> (
+    match Interval.is_point (eval env b) with
+    | Some k -> (
+      match Rat.to_int k with
+      | Some n -> ( try Interval.pow (eval env a) n with Division_by_zero -> Interval.full)
+      | None -> Interval.full)
+    | None -> Interval.full)
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or), _, _)
+    ->
+    Interval.full
+  | Ast.Call (fn, args) -> eval_call (String.lowercase_ascii fn) (List.map (eval env) args)
+
+and eval_call fn args =
+  match (fn, args) with
+  | ("min" | "min0" | "amin1" | "dmin1"), a :: rest -> List.fold_left imin a rest
+  | ("max" | "max0" | "amax1" | "dmax1"), a :: rest -> List.fold_left imax a rest
+  | ("abs" | "iabs" | "dabs"), [ a ] -> iabs a
+  | "mod", [ a; b ] -> (
+    match Interval.is_point b with
+    | Some k when Rat.is_integer k && Rat.sign k > 0 ->
+      let km1 = Rat.sub k Rat.one in
+      if lo_ge_zero a then Interval.of_rats Rat.zero km1
+      else Interval.of_rats (Rat.neg km1) km1
+    | _ -> Interval.full)
+  | ("sqrt" | "dsqrt" | "exp" | "dexp"), [ _ ] -> Interval.nonneg
+  | ("float" | "real" | "dble"), [ a ] -> a
+  | ("int" | "nint" | "ifix"), [ a ] ->
+    (* truncation lands between 0 and the operand *)
+    Interval.union (Interval.point Rat.zero) a
+  | _ -> Interval.full
+
+let eval_expr = eval
+
+(* ---------- condition refinement ---------- *)
+
+exception Infeasible
+
+type cmp = Cle | Clt | Cge | Cgt | Ceq
+
+let is_int_var symtab x =
+  match Typecheck.lookup symtab x with
+  | Some (s : Typecheck.sym) -> s.ty = Ast.Tint
+  | None -> false
+
+let int_floor r = Rat.of_bigint (Rat.floor r)
+let int_ceil r = Rat.of_bigint (Rat.ceil r)
+
+let constrain_upper ~strict ~is_int env x v =
+  let ub =
+    if is_int then
+      if strict then Rat.sub (int_ceil v) Rat.one else int_floor v
+    else v
+  in
+  let cur = Env.find x env in
+  match Interval.intersect cur (Interval.make Neg_inf (Fin ub)) with
+  | Some iv -> Env.add x iv env
+  | None -> raise Infeasible
+
+let constrain_lower ~strict ~is_int env x v =
+  let lb =
+    if is_int then
+      if strict then Rat.add (int_floor v) Rat.one else int_ceil v
+    else v
+  in
+  let cur = Env.find x env in
+  match Interval.intersect cur (Interval.make (Fin lb) Pos_inf) with
+  | Some iv -> Env.add x iv env
+  | None -> raise Infeasible
+
+(* Constrain [a*x + rest cmp 0] given an enclosure of [rest]: from
+   [a*x <= -rest] and [rest >= rest_lo] deduce [x <= -rest_lo / a] (for
+   [a > 0]), and the three mirrored cases. *)
+let refine_var symtab env x a rest_iv cmp =
+  let is_int = is_int_var symtab x in
+  let upper env strict =
+    match Interval.lo rest_iv with
+    | Fin rl -> (
+      let v = Rat.div (Rat.neg rl) a in
+      if Rat.sign a > 0 then constrain_upper ~strict ~is_int env x v
+      else constrain_lower ~strict ~is_int env x v)
+    | _ -> env
+  in
+  let lower env strict =
+    match Interval.hi rest_iv with
+    | Fin rh -> (
+      let v = Rat.div (Rat.neg rh) a in
+      if Rat.sign a > 0 then constrain_lower ~strict ~is_int env x v
+      else constrain_upper ~strict ~is_int env x v)
+    | _ -> env
+  in
+  match cmp with
+  | Cle -> upper env false
+  | Clt -> upper env true
+  | Cge -> lower env false
+  | Cgt -> lower env true
+  | Ceq -> lower (upper env false) false
+
+(* Constrain [d cmp 0] by refining every variable linear in [d]. Refined
+   variables feed the enclosure of the residual for the next one, so
+   [if (i <= n - 1)] tightens both [i] (up) and [n] (down). *)
+let refine_cmp symtab env cmp (d : Poly.t) =
+  List.fold_left
+    (fun env x ->
+      let coeffs = Poly.coeffs_in x d in
+      let higher = List.exists (fun (k, _) -> k <> 0 && k <> 1) coeffs in
+      match (List.assoc_opt 1 coeffs, higher) with
+      | Some c1, false -> (
+        match Poly.to_const c1 with
+        | Some a when not (Rat.is_zero a) ->
+          let rest =
+            match List.assoc_opt 0 coeffs with Some r -> r | None -> Poly.zero
+          in
+          refine_var symtab env x a (Interval.eval_poly env rest) cmp
+        | _ -> env)
+      | _ -> env)
+    env (Poly.vars d)
+
+let surely_false op di =
+  match op with
+  | Ast.Le -> bcmp (Interval.lo di) (Fin Rat.zero) > 0
+  | Ast.Lt -> lo_ge_zero di
+  | Ast.Ge -> bcmp (Interval.hi di) (Fin Rat.zero) < 0
+  | Ast.Gt -> hi_le_zero di
+  | Ast.Eq -> not (Interval.contains di Rat.zero)
+  | Ast.Ne -> ( match Interval.is_point di with Some p -> Rat.is_zero p | None -> false)
+  | _ -> false
+
+let cmp_of = function
+  | Ast.Le -> Cle
+  | Ast.Lt -> Clt
+  | Ast.Ge -> Cge
+  | Ast.Gt -> Cgt
+  | Ast.Eq -> Ceq
+  | _ -> invalid_arg "Absint.cmp_of"
+
+let rec assume symtab env cond =
+  match cond with
+  | Ast.Logical true -> Some env
+  | Ast.Logical false -> None
+  | Ast.Unop (Ast.Not, c) -> assume_not symtab env c
+  | Ast.Binop (Ast.And, a, b) ->
+    Option.bind (assume symtab env a) (fun e -> assume symtab e b)
+  | Ast.Binop (Ast.Or, a, b) -> (
+    match (assume symtab env a, assume symtab env b) with
+    | None, r | r, None -> r
+    | Some x, Some y -> Some (join_env x y))
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b) -> (
+    match Sym_expr.to_poly (Ast.Binop (Ast.Sub, a, b)) with
+    | None -> Some env
+    | Some d ->
+      if surely_false op (Interval.eval_poly env d) then None
+      else if op = Ast.Ne then Some env
+      else ( try Some (refine_cmp symtab env (cmp_of op) d) with Infeasible -> None))
+  | _ -> Some env
+
+and assume_not symtab env c =
+  match c with
+  | Ast.Logical b -> if b then None else Some env
+  | Ast.Unop (Ast.Not, c') -> assume symtab env c'
+  | Ast.Binop (Ast.And, a, b) -> (
+    match (assume_not symtab env a, assume_not symtab env b) with
+    | None, r | r, None -> r
+    | Some x, Some y -> Some (join_env x y))
+  | Ast.Binop (Ast.Or, a, b) ->
+    Option.bind (assume_not symtab env a) (fun e -> assume_not symtab e b)
+  | Ast.Binop (Ast.Eq, a, b) -> assume symtab env (Ast.Binop (Ast.Ne, a, b))
+  | Ast.Binop (Ast.Ne, a, b) -> assume symtab env (Ast.Binop (Ast.Eq, a, b))
+  | Ast.Binop (Ast.Lt, a, b) -> assume symtab env (Ast.Binop (Ast.Ge, a, b))
+  | Ast.Binop (Ast.Le, a, b) -> assume symtab env (Ast.Binop (Ast.Gt, a, b))
+  | Ast.Binop (Ast.Gt, a, b) -> assume symtab env (Ast.Binop (Ast.Le, a, b))
+  | Ast.Binop (Ast.Ge, a, b) -> assume symtab env (Ast.Binop (Ast.Lt, a, b))
+  | _ -> Some env
+
+let rec decide_cond env cond =
+  match cond with
+  | Ast.Logical b -> Some b
+  | Ast.Unop (Ast.Not, c) -> Option.map not (decide_cond env c)
+  | Ast.Binop (Ast.And, a, b) -> (
+    match (decide_cond env a, decide_cond env b) with
+    | Some false, _ | _, Some false -> Some false
+    | Some true, Some true -> Some true
+    | _ -> None)
+  | Ast.Binop (Ast.Or, a, b) -> (
+    match (decide_cond env a, decide_cond env b) with
+    | Some true, _ | _, Some true -> Some true
+    | Some false, Some false -> Some false
+    | _ -> None)
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b) ->
+    let di =
+      match Sym_expr.to_poly (Ast.Binop (Ast.Sub, a, b)) with
+      | Some d -> Interval.eval_poly env d
+      | None -> Interval.sub (eval env a) (eval env b)
+    in
+    let surely_true op di = surely_false (negate_op op) di in
+    if surely_true op di then Some true
+    else if surely_false op di then Some false
+    else None
+  | _ -> None
+
+and negate_op = function
+  | Ast.Eq -> Ast.Ne
+  | Ast.Ne -> Ast.Eq
+  | Ast.Lt -> Ast.Ge
+  | Ast.Le -> Ast.Gt
+  | Ast.Gt -> Ast.Le
+  | Ast.Ge -> Ast.Lt
+  | op -> op
+
+(* ---------- statement transfer ---------- *)
+
+type ctx = {
+  symtab : Typecheck.symtab;
+  tbl : (Srcloc.t, Env.t) Hashtbl.t;
+  mutable loops : loop_range list;
+  mutable exits : Env.t list;
+  mutable depth : int;
+}
+
+let record ctx loc env =
+  match Hashtbl.find_opt ctx.tbl loc with
+  | Some e -> Hashtbl.replace ctx.tbl loc (join_env e env)
+  | None -> Hashtbl.add ctx.tbl loc env
+
+let is_scalar ctx x =
+  match Typecheck.lookup ctx.symtab x with
+  | Some (s : Typecheck.sym) -> s.dims = []
+  | None -> true
+
+let max_iters = 50
+
+let rec exec_stmts ctx ~rec_ st stmts =
+  List.fold_left (fun st s -> exec_stmt ctx ~rec_ st s) st stmts
+
+and exec_stmt ctx ~rec_ st (s : Ast.stmt) =
+  match st with
+  | None -> None
+  | Some env -> (
+    if rec_ then record ctx s.loc env;
+    match s.kind with
+    | Ast.Assign (lhs, e) ->
+      if lhs.subs = [] && is_scalar ctx lhs.base then
+        Some (Env.add lhs.base (eval env e) env)
+      else Some env
+    | Ast.Call_stmt (_, args) ->
+      (* scalars passed by reference may be clobbered by the callee *)
+      Some
+        (List.fold_left
+           (fun env a ->
+             match a with
+             | Ast.Var x when is_scalar ctx x -> Env.add x Interval.full env
+             | _ -> env)
+           env args)
+    | Ast.Return ->
+      if rec_ then ctx.exits <- env :: ctx.exits;
+      None
+    | Ast.If (branches, els) ->
+      let fall = ref (Some env) in
+      let outs = ref [] in
+      List.iter
+        (fun (cond, body) ->
+          let enter = Option.bind !fall (fun e -> assume ctx.symtab e cond) in
+          (match exec_stmts ctx ~rec_ enter body with
+          | Some o -> outs := o :: !outs
+          | None -> ());
+          fall := Option.bind !fall (fun e -> assume_not ctx.symtab e cond))
+        branches;
+      (match exec_stmts ctx ~rec_ !fall els with
+      | Some o -> outs := o :: !outs
+      | None -> ());
+      (match !outs with
+      | [] -> None
+      | o :: rest -> Some (List.fold_left join_env o rest))
+    | Ast.Do d -> exec_do ctx ~rec_ env s.loc d)
+
+and exec_do ctx ~rec_ env loc (d : Ast.do_loop) =
+  let lo_iv = eval env d.lo and hi_iv = eval env d.hi in
+  let step_expr = match d.step with Some s -> s | None -> Ast.Int 1 in
+  let step_iv = eval env step_expr in
+  let step_const = Interval.is_point step_iv in
+  let step_sign =
+    match step_const with
+    | Some r -> Rat.sign r
+    | None -> ( match Interval.sign step_iv with Pos -> 1 | Neg -> -1 | _ -> 0)
+  in
+  (* enclosure of the index over all executed iterations; None = provably
+     zero-trip *)
+  let idx_opt =
+    if step_sign > 0 then (
+      try Some (Interval.make (Interval.lo lo_iv) (Interval.hi hi_iv))
+      with Invalid_argument _ -> None)
+    else if step_sign < 0 then (
+      try Some (Interval.make (Interval.lo hi_iv) (Interval.hi lo_iv))
+      with Invalid_argument _ -> None)
+    else Some (Interval.union lo_iv hi_iv)
+  in
+  let clamp iv =
+    match Interval.intersect iv Interval.nonneg with
+    | Some t -> t
+    | None -> Interval.point Rat.zero
+  in
+  let trip =
+    match idx_opt with
+    | None -> Interval.point Rat.zero
+    | Some _ -> (
+      match step_const with
+      | Some s when Rat.sign s <> 0 ->
+        (* trip = max 0 (floor ((hi - lo) / s) + 1), evaluated over the box *)
+        let t =
+          Interval.add
+            (Interval.scale (Rat.inv s) (Interval.sub hi_iv lo_iv))
+            (Interval.point Rat.one)
+        in
+        let t =
+          match (Interval.lo t, Interval.hi t) with
+          | l, Fin h ->
+            let fh = Interval.Fin (int_floor h) in
+            Interval.make (bmin l fh) fh
+          | _ -> t
+        in
+        clamp t
+      | _ -> Interval.nonneg)
+  in
+  (if rec_ then
+     let index = match idx_opt with Some i -> i | None -> Interval.union lo_iv hi_iv in
+     ctx.loops <- { at = loc; lvar = d.var; index; trip; depth = ctx.depth } :: ctx.loops);
+  match idx_opt with
+  | None ->
+    (* the body never executes; the index is left at lo *)
+    Some (Env.add d.var lo_iv env)
+  | Some idx ->
+    let entry = env in
+    let set_idx e = Env.add d.var idx e in
+    let head = ref (set_idx entry) in
+    ctx.depth <- ctx.depth + 1;
+    (let continue = ref true and iter = ref 0 in
+     while !continue && !iter < max_iters do
+       incr iter;
+       match exec_stmts ctx ~rec_:false (Some !head) d.body with
+       | None -> continue := false
+       | Some out ->
+         let next = join_env !head (set_idx out) in
+         if env_equal next !head then continue := false
+         else head := if !iter >= 3 then widen_env !head next else next
+     done);
+    (* one narrowing pass to recover bounds widening discarded *)
+    (match exec_stmts ctx ~rec_:false (Some !head) d.body with
+    | Some out -> head := narrow_env !head (join_env (set_idx entry) (set_idx out))
+    | None -> ());
+    let out = exec_stmts ctx ~rec_ (Some !head) d.body in
+    ctx.depth <- ctx.depth - 1;
+    let after_base = match out with None -> entry | Some o -> join_env entry o in
+    let idx_after =
+      match step_const with
+      | Some s ->
+        (* exit value lies in (hi, hi+s] (or [hi+s, hi) downward), plus lo
+           when the loop runs zero times *)
+        let sstep = Interval.of_rats (Rat.min Rat.zero s) (Rat.max Rat.zero s) in
+        Interval.union lo_iv (Interval.add hi_iv sstep)
+      | None -> Interval.full
+    in
+    Some (Env.add d.var idx_after after_base)
+
+(* ---------- seeding and entry point ---------- *)
+
+(* Declared dimension extents are at least one element: [hi - lo >= 0].
+   Constrains e.g. [n >= 1] for a parameter array [a(n)]. *)
+let seed_env symtab =
+  List.fold_left
+    (fun env (_, (s : Typecheck.sym)) ->
+      List.fold_left
+        (fun env (dim : Ast.array_dim) ->
+          let lo_e = Option.value dim.dim_lo ~default:(Ast.Int 1) in
+          match Sym_expr.to_poly (Ast.Binop (Ast.Sub, dim.dim_hi, lo_e)) with
+          | Some diff -> ( try refine_cmp symtab env Cge diff with Infeasible -> env)
+          | None -> env)
+        env s.dims)
+    Env.empty (Typecheck.symbols_list symtab)
+
+let analyze (checked : Typecheck.checked) =
+  let ctx =
+    { symtab = checked.symbols; tbl = Hashtbl.create 64; loops = []; exits = []; depth = 0 }
+  in
+  let entry = seed_env checked.symbols in
+  let out = exec_stmts ctx ~rec_:true (Some entry) checked.routine.body in
+  let exits = match out with Some o -> o :: ctx.exits | None -> ctx.exits in
+  let exit_env =
+    match exits with [] -> Env.empty | e :: r -> strip (List.fold_left join_env e r)
+  in
+  let assigned =
+    Analysis.SSet.union
+      (Analysis.assigned_vars checked.routine.body)
+      (Analysis.loop_indices checked.routine.body)
+  in
+  let summary_env =
+    (* assigned variables: union of every tracked value; inputs: only the
+       routine-wide facts from the declaration seed *)
+    let tbl = Hashtbl.create 16 in
+    let absorb env =
+      List.iter
+        (fun (x, iv) ->
+          if Analysis.SSet.mem x assigned && not (Interval.is_full iv) then
+            match Hashtbl.find_opt tbl x with
+            | Some cur -> Hashtbl.replace tbl x (Interval.union cur iv)
+            | None -> Hashtbl.add tbl x iv)
+        (Env.bindings env)
+    in
+    Hashtbl.iter (fun _ e -> absorb e) ctx.tbl;
+    List.iter absorb exits;
+    let acc =
+      Hashtbl.fold
+        (fun x iv acc -> if Interval.is_full iv then acc else Env.add x iv acc)
+        tbl Env.empty
+    in
+    List.fold_left
+      (fun acc (x, iv) ->
+        if Analysis.SSet.mem x assigned || Interval.is_full iv then acc
+        else Env.add x iv acc)
+      acc (Env.bindings entry)
+  in
+  {
+    at_stmt = ctx.tbl;
+    loop_ranges = List.rev ctx.loops;
+    exit_env;
+    summary_env;
+  }
+
+let ranges_at r loc =
+  match Hashtbl.find_opt r.at_stmt loc with Some e -> strip e | None -> Env.empty
+
+let summary r = r.summary_env
+let exit_env r = r.exit_env
+let loops r = r.loop_ranges
+
+let pp_loop_range fmt (l : loop_range) =
+  Format.fprintf fmt "%s%s at %s: index %s, trip %s"
+    (String.make (2 * l.depth) ' ')
+    l.lvar (Srcloc.to_string l.at)
+    (Interval.to_string l.index)
+    (Interval.to_string l.trip)

@@ -1,0 +1,73 @@
+(** Flow-sensitive interval abstract interpretation over typechecked PF
+    routines.
+
+    A forward fixpoint maps each scalar to an {!Pperf_symbolic.Interval.t}:
+    environments are seeded from declared array dimensions (an extent is at
+    least one element), updated by literal and computed assignments, widened
+    at loop heads (with one narrowing pass), and refined through branch
+    conditions. [do] loops bind their index to [lo..hi] inside the body and
+    record a sound trip-count interval.
+
+    The inferred ranges feed the paper's range-based sign decisions (§3.1:
+    "determine whether the expression is positive or negative based on
+    bounds on the variables"): {!Pperf_core}'s comparison seeds its variable
+    box from {!summary}, aggregation attaches bounds to symbolic trip
+    counts, the dependence tests use subscript ranges to prove independence,
+    and the lint checks drop false positives that the ranges refute. *)
+
+open Pperf_symbolic
+open Pperf_lang
+
+type loop_range = {
+  at : Srcloc.t;  (** location of the [do] statement *)
+  lvar : string;  (** loop index variable *)
+  index : Interval.t;  (** enclosure of the index over all iterations *)
+  trip : Interval.t;  (** iteration count; always within [0, +inf) *)
+  depth : int;  (** nesting depth, outermost loop = 0 *)
+}
+
+type result
+
+val analyze : Typecheck.checked -> result
+(** Run the fixpoint over the routine body. Always terminates (widening
+    jumps escaping bounds to infinity) and never raises. *)
+
+val ranges_at : result -> Srcloc.t -> Interval.Env.t
+(** Environment holding immediately {e before} the statement at this
+    location: inside loop bodies the enclosing indexes are bound to their
+    iteration ranges, inside branches the condition refinements apply.
+    Unknown locations give the empty environment (every variable [full]). *)
+
+val summary : result -> Interval.Env.t
+(** Whole-routine box: for an assigned variable, the union of its values at
+    every program point where the analysis tracked it; for a never-assigned
+    input, only the routine-wide facts implied by array declarations (an
+    array extent has at least one element). Flow-local branch refinements
+    of inputs are deliberately excluded. *)
+
+val exit_env : result -> Interval.Env.t
+(** Join of the environments at every [return] and at fall-through. *)
+
+val loops : result -> loop_range list
+(** Every reachable [do] loop in source order, with index and trip
+    enclosures computed in the stable environment at its entry. *)
+
+val eval_expr : Interval.Env.t -> Ast.expr -> Interval.t
+(** Sound enclosure of an expression over the box; polynomial expressions
+    go through {!Interval.eval_poly}, the rest structurally (division,
+    [min]/[max]/[abs]/[mod] intrinsics); unknown constructs give [full]. *)
+
+val decide_cond : Interval.Env.t -> Ast.expr -> bool option
+(** [Some b] when the condition provably evaluates to [b] over the box. *)
+
+val assume : Typecheck.symtab -> Interval.Env.t -> Ast.expr -> Interval.Env.t option
+(** Refine the box assuming the condition holds; [None] when the condition
+    is infeasible over the box. Affine comparisons tighten the interval of
+    each variable occurring linearly (with floor/ceil rounding for integer
+    variables); anything else is kept unrefined. *)
+
+val restrict : Interval.Env.t -> keep:(string -> bool) -> Interval.Env.t
+(** Drop bindings whose name fails the predicate — e.g. variables assigned
+    inside a loop nest, whose entry-env range is not loop-invariant. *)
+
+val pp_loop_range : Format.formatter -> loop_range -> unit

@@ -215,7 +215,10 @@ module Sim = struct
         | Cyclic -> (idx - 1) mod p
         | _ -> 0))
 
-  let count_messages ~comm ~symtab ~layouts ~bounds loops stmts =
+  exception Non_int of Ast.expr
+
+  let count_messages ?(on_diag = fun (_ : Pperf_lint.Diagnostic.t) -> ()) ~comm ~symtab
+      ~layouts ~bounds loops stmts =
     ignore comm;
     let messages = ref 0 and bytes = ref 0 in
     let rec eval_int env (e : Ast.expr) : int =
@@ -227,7 +230,20 @@ module Sim = struct
       | Ast.Binop (Ast.Sub, a, b) -> eval_int env a - eval_int env b
       | Ast.Binop (Ast.Mul, a, b) -> eval_int env a * eval_int env b
       | Ast.Binop (Ast.Div, a, b) -> eval_int env a / eval_int env b
-      | _ -> failwith "Commcost.Sim: non-integer subscript"
+      | _ -> raise (Non_int e)
+    in
+    (* one report per offending source location, however many iterations *)
+    let reported = Hashtbl.create 4 in
+    let skip ~(loc : Srcloc.t) ~what e =
+      if not (Hashtbl.mem reported (loc.line, loc.col, what)) then (
+        Hashtbl.add reported (loc.line, loc.col, what) ();
+        on_diag
+          (Pperf_lint.Diagnostic.make Pperf_lint.Diagnostic.Precision
+             ~check:"sim-non-integer" ~loc
+             (Printf.sprintf
+                "communication simulation skipped this %s: '%s' does not evaluate to \
+                 an integer"
+                what (Pp_ast.expr_to_string e))))
     in
     (* per outermost iteration, aggregate (src,dst,array) -> element set *)
     let phase : (int * int * string, (int list, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
@@ -257,31 +273,40 @@ module Sim = struct
       List.iter
         (fun (s : Ast.stmt) ->
           match s.kind with
-          | Ast.Assign (lhs, e) ->
-            let owner =
+          | Ast.Assign (lhs, e) -> (
+            match
               if lhs.subs = [] then 0
               else owner_of ~layouts ~symtab ~bounds lhs.base (List.map (eval_int env) lhs.subs)
-            in
-            let reads =
-              Analysis.array_refs [ Ast.mk (Ast.Assign ({ lhs with subs = [] }, e)) ]
-            in
-            List.iter
-              (fun (r : Analysis.array_ref) ->
-                if List.mem_assoc r.array layouts then (
-                  let idxs = List.map (eval_int env) r.subs in
-                  let src = owner_of ~layouts ~symtab ~bounds r.array idxs in
-                  record src owner r.array idxs))
-              reads
-          | Ast.Do d ->
-            let lo = eval_int env d.lo and hi = eval_int env d.hi in
-            let step = match d.step with None -> 1 | Some e -> eval_int env e in
-            let i = ref lo in
-            while (step > 0 && !i <= hi) || (step < 0 && !i >= hi) do
-              let env' x = if String.equal x d.var then !i else env x in
-              exec ~depth:(depth + 1) env' d.body;
-              if depth = 0 then flush_phase ();
-              i := !i + step
-            done
+            with
+            | exception Non_int ex -> skip ~loc:s.loc ~what:"assignment target" ex
+            | owner ->
+              let reads =
+                Analysis.array_refs [ Ast.mk (Ast.Assign ({ lhs with subs = [] }, e)) ]
+              in
+              List.iter
+                (fun (r : Analysis.array_ref) ->
+                  if List.mem_assoc r.array layouts then (
+                    try
+                      let idxs = List.map (eval_int env) r.subs in
+                      let src = owner_of ~layouts ~symtab ~bounds r.array idxs in
+                      record src owner r.array idxs
+                    with Non_int ex -> skip ~loc:r.at ~what:"array reference" ex))
+                reads)
+          | Ast.Do d -> (
+            match
+              ( eval_int env d.lo,
+                eval_int env d.hi,
+                match d.step with None -> 1 | Some e -> eval_int env e )
+            with
+            | lo, hi, step ->
+              let i = ref lo in
+              while (step > 0 && !i <= hi) || (step < 0 && !i >= hi) do
+                let env' x = if String.equal x d.var then !i else env x in
+                exec ~depth:(depth + 1) env' d.body;
+                if depth = 0 then flush_phase ();
+                i := !i + step
+              done
+            | exception Non_int ex -> skip ~loc:s.loc ~what:"loop bound" ex)
           | Ast.If (branches, els) ->
             (match branches with
              | (_, body) :: _ -> exec ~depth env body

@@ -68,6 +68,7 @@ val nest_cost :
 
 module Sim : sig
   val count_messages :
+    ?on_diag:(Pperf_lint.Diagnostic.t -> unit) ->
     comm:Machine.comm_params ->
     symtab:Typecheck.symtab ->
     layouts:layouts ->
@@ -78,5 +79,9 @@ module Sim : sig
   (** [(messages, bytes)] actually exchanged when every non-local element
       read is fetched from its owner (owner-computes rule), with per-
       destination message aggregation per statement instance — the
-      standard compilation model the static formulas approximate. *)
+      standard compilation model the static formulas approximate.
+
+      A subscript or loop bound that does not evaluate to an integer is
+      skipped rather than aborting the count; one [Precision] diagnostic
+      per source location goes to [on_diag] (dropped by default). *)
 end

@@ -16,6 +16,7 @@ type options = {
   near_equal_tol : float;
   iteration_overlap : bool;
   library : Libtable.t option;
+  infer_ranges : bool;
 }
 
 let default_options =
@@ -28,6 +29,7 @@ let default_options =
     near_equal_tol = 0.05;
     iteration_overlap = true;
     library = None;
+    infer_ranges = false;
   }
 
 type prediction = {
@@ -50,6 +52,7 @@ type ctx = {
   loops : Analysis.loop_ctx list;
   invariants : SSet.t;
   probs : prob_state;
+  ranges : Pperf_absint.Absint.result option;
 }
 
 let loop_vars ctx = List.map (fun (l : Analysis.loop_ctx) -> l.lvar) ctx.loops
@@ -89,14 +92,43 @@ let per_iteration_cost ctx dag =
       max 1 (s2.cost - s1.cost)))
 
 let trip_of ctx ~loc (d : Ast.do_loop) =
+  let inferred =
+    match ctx.ranges with
+    | Some r ->
+      List.find_opt
+        (fun (l : Pperf_absint.Absint.loop_range) -> l.at = loc && l.lvar = d.var)
+        (Pperf_absint.Absint.loops r)
+    | None -> None
+  in
   match Sym_expr.trip_count ~lo:d.lo ~hi:d.hi ~step:d.step with
-  | Some p -> p
+  | Some p ->
+    (match ctx.ranges with
+    | Some r
+      when (not (Poly.is_const p))
+           && Interval.sign
+                (Interval.eval_poly (Pperf_absint.Absint.summary r) p)
+              = Interval.Mixed ->
+      (* the closed form assumes a non-empty loop; report when the inferred
+         ranges cannot confirm that *)
+      imprecise ctx ~check:"symbolic-trip" ~loc
+        (Printf.sprintf
+           "trip count %s of the loop over '%s' is not provably non-negative over the \
+            inferred ranges; the closed form assumes a non-empty loop"
+           (Poly.to_string p) d.var)
+    | _ -> ());
+    p
   | None ->
     let v = "trip_" ^ d.var in
+    let bound_note =
+      match inferred with
+      | Some l when not (Interval.is_full l.trip || Interval.equal l.trip Interval.nonneg) ->
+        Printf.sprintf "; inferred %s in %s" v (Interval.to_string l.trip)
+      | _ -> ""
+    in
     imprecise ctx ~check:"symbolic-trip" ~loc
       (Printf.sprintf
-         "trip count of the loop over '%s' has no closed form; prediction uses free variable '%s'"
-         d.var v);
+         "trip count of the loop over '%s' has no closed form; prediction uses free variable '%s'%s"
+         d.var v bound_note);
     Poly.var v
 
 (* is this statement straight-line at this level? *)
@@ -419,7 +451,7 @@ and agg_do ctx ~loc (d : Ast.do_loop) : Perf_expr.t =
        !loop_total_extra)
     (Perf_expr.add (Perf_expr.of_mem mem_cost) (Perf_expr.of_comm comm_cost))
 
-let make_ctx ~machine ~options ~symtab =
+let make_ctx ~machine ~options ~symtab ?ranges () =
   {
     machine;
     options;
@@ -427,10 +459,20 @@ let make_ctx ~machine ~options ~symtab =
     loops = [];
     invariants = SSet.empty;
     probs = { counter = 0; vars = []; diags = [] };
+    ranges;
   }
 
+let infer_ranges_of ~options ~symtab body =
+  if not options.infer_ranges then None
+  else (
+    let routine =
+      { Ast.rname = "<block>"; rkind = Ast.Subroutine; params = []; decls = []; body }
+    in
+    Some (Pperf_absint.Absint.analyze { Typecheck.routine; symbols = symtab }))
+
 let stmts ~machine ?(options = default_options) ~symtab body =
-  let ctx = make_ctx ~machine ~options ~symtab in
+  let ranges = infer_ranges_of ~options ~symtab body in
+  let ctx = make_ctx ~machine ~options ~symtab ?ranges () in
   let cost = agg_stmts ctx body in
   {
     cost;
@@ -443,7 +485,7 @@ let routine ~machine ?(options = default_options) (checked : Typecheck.checked) 
 
 let if_penalty ~machine ?(options = default_options) ~symtab ?(loop_vars = [])
     ?(invariants = SSet.empty) cond_dag body =
-  let ctx = make_ctx ~machine ~options ~symtab in
+  let ctx = make_ctx ~machine ~options ~symtab () in
   let loops =
     List.map
       (fun v -> Analysis.{ lvar = v; llo = Ast.Int 1; lhi = Ast.Int 1; lstep = None })
@@ -453,6 +495,6 @@ let if_penalty ~machine ?(options = default_options) ~symtab ?(loop_vars = [])
   branch_penalty ctx cond_dag body
 
 let block_cycles ~machine ?(options = default_options) ~symtab body =
-  let ctx = make_ctx ~machine ~options ~symtab in
+  let ctx = make_ctx ~machine ~options ~symtab () in
   let res = translate_run ctx body in
   dag_cost ctx (Dag.concat res.one_time res.body)

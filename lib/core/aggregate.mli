@@ -42,6 +42,11 @@ type options = {
           equal and skip the probability variable *)
   iteration_overlap : bool;
   library : Libtable.t option;
+  infer_ranges : bool;
+      (** run the interval abstract interpretation over the routine and use
+          the inferred ranges: symbolic-trip precision events carry the
+          inferred trip bounds, and closed-form trips not provably
+          non-negative over the ranges are reported *)
 }
 
 val default_options : options

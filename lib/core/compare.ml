@@ -31,8 +31,40 @@ let widen_env env diff =
         else Interval.Env.add v Interval.nonneg env)
     env (Poly.vars diff)
 
+(* Eliminate variables the environment pins to a single value: a
+   multivariate difference like c*n*m with m in [8,8] becomes univariate in
+   n, which the root-isolation path of {!Signs.compare_over} can decide
+   where interval subdivision over unbounded boxes cannot. *)
+let subst_points env p =
+  List.fold_left
+    (fun p (x, iv) ->
+      match Interval.is_point iv with
+      | Some r when Poly.mem_var x p -> Poly.subst x (Poly.const r) p
+      | _ -> p)
+    p (Interval.Env.bindings env)
+
+let inferred_env ?(base = Interval.Env.empty) checkeds =
+  let inferred =
+    List.fold_left
+      (fun env checked ->
+        let s = Pperf_absint.Absint.summary (Pperf_absint.Absint.analyze checked) in
+        List.fold_left
+          (fun env (x, iv) ->
+            match Interval.Env.find_opt x env with
+            | Some cur -> Interval.Env.add x (Interval.union cur iv) env
+            | None -> Interval.Env.add x iv env)
+          env (Interval.Env.bindings s))
+      Interval.Env.empty checkeds
+  in
+  (* explicit caller bindings win over inferred ones *)
+  List.fold_left
+    (fun env (x, iv) -> Interval.Env.add x iv env)
+    inferred
+    (Interval.Env.bindings base)
+
 let decide ?eps ?depth env (cf : Perf_expr.t) (cg : Perf_expr.t) : decision =
-  let f = Perf_expr.total cf and g = Perf_expr.total cg in
+  let f = subst_points env (Perf_expr.total cf)
+  and g = subst_points env (Perf_expr.total cg) in
   let diff = Poly.sub f g in
   let env = widen_env env diff in
   let verdict = Signs.compare_over ?eps ?depth env f g in

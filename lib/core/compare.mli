@@ -19,6 +19,12 @@ type decision = {
   difference : Poly.t;  (** [total first - total second] *)
 }
 
+val inferred_env :
+  ?base:Interval.Env.t -> Pperf_lang.Typecheck.checked list -> Interval.Env.t
+(** Seed a comparison environment from the interval abstract interpretation
+    of the routines being compared (union when several routines constrain
+    the same variable); bindings in [base] override inferred ones. *)
+
 val decide :
   ?eps:Pperf_num.Rat.t ->
   ?depth:int ->
@@ -26,6 +32,9 @@ val decide :
   Perf_expr.t ->
   Perf_expr.t ->
   decision
+(** Variables the environment pins to a point are substituted into both
+    expressions before the sign analysis, so e.g. a known scalar loop bound
+    turns a multivariate difference into a decidable univariate one. *)
 
 val pp_choice : Format.formatter -> choice -> unit
 val pp_decision : Format.formatter -> decision -> unit

@@ -34,11 +34,11 @@ let prob_vars t = t.prediction.prob_vars
 
 (** Every place this prediction went conservative: the aggregation's own
     events plus the static lint pass, deduplicated. *)
-let precision_diagnostics t =
+let precision_diagnostics ?ranges t =
   let checked = { Typecheck.routine = t.routine; symbols = t.symbols } in
   Pperf_lint.Lint.dedupe
     (t.prediction.diagnostics
-    @ Pperf_lint.Lint.precision (Pperf_lint.Lint.run_checked checked))
+    @ Pperf_lint.Lint.precision (Pperf_lint.Lint.run_checked ?ranges checked))
 
 (** Evaluate the prediction at concrete values of the unknowns; probability
     variables default to 1/2 when unbound. *)

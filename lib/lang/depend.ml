@@ -3,7 +3,7 @@ open Pperf_symbolic
 
 type direction = Lt | Eq | Gt
 
-type dep_kind = Flow | Anti | Output
+type dep_kind = Flow | Anti | Output | Input
 
 type dependence = {
   kind : dep_kind;
@@ -17,29 +17,58 @@ type dir_or_any = D of direction | Any
 
 let direction_to_string = function Lt -> "<" | Eq -> "=" | Gt -> ">"
 
-(* constant loop bounds when available *)
-let const_bounds (l : Analysis.loop_ctx) =
+(* constant loop bounds when available; with a range environment, symbolic
+   bounds collapse to sound integer enclosures (floor the lower end, ceil
+   the upper), e.g. [do i = 1, m] with m in [2,2] gives (1, 2) *)
+let const_bounds ?env (l : Analysis.loop_ctx) =
+  let poly_of e = Sym_expr.to_poly e in
   let const e =
-    match Sym_expr.to_poly e with
+    match poly_of e with
     | Some p -> (match Poly.to_const p with Some c -> Rat.to_int c | None -> None)
     | None -> None
   in
+  let iv_bound round pick e =
+    match (env, poly_of e) with
+    | Some env, Some p -> (
+      match pick (Interval.eval_poly env p) with
+      | Interval.Fin r -> Bigint.to_int (round r)
+      | _ -> None)
+    | _ -> None
+  in
   let step_ok = match l.lstep with None -> true | Some (Ast.Int 1) -> true | _ -> false in
   if not step_ok then None
-  else
-    match (const l.llo, const l.lhi) with
-    | Some lo, Some hi when lo <= hi -> Some (lo, hi)
-    | _ -> None
+  else (
+    let lo =
+      match const l.llo with
+      | Some lo -> Some lo
+      | None -> iv_bound Rat.floor Interval.lo l.llo
+    in
+    let hi =
+      match const l.lhi with
+      | Some hi -> Some hi
+      | None -> iv_bound Rat.ceil Interval.hi l.lhi
+    in
+    match (lo, hi) with Some lo, Some hi when lo <= hi -> Some (lo, hi) | _ -> None)
 
 (* one subscript pair viewed affinely in the common loop indices:
    (a_coeffs, b_coeffs, diff) with  sum a_j x_j - sum b_j y_j = diff
    (diff constant); None = not analyzable -> assume dependent *)
-let subscript_pair common (f : Ast.expr) (g : Ast.expr) =
+let subscript_pair ?env common (f : Ast.expr) (g : Ast.expr) =
   let vars = List.map (fun (l : Analysis.loop_ctx) -> l.lvar) common in
   match (Sym_expr.affine_in vars f, Sym_expr.affine_in vars g) with
   | Some (fa, frest), Some (ga, grest) ->
     let diff = Poly.sub grest frest in
-    (match Poly.to_const diff with
+    let diff_const =
+      match Poly.to_const diff with
+      | Some c -> Some c
+      | None -> (
+        (* a range environment may pin the symbolic difference to a point,
+           e.g. a(i) vs a(i+m) with m in [2,2] *)
+        match env with
+        | Some env -> Interval.is_point (Interval.eval_poly env diff)
+        | None -> None)
+    in
+    (match diff_const with
      | Some c when Rat.is_integer c -> (
        match Rat.to_int c with Some ci -> Some (fa, ga, ci) | None -> None)
      | _ -> None)
@@ -83,12 +112,12 @@ let term_bounds a b lo hi (dir : dir_or_any) =
 
 (* Banerjee-style test of one subscript pair against a direction vector:
    true = disproved (no dependence with these directions) *)
-let banerjee_disproves common dirs (fa, ga, diff) =
+let banerjee_disproves ?env common dirs (fa, ga, diff) =
   let rec go common dirs fa ga (mn, mx) =
     match (common, dirs, fa, ga) with
     | [], [], [], [] -> diff < mn || diff > mx
     | l :: common', d :: dirs', a :: fa', b :: ga' -> (
-      match const_bounds l with
+      match const_bounds ?env l with
       | None ->
         (* unknown bounds: only the Eq direction allows exact treatment of
            the (a-b) x term when a = b (contributes 0) *)
@@ -107,12 +136,12 @@ let banerjee_disproves common dirs (fa, ga, diff) =
 
 (* test a full direction vector against all subscript pairs; true = the
    tests disproved a dependence with this direction vector *)
-let vector_disproved common dirs pairs =
+let vector_disproved ?env common dirs pairs =
   List.exists
     (fun pair ->
       match pair with
       | None -> false (* unanalyzable dimension: cannot disprove *)
-      | Some p -> gcd_disproves p || banerjee_disproves common dirs p)
+      | Some p -> gcd_disproves p || banerjee_disproves ?env common dirs p)
     pairs
 
 (* strong-SIV sharpening: when a dim is a*x - a*y = diff with a <> 0, the
@@ -148,13 +177,56 @@ let siv_direction common pairs =
         None pairs)
     common
 
-let directions ~common (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
+(* interval of one subscript over a range environment extended with the
+   enclosing loops' index ranges (outermost first, so triangular bounds
+   see the outer index) *)
+let subscript_interval env (r : Analysis.array_ref) sub =
+  let index_interval env (l : Analysis.loop_ctx) =
+    let eval e =
+      match Sym_expr.to_poly e with
+      | Some p -> Interval.eval_poly env p
+      | None -> Interval.full
+    in
+    let lo_iv = eval l.llo and hi_iv = eval l.lhi in
+    let step_sign =
+      match l.lstep with
+      | None -> 1
+      | Some s -> (
+        match eval s with iv -> ( match Interval.sign iv with Pos -> 1 | Neg -> -1 | _ -> 0))
+    in
+    try
+      if step_sign > 0 then Interval.make (Interval.lo lo_iv) (Interval.hi hi_iv)
+      else if step_sign < 0 then Interval.make (Interval.lo hi_iv) (Interval.hi lo_iv)
+      else Interval.union lo_iv hi_iv
+    with Invalid_argument _ -> Interval.union lo_iv hi_iv
+  in
+  let env =
+    List.fold_left
+      (fun env (l : Analysis.loop_ctx) -> Interval.Env.add l.lvar (index_interval env l) env)
+      env r.loops
+  in
+  match Sym_expr.to_poly sub with
+  | Some p -> Interval.eval_poly env p
+  | None -> Interval.full
+
+(* range disproof: the two references touch provably disjoint index sets in
+   some dimension, so no element is shared at all *)
+let ranges_disjoint env (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
+  List.length r1.subs = List.length r2.subs
+  && List.exists2
+       (fun s1 s2 ->
+         Interval.intersect (subscript_interval env r1 s1) (subscript_interval env r2 s2)
+         = None)
+       r1.subs r2.subs
+
+let directions ~common ?env (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
   if not (String.equal r1.array r2.array) then []
+  else if (match env with Some env -> ranges_disjoint env r1 r2 | None -> false) then []
   else if List.length r1.subs <> List.length r2.subs then
     (* inconsistent shapes: be conservative, all-any *)
     [ List.map (fun _ -> Eq) common ]
   else (
-    let pairs = List.map2 (fun f g -> subscript_pair common f g) r1.subs r2.subs in
+    let pairs = List.map2 (fun f g -> subscript_pair ?env common f g) r1.subs r2.subs in
     let forced = siv_direction common pairs in
     if List.exists (fun f -> f = Some `Impossible) forced then []
     else (
@@ -164,7 +236,7 @@ let directions ~common (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
       let rec refine prefix j =
         if j = n then (
           let dirs = List.rev prefix in
-          if not (vector_disproved common (List.map (fun d -> D d) dirs) pairs) then
+          if not (vector_disproved ?env common (List.map (fun d -> D d) dirs) pairs) then
             results := dirs :: !results)
         else (
           let candidates =
@@ -179,13 +251,14 @@ let directions ~common (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
                 List.rev_append (List.map (fun d -> D d) (d :: prefix))
                   (List.init (n - j - 1) (fun _ -> Any))
               in
-              if not (vector_disproved common partial pairs) then refine (d :: prefix) (j + 1))
+              if not (vector_disproved ?env common partial pairs) then
+                refine (d :: prefix) (j + 1))
             candidates)
       in
       refine [] 0;
       List.rev !results))
 
-let may_depend ~common r1 r2 = directions ~common r1 r2 <> []
+let may_depend ~common ?env r1 r2 = directions ~common ?env r1 r2 <> []
 
 let common_loops (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
   let rec go l1 l2 =
@@ -202,9 +275,9 @@ let classify (src : Analysis.array_ref) (dst : Analysis.array_ref) =
   | true, false -> Flow
   | false, true -> Anti
   | true, true -> Output
-  | false, false -> assert false
+  | false, false -> Input
 
-let dependences_in stmts =
+let dependences_in ?env stmts =
   let refs = Analysis.array_refs stmts in
   let deps = ref [] in
   let arr = Array.of_list refs in
@@ -215,7 +288,7 @@ let dependences_in stmts =
       if String.equal r1.array r2.array && (r1.is_write || r2.is_write) && not (i = j && not r1.is_write)
       then (
         let common = common_loops r1 r2 in
-        let dirs = directions ~common r1 r2 in
+        let dirs = directions ~common ?env r1 r2 in
         List.iter
           (fun dvec ->
             (* orient the dependence source-before-destination *)
@@ -235,14 +308,14 @@ let dependences_in stmts =
   done;
   List.rev !deps
 
-let carried_dependences (d : Ast.do_loop) =
-  let deps = dependences_in [ Ast.mk (Ast.Do d) ] in
+let carried_dependences ?env (d : Ast.do_loop) =
+  let deps = dependences_in ?env [ Ast.mk (Ast.Do d) ] in
   List.filter
     (fun dep -> match dep.directions with (Lt | Gt) :: _ -> true | _ -> false)
     deps
 
-let interchange_legal (d : Ast.do_loop) =
-  let deps = dependences_in [ Ast.mk (Ast.Do d) ] in
+let interchange_legal ?env (d : Ast.do_loop) =
+  let deps = dependences_in ?env [ Ast.mk (Ast.Do d) ] in
   not
     (List.exists
        (fun dep ->
@@ -251,7 +324,11 @@ let interchange_legal (d : Ast.do_loop) =
          | _ -> false)
        deps)
 
-let kind_to_string = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
+let kind_to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+  | Input -> "input"
 
 let pp_dependence fmt d =
   Format.fprintf fmt "%s dep on %s (%s)" (kind_to_string d.kind) d.src.Analysis.array

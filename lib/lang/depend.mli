@@ -9,7 +9,12 @@
 
 type direction = Lt  (** carried forward ( < ) *) | Eq | Gt  (** ( > ) *)
 
-type dep_kind = Flow | Anti | Output
+type dep_kind =
+  | Flow
+  | Anti
+  | Output
+  | Input  (** read-read pair; never constrains legality, filtered by
+               {!dependences_in} *)
 
 type dependence = {
   kind : dep_kind;
@@ -18,30 +23,49 @@ type dependence = {
   dst : Analysis.array_ref;
 }
 
+val classify : Analysis.array_ref -> Analysis.array_ref -> dep_kind
+(** Total over the four write/read combinations; read-read is {!Input}. *)
+
 val may_depend :
-  common:Analysis.loop_ctx list -> Analysis.array_ref -> Analysis.array_ref -> bool
+  common:Analysis.loop_ctx list ->
+  ?env:Pperf_symbolic.Interval.Env.t ->
+  Analysis.array_ref ->
+  Analysis.array_ref ->
+  bool
 (** Subscript-by-subscript GCD + Banerjee disproof attempt, any direction. *)
 
 val directions :
   common:Analysis.loop_ctx list ->
+  ?env:Pperf_symbolic.Interval.Env.t ->
   Analysis.array_ref ->
   Analysis.array_ref ->
   direction list list
 (** All direction vectors (outermost first) that the tests could not
-    disprove; empty = independent. *)
+    disprove; empty = independent.
 
-val dependences_in : Ast.stmt list -> dependence list
+    The optional [env] supplies variable ranges (from the interval abstract
+    interpretation) and must only bind variables that are invariant over
+    the analyzed fragment. It strengthens the tests three ways: symbolic
+    loop bounds collapse to integer enclosures for Banerjee, a symbolic
+    subscript difference pinned to a point becomes testable, and references
+    whose subscript ranges cannot overlap are proved independent. *)
+
+val dependences_in :
+  ?env:Pperf_symbolic.Interval.Env.t -> Ast.stmt list -> dependence list
 (** All pairwise dependences among array references of the fragment that
-    share an array, classified by kind. Scalars are ignored here (handled
-    by the translator's renaming/reduction logic). *)
+    share an array and include a write ({!Input} pairs are filtered here),
+    classified by kind. Scalars are ignored here (handled by the
+    translator's renaming/reduction logic). *)
 
-val carried_dependences : Ast.do_loop -> dependence list
+val carried_dependences :
+  ?env:Pperf_symbolic.Interval.Env.t -> Ast.do_loop -> dependence list
 (** Dependences carried by this loop (direction [Lt] or [Gt] at its
     level). *)
 
-val interchange_legal : Ast.do_loop -> bool
+val interchange_legal : ?env:Pperf_symbolic.Interval.Env.t -> Ast.do_loop -> bool
 (** True when the outer two loops of the (perfect) nest can be swapped:
     no dependence with direction (<, >). *)
 
 val pp_dependence : Format.formatter -> dependence -> unit
 val direction_to_string : direction -> string
+val kind_to_string : dep_kind -> string

@@ -2,10 +2,17 @@ open Pperf_num
 open Pperf_symbolic
 open Pperf_lang
 module SSet = Analysis.SSet
+module Absint = Pperf_absint.Absint
 
-type ctx = { known : string -> bool }
+type ctx = {
+  known : string -> bool;
+  ranges : Absint.result option;
+      (** interval abstract interpretation of the routine; when present the
+          checks consult flow-sensitive ranges to avoid false positives and
+          decide more conditions *)
+}
 
-let default_ctx = { known = (fun _ -> false) }
+let default_ctx = { known = (fun _ -> false); ranges = None }
 
 type check = {
   id : string;
@@ -234,9 +241,17 @@ let loop_range (l : Analysis.loop_ctx) =
   | Some lo, Some hi, Some s when s < 0 -> Some (hi, lo)
   | _ -> None
 
-let oob_subscript _ctx (c : Typecheck.checked) =
+let oob_subscript ctx (c : Typecheck.checked) =
   let diags = ref [] in
   let flag severity loc msg fix = diags := Diagnostic.make severity ~check:"oob-subscript" ~loc msg ~fix :: !diags in
+  (* flow-sensitive rebuttal: a violation derived from the full iteration
+     space is dropped when the ranges holding at the reference (branch
+     refinements included) prove the margin polynomial non-negative *)
+  let ranges_refute at margin =
+    match ctx.ranges with
+    | None -> false
+    | Some res -> bound_ge0 (Interval.lo (Interval.eval_poly (Absint.ranges_at res at) margin))
+  in
   List.iter
     (fun (r : Analysis.array_ref) ->
       match Typecheck.lookup c.symbols r.array with
@@ -249,6 +264,11 @@ let oob_subscript _ctx (c : Typecheck.checked) =
             match Sym_expr.affine_in vars sub with
             | None -> () (* the non-affine check owns this case *)
             | Some (coeffs, rest) ->
+              let sub_poly =
+                List.fold_left2
+                  (fun acc cf v -> Poly.add acc (Poly.scale_int cf (Poly.var v)))
+                  rest coeffs vars
+              in
               let analyzable =
                 List.for_all2 (fun cf rg -> cf = 0 || rg <> None) coeffs ranges
               in
@@ -275,13 +295,17 @@ let oob_subscript _ctx (c : Typecheck.checked) =
                 let dim_str =
                   if List.length r.subs > 1 then Printf.sprintf " (dimension %d)" (k + 1) else ""
                 in
-                if Interval.sign_of_poly Interval.Env.empty (Poly.sub hi_b max_sub) = Interval.Neg
+                if
+                  Interval.sign_of_poly Interval.Env.empty (Poly.sub hi_b max_sub) = Interval.Neg
+                  && not (ranges_refute r.at (Poly.sub hi_b sub_poly))
                 then
                   flag Diagnostic.Error r.at
                     (Printf.sprintf "subscript of %s%s reaches %s, past its upper bound %s"
                        r.array dim_str (Poly.to_string max_sub) (Poly.to_string hi_b))
                     "shrink the loop bounds or enlarge the array";
-                if Interval.sign_of_poly Interval.Env.empty (Poly.sub min_sub lo_b) = Interval.Neg
+                if
+                  Interval.sign_of_poly Interval.Env.empty (Poly.sub min_sub lo_b) = Interval.Neg
+                  && not (ranges_refute r.at (Poly.sub sub_poly lo_b))
                 then
                   flag Diagnostic.Error r.at
                     (Printf.sprintf "subscript of %s%s reaches %s, below its lower bound %s"
@@ -294,12 +318,9 @@ let oob_subscript _ctx (c : Typecheck.checked) =
 
 (* ---- 4. loop-carried dependences ---- *)
 
-let dep_kind_str = function
-  | Depend.Flow -> "flow"
-  | Depend.Anti -> "anti"
-  | Depend.Output -> "output"
+let dep_kind_str = Depend.kind_to_string
 
-let loop_carried ~loc (d : Ast.do_loop) =
+let loop_carried ?env ~loc (d : Ast.do_loop) =
   List.map
     (fun (dep : Depend.dependence) ->
       Diagnostic.make Diagnostic.Hint ~check:"carried-dep" ~loc
@@ -308,15 +329,30 @@ let loop_carried ~loc (d : Ast.do_loop) =
            d.var (dep_kind_str dep.kind) dep.src.Analysis.array
            (String.concat "," (List.map Depend.direction_to_string dep.directions)))
         ~fix:"do not parallelize or reorder this loop's iterations")
-    (Depend.carried_dependences d)
+    (Depend.carried_dependences ?env d)
   |> List.sort_uniq Diagnostic.compare
 
-let carried_dep _ctx (c : Typecheck.checked) =
+(* ranges holding before the statement, restricted to variables the
+   fragment does not reassign (the dependence tests need loop-invariant
+   facts) *)
+let invariant_env_at ctx loc (body : Ast.stmt list) index =
+  match ctx.ranges with
+  | None -> None
+  | Some res ->
+    let assigned =
+      SSet.add index
+        (SSet.union (Analysis.assigned_vars body) (Analysis.loop_indices body))
+    in
+    Some (Absint.restrict (Absint.ranges_at res loc) ~keep:(fun x -> not (SSet.mem x assigned)))
+
+let carried_dep ctx (c : Typecheck.checked) =
   let diags = ref [] in
   Ast.iter_stmts
     (fun s ->
       match s.Ast.kind with
-      | Ast.Do d -> diags := loop_carried ~loc:s.Ast.loc d @ !diags
+      | Ast.Do d ->
+        let env = invariant_env_at ctx s.Ast.loc d.body d.var in
+        diags := loop_carried ?env ~loc:s.Ast.loc d @ !diags
       | _ -> ())
     c.routine.body;
   List.sort_uniq Diagnostic.compare !diags
@@ -464,9 +500,16 @@ let unreachable _ctx (c : Typecheck.checked) =
 
 (* ---- 9. denominator sign regions that include zero ---- *)
 
-let div_zero _ctx (c : Typecheck.checked) =
+let div_zero ctx (c : Typecheck.checked) =
   let diags = ref [] in
+  (* with the abstract interpretation available, its flow-sensitive env at
+     the statement (literal propagation, branch refinements) replaces the
+     local constant-bounds one *)
+  let env_at fallback loc =
+    match ctx.ranges with Some res -> Absint.ranges_at res loc | None -> fallback
+  in
   let check_expr env loc e =
+    let env = env_at env loc in
     Ast.fold_expr
       (fun () sub ->
         match sub with
@@ -514,6 +557,85 @@ let div_zero _ctx (c : Typecheck.checked) =
   in
   walk Interval.Env.empty c.routine.body;
   List.rev !diags
+
+(* ---- 9b. provably empty loops ---- *)
+
+let empty_loop ctx (c : Typecheck.checked) =
+  let diags = ref [] in
+  let add loc var why =
+    diags :=
+      Diagnostic.make Diagnostic.Warning ~check:"provably-empty-loop" ~loc
+        (Printf.sprintf "the loop over %s never executes (%s)" var why)
+        ~fix:"delete the loop or fix its bounds"
+      :: !diags
+  in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Do d -> (
+        (* closed-form trip count that is a non-positive constant *)
+        let static =
+          match Sym_expr.trip_count ~lo:d.lo ~hi:d.hi ~step:d.step with
+          | Some p -> (
+            match Poly.to_const p with Some t when Rat.sign t <= 0 -> Some p | _ -> None)
+          | None -> None
+        in
+        match static with
+        | Some p ->
+          add s.Ast.loc d.var (Printf.sprintf "its trip count is %s" (Poly.to_string p))
+        | None -> (
+          (* inferred trip interval with upper bound zero *)
+          match ctx.ranges with
+          | Some res -> (
+            match
+              List.find_opt
+                (fun (l : Absint.loop_range) -> l.at = s.Ast.loc && l.lvar = d.var)
+                (Absint.loops res)
+            with
+            | Some l when bound_le0 (Interval.hi l.trip) ->
+              add s.Ast.loc d.var
+                (Printf.sprintf "its inferred trip count is %s" (Interval.to_string l.trip))
+            | _ -> ())
+          | None -> ()))
+      | _ -> ())
+    c.routine.body;
+  List.rev !diags
+
+(* ---- 9c. conditions constant over the inferred ranges ---- *)
+
+let constant_condition ctx (c : Typecheck.checked) =
+  match ctx.ranges with
+  | None -> [] (* needs the abstract interpretation; see unreachable-branch *)
+  | Some res ->
+    let diags = ref [] in
+    let rec walk env stmts =
+      List.iter
+        (fun (s : Ast.stmt) ->
+          match s.Ast.kind with
+          | Ast.If (branches, els) ->
+            List.iter
+              (fun (cond, body) ->
+                (* skip what the range-free unreachable-branch check already
+                   decides, to avoid duplicate reports *)
+                (match (cond_value env cond, Absint.decide_cond (Absint.ranges_at res s.Ast.loc) cond) with
+                | None, Some b ->
+                  diags :=
+                    Diagnostic.make Diagnostic.Hint ~check:"constant-condition" ~loc:s.Ast.loc
+                      (Printf.sprintf "condition %s is always %s over the inferred ranges"
+                         (Pp_ast.expr_to_string cond)
+                         (if b then "true" else "false"))
+                      ~fix:"drop the test or widen the variable's range"
+                    :: !diags
+                | _ -> ());
+                walk env body)
+              branches;
+            walk env els
+          | Ast.Do d -> walk (extend_env env d) d.body
+          | Ast.Assign _ | Ast.Call_stmt _ | Ast.Return -> ())
+        stmts
+    in
+    walk Interval.Env.empty c.routine.body;
+    List.rev !diags
 
 (* ---- 10. calls with no known cost ---- *)
 
@@ -590,6 +712,16 @@ let registry =
       run = unreachable;
     };
     { id = "div-by-zero"; about = "denominator sign region includes zero"; run = div_zero };
+    {
+      id = "provably-empty-loop";
+      about = "do loop whose trip count is provably zero";
+      run = empty_loop;
+    };
+    {
+      id = "constant-condition";
+      about = "branch condition decided by the inferred ranges (needs --ranges)";
+      run = constant_condition;
+    };
     {
       id = "unknown-call";
       about = "call charged the default cost (precision loss)";

@@ -14,10 +14,15 @@ type ctx = {
   known : string -> bool;
       (** routines with a known cost: defined in the same program or
           registered in a library cost table *)
+  ranges : Pperf_absint.Absint.result option;
+      (** interval abstract interpretation of the routine; when present,
+          out-of-bounds and division-by-zero verdicts are rebutted by the
+          flow-sensitive ranges, the dependence tests receive invariant
+          variable ranges, and [constant-condition] activates *)
 }
 
 val default_ctx : ctx
-(** Nothing known beyond the intrinsics. *)
+(** Nothing known beyond the intrinsics; no ranges. *)
 
 type check = {
   id : string;  (** stable identifier, shown as [severity[id]] *)
@@ -28,6 +33,8 @@ type check = {
 val registry : check list
 val ids : string list
 
-val loop_carried : loc:Srcloc.t -> Ast.do_loop -> Diagnostic.t list
+val loop_carried :
+  ?env:Pperf_symbolic.Interval.Env.t -> loc:Srcloc.t -> Ast.do_loop -> Diagnostic.t list
 (** The carried-dependence diagnostics of one loop — exposed so the
-    transformation search can cite the diagnostic that blocked an action. *)
+    transformation search can cite the diagnostic that blocked an action.
+    [env] passes loop-invariant variable ranges to the dependence tests. *)

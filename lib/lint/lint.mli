@@ -8,14 +8,18 @@ type report = {
   diagnostics : Diagnostic.t list;  (** in {!Diagnostic.compare} order *)
 }
 
-val run_checked : ?known:(string -> bool) -> Typecheck.checked -> Diagnostic.t list
+val run_checked :
+  ?known:(string -> bool) -> ?ranges:bool -> Typecheck.checked -> Diagnostic.t list
 (** Every registry check over one routine. [known] marks routine names
-    with a known cost (defaults to none). *)
+    with a known cost (defaults to none). [ranges] (default false) runs
+    the interval abstract interpretation first and hands the result to the
+    checks: fewer out-of-bounds / div-by-zero false positives, dependence
+    tests with variable ranges, and the [constant-condition] check. *)
 
-val run_program : Typecheck.checked list -> report list
+val run_program : ?ranges:bool -> Typecheck.checked list -> report list
 (** Routines defined in the program are [known] to each other. *)
 
-val run_source : string -> report list
+val run_source : ?ranges:bool -> string -> report list
 (** Parse, check, lint. @raise Parser.Error / Typecheck.Type_error *)
 
 val precision : Diagnostic.t list -> Diagnostic.t list

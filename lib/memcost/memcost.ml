@@ -279,6 +279,8 @@ module Sim = struct
   let misses t = t.misses
   let accesses t = t.accesses
 
+  exception Non_int of Ast.expr
+
   (* integer expression evaluation under an environment *)
   let rec eval_int env (e : Ast.expr) : int =
     match e with
@@ -294,9 +296,23 @@ module Sim = struct
       List.fold_left (fun acc a -> min acc (eval_int env a)) max_int args
     | Ast.Call ("max", args) | Ast.Call ("max0", args) ->
       List.fold_left (fun acc a -> max acc (eval_int env a)) min_int args
-    | _ -> failwith "Memcost.Sim: non-integer expression in subscript"
+    | _ -> raise (Non_int e)
 
-  let run_nest ~machine ~symtab ~bounds loops stmts =
+  let run_nest ?(on_diag = fun (_ : Pperf_lint.Diagnostic.t) -> ()) ~machine ~symtab
+      ~bounds loops stmts =
+    (* report each offending source location once, however many iterations
+       hit it *)
+    let reported = Hashtbl.create 4 in
+    let skip ~(loc : Srcloc.t) ~what e =
+      if not (Hashtbl.mem reported (loc.line, loc.col, what)) then (
+        Hashtbl.add reported (loc.line, loc.col, what) ();
+        on_diag
+          (Pperf_lint.Diagnostic.make Pperf_lint.Diagnostic.Precision
+             ~check:"sim-non-integer" ~loc
+             (Printf.sprintf
+                "cache simulation skipped this %s: '%s' does not evaluate to an integer"
+                what (Pp_ast.expr_to_string e))))
+    in
     let cache = create machine.Machine.cache in
     (* lay arrays out at disjoint bases *)
     let bases = Hashtbl.create 8 in
@@ -332,17 +348,19 @@ module Sim = struct
         (b, (elem_bytes, extents, lows))
     in
     let touch env (r : Analysis.array_ref) =
-      let b, (elem_bytes, extents, lows) = base_of r.array in
-      let idxs = List.map (eval_int env) r.subs in
-      let rec addr idxs extents lows scale acc =
-        match (idxs, extents, lows) with
-        | [], _, _ -> acc
-        | i :: is, e :: es, l :: ls -> addr is es ls (scale * e) (acc + ((i - l) * scale))
-        | i :: is, [], [] -> addr is [] [] scale (acc + ((i - 1) * scale))
-        | _ -> acc
-      in
-      let a = addr idxs extents lows 1 0 in
-      ignore (access cache (b + (a * elem_bytes)))
+      try
+        let b, (elem_bytes, extents, lows) = base_of r.array in
+        let idxs = List.map (eval_int env) r.subs in
+        let rec addr idxs extents lows scale acc =
+          match (idxs, extents, lows) with
+          | [], _, _ -> acc
+          | i :: is, e :: es, l :: ls -> addr is es ls (scale * e) (acc + ((i - l) * scale))
+          | i :: is, [], [] -> addr is [] [] scale (acc + ((i - 1) * scale))
+          | _ -> acc
+        in
+        let a = addr idxs extents lows 1 0 in
+        ignore (access cache (b + (a * elem_bytes)))
+      with Non_int e -> skip ~loc:r.at ~what:"array reference" e
     in
     let rec exec env (ss : Ast.stmt list) =
       List.iter
@@ -354,15 +372,20 @@ module Sim = struct
             List.iter (fun r -> touch env { r with loops = [] }) reads;
             if lhs.subs <> [] then
               touch env { array = lhs.base; subs = lhs.subs; is_write = true; loops = []; at = s.loc }
-          | Ast.Do d ->
-            let lo = eval_int env d.lo and hi = eval_int env d.hi in
-            let step = match d.step with None -> 1 | Some e -> eval_int env e in
-            let i = ref lo in
-            while (step > 0 && !i <= hi) || (step < 0 && !i >= hi) do
-              let env' x = if String.equal x d.var then !i else env x in
-              exec env' d.body;
-              i := !i + step
-            done
+          | Ast.Do d -> (
+            match
+              ( eval_int env d.lo,
+                eval_int env d.hi,
+                match d.step with None -> 1 | Some e -> eval_int env e )
+            with
+            | lo, hi, step ->
+              let i = ref lo in
+              while (step > 0 && !i <= hi) || (step < 0 && !i >= hi) do
+                let env' x = if String.equal x d.var then !i else env x in
+                exec env' d.body;
+                i := !i + step
+              done
+            | exception Non_int e -> skip ~loc:s.loc ~what:"loop bound" e)
           | Ast.If (branches, els) ->
             (* execute the first branch: for cost validation we take the
                hot path; conditions with array refs are rare in our

@@ -73,6 +73,7 @@ module Sim : sig
   val accesses : t -> int
 
   val run_nest :
+    ?on_diag:(Pperf_lint.Diagnostic.t -> unit) ->
     machine:Machine.t ->
     symtab:Typecheck.symtab ->
     bounds:(string -> int) ->
@@ -81,5 +82,11 @@ module Sim : sig
     int * int
   (** Enumerate the iteration space with concrete bounds, simulate every
       array access in column-major layout, and return
-      [(misses, accesses)]. Exponential in principle — use small bounds. *)
+      [(misses, accesses)]. Exponential in principle — use small bounds.
+
+      A subscript or loop bound that does not evaluate to an integer
+      (a real-typed expression, an unknown intrinsic) does not abort the
+      simulation: the offending reference or loop is skipped and one
+      [Precision] diagnostic per source location is passed to [on_diag]
+      (dropped by default). *)
 end

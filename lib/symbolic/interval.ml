@@ -56,6 +56,9 @@ let hi t = t.hi
 
 let is_point t = match (t.lo, t.hi) with Fin a, Fin b when Rat.equal a b -> Some a | _ -> None
 
+let equal a b = bound_compare a.lo b.lo = 0 && bound_compare a.hi b.hi = 0
+let is_full t = t.lo = Neg_inf && t.hi = Pos_inf
+
 let contains t r = bound_compare t.lo (Fin r) <= 0 && bound_compare (Fin r) t.hi <= 0
 let subset a b = bound_compare b.lo a.lo <= 0 && bound_compare a.hi b.hi <= 0
 
@@ -64,6 +67,22 @@ let intersect a b =
   if bound_compare lo hi <= 0 then Some { lo; hi } else None
 
 let union a b = { lo = bound_min a.lo b.lo; hi = bound_max a.hi b.hi }
+
+(* widening: any bound that moved outward jumps to infinity, so ascending
+   chains in a fixpoint stabilize after one widening step per bound *)
+let widen a b =
+  {
+    lo = (if bound_compare b.lo a.lo < 0 then Neg_inf else a.lo);
+    hi = (if bound_compare b.hi a.hi > 0 then Pos_inf else a.hi);
+  }
+
+(* narrowing: recover a finite bound that widening threw away, but never
+   move a finite bound (so a descending chain also stabilizes) *)
+let narrow a b =
+  {
+    lo = (match a.lo with Neg_inf -> b.lo | _ -> a.lo);
+    hi = (match a.hi with Pos_inf -> b.hi | _ -> a.hi);
+  }
 
 let width t =
   match (t.lo, t.hi) with Fin a, Fin b -> Some (Rat.sub b a) | _ -> None

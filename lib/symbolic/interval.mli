@@ -29,10 +29,24 @@ val lo : t -> bound
 val hi : t -> bound
 
 val is_point : t -> Rat.t option
+val equal : t -> t -> bool
+val is_full : t -> bool
+(** Both bounds infinite — the "no information" element. *)
+
 val contains : t -> Rat.t -> bool
 val subset : t -> t -> bool
 val intersect : t -> t -> t option
 val union : t -> t -> t
+
+val widen : t -> t -> t
+(** [widen a b] keeps each bound of [a] that [b] does not escape and sends
+    the others to infinity — the classic interval widening; [widen a a = a]
+    and [widen a b = a] whenever [b] is a subset of [a]. *)
+
+val narrow : t -> t -> t
+(** [narrow a b] refines the infinite bounds of [a] with those of [b] (one
+    standard narrowing pass after widening); finite bounds of [a] win. *)
+
 val width : t -> Rat.t option
 (** [None] when unbounded. *)
 

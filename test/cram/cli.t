@@ -57,7 +57,7 @@ The lint subcommand runs every diagnostic check; the demo sample trips
 all of them, and the errors drive the exit status to 2:
 
   $ ppredict lint ../../samples/lintdemo.pf
-  lintdemo: 14 diagnostics
+  lintdemo: 15 diagnostics
     0:0 hint[unused-var] variable unused is declared but never referenced
       fix: remove the declaration of unused
     8:4 warning[use-before-def] scalar t may be read before it is assigned
@@ -74,21 +74,23 @@ all of them, and the errors drive the exit status to 2:
       fix: rewrite the subscript as an affine function of the loop indices
     23:5 error[bad-step] zero step: the loop over k never advances
       fix: use a nonzero step
-    28:7 error[index-shadowed] loop index i shadows the index of an enclosing loop
+    27:5 warning[provably-empty-loop] the loop over k never executes (its trip count is 0)
+      fix: delete the loop or fix its bounds
+    32:7 error[index-shadowed] loop index i shadows the index of an enclosing loop
       fix: rename the inner loop index
-    34:6 error[index-modified] loop index j is modified inside the loop body
+    38:6 error[index-modified] loop index j is modified inside the loop body
       fix: use a separate scalar for the computation
-    38:7 warning[unreachable-branch] condition i < 0 is always false: its branch is never taken
+    42:7 warning[unreachable-branch] condition i < 0 is always false: its branch is never taken
       fix: remove the branch or fix the condition
-    41:6 error[div-by-zero] division by zero
+    45:6 error[div-by-zero] division by zero
       fix: remove the division or fix the denominator
-    41:6 warning[dead-store] value stored to m is never read
+    45:6 warning[dead-store] value stored to m is never read
       fix: delete the assignment or use m afterwards
-    44:7 precision[unknown-call] call to unknown routine mystery falls back to the default call cost
+    48:7 precision[unknown-call] call to unknown routine mystery falls back to the default call cost
       fix: predict interprocedurally (-i) or register mystery in the library cost table
   [2]
 
-The JSON rendering carries the same findings; all twelve check ids appear:
+The JSON rendering carries the same findings; all thirteen check ids appear:
 
   $ ppredict lint --json ../../samples/lintdemo.pf | tr ',' '\n' | grep -o '"check":"[a-z-]*"' | sort -u
   "check":"bad-step"
@@ -99,6 +101,7 @@ The JSON rendering carries the same findings; all twelve check ids appear:
   "check":"index-shadowed"
   "check":"non-affine-subscript"
   "check":"oob-subscript"
+  "check":"provably-empty-loop"
   "check":"unknown-call"
   "check":"unreachable-branch"
   "check":"unused-var"
@@ -131,4 +134,81 @@ reordering it could not apply:
     tile at [0]: 4:5 hint[carried-dep] loop over i carries a flow dependence on a (<,>): iterations are not independent
     reverse at [0]: 4:5 hint[carried-dep] loop over i carries a flow dependence on a (<,>): iterations are not independent
   
+
+
+The ranges subcommand prints the interval abstract interpretation:
+per-loop index and trip intervals (indented by nesting depth), then the
+routine-wide variable summary:
+
+  $ ppredict ranges ../../samples/jacobi.pf
+  routine jacobi:
+    loops:
+      i at 4:5: index [2, +inf], trip [0, +inf]
+        j at 5:7: index [2, +inf], trip [0, +inf]
+    variable ranges:
+      i in [2, +inf]
+      j in [2, +inf]
+
+A scalar assignment pins the inner loop of mulloop.pf to eight trips:
+
+  $ ppredict ranges ../../samples/mulloop.pf
+  routine mulloop:
+    loops:
+      i at 9:5: index [1, +inf], trip [0, +inf]
+        j at 11:7: index [1, 8], trip [8, 8]
+    variable ranges:
+      i in [1, +inf]
+      j in [1, 8]
+      m in [8, 8]
+
+The JSON rendering is a stable schema for tooling:
+
+  $ ppredict ranges --json ../../samples/daxpy.pf
+  {"routines":[{"routine":"daxpy","loops":[{"var":"i","line":4,"depth":0,"index":"[1, +inf]","trip":"[0, +inf]"}],"summary":{"i":"[1, +inf]"}}]}
+
+Over unbounded ranges the divloop/mulloop comparison depends on the
+unknown unrolling factor m and stays undecided:
+
+  $ ppredict compare ../../samples/divloop.pf ../../samples/mulloop.pf
+  first:  divloop on power1: 18*n + 2
+  second: mulloop on power1: 3*m*n + 6*n + 3
+  undecided; run-time test on sign of -3*m*n + 12*n - 1 (recommend second)
+  suggested run-time test: if (-1 - 3*m*n + 12*n .le. 0) then  ! tests n, m; ~11 cycles
+
+With --ranges the abstract interpretation pins m = 8 and the comparison
+is decided at compile time:
+
+  $ ppredict compare --ranges ../../samples/divloop.pf ../../samples/mulloop.pf
+  first:  divloop on power1: 18*n + 2
+  second: mulloop on power1: 3*m*n + 6*n + 3
+  first <= second over the whole range (recommend first)
+
+Range-aware lint: rangedemo.pf's defects are all false positives that
+the flow-sensitive ranges eliminate. Without ranges the out-of-bounds
+error drives the exit status to 2:
+
+  $ ppredict lint ../../samples/rangedemo.pf
+  rangedemo: 5 diagnostics
+    10:5 hint[carried-dep] loop over i carries a flow dependence on a (<): iterations are not independent
+      fix: do not parallelize or reorder this loop's iterations
+    12:8 error[oob-subscript] subscript of a reaches 101, past its upper bound 100
+      fix: shrink the loop bounds or enlarge the array
+    12:8 warning[div-by-zero] denominator m has a sign region that includes zero
+      fix: guard the division or declare a range excluding zero
+    16:5 hint[carried-dep] loop over i carries a anti dependence on a (<): iterations are not independent
+      fix: do not parallelize or reorder this loop's iterations
+    16:5 hint[carried-dep] loop over i carries a flow dependence on a (<): iterations are not independent
+      fix: do not parallelize or reorder this loop's iterations
+  [2]
+
+With --ranges the guarded subscript, the nonzero denominator, and the
+disjoint accesses are all proved safe; the genuine carried dependence
+at line 10 stays, and the exit status drops to 0:
+
+  $ ppredict lint --ranges ../../samples/rangedemo.pf
+  rangedemo: 2 diagnostics
+    10:5 hint[carried-dep] loop over i carries a flow dependence on a (<): iterations are not independent
+      fix: do not parallelize or reorder this loop's iterations
+    20:5 hint[constant-condition] condition m > 1 is always true over the inferred ranges
+      fix: drop the test or widen the variable's range
 

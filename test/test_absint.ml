@@ -1,0 +1,209 @@
+(* Tests for the interval abstract interpretation: fixpoint ranges,
+   widening/narrowing, branch refinement, and the summary/exit boxes. *)
+
+open Pperf_num
+open Pperf_lang
+open Pperf_symbolic
+module A = Pperf_absint.Absint
+
+let checked src = Typecheck.check_routine (Parser.parse_routine src)
+let analyze src = A.analyze (checked src)
+let s i = Interval.to_string i
+let iv = Interval.of_ints
+
+let find_summary res x =
+  match Interval.Env.find_opt x (A.summary res) with
+  | Some i -> i
+  | None -> Interval.full
+
+let loop_over res v =
+  match List.find_opt (fun (l : A.loop_range) -> l.lvar = v) (A.loops res) with
+  | Some l -> l
+  | None -> Alcotest.failf "no loop over %s" v
+
+(* ---- loop index and trip enclosures ---- *)
+
+let test_constant_loop () =
+  let res =
+    analyze "subroutine s(a)\n  integer i\n  real a(100)\n  do i = 1, 10\n    a(i) = 0.0\n  end do\nend\n"
+  in
+  let l = loop_over res "i" in
+  Alcotest.(check string) "index" "[1, 10]" (s l.index);
+  Alcotest.(check string) "trip" "[10, 10]" (s l.trip);
+  Alcotest.(check int) "depth" 0 l.depth
+
+let test_symbolic_loop () =
+  let res =
+    analyze
+      "subroutine s(a, n)\n  integer n, i\n  real a(100)\n  do i = 1, n\n    a(1) = 0.0\n  end do\nend\n"
+  in
+  let l = loop_over res "i" in
+  Alcotest.(check string) "index" "[1, +inf]" (s l.index);
+  Alcotest.(check string) "trip" "[0, +inf]" (s l.trip)
+
+let test_pinned_bound () =
+  let res =
+    analyze
+      "subroutine s(a)\n\
+      \  integer i, j, m\n\
+      \  real a(100)\n\
+      \  m = 8\n\
+      \  do i = 1, 4\n\
+      \    do j = 1, m\n\
+      \      a(j) = 0.0\n\
+      \    end do\n\
+      \  end do\nend\n"
+  in
+  let l = loop_over res "j" in
+  Alcotest.(check string) "inner index" "[1, 8]" (s l.index);
+  Alcotest.(check string) "inner trip" "[8, 8]" (s l.trip);
+  Alcotest.(check int) "inner depth" 1 l.depth;
+  Alcotest.(check string) "summary m" "[8, 8]" (s (find_summary res "m"))
+
+let test_zero_trip () =
+  let res =
+    analyze "subroutine s(x)\n  integer i\n  real x\n  do i = 5, 1\n    x = 0.0\n  end do\nend\n"
+  in
+  let l = loop_over res "i" in
+  Alcotest.(check string) "trip is zero" "[0, 0]" (s l.trip)
+
+let test_step_loop () =
+  let res =
+    analyze
+      "subroutine s(x)\n  integer i\n  real x\n  do i = 1, 9, 2\n    x = 0.0\n  end do\nend\n"
+  in
+  let l = loop_over res "i" in
+  Alcotest.(check string) "index" "[1, 9]" (s l.index);
+  Alcotest.(check string) "trip" "[5, 5]" (s l.trip)
+
+(* ---- widening terminates, narrowing recovers ---- *)
+
+let test_accumulator_widens () =
+  let res =
+    analyze
+      "subroutine s(x, n)\n\
+      \  integer n, i, x\n\
+      \  x = 0\n\
+      \  do i = 1, n\n\
+      \    x = x + 1\n\
+      \  end do\nend\n"
+  in
+  (* x grows without bound: lower bound 0 survives, upper is widened away *)
+  let x = find_summary res "x" in
+  Alcotest.(check bool) "lower bound kept" true (Interval.lo x = Interval.Fin Rat.zero);
+  Alcotest.(check bool) "upper bound widened" true (Interval.hi x = Interval.Pos_inf)
+  [@@ocamlformat "disable"]
+
+let test_bounded_accumulator () =
+  (* min() caps the accumulator: narrowing keeps the cap *)
+  let res =
+    analyze
+      "subroutine s(x, n)\n\
+      \  integer n, i, x\n\
+      \  x = 0\n\
+      \  do i = 1, n\n\
+      \    x = min(x + 1, 7)\n\
+      \  end do\nend\n"
+  in
+  let x = find_summary res "x" in
+  Alcotest.(check string) "capped" "[0, 7]" (s x)
+
+(* ---- expression evaluation and condition refinement ---- *)
+
+let test_eval_expr () =
+  let env = Interval.Env.of_list [ ("n", iv 1 10) ] in
+  Alcotest.(check string) "affine" "[3, 21]"
+    (s (A.eval_expr env (Ast.Binop (Ast.Add, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Var "n"), Ast.Int 1))));
+  Alcotest.(check string) "division" "[1/10, 1]"
+    (s (A.eval_expr env (Ast.Binop (Ast.Div, Ast.Int 1, Ast.Var "n"))));
+  Alcotest.(check string) "min intrinsic" "[1, 5]"
+    (s (A.eval_expr env (Ast.Call ("min", [ Ast.Var "n"; Ast.Int 5 ]))));
+  Alcotest.(check string) "abs intrinsic" "[0, 4]"
+    (s (A.eval_expr (Interval.Env.of_list [ ("m", iv (-3) 4) ]) (Ast.Call ("abs", [ Ast.Var "m" ]))))
+
+let test_decide_cond () =
+  let env = Interval.Env.of_list [ ("n", iv 1 10) ] in
+  Alcotest.(check (option bool)) "n > 0 true" (Some true)
+    (A.decide_cond env (Ast.Binop (Ast.Gt, Ast.Var "n", Ast.Int 0)));
+  Alcotest.(check (option bool)) "n > 10 unknown" None
+    (A.decide_cond env (Ast.Binop (Ast.Gt, Ast.Var "n", Ast.Int 5)));
+  Alcotest.(check (option bool)) "n > 20 false" (Some false)
+    (A.decide_cond env (Ast.Binop (Ast.Gt, Ast.Var "n", Ast.Int 20)))
+
+let test_assume_refines () =
+  let c = checked "subroutine s(n)\n  integer n, m\n  m = n\nend\n" in
+  let env = Interval.Env.of_list [ ("n", iv 1 10) ] in
+  (match A.assume c.symbols env (Ast.Binop (Ast.Le, Ast.Var "n", Ast.Int 5)) with
+   | Some env' -> Alcotest.(check string) "n <= 5" "[1, 5]" (s (Interval.Env.find "n" env'))
+   | None -> Alcotest.fail "feasible condition reported infeasible");
+  (* integer tightening: n < 5 means n <= 4 *)
+  (match A.assume c.symbols env (Ast.Binop (Ast.Lt, Ast.Var "n", Ast.Int 5)) with
+   | Some env' -> Alcotest.(check string) "n < 5 (int)" "[1, 4]" (s (Interval.Env.find "n" env'))
+   | None -> Alcotest.fail "feasible condition reported infeasible");
+  (* affine: n + 3 <= 6 means n <= 3 *)
+  (match
+     A.assume c.symbols env
+       (Ast.Binop (Ast.Le, Ast.Binop (Ast.Add, Ast.Var "n", Ast.Int 3), Ast.Int 6))
+   with
+   | Some env' -> Alcotest.(check string) "n+3 <= 6" "[1, 3]" (s (Interval.Env.find "n" env'))
+   | None -> Alcotest.fail "feasible condition reported infeasible");
+  (* infeasible conditions give None *)
+  Alcotest.(check bool) "n > 99 infeasible" true
+    (A.assume c.symbols env (Ast.Binop (Ast.Gt, Ast.Var "n", Ast.Int 99)) = None)
+
+let test_branch_refinement_flows () =
+  (* the else branch of (n <= 0) knows n >= 1, so the guarded division by n
+     has a nonzero denominator: exit env of q excludes the unguarded path *)
+  let res =
+    analyze
+      "subroutine s(q, n)\n\
+      \  integer n\n\
+      \  real q\n\
+      \  q = 0.0\n\
+      \  if (n > 2) then\n\
+      \    q = 1.0\n\
+      \  end if\nend\n"
+  in
+  Alcotest.(check string) "exit joins branches" "[0, 1]"
+    (s (Interval.Env.find "q" (A.exit_env res)))
+
+let test_summary_excludes_input_refinement () =
+  (* n is never assigned: branch-local refinements must not leak into the
+     routine-wide summary *)
+  let res =
+    analyze
+      "subroutine s(x, n)\n\
+      \  integer n\n\
+      \  real x\n\
+      \  if (n > 0) then\n\
+      \    x = 1.0\n\
+      \  end if\nend\n"
+  in
+  Alcotest.(check bool) "n unconstrained in summary" true
+    (Interval.is_full (find_summary res "n"))
+
+let () =
+  Alcotest.run "absint"
+    [
+      ( "loops",
+        [
+          Alcotest.test_case "constant bounds" `Quick test_constant_loop;
+          Alcotest.test_case "symbolic bound" `Quick test_symbolic_loop;
+          Alcotest.test_case "pinned bound" `Quick test_pinned_bound;
+          Alcotest.test_case "zero trip" `Quick test_zero_trip;
+          Alcotest.test_case "stepped" `Quick test_step_loop;
+        ] );
+      ( "fixpoint",
+        [
+          Alcotest.test_case "accumulator widens" `Quick test_accumulator_widens;
+          Alcotest.test_case "bounded accumulator" `Quick test_bounded_accumulator;
+        ] );
+      ( "refine",
+        [
+          Alcotest.test_case "eval expr" `Quick test_eval_expr;
+          Alcotest.test_case "decide cond" `Quick test_decide_cond;
+          Alcotest.test_case "assume" `Quick test_assume_refines;
+          Alcotest.test_case "branch join" `Quick test_branch_refinement_flows;
+          Alcotest.test_case "summary hygiene" `Quick test_summary_excludes_input_refinement;
+        ] );
+    ]

@@ -94,6 +94,25 @@ let test_sim_aligned_zero () =
       ~bounds:(fun v -> if v = "p" then 8 else 64) [] c.routine.body in
   Alcotest.(check int) "aligned = no messages" 0 messages
 
+let test_sim_non_integer_skip () =
+  (* real-typed subscript arithmetic: the statement is skipped with a
+     diagnostic instead of failwith *)
+  let c = checked "subroutine s(a, b, r, n)\n  integer n, i\n  real a(64), b(64), r\n  do i = 2, n\n    a(int(r)) = b(i-1)\n  end do\nend\n" in
+  let layouts = [ ("a", { ldist = [ Block ] }); ("b", { ldist = [ Block ] }) ] in
+  let diags = ref [] in
+  let messages, bytes =
+    Comm.Sim.count_messages
+      ~on_diag:(fun d -> diags := d :: !diags)
+      ~comm ~symtab:c.symbols ~layouts
+      ~bounds:(fun v -> if v = "p" then 8 else 64)
+      [] c.routine.body
+  in
+  Alcotest.(check int) "nothing counted" 0 messages;
+  Alcotest.(check int) "no bytes" 0 bytes;
+  Alcotest.(check int) "reported once" 1 (List.length !diags);
+  Alcotest.(check string) "check id" "sim-non-integer"
+    (List.hd !diags).Pperf_lint.Diagnostic.check
+
 let test_sim_vs_static_shift () =
   (* static prediction: shift = 2 messages on the critical path; the
      simulator counts 7 total one-hop messages (p-1 pairs), which the
@@ -124,6 +143,7 @@ let () =
         [
           Alcotest.test_case "shift messages" `Quick test_sim_shift_messages;
           Alcotest.test_case "aligned zero" `Quick test_sim_aligned_zero;
+          Alcotest.test_case "non-integer skip" `Quick test_sim_non_integer_skip;
           Alcotest.test_case "static vs sim" `Quick test_sim_vs_static_shift;
         ] );
     ]

@@ -149,6 +149,40 @@ let test_compare_equal () =
   let d = Compare.decide env c c in
   Alcotest.(check bool) "equal" true (d.verdict = Signs.Equal)
 
+let test_compare_point_subst () =
+  (* diff n*(12 - 3m) is undecidable over unbounded n, m, but an env
+     pinning m to a point makes it univariate and exactly decidable *)
+  let cf = Perf_expr.of_cpu (Poly.scale_int 18 (Poly.var "n")) in
+  let cg =
+    Perf_expr.of_cpu
+      (Poly.add
+         (Poly.scale_int 3 (Poly.mul (Poly.var "m") (Poly.var "n")))
+         (Poly.scale_int 6 (Poly.var "n")))
+  in
+  let d = Compare.decide Interval.Env.empty cf cg in
+  (match d.verdict with
+   | Signs.Undecided _ -> ()
+   | _ -> Alcotest.fail "expected undecided without ranges");
+  let env = Interval.Env.of_list [ ("m", Interval.of_ints 8 8) ] in
+  let d = Compare.decide env cf cg in
+  (match d.verdict with
+   | Signs.Always_le -> ()
+   | _ -> Alcotest.fail "expected always_le with m = 8")
+
+let test_inferred_env () =
+  let src =
+    "subroutine s(a)\n  integer i, m\n  real a(100)\n  m = 8\n  do i = 1, m\n    a(i) = 0.0\n  end do\nend\n"
+  in
+  let c = Typecheck.check_routine (Parser.parse_routine src) in
+  let env = Compare.inferred_env [ c ] in
+  Alcotest.(check (option string)) "m inferred" (Some "[8, 8]")
+    (Option.map Interval.to_string (Interval.Env.find_opt "m" env));
+  (* explicit caller bindings win over inferred ones *)
+  let base = Interval.Env.of_list [ ("m", Interval.of_ints 1 4) ] in
+  let env = Compare.inferred_env ~base [ c ] in
+  Alcotest.(check (option string)) "base wins" (Some "[1, 4]")
+    (Option.map Interval.to_string (Interval.Env.find_opt "m" env))
+
 (* ---- incremental ---- *)
 
 let test_incremental_consistent () =
@@ -356,6 +390,8 @@ let () =
           Alcotest.test_case "decides" `Quick test_compare_decides;
           Alcotest.test_case "crossover" `Quick test_compare_crossover;
           Alcotest.test_case "equal" `Quick test_compare_equal;
+          Alcotest.test_case "point substitution" `Quick test_compare_point_subst;
+          Alcotest.test_case "inferred env" `Quick test_inferred_env;
         ] );
       ( "incremental",
         [

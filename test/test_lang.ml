@@ -291,6 +291,53 @@ let test_carried () =
     Alcotest.(check int) "one carried dep" 1 (List.length (Depend.carried_dependences d))
   | _ -> Alcotest.fail "parse"
 
+let test_classify_total () =
+  (* read-read pairs are Input, not a crash; dependences_in filters them *)
+  let refs = Analysis.array_refs (Parser.parse_stmts "x = a(i) + a(i)\n") in
+  match refs with
+  | [ r1; r2 ] ->
+    Alcotest.(check string) "read-read is input" "input"
+      (Depend.kind_to_string (Depend.classify r1 r2))
+  | l -> Alcotest.failf "expected 2 refs, got %d" (List.length l)
+
+(* ---- range-strengthened dependence tests ---- *)
+
+let env_of l =
+  Pperf_symbolic.Interval.Env.of_list
+    (List.map (fun (v, lo, hi) -> (v, Pperf_symbolic.Interval.of_ints lo hi)) l)
+
+let test_env_symbolic_bounds () =
+  (* a(i) vs a(i+200) under do i = 1, n: dependent for large n, but the
+     range n <= 100 lets Banerjee disprove it *)
+  let src = "do i = 1, n\n  a(i) = a(i + 200) + 1.0\nend do\n" in
+  let stmts = Parser.parse_stmts src in
+  Alcotest.(check int) "unknown n: dependent" 1
+    (List.length (Depend.dependences_in stmts));
+  Alcotest.(check int) "n in [1,100]: independent" 0
+    (List.length (Depend.dependences_in ~env:(env_of [ ("n", 1, 100) ]) stmts))
+
+let test_env_pinned_offset () =
+  (* a(i) vs a(i+m): a symbolic distance pinned to a point by the env *)
+  let src = "do i = 1, 2\n  a(i) = a(i + m) + 1.0\nend do\n" in
+  let stmts = Parser.parse_stmts src in
+  Alcotest.(check bool) "unknown m: dependent" true
+    (Depend.dependences_in stmts <> []);
+  Alcotest.(check int) "m = 2: disjoint" 0
+    (List.length (Depend.dependences_in ~env:(env_of [ ("m", 2, 2) ]) stmts))
+
+let test_env_disjoint_ranges () =
+  (* writes to a(i) with i <= 50, reads a(j) with j >= 51: the per-dimension
+     subscript ranges cannot intersect (the loop bounds alone prove it, but
+     only the range-aware path looks at them) *)
+  let src =
+    "do i = 1, 50\n  a(i) = 1.0\nend do\ndo j = 51, 100\n  x = a(j) + 1.0\nend do\n"
+  in
+  let stmts = Parser.parse_stmts src in
+  Alcotest.(check bool) "range-free: dependent by default" true
+    (Depend.dependences_in stmts <> []);
+  Alcotest.(check int) "disjoint index ranges: independent" 0
+    (List.length (Depend.dependences_in ~env:(env_of []) stmts))
+
 (* conservative fallbacks of the direction-vector refinement *)
 
 let dirs_of src =
@@ -508,6 +555,10 @@ let () =
           Alcotest.test_case "jacobi none" `Quick test_dep_jacobi_none;
           Alcotest.test_case "interchange legality" `Quick test_interchange_legal;
           Alcotest.test_case "carried" `Quick test_carried;
+          Alcotest.test_case "classify total" `Quick test_classify_total;
+          Alcotest.test_case "env symbolic bounds" `Quick test_env_symbolic_bounds;
+          Alcotest.test_case "env pinned offset" `Quick test_env_pinned_offset;
+          Alcotest.test_case "env disjoint ranges" `Quick test_env_disjoint_ranges;
           Alcotest.test_case "directions non-affine" `Quick test_dirs_non_affine;
           Alcotest.test_case "directions negative step" `Quick test_dirs_negative_step;
           Alcotest.test_case "directions coupled" `Quick test_dirs_coupled;

@@ -10,8 +10,8 @@ let ids ds = List.sort_uniq compare (List.map (fun (d : Diagnostic.t) -> d.check
 let has check ds = List.mem check (ids ds)
 
 let test_registry () =
-  Alcotest.(check int) "12 checks" 12 (List.length Checks.registry);
-  Alcotest.(check int) "ids distinct" 12 (List.length (List.sort_uniq compare Checks.ids))
+  Alcotest.(check int) "14 checks" 14 (List.length Checks.registry);
+  Alcotest.(check int) "ids distinct" 14 (List.length (List.sort_uniq compare Checks.ids))
 
 let test_use_before_def () =
   Alcotest.(check bool) "read before assign flagged" true
@@ -90,6 +90,83 @@ let test_div_zero () =
   Alcotest.(check (list bool)) "positive denominator clean" []
     (List.map (fun _ -> true)
        (sev "subroutine s(x, n)\n  integer n, i\n  real x(100)\n  do i = 1, n\n    x(i) = x(i) / 2.0\n  end do\nend\n"))
+
+let lint_ranges src =
+  Lint.run_checked ~ranges:true (Typecheck.check_routine (Parser.parse_routine src))
+
+let test_empty_loop () =
+  (* constant bounds prove emptiness without any range analysis *)
+  Alcotest.(check bool) "constant empty loop flagged" true
+    (has "provably-empty-loop"
+       (lint "subroutine s(x)\n  integer i\n  real x\n  do i = 5, 1\n    x = 0.0\n  end do\nend\n"));
+  Alcotest.(check bool) "normal loop clean" false
+    (has "provably-empty-loop"
+       (lint "subroutine s(x)\n  integer i\n  real x\n  do i = 1, 5\n    x = 0.0\n  end do\nend\n"));
+  (* a symbolic bound needs the inferred ranges to prove the trip is zero *)
+  let src =
+    "subroutine s(x)\n  integer i, m\n  real x\n  m = 0\n  do i = 1, m\n    x = 0.0\n  end do\nend\n"
+  in
+  Alcotest.(check bool) "symbolic empty: range-free misses it" false
+    (has "provably-empty-loop" (lint src));
+  Alcotest.(check bool) "symbolic empty: ranges prove it" true
+    (has "provably-empty-loop" (lint_ranges src))
+
+let test_constant_condition () =
+  let src = "subroutine s(x)\n  integer m\n  real x\n  m = 2\n  if (m > 1) then\n    x = 1.0\n  end if\nend\n" in
+  Alcotest.(check bool) "needs ranges" false (has "constant-condition" (lint src));
+  Alcotest.(check bool) "flagged with ranges" true
+    (has "constant-condition" (lint_ranges src));
+  (* conditions the range-free machinery already decides are left to the
+     unreachable-branch check, not reported twice *)
+  let trivial = "subroutine s(x)\n  real x\n  if (1 > 2) then\n    x = 1.0\n  end if\nend\n" in
+  Alcotest.(check bool) "trivially-false left to unreachable" false
+    (has "constant-condition" (lint_ranges trivial))
+
+let test_ranges_suppress_oob () =
+  (* a(i+1) under i <= 99 is guarded; the static extreme 101 is a false
+     positive only flow-sensitive ranges can rebut *)
+  let src =
+    "subroutine s(a)\n\
+    \  integer i\n\
+    \  real a(100)\n\
+    \  do i = 1, 100\n\
+    \    if (i <= 99) then\n\
+    \      a(i + 1) = 0.0\n\
+    \    end if\n\
+    \  end do\nend\n"
+  in
+  Alcotest.(check bool) "flagged without ranges" true (has "oob-subscript" (lint src));
+  Alcotest.(check bool) "suppressed with ranges" false
+    (has "oob-subscript" (lint_ranges src));
+  (* a genuine overflow stays flagged either way *)
+  let bad =
+    "subroutine s(a)\n  integer i\n  real a(100)\n  do i = 1, 100\n    a(i + 1) = 0.0\n  end do\nend\n"
+  in
+  Alcotest.(check bool) "true positive kept" true (has "oob-subscript" (lint_ranges bad))
+
+let test_ranges_suppress_div_zero () =
+  let src = "subroutine s(x)\n  integer m\n  real x\n  m = 2\n  x = x / m\nend\n" in
+  Alcotest.(check bool) "flagged without ranges" true (has "div-by-zero" (lint src));
+  Alcotest.(check bool) "suppressed with ranges" false
+    (has "div-by-zero" (lint_ranges src));
+  (* a denominator whose range includes zero stays flagged *)
+  let bad = "subroutine s(x)\n  integer m\n  real x\n  m = 0\n  x = x / m\nend\n" in
+  Alcotest.(check bool) "true positive kept" true (has "div-by-zero" (lint_ranges bad))
+
+let test_ranges_suppress_carried_dep () =
+  (* a(i) vs a(i+m) with m pinned to 2 over a two-trip loop: disjoint *)
+  let src =
+    "subroutine s(a)\n\
+    \  integer i, m\n\
+    \  real a(100)\n\
+    \  m = 2\n\
+    \  do i = 1, m\n\
+    \    a(i) = a(i + m) + 1.0\n\
+    \  end do\nend\n"
+  in
+  Alcotest.(check bool) "flagged without ranges" true (has "carried-dep" (lint src));
+  Alcotest.(check bool) "suppressed with ranges" false
+    (has "carried-dep" (lint_ranges src))
 
 let test_known_routines () =
   let prog =
@@ -208,6 +285,11 @@ let () =
           Alcotest.test_case "bad step" `Quick test_bad_step;
           Alcotest.test_case "unreachable" `Quick test_unreachable;
           Alcotest.test_case "div by zero" `Quick test_div_zero;
+          Alcotest.test_case "empty loop" `Quick test_empty_loop;
+          Alcotest.test_case "constant condition" `Quick test_constant_condition;
+          Alcotest.test_case "ranges suppress oob" `Quick test_ranges_suppress_oob;
+          Alcotest.test_case "ranges suppress div-zero" `Quick test_ranges_suppress_div_zero;
+          Alcotest.test_case "ranges suppress carried-dep" `Quick test_ranges_suppress_carried_dep;
           Alcotest.test_case "known routines" `Quick test_known_routines;
         ] );
       ( "diagnostic",

@@ -93,6 +93,25 @@ let test_sim_matmul_blocking_helps () =
     true
     (misses_tiled < misses)
 
+let test_sim_non_integer_skip () =
+  (* a subscript the simulator cannot evaluate (unknown intrinsic) no
+     longer aborts the run: the reference is skipped, reported once *)
+  let tab, loops, body = nest_of
+      "subroutine s(x, r, n)\n  integer n, i\n  real x(100), r\n  do i = 1, n\n    x(int(r)) = x(i) + 1.0\n  end do\nend\n" in
+  let diags = ref [] in
+  let _, accesses =
+    Sim.run_nest
+      ~on_diag:(fun d -> diags := d :: !diags)
+      ~machine:p1 ~symtab:tab ~bounds:(fun _ -> 8) loops body
+  in
+  (* the x(i) read on each of the 8 iterations is still simulated *)
+  Alcotest.(check int) "reads still counted" 8 accesses;
+  Alcotest.(check int) "reported once" 1 (List.length !diags);
+  let d = List.hd !diags in
+  Alcotest.(check string) "check id" "sim-non-integer" d.Pperf_lint.Diagnostic.check;
+  Alcotest.(check bool) "precision severity" true
+    (d.Pperf_lint.Diagnostic.severity = Pperf_lint.Diagnostic.Precision)
+
 let test_sim_assoc_conflicts () =
   (* direct-mapped vs fully associative on a power-of-two stride *)
   let params = { Machine.default_cache with cache_bytes = 8192; line_bytes = 64; associativity = 1 } in
@@ -138,5 +157,6 @@ let () =
           Alcotest.test_case "stride-1 validation" `Quick test_sim_stride1;
           Alcotest.test_case "blocking helps" `Slow test_sim_matmul_blocking_helps;
           Alcotest.test_case "associativity" `Quick test_sim_assoc_conflicts;
+          Alcotest.test_case "non-integer skip" `Quick test_sim_non_integer_skip;
         ] );
     ]

@@ -114,6 +114,68 @@ let test_interval_arith () =
   Alcotest.(check bool) "sign pos" true (Interval.sign (iv 1 5) = Interval.Pos);
   Alcotest.(check bool) "sign mixed" true (Interval.sign (iv 0 5) = Interval.Mixed)
 
+let test_interval_edges () =
+  let iv = Interval.of_ints in
+  let s i = Interval.to_string i in
+  let half_lo = Interval.make (Interval.Fin (Rat.of_int 2)) Interval.Pos_inf in
+  let half_hi = Interval.make Interval.Neg_inf (Interval.Fin (Rat.of_int (-1))) in
+  (* mul with half-bounded and mixed-sign operands *)
+  Alcotest.(check string) "mul half-bounded by mixed" "[-inf, +inf]"
+    (s (Interval.mul half_lo (iv (-1) 1)));
+  Alcotest.(check string) "mul half-bounded by pos" "[4, +inf]"
+    (s (Interval.mul half_lo (iv 2 3)));
+  Alcotest.(check string) "mul two half-bounded" "[-inf, -2]"
+    (s (Interval.mul half_lo half_hi));
+  Alcotest.(check string) "mul by zero point" "[0, 0]"
+    (s (Interval.mul half_lo (iv 0 0)));
+  (* pow on mixed-sign and half-bounded bases *)
+  Alcotest.(check string) "odd pow mixed" "[-8, 27]" (s (Interval.pow (iv (-2) 3) 3));
+  Alcotest.(check string) "even pow half-bounded" "[1, +inf]"
+    (s (Interval.pow half_hi 2));
+  Alcotest.(check string) "even pow mixed half-bounded" "[0, +inf]"
+    (s (Interval.pow (Interval.make (Interval.Fin (Rat.of_int (-1))) Interval.Pos_inf) 2));
+  Alcotest.(check string) "odd pow half-bounded" "[-inf, -1]"
+    (s (Interval.pow half_hi 3));
+  Alcotest.(check string) "inv of negative" "[-1, -1/4]"
+    (s (Interval.pow (iv (-4) (-1)) (-1)));
+  Alcotest.(check bool) "inv across zero raises" true
+    (match Interval.pow (iv (-1) 1) (-1) with
+     | exception Division_by_zero -> true
+     | _ -> false);
+  (* intersect: disjoint, touching, nested *)
+  Alcotest.(check bool) "intersect disjoint" true
+    (Interval.intersect (iv 1 2) (iv 3 4) = None);
+  Alcotest.(check bool) "intersect touching" true
+    (match Interval.intersect (iv 1 3) (iv 3 4) with
+     | Some i -> Interval.equal i (iv 3 3)
+     | None -> false);
+  Alcotest.(check bool) "intersect nested" true
+    (match Interval.intersect Interval.full (iv 3 4) with
+     | Some i -> Interval.equal i (iv 3 4)
+     | None -> false)
+
+let test_interval_widen_narrow () =
+  let iv = Interval.of_ints in
+  let s i = Interval.to_string i in
+  (* widening sends escaping bounds to infinity, keeps stable ones *)
+  Alcotest.(check string) "widen hi escapes" "[1, +inf]" (s (Interval.widen (iv 1 3) (iv 1 5)));
+  Alcotest.(check string) "widen lo escapes" "[-inf, 3]" (s (Interval.widen (iv 1 3) (iv 0 3)));
+  Alcotest.(check string) "widen both" "[-inf, +inf]" (s (Interval.widen (iv 1 3) (iv 0 5)));
+  (* idempotence and stability on subsets *)
+  let a = iv (-2) 7 in
+  Alcotest.(check bool) "widen a a = a" true (Interval.equal (Interval.widen a a) a);
+  Alcotest.(check bool) "widen stable on subset" true
+    (Interval.equal (Interval.widen a (iv 0 3)) a);
+  let w = Interval.widen (iv 1 3) (iv 1 5) in
+  Alcotest.(check bool) "widening reaches a fixpoint" true
+    (Interval.equal (Interval.widen w (Interval.union w (iv 1 100))) w);
+  (* narrowing recovers only the infinite bounds *)
+  Alcotest.(check string) "narrow recovers hi" "[1, 10]" (s (Interval.narrow w (iv 1 10)));
+  Alcotest.(check string) "narrow keeps finite" "[1, 3]"
+    (s (Interval.narrow (iv 1 3) (iv 2 9)));
+  Alcotest.(check bool) "narrow full by b = b" true
+    (Interval.equal (Interval.narrow Interval.full a) a)
+
 let prop_interval_sound =
   QCheck.Test.make ~name:"interval encloses pointwise values" ~count:300
     (QCheck.triple (arb_poly [ "x"; "n" ]) (QCheck.int_range (-5) 5) (QCheck.int_range (-5) 5))
@@ -351,7 +413,12 @@ let () =
           Alcotest.test_case "coeffs_in" `Quick test_coeffs_in;
         ] );
       qsuite "poly-props" [ prop_ring; prop_eval_hom; prop_subst_eval ];
-      ("interval", [ Alcotest.test_case "arith" `Quick test_interval_arith ]);
+      ( "interval",
+        [
+          Alcotest.test_case "arith" `Quick test_interval_arith;
+          Alcotest.test_case "edges" `Quick test_interval_edges;
+          Alcotest.test_case "widen/narrow" `Quick test_interval_widen_narrow;
+        ] );
       qsuite "interval-props" [ prop_interval_sound ];
       ( "roots",
         [
