@@ -6,6 +6,9 @@
      bench/main.exe                    -- everything
      bench/main.exe tables             -- reproduction tables only
      bench/main.exe timing             -- Bechamel timing only
+     bench/main.exe timing --json FILE -- timing, plus machine-readable dump
+     bench/main.exe check BASE.json NEW.json
+                                       -- regression gate between two dumps
      bench/main.exe fig7|fig7x|fig9|fig10|agg|simplify|unroll|compare|sens|mem|comm|
      astar|order|xmach|flags|dyn
 *)
@@ -597,7 +600,108 @@ let dyn () =
 
 (* --------------------------------------------------------------- timing *)
 
-let timing () =
+(* Machine-readable dump of the timing results, so BENCH_<rev>.json files
+   accumulate a performance trajectory (kerncraft/OSACA ship their models
+   with the same kind of result dumps). Flat name -> ns/run map plus the
+   PERF-LIN growth ratios; parsed back by [check] below. *)
+let write_json file rows ratios =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"schema\": 1,\n  \"unit\": \"ns/run\",\n  \"benches\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    %S: %.1f%s\n" name ns (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  },\n  \"perf_lin\": {\n";
+  let rn = List.length ratios in
+  List.iteri
+    (fun i (name, r) ->
+      Printf.fprintf oc "    %S: %.2f%s\n" name r (if i = rn - 1 then "" else ","))
+    ratios;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
+(* minimal parser for the JSON we write: "name": number pairs inside the
+   "benches" object (we only ever read our own dumps, so no general JSON
+   dependency is needed) *)
+let read_json file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let rows = ref [] in
+  let i = ref 0 in
+  let len = String.length s in
+  (* skip to the "benches" object so perf_lin entries are not picked up *)
+  (match String.index_opt s '{' with Some _ -> () | None -> failwith "not a JSON dump");
+  let start =
+    match
+      let rec find i =
+        if i + 9 > len then None
+        else if String.sub s i 9 = "\"benches\"" then Some i
+        else find (i + 1)
+      in
+      find 0
+    with
+    | Some p -> p
+    | None -> failwith (file ^ ": no \"benches\" object")
+  in
+  i := start + 9;
+  let depth = ref 0 in
+  let fin = ref false in
+  while not !fin && !i < len do
+    (match s.[!i] with
+     | '{' -> incr depth
+     | '}' ->
+       decr depth;
+       if !depth <= 0 then fin := true
+     | '"' when !depth = 1 ->
+       let close = String.index_from s (!i + 1) '"' in
+       let name = String.sub s (!i + 1) (close - !i - 1) in
+       let colon = String.index_from s close ':' in
+       let stop = ref (colon + 1) in
+       while !stop < len && (match s.[!stop] with ',' | '\n' | '}' -> false | _ -> true) do
+         incr stop
+       done;
+       let v = float_of_string (String.trim (String.sub s (colon + 1) (!stop - colon - 1))) in
+       rows := (name, v) :: !rows;
+       i := !stop - 1
+     | _ -> ());
+    incr i
+  done;
+  List.rev !rows
+
+(* the benches whose trajectory is gated in CI *)
+let gated_prefixes = [ "pperf/slots/"; "pperf/drop/"; "pperf/predict/"; "pperf/repredict/" ]
+
+let check baseline_file current_file =
+  let base = read_json baseline_file and cur = read_json current_file in
+  let tol = 1.20 in
+  let failures = ref 0 in
+  Printf.printf "%-32s %12s %12s %8s\n" "bench" "baseline" "current" "ratio";
+  print_endline line;
+  List.iter
+    (fun (name, ns) ->
+      match List.assoc_opt name base with
+      | Some base_ns when List.exists (fun p -> String.starts_with ~prefix:p name) gated_prefixes ->
+        let ratio = ns /. base_ns in
+        let flag = if ratio > tol then (incr failures; "REGRESSED") else "" in
+        Printf.printf "%-32s %12.1f %12.1f %7.2fx %s\n" name base_ns ns ratio flag
+      | _ -> ())
+    cur;
+  (match (List.assoc_opt "pperf/slots/run-encoded" cur, List.assoc_opt "pperf/slots/naive" cur) with
+   | Some enc, Some naive when enc >= naive ->
+     incr failures;
+     Printf.printf "FAIL: slots/run-encoded (%.1f ns) is not faster than slots/naive (%.1f ns)\n"
+       enc naive
+   | _ -> ());
+  if !failures > 0 then (
+    Printf.printf "\n%d gate failure(s) vs %s\n" !failures baseline_file;
+    exit 1)
+  else Printf.printf "\nall gates pass vs %s\n" baseline_file
+
+let timing ?json () =
   header "Bechamel timing benches (one per efficiency claim)";
   let open Bechamel in
   let open Toolkit in
@@ -674,6 +778,12 @@ let timing () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let estimates =
+    List.filter_map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with Some [ est ] -> Some (name, est) | _ -> None)
+      rows
+  in
   Printf.printf "%-32s %16s\n" "bench" "ns/run";
   print_endline line;
   List.iter
@@ -683,13 +793,18 @@ let timing () =
       | _ -> Printf.printf "%-32s %16s\n" name "n/a")
     rows;
   let ns n =
-    match List.assoc_opt (Printf.sprintf "pperf/drop/%d" n) rows with
-    | Some ols -> (match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan)
+    match List.assoc_opt (Printf.sprintf "pperf/drop/%d" n) estimates with
+    | Some e -> e
     | None -> nan
   in
   let r1 = ns 100 /. ns 10 and r2 = ns 1000 /. ns 100 and r3 = ns 10000 /. ns 1000 in
   Printf.printf "\nPERF-LIN: drop-time growth per 10x ops: %.1fx %.1fx %.1fx (linear ~ 10x)\n" r1
     r2 r3;
+  (match json with
+   | Some file ->
+     write_json file estimates
+       [ ("drop_10x_100", r1); ("drop_100x_1000", r2); ("drop_1000x_10000", r3) ]
+   | None -> ());
   header "ABLATION - focus span (cost estimate vs span)";
   Printf.printf "%-12s %10s\n" "focus span" "cost";
   List.iter
@@ -712,7 +827,21 @@ let () =
     tables ();
     timing ()
   | "tables" -> tables ()
-  | "timing" -> timing ()
+  | "timing" ->
+    let json =
+      match Array.to_list Sys.argv with
+      | _ :: _ :: "--json" :: file :: _ -> Some file
+      | _ :: _ :: [ "--json" ] ->
+        Printf.eprintf "timing --json requires a FILE argument\n";
+        exit 1
+      | _ -> None
+    in
+    timing ?json ()
+  | "check" ->
+    if Array.length Sys.argv < 4 then (
+      Printf.eprintf "usage: check BASELINE.json CURRENT.json\n";
+      exit 1);
+    check Sys.argv.(2) Sys.argv.(3)
   | "fig7" -> fig7 ()
   | "fig7x" -> fig7x ()
   | "fig9" -> fig9 ()

@@ -44,8 +44,50 @@ let file_arg idx name =
   Arg.(required & pos idx (some file) None & info [] ~docv:name ~doc:"PF source file")
 
 let eval_arg =
-  let doc = "Evaluate the expression at VAR=VALUE (repeatable)." in
-  Arg.(value & opt_all string [] & info [ "eval" ] ~docv:"VAR=VALUE" ~doc)
+  let doc = "Evaluate the expression at VAR=VALUE (repeatable). --bind is a synonym." in
+  Arg.(value & opt_all string [] & info [ "eval"; "bind" ] ~docv:"VAR=VALUE" ~doc)
+
+let strict_arg =
+  let doc = "Treat binding mismatches (unbound or unused variable names) as errors." in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let stats_arg =
+  let doc = "Append a JSON object of internal operation counters to the output." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let with_stats stats f =
+  Pperf_obs.Obs.reset_all ();
+  f ();
+  if stats then print_string (Pperf_obs.Obs.to_json () ^ "\n")
+
+(* an --eval/--bind set that names variables the expression does not have,
+   or misses variables it does, silently predicts with the wrong values
+   (unbound unknowns default to 1.0); say so *)
+let check_bindings ~strict ~expr_vars ~prob_vars bindings =
+  if bindings <> [] then (
+    let bound = List.map fst bindings in
+    let known v = List.mem v expr_vars || List.mem v prob_vars in
+    let unused = List.filter (fun v -> not (known v)) bound in
+    let unbound = List.filter (fun v -> not (List.mem v bound)) expr_vars in
+    let msgs =
+      (if unused = [] then []
+       else
+         [ Printf.sprintf
+             "binding%s %s do%s not match any variable of the performance expression"
+             (if List.length unused = 1 then "" else "s")
+             (String.concat ", " unused)
+             (if List.length unused = 1 then "es" else "") ])
+      @
+      if unbound = [] then []
+      else
+        [ Printf.sprintf "unbound variable%s %s default%s to 1.0"
+            (if List.length unbound = 1 then "" else "s")
+            (String.concat ", " unbound)
+            (if List.length unbound = 1 then "s" else "") ]
+    in
+    if msgs <> [] then
+      if strict then failwith (String.concat "; " msgs)
+      else List.iter (fun m -> Printf.eprintf "warning: %s\n%!" m) msgs)
 
 let parse_bindings specs =
   List.map
@@ -82,6 +124,12 @@ let handle_code f =
   | Typecheck.Type_error (msg, loc) ->
     Printf.eprintf "type error at %s: %s\n" (Srcloc.to_string loc) msg;
     1
+  | Descr.Parse_error msg ->
+    Printf.eprintf "machine description error: %s\n" msg;
+    1
+  | Machine.Unknown_atomic { machine; op } ->
+    Printf.eprintf "error: machine %s has no atomic operation %s\n" machine op;
+    1
   | Failure msg ->
     Printf.eprintf "error: %s\n" msg;
     1
@@ -98,8 +146,9 @@ let interproc_arg =
   Arg.(value & flag & info [ "interprocedural"; "i" ] ~doc)
 
 let predict_cmd =
-  let run mspec memory interproc use_ranges evals file =
+  let run mspec memory interproc use_ranges strict stats evals file =
     handle (fun () ->
+        with_stats stats (fun () ->
         let machine = machine_of_spec mspec in
         let options = { (options_of ~memory) with Aggregate.infer_ranges = use_ranges } in
         let bindings = parse_bindings evals in
@@ -110,6 +159,8 @@ let predict_cmd =
             List.iter
               (fun (rp : Interproc.routine_prediction) ->
                 let total = Perf_expr.total rp.prediction.cost in
+                check_bindings ~strict ~expr_vars:(Pperf_symbolic.Poly.vars total)
+                  ~prob_vars:rp.prediction.prob_vars bindings;
                 let v =
                   Pperf_symbolic.Poly.eval_float
                     (fun x -> match List.assoc_opt x bindings with Some f -> f | None -> 1.0)
@@ -130,17 +181,20 @@ let predict_cmd =
                 List.iter
                   (fun d -> Format.printf "    %a@." Pperf_lint.Diagnostic.pp_short d)
                   diags);
-              if bindings <> [] then
+              if bindings <> [] then (
+                check_bindings ~strict
+                  ~expr_vars:(Pperf_symbolic.Poly.vars (Predict.total p))
+                  ~prob_vars:(Predict.prob_vars p) bindings;
                 Format.printf "  at %s: %.0f cycles@."
                   (String.concat ", "
                      (List.map (fun (v, x) -> Printf.sprintf "%s=%g" v x) bindings))
-                  (Predict.eval p bindings))
-            (Predict.of_program ~options ~machine (read_file file)))
+                  (Predict.eval p bindings)))
+            (Predict.of_program ~options ~machine (read_file file))))
   in
   let doc = "Predict performance expressions for each routine in a PF file." in
   Cmd.v (Cmd.info "predict" ~doc)
-    Term.(const run $ machine_arg $ memory_arg $ interproc_arg $ ranges_flag $ eval_arg
-          $ file_arg 0 "FILE")
+    Term.(const run $ machine_arg $ memory_arg $ interproc_arg $ ranges_flag $ strict_arg
+          $ stats_arg $ eval_arg $ file_arg 0 "FILE")
 
 (* ---- schedule ---- *)
 
@@ -188,8 +242,9 @@ let range_arg =
   Arg.(value & opt_all string [] & info [ "range" ] ~docv:"VAR=LO:HI" ~doc)
 
 let compare_cmd =
-  let run mspec memory ranges use_ranges f1 f2 =
+  let run mspec memory ranges use_ranges stats f1 f2 =
     handle (fun () ->
+        with_stats stats (fun () ->
         let machine = machine_of_spec mspec in
         let options = options_of ~memory in
         let user_env =
@@ -221,12 +276,12 @@ let compare_cmd =
         | Pperf_symbolic.Signs.Undecided diff ->
           let t = Runtime_test.of_difference env diff in
           Format.printf "suggested run-time test: %a@." Runtime_test.pp t
-        | _ -> ())
+        | _ -> ()))
   in
   let doc = "Compare two program variants symbolically." in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ machine_arg $ memory_arg $ range_arg $ ranges_flag $ file_arg 0 "FILE1"
-          $ file_arg 1 "FILE2")
+    Term.(const run $ machine_arg $ memory_arg $ range_arg $ ranges_flag $ stats_arg
+          $ file_arg 0 "FILE1" $ file_arg 1 "FILE2")
 
 (* ---- search ---- *)
 
@@ -373,8 +428,9 @@ let lint_cmd =
 let ranges_cmd =
   let module Absint = Pperf_absint.Absint in
   let module Interval = Pperf_symbolic.Interval in
-  let run json file =
+  let run json stats file =
     handle (fun () ->
+        with_stats stats (fun () ->
         let checkeds = Typecheck.check_program (Parser.parse_program (read_file file)) in
         let analyzed =
           List.map (fun (c : Typecheck.checked) -> (c, Absint.analyze c)) checkeds
@@ -421,7 +477,7 @@ let ranges_cmd =
                 List.iter
                   (fun (x, iv) -> Format.printf "    %s in %s@." x (Interval.to_string iv))
                   bs)
-            analyzed)
+            analyzed))
   in
   let json_arg =
     let doc = "Emit the ranges as JSON instead of text." in
@@ -432,7 +488,7 @@ let ranges_cmd =
      inferred ranges: per-loop index and trip-count intervals (indented by \
      nesting depth) and the routine-wide variable range summary."
   in
-  Cmd.v (Cmd.info "ranges" ~doc) Term.(const run $ json_arg $ file_arg 0 "FILE")
+  Cmd.v (Cmd.info "ranges" ~doc) Term.(const run $ json_arg $ stats_arg $ file_arg 0 "FILE")
 
 (* ---- machine ---- *)
 

@@ -51,7 +51,11 @@ let env_merge f a b =
     Env.empty (domain_of a b)
 
 let join_env a b = env_merge Interval.union a b
-let widen_env a b = env_merge Interval.widen a b
+let c_widen = Pperf_obs.Obs.counter "absint.widenings"
+
+let widen_env a b =
+  Pperf_obs.Obs.incr c_widen;
+  env_merge Interval.widen a b
 let narrow_env a b = env_merge Interval.narrow a b
 
 let env_equal a b =

@@ -45,6 +45,10 @@ type prob_state = {
   mutable diags : Pperf_lint.Diagnostic.t list;
 }
 
+(* one scratch Bins shared by all the [{ ctx with ... }] copies: every
+   standalone drop resets it instead of re-allocating slot arrays *)
+type scratch = { mutable bins : Bins.t option; mutable symbol_set : SSet.t option }
+
 type ctx = {
   machine : Machine.t;
   options : options;
@@ -53,7 +57,18 @@ type ctx = {
   invariants : SSet.t;
   probs : prob_state;
   ranges : Pperf_absint.Absint.result option;
+  scratch : scratch;
 }
+
+let scratch_bins ctx =
+  match ctx.scratch.bins with
+  | Some bins ->
+    Bins.reset bins;
+    bins
+  | None ->
+    let bins = Bins.create ~focus_span:ctx.options.focus_span ctx.machine in
+    ctx.scratch.bins <- Some bins;
+    bins
 
 let loop_vars ctx = List.map (fun (l : Analysis.loop_ctx) -> l.lvar) ctx.loops
 
@@ -71,25 +86,42 @@ let imprecise ctx ~check ~loc message =
     Pperf_lint.Diagnostic.make Pperf_lint.Diagnostic.Precision ~check ~loc message
     :: ctx.probs.diags
 
+(* a stacked-placement fallback inside a drop means the block's cost is a
+   safe overestimate — exactly the kind of precision loss lint reports *)
+let note_fallbacks ctx ~loc bins =
+  let n = Bins.fallbacks bins in
+  if n > 0 then
+    imprecise ctx ~check:"fit-fallback" ~loc
+      (Printf.sprintf
+         "%d operation placement(s) did not converge and used conservative stacked \
+          placement; the block cost is an overestimate"
+         n)
+
 (* drop a dag into fresh bins and return its standalone cost *)
-let dag_cost ctx dag =
+let dag_cost ?(loc = Srcloc.dummy) ctx dag =
   if Dag.length dag = 0 then 0
   else (
-    let bins = Bins.create ~focus_span:ctx.options.focus_span ctx.machine in
-    (Bins.drop_dag bins dag).cost)
+    let bins = scratch_bins ctx in
+    let cost = (Bins.drop_dag bins dag).cost in
+    note_fallbacks ctx ~loc bins;
+    cost)
 
 (* steady-state per-iteration cost: drop the block (body + loop control)
    twice; the increment is what one more iteration costs once overlap with
    the previous iteration is accounted for *)
-let per_iteration_cost ctx dag =
+let per_iteration_cost ?(loc = Srcloc.dummy) ctx dag =
   if Dag.length dag = 0 then 0
   else (
-    let bins = Bins.create ~focus_span:ctx.options.focus_span ctx.machine in
+    let bins = scratch_bins ctx in
     let s1 = Bins.drop_dag bins dag in
-    if not ctx.options.iteration_overlap then s1.cost
-    else (
-      let s2 = Bins.drop_dag bins dag in
-      max 1 (s2.cost - s1.cost)))
+    let cost =
+      if not ctx.options.iteration_overlap then s1.cost
+      else (
+        let s2 = Bins.drop_dag bins dag in
+        max 1 (s2.cost - s1.cost))
+    in
+    note_fallbacks ctx ~loc bins;
+    cost)
 
 let trip_of ctx ~loc (d : Ast.do_loop) =
   let inferred =
@@ -231,7 +263,7 @@ let branch_penalty ctx (cond_body : Dag.t) (body : Ast.stmt list) =
     | res ->
       if Dag.length res.body = 0 || Dag.length cond_body = 0 then c_br
       else (
-        let bins = Bins.create ~focus_span:ctx.options.focus_span ctx.machine in
+        let bins = scratch_bins ctx in
         let c_cond = (Bins.drop_dag bins cond_body).cost in
         let combined = (Bins.drop_dag bins res.body).cost in
         let alone =
@@ -257,7 +289,7 @@ let rec agg_stmts ctx (stmts : Ast.stmt list) : Perf_expr.t =
       let run, rest' = split_run rest in
       let res = translate_run ctx run in
       (* outside a loop there is no "per entry" distinction *)
-      let c = dag_cost ctx (Dag.concat res.one_time res.body) in
+      let c = dag_cost ~loc:s.Ast.loc ctx (Dag.concat res.one_time res.body) in
       let acc = Perf_expr.add acc (Perf_expr.of_cycles c) in
       go (Perf_expr.add acc (library_extra ctx run)) rest'
     | ({ Ast.kind = Ast.Do d; _ } as s) :: rest ->
@@ -287,7 +319,7 @@ and agg_if ctx (s : Ast.stmt) : Perf_expr.t =
             .body)
         branches
     in
-    let cond_cost = List.fold_left (fun acc d -> acc + dag_cost ctx d) 0 cond_dags in
+    let cond_cost = List.fold_left (fun acc d -> acc + dag_cost ~loc:s.loc ctx d) 0 cond_dags in
     let first_cond = match cond_dags with d :: _ -> d | [] -> Dag.make [||] in
     let branch_costs =
       List.map2
@@ -340,12 +372,18 @@ and agg_do ctx ~loc (d : Ast.do_loop) : Perf_expr.t =
       ~symtab:ctx.symtab ~loop_vars:(loop_vars ctx) ~invariants:ctx.invariants
       (d.lo :: d.hi :: Option.to_list d.step)
   in
-  let entry_cost = dag_cost ctx (Dag.concat bounds_res.one_time bounds_res.body) in
+  let entry_cost = dag_cost ~loc ctx (Dag.concat bounds_res.one_time bounds_res.body) in
   (* context inside the loop *)
   let assigned = SSet.add d.var (Analysis.assigned_vars d.body) in
-  let visible =
-    SSet.union (Analysis.used_vars d.body) (SSet.of_list (List.map fst (Typecheck.symbols_list ctx.symtab)))
+  let symbol_set =
+    match ctx.scratch.symbol_set with
+    | Some s -> s
+    | None ->
+      let s = SSet.of_list (List.map fst (Typecheck.symbols_list ctx.symtab)) in
+      ctx.scratch.symbol_set <- Some s;
+      s
   in
+  let visible = SSet.union (Analysis.used_vars d.body) symbol_set in
   let invariants = SSet.diff visible assigned in
   let inner_ctx =
     { ctx with loops = ctx.loops @ [ Analysis.{ lvar = d.var; llo = d.lo; lhi = d.hi; lstep = d.step } ];
@@ -373,9 +411,13 @@ and agg_do ctx ~loc (d : Ast.do_loop) : Perf_expr.t =
           Dag.concat res.body overhead)
         else res.body
       in
-      per_iter := Perf_expr.add !per_iter (Perf_expr.of_cycles (per_iteration_cost inner_ctx dag));
+      per_iter :=
+        Perf_expr.add !per_iter
+          (Perf_expr.of_cycles (per_iteration_cost ~loc:s.Ast.loc inner_ctx dag));
       per_iter := Perf_expr.add !per_iter (library_extra inner_ctx run);
-      per_entry := Perf_expr.add !per_entry (Perf_expr.of_cycles (dag_cost inner_ctx res.one_time));
+      per_entry :=
+        Perf_expr.add !per_entry
+          (Perf_expr.of_cycles (dag_cost ~loc:s.Ast.loc inner_ctx res.one_time));
       walk rest'
     | ({ Ast.kind = Ast.Do inner; _ } as s) :: rest ->
       per_iter := Perf_expr.add !per_iter (agg_do inner_ctx ~loc:s.loc inner);
@@ -394,7 +436,7 @@ and agg_do ctx ~loc (d : Ast.do_loop) : Perf_expr.t =
         let pen_f =
           if else_body = [] then 0 else branch_penalty inner_ctx cond_res.body else_body
         in
-        let cond_cycles = dag_cost ctx cond_res.body in
+        let cond_cycles = dag_cost ~loc:s.loc ctx cond_res.body in
         let ct = Perf_expr.add ct (Perf_expr.of_cycles pen_t) in
         let cf = Perf_expr.add cf (Perf_expr.of_cycles pen_f) in
         let count_false = Poly.sub trip count_true in
@@ -420,7 +462,8 @@ and agg_do ctx ~loc (d : Ast.do_loop) : Perf_expr.t =
   walk d.body;
   (* if no straight-line run charged the loop control, charge it now *)
   if not !overhead_charged then
-    per_iter := Perf_expr.add !per_iter (Perf_expr.of_cycles (per_iteration_cost inner_ctx overhead));
+    per_iter :=
+      Perf_expr.add !per_iter (Perf_expr.of_cycles (per_iteration_cost ~loc inner_ctx overhead));
   (* memory and communication are nest-global (§2.3): charge them when this
      is an outermost loop *)
   let mem_cost =
@@ -460,6 +503,7 @@ let make_ctx ~machine ~options ~symtab ?ranges () =
     invariants = SSet.empty;
     probs = { counter = 0; vars = []; diags = [] };
     ranges;
+    scratch = { bins = None; symbol_set = None };
   }
 
 let infer_ranges_of ~options ~symtab body =

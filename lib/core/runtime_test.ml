@@ -125,7 +125,14 @@ let worthwhile ?(samples = 3) env (t : test) (diff : Poly.t) : bool =
     List.fold_left
       (fun acc asg ->
         let value =
-          Poly.eval (fun x -> match List.assoc_opt x asg with Some v -> v | None -> Rat.one) diff
+          Poly.eval
+            (fun x ->
+              match List.assoc_opt x asg with
+              | Some v -> v
+              | None ->
+                invalid_arg
+                  (Printf.sprintf "Runtime_test.worthwhile: unbound variable %s" x))
+            diff
         in
         acc +. Float.abs (Rat.to_float value))
       0.0 points

@@ -74,6 +74,95 @@ let affine_in (vars : string list) (e : Ast.expr) : (int list * Poly.t) option =
     in
     extract [] p vars
 
+(* Cheap affine screen used by the translator's subscript test, which
+   runs for every array reference of every block translation. The walk
+   computes the exact linear coefficients of the index variables without
+   materializing any polynomial; [`Unknown] (coefficient constness not
+   syntactically decidable, or possible cancellation of a nonlinear
+   term) sends the caller to the full [affine_in]. *)
+let affine_hint (vars : string list) (e : Ast.expr) : [ `Affine | `Not | `Unknown ] =
+  (* abstract value: [konst] when the expression is that constant;
+     [coeffs] the (nonzero) linear coefficients of the index variables.
+     The loop-var-free residue is never needed, only whether it is a
+     known constant (for products). *)
+  let exception Not_poly in
+  let exception Dont_know in
+  let canon coeffs = List.filter (fun (_, c) -> not (Rat.is_zero c)) coeffs in
+  let merge f a b =
+    canon
+      (List.fold_left
+         (fun acc (v, c) ->
+           match List.assoc_opt v acc with
+           | Some c0 -> (v, f c0 c) :: List.remove_assoc v acc
+           | None -> (v, f Rat.zero c) :: acc)
+         a b)
+  in
+  let rec go (e : Ast.expr) : Rat.t option * (string * Rat.t) list =
+    match e with
+    | Ast.Int i -> (Some (Rat.of_int i), [])
+    | Ast.Real (f, _) ->
+      if Float.is_integer f then (Some (Rat.of_int (int_of_float f)), []) else raise Not_poly
+    | Ast.Logical _ | Ast.Index _ | Ast.Call _ | Ast.Unop (Ast.Not, _) -> raise Not_poly
+    | Ast.Var x -> if List.mem x vars then (None, [ (x, Rat.one) ]) else (None, [])
+    | Ast.Unop (Ast.Neg, a) ->
+      let k, cs = go a in
+      (Option.map Rat.neg k, List.map (fun (v, c) -> (v, Rat.neg c)) cs)
+    | Ast.Binop (Ast.Add, a, b) ->
+      let ka, ca = go a and kb, cb = go b in
+      let k = match (ka, kb) with Some x, Some y -> Some (Rat.add x y) | _ -> None in
+      (k, merge Rat.add ca cb)
+    | Ast.Binop (Ast.Sub, a, b) ->
+      let ka, ca = go a and kb, cb = go b in
+      let k = match (ka, kb) with Some x, Some y -> Some (Rat.sub x y) | _ -> None in
+      (k, merge Rat.sub ca cb)
+    | Ast.Binop (Ast.Mul, a, b) -> (
+      let ka, ca = go a and kb, cb = go b in
+      match (ca, cb) with
+      | [], [] -> ((match (ka, kb) with Some x, Some y -> Some (Rat.mul x y) | _ -> None), [])
+      | _ :: _, _ :: _ -> raise Dont_know (* nonlinear unless terms cancel later *)
+      | _ :: _, [] -> (
+        match kb with
+        | Some c ->
+          if Rat.is_zero c then (Some Rat.zero, [])
+          else (None, List.map (fun (v, cv) -> (v, Rat.mul cv c)) ca)
+        | None -> raise Dont_know (* coefficient constness undecidable here *))
+      | [], _ :: _ -> (
+        match ka with
+        | Some c ->
+          if Rat.is_zero c then (Some Rat.zero, [])
+          else (None, List.map (fun (v, cv) -> (v, Rat.mul cv c)) cb)
+        | None -> raise Dont_know))
+    | Ast.Binop (Ast.Div, a, b) -> (
+      let ka, ca = go a in
+      let kb, cb = go b in
+      match (cb, kb) with
+      | [], Some c when not (Rat.is_zero c) ->
+        let inv = Rat.inv c in
+        (Option.map (Rat.mul inv) ka, List.map (fun (v, cv) -> (v, Rat.mul cv inv)) ca)
+      | _ -> raise Not_poly)
+    | Ast.Binop (Ast.Pow, a, b) -> (
+      let ka, ca = go a in
+      let kb, cb = go b in
+      match (cb, kb) with
+      | [], Some c when Rat.is_integer c && Rat.sign c >= 0 -> (
+        match Rat.to_int c with
+        | Some 0 -> (Some Rat.one, [])
+        | Some 1 -> (ka, ca)
+        | Some k -> (
+          match ca with
+          | [] -> ((match ka with Some x -> Some (Rat.pow x k) | None -> None), [])
+          | _ :: _ -> raise Dont_know)
+        | None -> raise Not_poly)
+      | _ -> raise Not_poly)
+    | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or), _, _)
+      ->
+      raise Not_poly
+  in
+  match go e with
+  | _, coeffs -> if List.for_all (fun (_, c) -> Rat.is_integer c) coeffs then `Affine else `Not
+  | exception Not_poly -> `Not
+  | exception Dont_know -> `Unknown
+
 (** Trip count of a [do] loop as a polynomial: [(hi - lo + step) / step]
     requires a constant nonzero [step]. [None] when the bounds are not
     polynomial or the step is symbolic/zero. The result uses Fortran
@@ -99,6 +188,10 @@ let trip_count ~(lo : Ast.expr) ~(hi : Ast.expr) ~(step : Ast.expr option) : Pol
       _, None )
     when Ast.equal_expr hi' hi && f > 0 ->
     Some (Poly.of_rat (Rat.of_ints (f - 1) 2))
+  (* unit-step loops with literal/variable bounds: the closed form
+     [hi - lo + 1] without materializing intermediate polynomials *)
+  | Ast.Int l, Ast.Int h, None -> Some (Poly.of_int (h - l + 1))
+  | Ast.Int l, Ast.Var v, None -> Some (Poly.add_const (Rat.of_int (1 - l)) (Poly.var v))
   | _ ->
   let step_poly =
     match step with

@@ -19,6 +19,14 @@ val affine_in : string list -> Ast.expr -> (int list * Poly.t) option
     integer-constant coefficients and [rest] free of [vars]; the subscript
     form the dependence tests and the cache model need. *)
 
+val affine_hint : string list -> Ast.expr -> [ `Affine | `Not | `Unknown ]
+(** Polynomial-free screen for [affine_in <> None]: a single AST walk
+    that computes the exact linear coefficients of [vars] when they are
+    syntactically evident. [`Affine] and [`Not] agree with [affine_in];
+    [`Unknown] means the caller must fall back to the full test (e.g. a
+    coefficient whose constness needs polynomial normalization). Hot
+    path of the translator's per-subscript addressing test. *)
+
 val trip_count : lo:Ast.expr -> hi:Ast.expr -> step:Ast.expr option -> Poly.t option
 (** Loop trip count [(hi - lo + step) / step] for constant steps, assuming
     a non-empty loop (the paper does the same). Recognizes two

@@ -76,10 +76,18 @@ let make ~name ?(description = "") ~units ~atomics ?(issue_width = 4)
     comm;
   }
 
+exception Unknown_atomic of { machine : string; op : string }
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_atomic { machine; op } ->
+      Some (Printf.sprintf "machine %s has no atomic operation %s" machine op)
+    | _ -> None)
+
 let atomic t name =
   match Hashtbl.find_opt t.atomics name with
   | Some op -> op
-  | None -> failwith (Printf.sprintf "machine %s has no atomic operation %s" t.name name)
+  | None -> raise (Unknown_atomic { machine = t.name; op = name })
 
 let atomic_opt t name = Hashtbl.find_opt t.atomics name
 let has_atomic t name = Hashtbl.mem t.atomics name

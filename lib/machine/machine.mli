@@ -58,9 +58,15 @@ val make :
   t
 (** @raise Invalid_argument on dangling unit ids or duplicate names. *)
 
+exception Unknown_atomic of { machine : string; op : string }
+(** A required operation is missing from a machine's cost table — typically
+    a hand-written [.pmach] description that omits an op the translator
+    needs. Carries both names so drivers can report them and exit cleanly
+    instead of surfacing an anonymous [Failure]. *)
+
 val atomic : t -> string -> Atomic_op.t
-(** @raise Failure naming the machine and operation when the operation is
-    not in the cost table. *)
+(** @raise Unknown_atomic naming the machine and operation when the
+    operation is not in the cost table. *)
 
 val atomic_opt : t -> string -> Atomic_op.t option
 val has_atomic : t -> string -> bool

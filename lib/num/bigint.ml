@@ -1,4 +1,15 @@
-(* Arbitrary-precision integers in sign-magnitude form.
+(* Arbitrary-precision integers in sign-magnitude form, with an unboxed
+   fast path for small values.
+
+   Values with |v| < 2^30 are carried as a native [int] ([S]); everything
+   else keeps the little-endian base-2^24 digit-array form ([B]). The
+   2^30 threshold makes every small-small operation overflow-free in
+   63-bit native arithmetic: sums stay below 2^31 and products below
+   2^60. The representation is canonical — [B] is only used outside the
+   small range — so equality never needs cross-representation digit
+   comparisons. Rationals (and through them the whole symbolic layer) do
+   almost all their arithmetic on small values, which this fast path
+   serves without allocating.
 
    Magnitudes are little-endian arrays of base-2^24 digits. With 63-bit
    native ints, a digit product is < 2^48 and a full schoolbook row
@@ -8,9 +19,13 @@ let base_bits = 24
 let base = 1 lsl base_bits
 let base_mask = base - 1
 
-type t = { sign : int; (* -1, 0, 1 *) mag : int array (* canonical: no leading zeros *) }
+(* S values satisfy |v| < small_limit; B values are canonical (no leading
+   zero digits) and always >= small_limit in magnitude *)
+let small_limit = 1 lsl 30
 
-let zero = { sign = 0; mag = [||] }
+type t = S of int | B of { sign : int; (* -1 or 1 *) mag : int array }
+
+let zero = S 0
 
 (* ---- magnitude helpers (arrays of digits, little-endian) ---- *)
 
@@ -199,88 +214,139 @@ let mag_divmod u v =
     (q, if r = 0 then [||] else [| r |])
   | _ -> if mag_compare u v < 0 then ([||], Array.copy u) else mag_divmod_knuth u v
 
-(* ---- signed interface ---- *)
+(* ---- representation helpers ---- *)
 
+let fits_small v = v > -small_limit && v < small_limit
+
+(* magnitude of a native int as digits; |i| may be any int except min_int *)
+let mag_of_abs_int v =
+  let rec digits v acc =
+    if v = 0 then List.rev acc else digits (v lsr base_bits) ((v land base_mask) :: acc)
+  in
+  Array.of_list (digits v [])
+
+(* value of a (normalized) magnitude when it fits a native int, else None *)
+let mag_to_int mag =
+  let la = Array.length mag in
+  if la * base_bits <= 60 then (
+    let v = ref 0 in
+    for i = la - 1 downto 0 do
+      v := (!v lsl base_bits) lor mag.(i)
+    done;
+    Some !v)
+  else None
+
+(* canonical constructor from sign * magnitude *)
 let make sign mag =
   let mag = mag_normalize mag in
-  if Array.length mag = 0 then zero else { sign; mag }
+  if Array.length mag = 0 then S 0
+  else (
+    match mag_to_int mag with
+    | Some v when fits_small v -> S (if sign < 0 then -v else v)
+    | _ -> B { sign; mag })
 
-let one = { sign = 1; mag = [| 1 |] }
-let two = { sign = 1; mag = [| 2 |] }
-let minus_one = { sign = -1; mag = [| 1 |] }
-let ten = { sign = 1; mag = [| 10 |] }
+(* canonical constructor from a native int; total (handles min_int) *)
+let of_int i =
+  if fits_small i then S i
+  else if i = min_int then B { sign = -1; mag = mag_add (mag_of_abs_int max_int) [| 1 |] }
+  else B { sign = (if i > 0 then 1 else -1); mag = mag_of_abs_int (Stdlib.abs i) }
 
-let sign t = t.sign
-let is_zero t = t.sign = 0
-let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
+(* magnitude + sign view, for mixed-representation slow paths *)
+let sign_mag = function
+  | S 0 -> (0, [||])
+  | S v when v > 0 -> (1, mag_of_abs_int v)
+  | S v -> (-1, mag_of_abs_int (-v))
+  | B { sign; mag } -> (sign, mag)
 
-let equal a b = a.sign = b.sign && mag_compare a.mag b.mag = 0
+let one = S 1
+let two = S 2
+let minus_one = S (-1)
+let ten = S 10
+
+let sign = function S v -> compare v 0 | B { sign; _ } -> sign
+let is_zero t = t = S 0
+let is_one t = t = S 1
+
+let equal a b =
+  match (a, b) with
+  | S x, S y -> x = y
+  | B x, B y -> x.sign = y.sign && mag_compare x.mag y.mag = 0
+  | _ -> false (* canonical: B never holds a small value *)
 
 let compare a b =
-  if a.sign <> b.sign then compare a.sign b.sign
-  else if a.sign >= 0 then mag_compare a.mag b.mag
-  else mag_compare b.mag a.mag
+  match (a, b) with
+  | S x, S y -> Stdlib.compare x y
+  | B x, B y ->
+    if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+    else if x.sign >= 0 then mag_compare x.mag y.mag
+    else mag_compare y.mag x.mag
+  | S _, B y -> if y.sign > 0 then -1 else 1 (* |B| > |S| always *)
+  | B x, S _ -> if x.sign > 0 then 1 else -1
 
-let hash t = Hashtbl.hash (t.sign, t.mag)
+let hash = function S v -> Hashtbl.hash v | B { sign; mag } -> Hashtbl.hash (sign, mag)
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
-let abs t = if t.sign < 0 then { t with sign = 1 } else t
+let neg = function S v -> S (-v) | B { sign; mag } -> B { sign = -sign; mag }
+let abs = function S v -> S (Stdlib.abs v) | B { mag; _ } -> B { sign = 1; mag }
 
 let add a b =
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else if a.sign = b.sign then { sign = a.sign; mag = mag_add a.mag b.mag }
-  else (
-    let c = mag_compare a.mag b.mag in
-    if c = 0 then zero
-    else if c > 0 then { sign = a.sign; mag = mag_sub a.mag b.mag }
-    else { sign = b.sign; mag = mag_sub b.mag a.mag })
+  match (a, b) with
+  | S x, S y -> of_int (x + y) (* |x+y| < 2^31: no overflow *)
+  | _ ->
+    let sa, ma = sign_mag a and sb, mb = sign_mag b in
+    if sa = 0 then b
+    else if sb = 0 then a
+    else if sa = sb then make sa (mag_add ma mb)
+    else (
+      let c = mag_compare ma mb in
+      if c = 0 then zero
+      else if c > 0 then make sa (mag_sub ma mb)
+      else make sb (mag_sub mb ma))
 
 let sub a b = add a (neg b)
 let succ a = add a one
 let pred a = sub a one
 
 let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else { sign = a.sign * b.sign; mag = mag_mul a.mag b.mag }
-
-let of_int i =
-  if i = 0 then zero
-  else (
-    let rec digits v acc =
-      if v = 0 then List.rev acc else digits (v lsr base_bits) ((v land base_mask) :: acc)
-    in
-    if i = min_int then neg (add { sign = 1; mag = Array.of_list (digits max_int []) } one)
-    else (
-      let sign = if i > 0 then 1 else -1 in
-      { sign; mag = Array.of_list (digits (Stdlib.abs i) []) }))
+  match (a, b) with
+  | S x, S y -> of_int (x * y) (* |x*y| < 2^60: no overflow *)
+  | _ ->
+    let sa, ma = sign_mag a and sb, mb = sign_mag b in
+    if sa = 0 || sb = 0 then zero else make (sa * sb) (mag_mul ma mb)
 
 let mul_int a i = mul a (of_int i)
 let add_int a i = add a (of_int i)
 
 let divmod a b =
-  if b.sign = 0 then raise Division_by_zero
-  else if a.sign = 0 then (zero, zero)
-  else (
-    let qm, rm = mag_divmod a.mag b.mag in
-    let q = make (a.sign * b.sign) qm in
-    let r = make a.sign rm in
-    (q, r))
+  match (a, b) with
+  | _, S 0 -> raise Division_by_zero
+  | S x, S y -> (S (x / y), S (x mod y)) (* truncated toward zero, like the array path *)
+  | _ ->
+    let sa, ma = sign_mag a and sb, mb = sign_mag b in
+    if sb = 0 then raise Division_by_zero
+    else if sa = 0 then (zero, zero)
+    else (
+      let qm, rm = mag_divmod ma mb in
+      (make (sa * sb) qm, make sa rm))
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
 let ediv a b =
   let q, r = divmod a b in
-  if r.sign >= 0 then (q, r)
-  else if b.sign > 0 then (pred q, add r b)
+  if sign r >= 0 then (q, r)
+  else if sign b > 0 then (pred q, add r b)
   else (succ q, sub r b)
 
-let rec gcd a b =
-  let a = abs a and b = abs b in
-  if is_zero b then a else gcd b (rem a b)
+let gcd a b =
+  match (a, b) with
+  | S x, S y ->
+    let rec go a b = if b = 0 then a else go b (a mod b) in
+    S (go (Stdlib.abs x) (Stdlib.abs y))
+  | _ ->
+    let rec go a b = if is_zero b then a else go b (rem a b) in
+    go (abs a) (abs b)
 
 let lcm a b = if is_zero a || is_zero b then zero else abs (div (mul a b) (gcd a b))
 
@@ -295,57 +361,63 @@ let pow x n =
 
 let shift_left t n =
   if n < 0 then invalid_arg "Bigint.shift_left";
-  if t.sign = 0 then zero
-  else (
+  match t with
+  | S 0 -> zero
+  | S v when n <= 30 -> of_int (v lsl n) (* |v| < 2^30, n <= 30: fits 60 bits *)
+  | _ ->
+    let s, m = sign_mag t in
     let digits = n / base_bits and bits = n mod base_bits in
-    let m = mag_shift_left_bits (mag_shift_left_digits t.mag digits) bits in
-    make t.sign m)
+    make s (mag_shift_left_bits (mag_shift_left_digits m digits) bits)
 
 let shift_right t n =
   if n < 0 then invalid_arg "Bigint.shift_right";
-  if t.sign = 0 then zero
-  else (
+  match t with
+  | S v -> S (v asr Stdlib.min n 62) (* asr floors, matching the array path *)
+  | B { sign; mag } ->
     let digits = n / base_bits and bits = n mod base_bits in
-    let la = Array.length t.mag in
-    if digits >= la then (if t.sign > 0 then zero else minus_one)
+    let la = Array.length mag in
+    if digits >= la then (if sign > 0 then zero else minus_one)
     else (
-      let m = mag_shift_right_bits (Array.sub t.mag digits (la - digits)) bits in
-      let q = make t.sign m in
-      if t.sign < 0 then (
+      let m = mag_shift_right_bits (Array.sub mag digits (la - digits)) bits in
+      let q = make sign m in
+      if sign < 0 then (
         (* floor semantics for negatives: if any bits were shifted out, round down *)
         let shifted_back = shift_left q n in
         if equal shifted_back t then q else pred q)
-      else q))
+      else q)
 
 let num_bits t =
-  let la = Array.length t.mag in
-  if la = 0 then 0
-  else (
-    let top = t.mag.(la - 1) in
-    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
-    ((la - 1) * base_bits) + bits top 0)
+  let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+  match t with
+  | S v -> bits (Stdlib.abs v) 0
+  | B { mag; _ } ->
+    let la = Array.length mag in
+    ((la - 1) * base_bits) + bits mag.(la - 1) 0
 
-let is_even t = t.sign = 0 || t.mag.(0) land 1 = 0
+let is_even = function S v -> v land 1 = 0 | B { mag; _ } -> mag.(0) land 1 = 0
 let is_odd t = not (is_even t)
 
-let to_int t =
-  if t.sign = 0 then Some 0
-  else if num_bits t <= 62 then (
-    let v = Array.fold_right (fun d acc -> (acc lsl base_bits) lor d) t.mag 0 in
-    Some (if t.sign < 0 then -v else v))
-  else if t.sign < 0 && equal t (of_int min_int) then Some min_int
-  else None
+let to_int = function
+  | S v -> Some v
+  | B { sign; mag } as t ->
+    if num_bits t <= 62 then (
+      let v = Array.fold_right (fun d acc -> (acc lsl base_bits) lor d) mag 0 in
+      Some (if sign < 0 then -v else v))
+    else if sign < 0 && equal t (of_int min_int) then Some min_int
+    else None
 
 let to_int_exn t =
   match to_int t with Some i -> i | None -> failwith "Bigint.to_int_exn: out of range"
 
-let to_float t =
-  let m = Array.fold_right (fun d acc -> (acc *. float_of_int base) +. float_of_int d) t.mag 0.0 in
-  if t.sign < 0 then -.m else m
+let to_float = function
+  | S v -> float_of_int v
+  | B { sign; mag } ->
+    let m = Array.fold_right (fun d acc -> (acc *. float_of_int base) +. float_of_int d) mag 0.0 in
+    if sign < 0 then -.m else m
 
-let to_string t =
-  if t.sign = 0 then "0"
-  else (
+let to_string = function
+  | S v -> string_of_int v
+  | B { sign; mag } ->
     let buf = Buffer.create 32 in
     let rec go m =
       if Array.length m = 0 then ()
@@ -356,8 +428,8 @@ let to_string t =
           go q;
           Buffer.add_string buf (Printf.sprintf "%06d" r)))
     in
-    go t.mag;
-    (if t.sign < 0 then "-" else "") ^ Buffer.contents buf)
+    go mag;
+    (if sign < 0 then "-" else "") ^ Buffer.contents buf
 
 let of_string s =
   let len = String.length s in

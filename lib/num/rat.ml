@@ -32,8 +32,10 @@ let is_integer t = B.is_one t.den
 let equal a b = B.equal a.num b.num && B.equal a.den b.den
 
 let compare a b =
-  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
-  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+  if B.is_one a.den && B.is_one b.den then B.compare a.num b.num
+  else
+    (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
+    B.compare (B.mul a.num b.den) (B.mul b.num a.den)
 
 let hash t = Hashtbl.hash (B.hash t.num, B.hash t.den)
 let min a b = if compare a b <= 0 then a else b
@@ -42,11 +44,17 @@ let max a b = if compare a b >= 0 then a else b
 let neg t = { t with num = B.neg t.num }
 let abs t = { t with num = B.abs t.num }
 
+(* Most rationals flowing through the symbolic layer are integers
+   (den = 1): skip the cross-multiply and gcd for that common case. *)
 let add a b =
-  normalize (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+  if B.is_one a.den && B.is_one b.den then { num = B.add a.num b.num; den = B.one }
+  else normalize (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
 
 let sub a b = add a (neg b)
-let mul a b = normalize (B.mul a.num b.num) (B.mul a.den b.den)
+
+let mul a b =
+  if B.is_one a.den && B.is_one b.den then { num = B.mul a.num b.num; den = B.one }
+  else normalize (B.mul a.num b.num) (B.mul a.den b.den)
 
 let inv t =
   if is_zero t then raise Division_by_zero;

@@ -1,0 +1,33 @@
+(* Global registry of named operation counters. Hot paths hold a direct
+   pointer to their counter record, so a bump is one mutable-field
+   increment with no lookup. *)
+
+type counter = { name : string; mutable count : int }
+
+let registry : counter list ref = ref []
+
+let counter name =
+  let c = { name; count = 0 } in
+  registry := c :: !registry;
+  c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let count c = c.count
+let reset_all () = List.iter (fun c -> c.count <- 0) !registry
+
+let snapshot () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let cur = match Hashtbl.find_opt tbl c.name with Some n -> n | None -> 0 in
+      Hashtbl.replace tbl c.name (cur + c.count))
+    !registry;
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_json () =
+  let fields =
+    snapshot () |> List.map (fun (name, n) -> Printf.sprintf "%S: %d" name n)
+  in
+  "{" ^ String.concat ", " fields ^ "}"

@@ -1,0 +1,36 @@
+(** Lightweight operation counters for the analysis hot paths.
+
+    Modules register named counters once at module-initialization time and
+    bump them from their hot loops; the cost per event is a single mutable
+    integer increment, cheap enough to leave enabled unconditionally. The
+    CLI's [--stats] flag snapshots the registry after an analysis and
+    appends it as a JSON object, giving per-run visibility into how much
+    symbolic and scheduling work a prediction actually did (poly
+    operations, monomial allocations, bin placements, focus-span scan
+    lengths, interval widenings, fit fallbacks). *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] registers a fresh counter under [name]. Names are
+    conventionally dotted paths like ["poly.mul"]. Registering the same
+    name twice returns distinct counters whose counts are summed in
+    snapshots; in practice each name is registered once, at module
+    initialization. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val count : counter -> int
+(** Current value of one counter. *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter (used between benchmark iterations and
+    at the start of a [--stats] run). *)
+
+val snapshot : unit -> (string * int) list
+(** All registered counters with their current values, sorted by name.
+    Counters that never fired report 0. *)
+
+val to_json : unit -> string
+(** The snapshot as a single-line JSON object [{"name": count, ...}]. *)

@@ -1,4 +1,9 @@
 open Pperf_machine
+module Obs = Pperf_obs.Obs
+
+let c_placements = Obs.counter "bins.placements"
+let c_scan = Obs.counter "bins.scan_cells"
+let c_fallback = Obs.counter "bins.fit_fallback"
 
 type t = {
   machine : Machine.t;
@@ -7,32 +12,51 @@ type t = {
   kind_candidates : int array array;  (** unit id -> ids of same-kind units *)
   mutable makespan : int;
   cover_tops : int array;
+  mutable slots_hwm : int;  (** cached max of the slots' high-water marks *)
+  mutable fallbacks : int;  (** coordinated fits resolved by stacked placement *)
 }
+
+(* the candidate table depends only on the machine's unit mix; bins are
+   created per dropped dag, so share it across all bins of one machine
+   (keyed by physical identity — machines are built once and reused) *)
+let kc_cache : (Machine.t * int array array) list ref = ref []
+
+let kind_candidates_of machine =
+  match List.find_opt (fun (m, _) -> m == machine) !kc_cache with
+  | Some (_, kc) -> kc
+  | None ->
+    let n = Machine.num_units machine in
+    let kc =
+      Array.init n (fun u ->
+          let kind = machine.Machine.units.(u).Funit.kind in
+          let same =
+            Array.to_list machine.Machine.units
+            |> List.filter_map (fun (v : Funit.t) -> if v.kind = kind then Some v.id else None)
+          in
+          (* prefer the named unit itself, then its twins *)
+          Array.of_list (u :: List.filter (fun v -> v <> u) same))
+    in
+    kc_cache := (machine, kc) :: List.filteri (fun i _ -> i < 15) !kc_cache;
+    kc
 
 let create ?(focus_span = 64) machine =
   let n = Machine.num_units machine in
-  let kind_candidates =
-    Array.init n (fun u ->
-        let kind = machine.Machine.units.(u).Funit.kind in
-        let same =
-          Array.to_list machine.Machine.units
-          |> List.filter_map (fun (v : Funit.t) -> if v.kind = kind then Some v.id else None)
-        in
-        (* prefer the named unit itself, then its twins *)
-        Array.of_list (u :: List.filter (fun v -> v <> u) same))
-  in
   {
     machine;
-    slots = Array.init n (fun _ -> Slots.create ());
+    slots = Array.init n (fun _ -> Slots.create ~capacity:16 ());
     focus_span;
-    kind_candidates;
+    kind_candidates = kind_candidates_of machine;
     makespan = 0;
     cover_tops = Array.make n 0;
+    slots_hwm = 0;
+    fallbacks = 0;
   }
 
 let reset t =
   Array.iter Slots.reset t.slots;
   t.makespan <- 0;
+  t.slots_hwm <- 0;
+  t.fallbacks <- 0;
   Array.fill t.cover_tops 0 (Array.length t.cover_tops) 0
 
 let machine t = t.machine
@@ -46,14 +70,35 @@ type placement = {
 
 type schedule = { placements : placement array; cost : int; block : Costblock.t }
 
-let global_hwm t =
-  Array.fold_left (fun acc s -> max acc (Slots.high_water s)) 0 t.slots
+(* every fill goes through [drop_op_full], which maintains the cache *)
+let global_hwm t = t.slots_hwm
+
+(* a coordinated fit that keeps chasing a moving frontier has hit a
+   pathological interleaving of free runs; instead of raising (which would
+   kill the whole prediction) place the components stacked above everything
+   already in the bins — conservative (it overlaps nothing, costing the sum
+   of the unit spans) but always succeeds. Recorded as an [obs] counter and
+   a per-bins count so predictions can surface a precision diagnostic. *)
+let stacked_placement t ~floor (op : Atomic_op.t) =
+  Obs.incr c_fallback;
+  t.fallbacks <- t.fallbacks + 1;
+  let base = Stdlib.max floor t.slots_hwm in
+  let off = ref base in
+  let choices =
+    List.map
+      (fun (c : Atomic_op.component) ->
+        let s = !off in
+        off := s + Stdlib.max 1 c.noncoverable;
+        (c, c.unit_id, s))
+      op.components
+  in
+  (base, choices)
 
 (* find the lowest start >= floor where every component fits simultaneously;
    returns (start, chosen unit per component) *)
 let coordinated_fit t ~floor (op : Atomic_op.t) =
   let rec attempt start guard =
-    if guard > 100_000 then failwith "Bins: coordinated fit did not converge";
+    if guard > 1_000 then raise Exit;
     let worst = ref start in
     let choices =
       List.map
@@ -74,20 +119,27 @@ let coordinated_fit t ~floor (op : Atomic_op.t) =
     in
     if !worst = start then (start, choices) else attempt !worst (guard + 1)
   in
-  attempt floor 0
+  try attempt floor 0 with Exit -> stacked_placement t ~floor op
 
 let drop_op_full t ~ready node (op : Atomic_op.t) =
   let floor = max ready (max 0 (global_hwm t - t.focus_span)) in
+  Obs.incr c_placements;
+  Obs.add c_scan (Stdlib.max 0 (global_hwm t - floor));
   let start, choices = coordinated_fit t ~floor op in
+  (* each choice carries its own start; all equal after a converged
+     coordinated fit, stacked after a fallback *)
   let filled =
     List.map
-      (fun ((c : Atomic_op.component), u, _) ->
-        if c.noncoverable > 0 then Slots.fill t.slots.(u) ~start ~len:c.noncoverable;
-        t.cover_tops.(u) <- max t.cover_tops.(u) (start + c.noncoverable + c.coverable);
-        (u, start, c.noncoverable))
+      (fun ((c : Atomic_op.component), u, s) ->
+        if c.noncoverable > 0 then (
+          Slots.fill t.slots.(u) ~start:s ~len:c.noncoverable;
+          t.slots_hwm <- Stdlib.max t.slots_hwm (s + c.noncoverable));
+        t.cover_tops.(u) <- max t.cover_tops.(u) (s + c.noncoverable + c.coverable);
+        (u, s, c.noncoverable))
       choices
   in
-  let finish = start + Atomic_op.result_latency op in
+  let top = List.fold_left (fun acc (_, s, _) -> Stdlib.max acc s) start filled in
+  let finish = top + Atomic_op.result_latency op in
   t.makespan <- max t.makespan finish;
   { node; start; finish; filled }
 
@@ -130,6 +182,8 @@ let drop_dag ?(start_at = 0) t (dag : Dag.t) =
   { placements; cost = Costblock.cost block; block }
 
 let unit_slots t u = t.slots.(u)
+
+let fallbacks t = t.fallbacks
 
 let pp fmt t =
   let top = max (global_hwm t) t.makespan in

@@ -56,6 +56,13 @@ val current_cost : t -> int
 val unit_slots : t -> int -> Slots.t
 (** Read-only access for tests and visualization. *)
 
+val fallbacks : t -> int
+(** Number of placements since the last {!reset} that a non-converging
+    coordinated fit resolved by conservative stacked placement (the
+    components laid end to end above everything already placed) instead of
+    raising. Nonzero means the cost is a safe overestimate for those
+    operations; callers surface it as a precision diagnostic. *)
+
 val pp : Format.formatter -> t -> unit
 (** Vertical diagram of the bins, one column per unit (Fig. 3 style). *)
 

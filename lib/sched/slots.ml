@@ -55,16 +55,18 @@ let first_fit t ~floor ~len =
   if len <= 0 then floor
   else if floor >= t.hwm then floor
   else (
-    let candidates = runs_down_to t floor in
-    let rec scan = function
-      | [] -> t.hwm
-      | (s, e, filled) :: rest ->
-        if filled then scan rest
-        else (
-          let s' = max s floor in
-          if e - s' >= len then s' else scan rest)
-    in
-    scan candidates)
+    (* walk runs top-down (no list); the last fitting free run seen is the
+       lowest, which is what the bottom-up scan returned *)
+    let best = ref t.hwm in
+    let b = ref t.hwm in
+    while !b > floor && !b > 0 do
+      let s, filled = run_ending_at t !b in
+      (if not filled then (
+         let s' = max s floor in
+         if !b - s' >= len then best := s'));
+      b := s
+    done;
+    !best)
 
 let is_free t ~start ~len =
   let start = max start 0 in
@@ -134,17 +136,28 @@ let runs t = runs_down_to t 0 |> List.map (fun (s, e, filled) -> (s, e - s, fill
 let num_runs t = List.length (runs t)
 
 let first_occupied t =
-  let rec scan = function
-    | [] -> None
-    | (s, _, true) :: _ -> Some s
-    | _ :: rest -> scan rest
-  in
-  scan (runs_down_to t 0)
+  if t.hwm = 0 then None
+  else (
+    let lowest = ref (-1) in
+    let b = ref t.hwm in
+    while !b > 0 do
+      let s, filled = run_ending_at t !b in
+      if filled then lowest := s;
+      b := s
+    done;
+    if !lowest < 0 then None else Some !lowest)
 
 let last_occupied t = if t.hwm = 0 then None else Some (t.hwm - 1)
 
 let occupied_cells t =
-  List.fold_left (fun acc (s, e, filled) -> if filled then acc + (e - s) else acc) 0 (runs_down_to t 0)
+  let acc = ref 0 in
+  let b = ref t.hwm in
+  while !b > 0 do
+    let s, filled = run_ending_at t !b in
+    if filled then acc := !acc + (!b - s);
+    b := s
+  done;
+  !acc
 
 let pp fmt t =
   List.iter

@@ -59,7 +59,11 @@ let max_relative_error env ~original ~simplified =
   List.fold_left
     (fun worst asg ->
       let valuation x =
-        match List.assoc_opt x asg with Some v -> v | None -> Rat.one
+        match List.assoc_opt x asg with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Simplify.max_relative_error: unbound variable %s" x)
       in
       let o = Poly.eval valuation original in
       let s = Poly.eval valuation simplified in

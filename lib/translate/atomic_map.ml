@@ -11,7 +11,7 @@ open Pperf_machine
 
 (** [map machine b] is the chain of atomic operations implementing [b];
     element [k+1] consumes the result of element [k]. *)
-let map (m : Machine.t) (b : Basic_op.t) : Atomic_op.t list =
+let map_uncached (m : Machine.t) (b : Basic_op.t) : Atomic_op.t list =
   let a name = [ Machine.atomic m name ] in
   let a2 n1 n2 = [ Machine.atomic m n1; Machine.atomic m n2 ] in
   let prefer name fallback = if Machine.has_atomic m name then a name else fallback () in
@@ -57,3 +57,24 @@ let map (m : Machine.t) (b : Basic_op.t) : Atomic_op.t list =
   | B_intrinsic name ->
     if Machine.has_atomic m name then a name
     else a "call" (* unknown intrinsic: library call *)
+
+(* the mapping is a pure function of the machine's tables; every block
+   translation asks for the same handful of basic ops, so cache the
+   chains per machine (keyed by physical identity) *)
+let cache : (Machine.t * (Basic_op.t, Atomic_op.t list) Hashtbl.t) list ref = ref []
+
+let map (m : Machine.t) (b : Basic_op.t) : Atomic_op.t list =
+  let tbl =
+    match List.find_opt (fun (m', _) -> m' == m) !cache with
+    | Some (_, tbl) -> tbl
+    | None ->
+      let tbl = Hashtbl.create 64 in
+      cache := (m, tbl) :: List.filteri (fun i _ -> i < 15) !cache;
+      tbl
+  in
+  match Hashtbl.find_opt tbl b with
+  | Some chain -> chain
+  | None ->
+    let chain = map_uncached m b in
+    Hashtbl.add tbl b chain;
+    chain

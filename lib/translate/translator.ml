@@ -29,9 +29,11 @@ type builder = {
   symtab : Typecheck.symtab;
   loop_vars : string list;
   invariants : SSet.t;
-  mutable instrs : instr list;  (** reversed *)
+  mutable instrs : instr array;  (** growable; first [count] entries valid *)
   mutable count : int;
   vtable : (string, int) Hashtbl.t;  (** value numbering: key -> instr id *)
+  etype : (Ast.expr, Ast.dtype option) Hashtbl.t;  (** memoized expr_type *)
+  ekey : (Ast.expr, string) Hashtbl.t;  (** memoized expr_key *)
   mutable reg_queue : string list;  (** LRU of resident load keys (oldest first) *)
   mutable scalar_env : (string * int) list;  (** block-local scalar values *)
   mutable last_store : (string * int) list;  (** array -> last store instr *)
@@ -47,6 +49,8 @@ let free_value = -1
    (an induction variable): free to read, NOT loop-invariant *)
 let loop_value = -2
 
+let dummy_instr = { basic = Basic_op.B_branch; deps = []; label = ""; invariant = false }
+
 let emit b ?(invariant = false) basic deps label =
   let id = b.count in
   b.count <- id + 1;
@@ -61,36 +65,77 @@ let emit b ?(invariant = false) basic deps label =
    | B_iadd | B_isub | B_imul _ | B_ishift | B_ilogic | B_idiv | B_ineg | B_icmp ->
      b.n_intops <- b.n_intops + 1
    | _ -> ());
-  b.instrs <- { basic; deps; label; invariant } :: b.instrs;
+  if id >= Array.length b.instrs then (
+    let grown = Array.make (Stdlib.max 16 (2 * Array.length b.instrs)) dummy_instr in
+    Array.blit b.instrs 0 grown 0 id;
+    b.instrs <- grown);
+  b.instrs.(id) <- { basic; deps; label; invariant };
   id
 
-let instr_of b id = List.nth b.instrs (b.count - 1 - id)
+let instr_of b id = b.instrs.(id)
 
 let is_invariant_value b id =
   if id = free_value then true
   else if id = loop_value then false
   else (instr_of b id).invariant
 
-(* canonical string key of an expression for value numbering *)
-let rec expr_key (e : Ast.expr) : string =
-  match e with
-  | Ast.Int i -> string_of_int i
-  | Ast.Real (f, _) -> Printf.sprintf "%h" f
-  | Ast.Logical b -> string_of_bool b
-  | Ast.Var x -> x
-  | Ast.Index (a, subs) -> a ^ "[" ^ String.concat "," (List.map expr_key subs) ^ "]"
-  | Ast.Call (f, args) -> f ^ "(" ^ String.concat "," (List.map expr_key args) ^ ")"
-  | Ast.Unop (op, a) -> (match op with Ast.Neg -> "-" | Ast.Not -> "!") ^ expr_key a
-  | Ast.Binop (op, a, b) ->
-    let ka = expr_key a and kb = expr_key b in
-    let ka, kb =
-      (* commutative normalization *)
-      match op with
-      | Ast.Add | Ast.Mul | Ast.And | Ast.Or | Ast.Eq | Ast.Ne ->
-        if String.compare ka kb <= 0 then (ka, kb) else (kb, ka)
-      | _ -> (ka, kb)
+let binop_key_name : Ast.binop -> string = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Pow -> "**"
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "/="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+(* the exact-hex rendering of a float literal is format-machinery slow;
+   distinct literals recur across the many builders one prediction makes,
+   so memoize the rendering globally *)
+let real_key_tbl : (float, string) Hashtbl.t = Hashtbl.create 64
+
+let real_key f =
+  match Hashtbl.find_opt real_key_tbl f with
+  | Some k -> k
+  | None ->
+    let k = Printf.sprintf "%h" f in
+    if Hashtbl.length real_key_tbl < 4096 then Hashtbl.add real_key_tbl f k;
+    k
+
+(* canonical string key of an expression for value numbering; memoized
+   per builder so nested expressions don't rebuild their children's keys
+   at every enclosing node *)
+let rec expr_key b (e : Ast.expr) : string =
+  match Hashtbl.find_opt b.ekey e with
+  | Some k -> k
+  | None ->
+    let k =
+      match e with
+      | Ast.Int i -> string_of_int i
+      | Ast.Real (f, _) -> real_key f
+      | Ast.Logical l -> string_of_bool l
+      | Ast.Var x -> x
+      | Ast.Index (a, subs) -> a ^ "[" ^ String.concat "," (List.map (expr_key b) subs) ^ "]"
+      | Ast.Call (f, args) -> f ^ "(" ^ String.concat "," (List.map (expr_key b) args) ^ ")"
+      | Ast.Unop (op, a) -> (match op with Ast.Neg -> "-" | Ast.Not -> "!") ^ expr_key b a
+      | Ast.Binop (op, x, y) ->
+        let ka = expr_key b x and kb = expr_key b y in
+        let ka, kb =
+          (* commutative normalization *)
+          match op with
+          | Ast.Add | Ast.Mul | Ast.And | Ast.Or | Ast.Eq | Ast.Ne ->
+            if String.compare ka kb <= 0 then (ka, kb) else (kb, ka)
+          | _ -> (ka, kb)
+        in
+        String.concat "" [ "("; ka; " "; binop_key_name op; " "; kb; ")" ]
     in
-    Printf.sprintf "(%s %s %s)" ka (Ast.show_binop op) kb
+    Hashtbl.add b.ekey e k;
+    k
 
 (* value-numbering lookup gated by the CSE flag and the register-pressure
    LRU window for loads *)
@@ -121,14 +166,21 @@ let vn_record b ~is_load key id =
           Hashtbl.remove b.vtable oldest
         | [] -> ())))
 
+(* expr_type walks the whole subexpression; the translator asks for the
+   type of every node of every expression, so memoize per builder *)
+let expr_type_memo b e =
+  match Hashtbl.find_opt b.etype e with
+  | Some r -> r
+  | None ->
+    let r = try Some (Typecheck.expr_type b.symtab e) with _ -> None in
+    Hashtbl.add b.etype e r;
+    r
+
 let float_expr b e =
-  try Typecheck.is_float_type (Typecheck.expr_type b.symtab e) with _ -> true
+  match expr_type_memo b e with Some t -> Typecheck.is_float_type t | None -> true
 
 let prec_of b e =
-  match Typecheck.expr_type b.symtab e with
-  | Ast.Tdouble -> Basic_op.Double
-  | _ -> Basic_op.Single
-  | exception _ -> Basic_op.Single
+  match expr_type_memo b e with Some Ast.Tdouble -> Basic_op.Double | _ -> Basic_op.Single
 
 (* is this integer expression free inside the block? loop indices and small
    constants live in registers; affine combinations of them are handled by
@@ -136,15 +188,19 @@ let prec_of b e =
 let subscript_is_free b (e : Ast.expr) =
   if not b.flags.Flags.update_addressing then
     match e with Ast.Int _ | Ast.Var _ -> true | _ -> false
-  else
-    match Sym_expr.affine_in b.loop_vars e with
-    | Some (_, rest) ->
-      (* the residue must be invariant (symbolic constants allowed: their
-         contribution is folded into the preloaded base address) *)
-      List.for_all
-        (fun v -> SSet.mem v b.invariants || not (List.mem v b.loop_vars))
-        (Pperf_symbolic.Poly.vars rest)
-    | None -> false
+  else (
+    match Sym_expr.affine_hint b.loop_vars e with
+    | `Affine -> true (* affine residues are loop-var free by construction *)
+    | `Not -> false
+    | `Unknown -> (
+      match Sym_expr.affine_in b.loop_vars e with
+      | Some (_, rest) ->
+        (* the residue must be invariant (symbolic constants allowed: their
+           contribution is folded into the preloaded base address) *)
+        List.for_all
+          (fun v -> SSet.mem v b.invariants || not (List.mem v b.loop_vars))
+          (Pperf_symbolic.Poly.vars rest)
+      | None -> false))
 
 let small_int_const = function
   | Ast.Int i when i >= -128 && i <= 127 -> true
@@ -178,7 +234,9 @@ let rec tr_expr b (e : Ast.expr) : int =
     let store_gen =
       match List.assoc_opt a b.last_store with Some id -> id | None -> free_value
     in
-    let key = Printf.sprintf "mem:%s:%s:%d" a (expr_key e) store_gen in
+    let key =
+      String.concat "" [ "mem:"; a; ":"; expr_key b e; ":"; string_of_int store_gen ]
+    in
     (match vn_lookup b ~is_load:true key with
      | Some id -> id
      | None ->
@@ -195,16 +253,16 @@ let rec tr_expr b (e : Ast.expr) : int =
               subs
        in
        let deps = if store_gen >= 0 then store_gen :: addr_deps else addr_deps in
-       let id = emit b ~invariant:inv (Basic_op.B_load { float }) deps ("load " ^ expr_key e) in
+       let id = emit b ~invariant:inv (Basic_op.B_load { float }) deps ("load " ^ expr_key b e) in
        vn_record b ~is_load:true key id;
        id)
   | Ast.Unop (Ast.Neg, a) ->
     let va = tr_expr b a in
     let basic = if float_expr b a then Basic_op.B_fneg else Basic_op.B_ineg in
-    emit_vn b basic [ va ] ("-" ^ expr_key a)
+    emit_vn b basic [ va ] ("-" ^ expr_key b a)
   | Ast.Unop (Ast.Not, a) ->
     let va = tr_expr b a in
-    emit_vn b Basic_op.B_ilogic [ va ] (".not. " ^ expr_key a)
+    emit_vn b Basic_op.B_ilogic [ va ] (".not. " ^ expr_key b a)
   | Ast.Binop (op, x, y) -> tr_binop b e op x y
   | Ast.Call (f, args) -> tr_call b e f args
 
@@ -212,9 +270,9 @@ and emit_vn b basic deps label =
   (* the label (a canonical rendering of the source expression) keeps
      constant-fed operations from colliding in the value table *)
   let key =
-    "op:" ^ Basic_op.to_string basic ^ ":"
-    ^ String.concat "," (List.map string_of_int deps)
-    ^ ":" ^ label
+    String.concat ""
+      ("op:" :: Basic_op.to_string basic :: ":"
+      :: List.fold_right (fun d acc -> string_of_int d :: "," :: acc) deps [ ":"; label ])
   in
   match vn_lookup b ~is_load:false key with
   | Some id -> id
@@ -236,7 +294,7 @@ and tr_address b subs =
       else (
         let v = tr_expr b sub in
         (* index scaling: one integer op to fold into the address *)
-        let id = emit_vn b Basic_op.B_iadd [ v ] ("addr " ^ expr_key sub) in
+        let id = emit_vn b Basic_op.B_iadd [ v ] ("addr " ^ expr_key b sub) in
         Some id))
     subs
 
@@ -254,13 +312,13 @@ and tr_binop b whole op x y =
     in
     (match (op, x, y) with
      | _, Ast.Binop (Ast.Mul, mx, my), other when float_expr b x ->
-       fuse mx my other ("fma " ^ expr_key whole)
+       fuse mx my other ("fma " ^ expr_key b whole)
      | Ast.Add, other, Ast.Binop (Ast.Mul, mx, my) when float_expr b y ->
-       fuse mx my other ("fma " ^ expr_key whole)
+       fuse mx my other ("fma " ^ expr_key b whole)
      | _ ->
        let vx = tr_expr b x and vy = tr_expr b y in
        let basic = if op = Ast.Add then Basic_op.B_fadd prec else Basic_op.B_fsub prec in
-       emit_vn b basic [ vx; vy ] (expr_key whole))
+       emit_vn b basic [ vx; vy ] (expr_key b whole))
   | Ast.Add | Ast.Sub ->
     let vx = tr_expr b x and vy = tr_expr b y in
     let basic =
@@ -268,28 +326,28 @@ and tr_binop b whole op x y =
       else if op = Ast.Add then Basic_op.B_iadd
       else Basic_op.B_isub
     in
-    emit_vn b basic [ vx; vy ] (expr_key whole)
+    emit_vn b basic [ vx; vy ] (expr_key b whole)
   | Ast.Mul ->
     let vx = tr_expr b x and vy = tr_expr b y in
-    if float then emit_vn b (Basic_op.B_fmul prec) [ vx; vy ] (expr_key whole)
+    if float then emit_vn b (Basic_op.B_fmul prec) [ vx; vy ] (expr_key b whole)
     else if is_pow2_const x || is_pow2_const y then
-      emit_vn b Basic_op.B_ishift [ vx; vy ] (expr_key whole)
+      emit_vn b Basic_op.B_ishift [ vx; vy ] (expr_key b whole)
     else (
       let small = small_int_const x || small_int_const y in
-      emit_vn b (Basic_op.B_imul { small }) [ vx; vy ] (expr_key whole))
+      emit_vn b (Basic_op.B_imul { small }) [ vx; vy ] (expr_key b whole))
   | Ast.Div ->
     let vx = tr_expr b x and vy = tr_expr b y in
-    if float then emit_vn b (Basic_op.B_fdiv prec) [ vx; vy ] (expr_key whole)
-    else if is_pow2_const y then emit_vn b Basic_op.B_ishift [ vx; vy ] (expr_key whole)
-    else emit_vn b Basic_op.B_idiv [ vx; vy ] (expr_key whole)
+    if float then emit_vn b (Basic_op.B_fdiv prec) [ vx; vy ] (expr_key b whole)
+    else if is_pow2_const y then emit_vn b Basic_op.B_ishift [ vx; vy ] (expr_key b whole)
+    else emit_vn b Basic_op.B_idiv [ vx; vy ] (expr_key b whole)
   | Ast.Pow -> tr_pow b whole x y
   | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
     let vx = tr_expr b x and vy = tr_expr b y in
     let basic = if float_expr b x || float_expr b y then Basic_op.B_fcmp else Basic_op.B_icmp in
-    emit_vn b basic [ vx; vy ] (expr_key whole)
+    emit_vn b basic [ vx; vy ] (expr_key b whole)
   | Ast.And | Ast.Or ->
     let vx = tr_expr b x and vy = tr_expr b y in
-    emit_vn b Basic_op.B_ilogic [ vx; vy ] (expr_key whole)
+    emit_vn b Basic_op.B_ilogic [ vx; vy ] (expr_key b whole)
 
 and tr_pow b whole x y =
   let float = float_expr b whole in
@@ -321,7 +379,7 @@ and tr_call b whole f args =
   | Some info -> (
     let vargs = List.map (tr_expr b) args in
     match info.cost with
-    | Intrinsics.Arith atomic -> emit_vn b (Basic_op.B_intrinsic atomic) vargs (expr_key whole)
+    | Intrinsics.Arith atomic -> emit_vn b (Basic_op.B_intrinsic atomic) vargs (expr_key b whole)
     | Intrinsics.Minmax ->
       (* n-ary min/max: n-1 compare+select chains *)
       (match vargs with
@@ -332,7 +390,7 @@ and tr_call b whole f args =
            first rest)
     | Intrinsics.Conversion ->
       let basic = if info.result_real then Basic_op.B_cvt_if else Basic_op.B_cvt_fi in
-      emit_vn b basic vargs (expr_key whole)
+      emit_vn b basic vargs (expr_key b whole)
     | Intrinsics.Free -> (match vargs with v :: _ -> v | [] -> free_value))
   | None ->
     (* external call: arguments are passed by reference, so their values
@@ -413,7 +471,7 @@ let dce (instrs : instr array) =
 (* ---- expansion to atomic DAGs ---- *)
 
 let build_dags (b : builder) : Dag.t * Dag.t =
-  let instrs = Array.of_list (List.rev b.instrs) in
+  let instrs = Array.sub b.instrs 0 b.count in
   let live = if b.flags.Flags.dce then dce instrs else Array.map (fun _ -> true) instrs in
   (* split into (body, one_time); each basic op expands to a chain of
      atomics. Track, per instr, the dag ("which side") and last atomic
@@ -460,9 +518,11 @@ let make_builder ~machine ~flags ~symtab ~loop_vars ~invariants =
     symtab;
     loop_vars;
     invariants;
-    instrs = [];
+    instrs = [||];
     count = 0;
-    vtable = Hashtbl.create 64;
+    vtable = Hashtbl.create 16;
+    etype = Hashtbl.create 16;
+    ekey = Hashtbl.create 16;
     reg_queue = [];
     scalar_env = [];
     last_store = [];

@@ -212,3 +212,46 @@ at line 10 stays, and the exit status drops to 0:
     20:5 hint[constant-condition] condition m > 1 is always true over the inferred ranges
       fix: drop the test or widen the variable's range
 
+
+Mistyped --bind/--eval names are reported instead of silently predicting
+with every unknown defaulted to 1.0; --strict turns the warning into an
+error:
+
+  $ ppredict predict ../../samples/daxpy.pf --bind m=3
+  daxpy on power1: 5*n + 4
+  warning: binding m does not match any variable of the performance expression
+  warning: unbound variable n defaults to 1.0
+    at m=3: 9 cycles
+
+  $ ppredict predict ../../samples/daxpy.pf --bind m=3 --strict
+  daxpy on power1: 5*n + 4
+  error: binding m does not match any variable of the performance expression; unbound variable n defaults to 1.0
+  [1]
+
+A machine description missing an operation the translator needs is a
+clean, named error, not a crash (here a truncated copy of scalar.pmach
+with the floating-point ops cut off):
+
+  $ cat > truncated.pmach <<'PMACH'
+  > (machine (name scalar)
+  >   (issue-width 1)
+  >   (branch-taken-cycles 2)
+  >   (register-load-limit 8)
+  >   (fma false)
+  >   (units (ALU alu))
+  >   (atomics
+  >     (branch (ALU 1 0))
+  >     (branch_cond (ALU 2 0))
+  >     (iadd (ALU 1 0))
+  >     (icmp (ALU 1 0))
+  >     (imul_small (ALU 3 0))
+  >   ))
+  > PMACH
+  $ ppredict predict ../../samples/daxpy.pf -m truncated.pmach
+  error: machine scalar has no atomic operation load_int
+  [1]
+
+--stats appends a JSON object of internal operation counters:
+
+  $ ppredict predict ../../samples/daxpy.pf --stats | tail -1 | tr ',' '\n' | grep -c ':'
+  9

@@ -1,0 +1,217 @@
+(* Differential property tests: the optimized data structures against
+   simple reference implementations, driven by seeded random op chains.
+
+   - Slots (run-length encoded, allocation-free walks) vs Slots.Naive
+     (plain boolean array): same observable behaviour on randomized
+     first_fit / fill / is_free / query sequences.
+   - Poly (canonical sorted arrays with cached hash/degree) vs an
+     assoc-list oracle: same values under randomized add / mul / subst
+     chains, checked by evaluation at random points. *)
+
+open Pperf_num
+open Pperf_symbolic
+open Pperf_sched
+
+(* ---- Slots vs Slots.Naive ---- *)
+
+let slots_differential () =
+  let rng = Random.State.make [| 0x5107; 42 |] in
+  let enc = Slots.create ~capacity:4 () in
+  let naive = Slots.Naive.create ~capacity:4 () in
+  let check_queries step =
+    let ctx msg = Printf.sprintf "step %d: %s" step msg in
+    Alcotest.(check int) (ctx "high_water") (Slots.Naive.high_water naive)
+      (Slots.high_water enc);
+    Alcotest.(check (option int)) (ctx "first_occupied")
+      (Slots.Naive.first_occupied naive) (Slots.first_occupied enc);
+    Alcotest.(check (option int)) (ctx "last_occupied")
+      (Slots.Naive.last_occupied naive) (Slots.last_occupied enc);
+    Alcotest.(check int) (ctx "occupied_cells")
+      (Slots.Naive.occupied_cells naive) (Slots.occupied_cells enc);
+    Alcotest.(check (list (triple int int bool))) (ctx "runs")
+      (Slots.Naive.runs naive) (Slots.runs enc)
+  in
+  for step = 1 to 1000 do
+    (match Random.State.int rng 10 with
+     | 0 ->
+       (* occasional flush, as Bins does between blocks *)
+       Slots.reset enc;
+       Slots.Naive.reset naive
+     | 1 | 2 | 3 ->
+       (* first_fit must agree, and filling at its answer must succeed *)
+       let floor = Random.State.int rng 40 in
+       let len = 1 + Random.State.int rng 6 in
+       let s = Slots.first_fit enc ~floor ~len in
+       let s' = Slots.Naive.first_fit naive ~floor ~len in
+       Alcotest.(check int) (Printf.sprintf "step %d: first_fit %d/%d" step floor len) s' s;
+       Slots.fill enc ~start:s ~len;
+       Slots.Naive.fill naive ~start:s' ~len
+     | 4 | 5 | 6 ->
+       (* fill anywhere free (per the naive view); zero-length is a no-op *)
+       let start = Random.State.int rng 40 in
+       let len = Random.State.int rng 5 in
+       if Slots.Naive.is_free naive ~start ~len then (
+         Slots.fill enc ~start ~len;
+         Slots.Naive.fill naive ~start ~len)
+     | _ ->
+       let start = Random.State.int rng 50 in
+       let len = Random.State.int rng 8 in
+       Alcotest.(check bool) (Printf.sprintf "step %d: is_free %d/%d" step start len)
+         (Slots.Naive.is_free naive ~start ~len)
+         (Slots.is_free enc ~start ~len));
+    check_queries step
+  done
+
+let slots_fill_collision () =
+  let enc = Slots.create () in
+  Slots.fill enc ~start:3 ~len:2;
+  Alcotest.(check bool) "double fill rejected" true
+    (try Slots.fill enc ~start:4 ~len:1; false with Invalid_argument _ -> true)
+
+(* ---- Poly vs an assoc-list oracle ---- *)
+
+(* The oracle: a polynomial is a list of (monomial, coefficient) where a
+   monomial is a sorted (var, exponent) list. Quadratic everything. *)
+module Oracle = struct
+  type t = ((string * int) list * Rat.t) list
+
+  let norm_mono m =
+    List.filter (fun (_, e) -> e <> 0) m
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let add_term t m c =
+    let m = norm_mono m in
+    let prev = try List.assoc m t with Not_found -> Rat.zero in
+    let c' = Rat.add prev c in
+    let rest = List.remove_assoc m t in
+    if Rat.is_zero c' then rest else (m, c') :: rest
+
+  let zero : t = []
+  let const c : t = if Rat.is_zero c then [] else [ ([], c) ]
+  let var v : t = [ ([ (v, 1) ], Rat.one) ]
+  let add (a : t) (b : t) : t = List.fold_left (fun acc (m, c) -> add_term acc m c) a b
+
+  let mul_mono ma mb =
+    List.fold_left
+      (fun acc (v, e) ->
+        let prev = try List.assoc v acc with Not_found -> 0 in
+        (v, prev + e) :: List.remove_assoc v acc)
+      ma mb
+
+  let mul (a : t) (b : t) : t =
+    List.fold_left
+      (fun acc (ma, ca) ->
+        List.fold_left
+          (fun acc (mb, cb) -> add_term acc (mul_mono ma mb) (Rat.mul ca cb))
+          acc b)
+      zero a
+
+  let pow_mono m k = List.map (fun (v, e) -> (v, e * k)) m
+
+  let pow (a : t) k =
+    let rec go acc n = if n = 0 then acc else go (mul acc a) (n - 1) in
+    go (const Rat.one) k
+  [@@warning "-32"]
+
+  let subst x (q : t) (p : t) : t =
+    List.fold_left
+      (fun acc (m, c) ->
+        let e = try List.assoc x m with Not_found -> 0 in
+        let rest = List.remove_assoc x m in
+        let base : t = [ (rest, c) ] in
+        let qk =
+          if e = 0 then const Rat.one
+          else if e > 0 then
+            let rec go acc n = if n = 0 then acc else go (mul acc q) (n - 1) in
+            go (const Rat.one) e
+          else
+            (* negative exponent: only against a single-term q, mirroring
+               Poly.subst's precondition *)
+            match q with
+            | [ (mq, cq) ] -> [ (pow_mono mq e, Rat.pow cq e) ]
+            | _ -> invalid_arg "oracle subst"
+        in
+        add acc (mul base qk))
+      zero p
+
+  let eval valuation (p : t) =
+    List.fold_left
+      (fun acc (m, c) ->
+        Rat.add acc
+          (List.fold_left (fun acc (v, e) -> Rat.mul acc (Rat.pow (valuation v) e)) c m))
+      Rat.zero p
+end
+
+let poly_differential () =
+  let rng = Random.State.make [| 0x9017; 7 |] in
+  let vars = [| "n"; "m"; "k" |] in
+  let rand_rat () =
+    let n = Random.State.int rng 21 - 10 in
+    let d = 1 + Random.State.int rng 4 in
+    Rat.of_ints n d
+  in
+  let rand_var () = vars.(Random.State.int rng (Array.length vars)) in
+  (* build a random (Poly.t, Oracle.t) pair bottom-up *)
+  let rec build depth =
+    if depth = 0 then (
+      match Random.State.int rng 3 with
+      | 0 ->
+        let c = rand_rat () in
+        (Poly.const c, Oracle.const c)
+      | 1 ->
+        let v = rand_var () in
+        (Poly.var v, Oracle.var v)
+      | _ ->
+        let v = rand_var () and c = rand_rat () in
+        (Poly.scale c (Poly.var v), Oracle.mul (Oracle.const c) (Oracle.var v)))
+    else (
+      let a, oa = build (depth - 1) in
+      let b, ob = build (depth - 1) in
+      match Random.State.int rng 3 with
+      | 0 -> (Poly.add a b, Oracle.add oa ob)
+      | 1 -> (Poly.sub a b, Oracle.add oa (Oracle.mul (Oracle.const (Rat.of_int (-1))) ob))
+      | _ -> (Poly.mul a b, Oracle.mul oa ob))
+  in
+  (* nonzero evaluation points so negative exponents stay total, should a
+     future chain introduce them *)
+  let rand_point () =
+    Array.to_list vars
+    |> List.map (fun v ->
+           let x = 1 + Random.State.int rng 6 in
+           (v, Rat.of_int (if Random.State.bool rng then x else -x)))
+  in
+  for round = 1 to 300 do
+    let p, op = build (2 + Random.State.int rng 2) in
+    (* optionally substitute a variable by another random polynomial *)
+    let p, op =
+      if Random.State.int rng 2 = 0 then (
+        let x = rand_var () in
+        let q, oq = build 1 in
+        (Poly.subst x q p, Oracle.subst x oq op))
+      else (p, op)
+    in
+    let asg = rand_point () in
+    let valuation v = List.assoc v asg in
+    Alcotest.(check string)
+      (Printf.sprintf "round %d: eval agrees" round)
+      (Rat.to_string (Oracle.eval valuation op))
+      (Rat.to_string (Poly.eval valuation p));
+    (* structural sanity: canonical representation means structural
+       equality with a rebuilt copy *)
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: canonical" round)
+      true
+      (Poly.equal p (Poly.of_terms (Poly.terms p)))
+  done
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "slots",
+        [
+          Alcotest.test_case "encoded vs naive, 1000 random ops" `Quick slots_differential;
+          Alcotest.test_case "fill collision" `Quick slots_fill_collision;
+        ] );
+      ( "poly",
+        [ Alcotest.test_case "poly vs oracle, 300 random chains" `Quick poly_differential ] );
+    ]

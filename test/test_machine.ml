@@ -44,7 +44,8 @@ let test_machine_errors () =
        false
      with Invalid_argument _ -> true);
   Alcotest.(check bool) "missing op fails" true
-    (try ignore (Machine.atomic Machine.power1 "nosuchop"); false with Failure _ -> true)
+    (try ignore (Machine.atomic Machine.power1 "nosuchop"); false
+     with Machine.Unknown_atomic { machine = "power1"; op = "nosuchop" } -> true)
 
 let test_units_of_kind () =
   Alcotest.(check int) "power1 one fpu" 1 (List.length (Machine.units_of_kind Machine.power1 Funit.Float_point));
