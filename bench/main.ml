@@ -673,7 +673,8 @@ let read_json file =
   List.rev !rows
 
 (* the benches whose trajectory is gated in CI *)
-let gated_prefixes = [ "pperf/slots/"; "pperf/drop/"; "pperf/predict/"; "pperf/repredict/" ]
+let gated_prefixes =
+  [ "pperf/slots/"; "pperf/drop/"; "pperf/predict/"; "pperf/repredict/"; "pperf/serve/" ]
 
 let check baseline_file current_file =
   let base = read_json baseline_file and cur = read_json current_file in
@@ -695,6 +696,15 @@ let check baseline_file current_file =
      incr failures;
      Printf.printf "FAIL: slots/run-encoded (%.1f ns) is not faster than slots/naive (%.1f ns)\n"
        enc naive
+   | _ -> ());
+  (match
+     (List.assoc_opt "pperf/serve/session-warm" cur, List.assoc_opt "pperf/serve/session-cold" cur)
+   with
+   | Some warm, Some cold when warm >= cold ->
+     incr failures;
+     Printf.printf
+       "FAIL: serve/session-warm (%.1f ns) is not faster than serve/session-cold (%.1f ns)\n"
+       warm cold
    | _ -> ());
   if !failures > 0 then (
     Printf.printf "\n%d gate failure(s) vs %s\n" !failures baseline_file;
@@ -766,10 +776,50 @@ let timing ?json () =
     Test.make ~name:"repredict/incremental"
       (Staged.stage (fun () -> ignore (Incremental.predict inc big_checked)))
   in
+  (* serve-mode throughput: a mixed JSON-lines session over the fig7
+     kernels, one predict + one lint per kernel *)
+  let serve_lines =
+    List.concat_map
+      (fun (k : Workloads.kernel) ->
+        let src = Pperf_server.Json.to_string (Pperf_server.Json.String k.source) in
+        [ Printf.sprintf {|{"id":"p-%s","verb":"predict","source":%s}|} k.name src;
+          Printf.sprintf {|{"id":"l-%s","verb":"lint","source":%s,"flags":{"json":true}}|}
+            k.name src ])
+      Workloads.fig7_kernels
+  in
+  (* cold: a fresh engine (empty result cache) every iteration; jobs
+     variants measure the domain-pool overhead/speedup on this machine *)
+  let serve_cold_test =
+    Test.make ~name:"serve/session-cold"
+      (Staged.stage (fun () -> ignore (Pperf_server.Server.batch_lines ~jobs:1 serve_lines)))
+  in
+  let serve_cold_j4_test =
+    Test.make ~name:"serve/session-cold-j4"
+      (Staged.stage (fun () -> ignore (Pperf_server.Server.batch_lines ~jobs:4 serve_lines)))
+  in
+  (* warm: one resident engine, every request a result-cache hit *)
+  let serve_warm_test =
+    let engine = Pperf_server.Engine.create ~jobs:1 () in
+    let reqs =
+      List.filter_map
+        (fun l ->
+          match Pperf_server.Protocol.request_of_line l with Ok r -> Some r | Error _ -> None)
+        serve_lines
+    in
+    let run () =
+      List.iter
+        (fun r ->
+          ignore (Pperf_server.Engine.handle engine ~received:(Unix.gettimeofday ()) r))
+        reqs
+    in
+    run ();
+    Test.make ~name:"serve/session-warm" (Staged.stage run)
+  in
   let tests =
     [ drop_test 10; drop_test 100; drop_test 1000; drop_test 10000;
       oracle_test 100; oracle_test 1000;
-      slots_test; slots_naive_test; predict_test; full_test; inc_test ]
+      slots_test; slots_naive_test; predict_test; full_test; inc_test;
+      serve_cold_test; serve_cold_j4_test; serve_warm_test ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let grouped = Test.make_grouped ~name:"pperf" tests in

@@ -8,7 +8,12 @@
      lint      FILE        static diagnostics (defects + precision losses)
      ranges    FILE        interval abstract interpretation: loop/variable ranges
      machine   [NAME]      print a machine description (textual format)
-*)
+     batch     [FILE]      answer a file/stream of JSON-lines requests
+     serve                 long-lived JSON-lines prediction daemon
+
+   The query subcommands render through Pperf_server.Render, the same code
+   the server verbs use, so serve/batch responses are byte-identical to
+   the one-shot subcommands. *)
 
 open Cmdliner
 open Pperf_lang
@@ -23,14 +28,10 @@ let read_file path =
   close_in ic;
   s
 
-let machine_of_spec spec =
-  match spec with
-  | "power1" -> Machine.power1
-  | "power1x2" -> Machine.power1_wide
-  | "alpha21064" | "alpha" -> Machine.alpha21064
-  | "scalar" -> Machine.scalar
-  | path when Sys.file_exists path -> Descr.of_string (read_file path)
-  | other -> failwith (Printf.sprintf "unknown machine %s (power1|power1x2|alpha21064|scalar|FILE)" other)
+(* one "load the machine once" helper for every subcommand and the server:
+   builtins resolve directly, description files are parsed once per content
+   digest and their derived tables pre-built *)
+let machine_of_spec = Pperf_server.Machines.load
 
 let machine_arg =
   let doc = "Target machine: power1, power1x2, alpha21064, scalar, or a description file." in
@@ -60,50 +61,9 @@ let with_stats stats f =
   f ();
   if stats then print_string (Pperf_obs.Obs.to_json () ^ "\n")
 
-(* an --eval/--bind set that names variables the expression does not have,
-   or misses variables it does, silently predicts with the wrong values
-   (unbound unknowns default to 1.0); say so *)
-let check_bindings ~strict ~expr_vars ~prob_vars bindings =
-  if bindings <> [] then (
-    let bound = List.map fst bindings in
-    let known v = List.mem v expr_vars || List.mem v prob_vars in
-    let unused = List.filter (fun v -> not (known v)) bound in
-    let unbound = List.filter (fun v -> not (List.mem v bound)) expr_vars in
-    let msgs =
-      (if unused = [] then []
-       else
-         [ Printf.sprintf
-             "binding%s %s do%s not match any variable of the performance expression"
-             (if List.length unused = 1 then "" else "s")
-             (String.concat ", " unused)
-             (if List.length unused = 1 then "es" else "") ])
-      @
-      if unbound = [] then []
-      else
-        [ Printf.sprintf "unbound variable%s %s default%s to 1.0"
-            (if List.length unbound = 1 then "" else "s")
-            (String.concat ", " unbound)
-            (if List.length unbound = 1 then "s" else "") ]
-    in
-    if msgs <> [] then
-      if strict then failwith (String.concat "; " msgs)
-      else List.iter (fun m -> Printf.eprintf "warning: %s\n%!" m) msgs)
+let parse_bindings = Pperf_server.Render.parse_bindings
 
-let parse_bindings specs =
-  List.map
-    (fun s ->
-      match String.index_opt s '=' with
-      | Some i -> (
-        let value = String.sub s (i + 1) (String.length s - i - 1) in
-        match float_of_string_opt value with
-        | Some f -> (String.sub s 0 i, f)
-        | None ->
-          failwith
-            (Printf.sprintf "malformed --eval binding '%s': '%s' is not a number" s value))
-      | None ->
-        failwith
-          (Printf.sprintf "malformed --eval binding '%s': expected VAR=VALUE" s))
-    specs
+let warn_stderr m = Printf.eprintf "warning: %s\n%!" m
 
 let options_of ~memory =
   { Aggregate.default_options with include_memory = memory }
@@ -151,45 +111,9 @@ let predict_cmd =
         with_stats stats (fun () ->
         let machine = machine_of_spec mspec in
         let options = { (options_of ~memory) with Aggregate.infer_ranges = use_ranges } in
-        let bindings = parse_bindings evals in
-        if interproc then (
-          let t = Interproc.of_source ~options ~machine (read_file file) in
-          Format.printf "%a" Interproc.pp t;
-          if bindings <> [] then
-            List.iter
-              (fun (rp : Interproc.routine_prediction) ->
-                let total = Perf_expr.total rp.prediction.cost in
-                check_bindings ~strict ~expr_vars:(Pperf_symbolic.Poly.vars total)
-                  ~prob_vars:rp.prediction.prob_vars bindings;
-                let v =
-                  Pperf_symbolic.Poly.eval_float
-                    (fun x -> match List.assoc_opt x bindings with Some f -> f | None -> 1.0)
-                    total
-                in
-                Format.printf "  %s at bindings: %.0f cycles@." rp.checked.routine.rname v)
-              t.routines)
-        else
-          List.iter
-            (fun p ->
-              Format.printf "%a@." Predict.pp p;
-              if Predict.prob_vars p <> [] then
-                Format.printf "  branch probabilities: %s (in [0,1])@."
-                  (String.concat ", " (Predict.prob_vars p));
-              let diags = Predict.precision_diagnostics ~ranges:use_ranges p in
-              if diags <> [] then (
-                Format.printf "  precision diagnostics:@.";
-                List.iter
-                  (fun d -> Format.printf "    %a@." Pperf_lint.Diagnostic.pp_short d)
-                  diags);
-              if bindings <> [] then (
-                check_bindings ~strict
-                  ~expr_vars:(Pperf_symbolic.Poly.vars (Predict.total p))
-                  ~prob_vars:(Predict.prob_vars p) bindings;
-                Format.printf "  at %s: %.0f cycles@."
-                  (String.concat ", "
-                     (List.map (fun (v, x) -> Printf.sprintf "%s=%g" v x) bindings))
-                  (Predict.eval p bindings)))
-            (Predict.of_program ~options ~machine (read_file file))))
+        print_string
+          (Pperf_server.Render.predict ~machine ~options ~interproc ~strict ~evals
+             ~warn:warn_stderr (read_file file))))
   in
   let doc = "Predict performance expressions for each routine in a PF file." in
   Cmd.v (Cmd.info "predict" ~doc)
@@ -247,36 +171,9 @@ let compare_cmd =
         with_stats stats (fun () ->
         let machine = machine_of_spec mspec in
         let options = options_of ~memory in
-        let user_env =
-          List.fold_left
-            (fun env spec ->
-              match String.split_on_char '=' spec with
-              | [ v; range ] -> (
-                match String.split_on_char ':' range with
-                | [ lo; hi ] ->
-                  Pperf_symbolic.Interval.Env.add v
-                    (Pperf_symbolic.Interval.of_ints (int_of_string lo) (int_of_string hi))
-                    env
-                | _ -> failwith ("malformed range " ^ spec))
-              | _ -> failwith ("malformed range " ^ spec))
-            Pperf_symbolic.Interval.Env.empty ranges
-        in
-        let c1 = Typecheck.check_routine (Parser.parse_routine (read_file f1)) in
-        let c2 = Typecheck.check_routine (Parser.parse_routine (read_file f2)) in
-        let env =
-          if use_ranges then Compare.inferred_env ~base:user_env [ c1; c2 ] else user_env
-        in
-        let p1 = Predict.of_checked ~options ~machine c1 in
-        let p2 = Predict.of_checked ~options ~machine c2 in
-        Format.printf "first:  %a@." Predict.pp p1;
-        Format.printf "second: %a@." Predict.pp p2;
-        let d = Compare.decide env (Predict.cost p1) (Predict.cost p2) in
-        Format.printf "%a@." Compare.pp_decision d;
-        match d.verdict with
-        | Pperf_symbolic.Signs.Undecided diff ->
-          let t = Runtime_test.of_difference env diff in
-          Format.printf "suggested run-time test: %a@." Runtime_test.pp t
-        | _ -> ()))
+        print_string
+          (Pperf_server.Render.compare ~machine ~options ~use_ranges ~ranges
+             (read_file f1) (read_file f2))))
   in
   let doc = "Compare two program variants symbolically." in
   Cmd.v (Cmd.info "compare" ~doc)
@@ -404,10 +301,11 @@ let run_cmd =
 let lint_cmd =
   let run json use_ranges file =
     handle_code (fun () ->
-        let reports = Pperf_lint.Lint.run_source ~ranges:use_ranges (read_file file) in
-        if json then print_string (Pperf_lint.Lint.to_json reports)
-        else Format.printf "%a" Pperf_lint.Lint.pp reports;
-        Pperf_lint.Lint.exit_code reports)
+        let output, code =
+          Pperf_server.Render.lint ~json ~use_ranges (read_file file)
+        in
+        print_string output;
+        code)
   in
   let json_arg =
     let doc = "Emit diagnostics as JSON instead of text." in
@@ -426,58 +324,10 @@ let lint_cmd =
 (* ---- ranges ---- *)
 
 let ranges_cmd =
-  let module Absint = Pperf_absint.Absint in
-  let module Interval = Pperf_symbolic.Interval in
   let run json stats file =
     handle (fun () ->
         with_stats stats (fun () ->
-        let checkeds = Typecheck.check_program (Parser.parse_program (read_file file)) in
-        let analyzed =
-          List.map (fun (c : Typecheck.checked) -> (c, Absint.analyze c)) checkeds
-        in
-        if json then (
-          let buf = Buffer.create 1024 in
-          Buffer.add_string buf "{\"routines\":[";
-          List.iteri
-            (fun i ((c : Typecheck.checked), r) ->
-              if i > 0 then Buffer.add_char buf ',';
-              Printf.bprintf buf "{\"routine\":\"%s\",\"loops\":[" c.routine.rname;
-              List.iteri
-                (fun j (l : Absint.loop_range) ->
-                  if j > 0 then Buffer.add_char buf ',';
-                  Printf.bprintf buf
-                    "{\"var\":\"%s\",\"line\":%d,\"depth\":%d,\"index\":\"%s\",\"trip\":\"%s\"}"
-                    l.lvar l.at.Srcloc.line l.depth
-                    (Interval.to_string l.index)
-                    (Interval.to_string l.trip))
-                (Absint.loops r);
-              Buffer.add_string buf "],\"summary\":{";
-              List.iteri
-                (fun j (x, iv) ->
-                  if j > 0 then Buffer.add_char buf ',';
-                  Printf.bprintf buf "\"%s\":\"%s\"" x (Interval.to_string iv))
-                (Interval.Env.bindings (Absint.summary r));
-              Buffer.add_string buf "}}")
-            analyzed;
-          Buffer.add_string buf "]}\n";
-          print_string (Buffer.contents buf))
-        else
-          List.iter
-            (fun ((c : Typecheck.checked), r) ->
-              Format.printf "routine %s:@." c.routine.rname;
-              (match Absint.loops r with
-               | [] -> Format.printf "  no loops@."
-               | ls ->
-                 Format.printf "  loops:@.";
-                 List.iter (fun l -> Format.printf "    %a@." Absint.pp_loop_range l) ls);
-              match Interval.Env.bindings (Absint.summary r) with
-              | [] -> Format.printf "  no variable ranges inferred@."
-              | bs ->
-                Format.printf "  variable ranges:@.";
-                List.iter
-                  (fun (x, iv) -> Format.printf "    %s in %s@." x (Interval.to_string iv))
-                  bs)
-            analyzed))
+        print_string (Pperf_server.Render.ranges ~json (read_file file))))
   in
   let json_arg =
     let doc = "Emit the ranges as JSON instead of text." in
@@ -502,7 +352,80 @@ let machine_cmd =
   let spec = Arg.(value & pos 0 string "power1" & info [] ~docv:"MACHINE" ~doc:"machine name or file") in
   Cmd.v (Cmd.info "machine" ~doc) Term.(const run $ spec)
 
+(* ---- batch / serve ---- *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains evaluating requests in parallel (default: the recommended \
+     domain count of the machine)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let max_request_bytes_arg =
+  let doc = "Answer request lines longer than $(docv) with an oversized error." in
+  Arg.(value
+       & opt int Pperf_server.Server.default_max_request_bytes
+       & info [ "max-request-bytes" ] ~docv:"BYTES" ~doc)
+
+let cache_capacity_arg =
+  let doc = "Capacity (entries) of the content-addressed result cache." in
+  Arg.(value & opt (some int) None & info [ "cache-capacity" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | Some n -> max 1 n
+  | None -> Pperf_server.Pool.recommended_jobs ()
+
+let batch_cmd =
+  let run jobs max_bytes cache_capacity file =
+    let jobs = resolve_jobs jobs in
+    let go ic =
+      Pperf_server.Server.batch ?cache_capacity ~max_request_bytes:max_bytes ~jobs ic
+        stdout
+    in
+    match file with
+    | None -> go stdin
+    | Some f ->
+      let ic = open_in f in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> go ic)
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"JSON-lines request file (default: stdin)")
+  in
+  let doc =
+    "Answer a stream of JSON-lines requests (one JSON object per line; verbs \
+     predict, compare, ranges, lint, ping, stats, shutdown) and exit at end of \
+     input. Responses come in request order; query outputs are byte-identical \
+     to the one-shot subcommands. See README section \"Prediction service\"."
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const run $ jobs_arg $ max_request_bytes_arg $ cache_capacity_arg $ file)
+
+let serve_cmd =
+  let run jobs max_bytes cache_capacity socket =
+    let jobs = resolve_jobs jobs in
+    Pperf_server.Server.serve ?cache_capacity ~max_request_bytes:max_bytes ?socket ~jobs
+      ()
+  in
+  let socket_arg =
+    let doc =
+      "Serve connections on a Unix socket at $(docv) instead of stdin/stdout. \
+       The engine (and its warm result cache) is shared across connections; a \
+       shutdown request stops the daemon, end of a connection does not."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let doc =
+    "Long-lived prediction daemon speaking the JSON-lines protocol of \
+     $(b,ppredict batch): hot machine descriptions, a content-addressed result \
+     cache, and a pool of worker domains stay resident between requests. Every \
+     response is flushed as soon as it is in order; malformed input yields a \
+     structured error response and the server keeps running."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ jobs_arg $ max_request_bytes_arg $ cache_capacity_arg $ socket_arg)
+
 let () =
   let doc = "compile-time performance prediction for superscalar machines" in
   let info = Cmd.info "ppredict" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; ranges_cmd; machine_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; ranges_cmd; machine_cmd; batch_cmd; serve_cmd ]))

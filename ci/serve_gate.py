@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""CI gate for the JSON-lines prediction service.
+
+Drives a scripted session through `ppredict serve` and asserts:
+  1. every query response's "output" is byte-identical to the one-shot
+     CLI subcommand's stdout (and "status" to its exit code);
+  2. repeating the whole query block is served from the warm result
+     cache (cached:true, nonzero hit count in the stats verb);
+  3. malformed / unknown-verb / ill-formed / oversized requests get
+     structured error responses and the server keeps answering;
+  4. a parallel session (--jobs 4) produces the same responses in the
+     same order as --jobs 1 (timings and cache bits aside).
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+
+PP = os.environ.get("PPREDICT", "./_build/default/bin/ppredict.exe")
+
+fail = 0
+
+
+def err(msg):
+    global fail
+    fail += 1
+    print("::error::" + msg)
+
+
+def cli(args):
+    return subprocess.run([PP] + args, capture_output=True, text=True)
+
+
+def serve(lines, jobs):
+    proc = subprocess.run(
+        [PP, "serve", "--jobs", str(jobs), "--max-request-bytes", "4096"],
+        input="\n".join(lines) + "\n",
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        err(f"serve --jobs {jobs} exited {proc.returncode}: {proc.stderr.strip()}")
+        sys.exit(1)
+    return [json.loads(l) for l in proc.stdout.splitlines()]
+
+
+# ---- the mixed query workload over the shipped samples ----
+
+samples = sorted(glob.glob("samples/*.pf"))
+if not samples:
+    err("no samples/*.pf found (run from the repository root)")
+    sys.exit(1)
+
+cases = []
+for f in samples:
+    cases.append((["predict", f], {"verb": "predict", "file": f}))
+    cases.append(
+        (["predict", f, "--ranges"], {"verb": "predict", "file": f, "flags": {"ranges": True}})
+    )
+    cases.append(
+        (["lint", f, "--json"], {"verb": "lint", "file": f, "flags": {"json": True}})
+    )
+    cases.append(
+        (["ranges", f, "--json"], {"verb": "ranges", "file": f, "flags": {"json": True}})
+    )
+cases.append(
+    (
+        ["compare", "samples/daxpy.pf", "samples/jacobi.pf"],
+        {"verb": "compare", "file": "samples/daxpy.pf", "file2": "samples/jacobi.pf"},
+    )
+)
+cases.append(
+    (
+        ["predict", "samples/calls.pf", "-i"],
+        {"verb": "predict", "file": "samples/calls.pf", "flags": {"interproc": True}},
+    )
+)
+
+n = len(cases)
+lines = []
+for rep in range(2):  # the second pass must be all cache hits
+    for i, (_, req) in enumerate(cases):
+        r = dict(req)
+        r["id"] = rep * n + i
+        lines.append(json.dumps(r))
+
+ERRORS = [
+    ("this is not json", "bad_json"),
+    (json.dumps({"id": "e1", "verb": "frobnicate"}), "unknown_verb"),
+    (json.dumps({"id": "e2", "verb": "predict"}), "bad_request"),
+    ('{"id":"e3","verb":"predict","source":"' + "x" * 5000 + '"}', "oversized"),
+    (json.dumps({"id": "e4", "verb": "predict", "machine": "vax", "file": samples[0]}), "error"),
+]
+lines += [l for l, _ in ERRORS]
+lines.append(json.dumps({"id": "after-errors", "verb": "ping"}))
+lines.append(json.dumps({"id": "stats", "verb": "stats"}))
+lines.append(json.dumps({"id": "bye", "verb": "shutdown"}))
+
+outs = serve(lines, jobs=1)
+if len(outs) != len(lines):
+    err(f"{len(lines)} requests but {len(outs)} responses")
+    sys.exit(1)
+
+# 1 + 2: byte-identical to the one-shot CLI, warm on the repeat
+for i, (argv, _) in enumerate(cases):
+    one = cli(argv)
+    for pos, expect_cached in ((i, False), (n + i, True)):
+        r = outs[pos]
+        if not r.get("ok"):
+            err(f"{argv}: request {pos} failed: {json.dumps(r)}")
+            continue
+        if r.get("output") != one.stdout:
+            err(f"{argv}: serve output differs from the one-shot CLI")
+        if r.get("status") != one.returncode:
+            err(f"{argv}: serve status {r.get('status')} != CLI exit {one.returncode}")
+        if bool(r.get("cached")) != expect_cached:
+            err(f"{argv}: request {pos} expected cached={expect_cached}")
+
+# 3: structured errors, session still live afterwards
+for k, (_, code) in enumerate(ERRORS):
+    r = outs[2 * n + k]
+    got = r.get("error", {}).get("code")
+    if r.get("ok") or got != code:
+        err(f"error case {k}: expected code {code}, got {json.dumps(r)}")
+ping = outs[2 * n + len(ERRORS)]
+if not ping.get("ok") or ping.get("output") != "pong":
+    err(f"server did not answer ping after the error block: {json.dumps(ping)}")
+
+stats = outs[2 * n + len(ERRORS) + 1]
+hits = stats.get("stats", {}).get("cache", {}).get("hits", 0)
+if hits < n:
+    err(f"warm pass should give >= {n} cache hits, stats reports {hits}")
+bye = outs[-1]
+if not bye.get("ok") or bye.get("verb") != "shutdown":
+    err(f"shutdown not acknowledged: {json.dumps(bye)}")
+
+# 4: --jobs 4 answers the same session identically (order included)
+def strip(o):
+    o = dict(o)
+    o.pop("t", None)
+    o.pop("cached", None)  # which duplicate wins the cache race may differ
+    if o.get("verb") == "stats":
+        o.pop("stats", None)  # counters are timing/order dependent
+    return json.dumps(o, sort_keys=True)
+
+par = serve(lines, jobs=4)
+if [strip(o) for o in par] != [strip(o) for o in outs]:
+    err("--jobs 4 session differs from --jobs 1 session")
+
+print(f"serve gate: {len(lines)} requests, {2 * n} outputs matched the CLI, "
+      f"{hits} warm cache hits, {len(ERRORS)} structured errors, jobs 1 == jobs 4")
+sys.exit(1 if fail else 0)

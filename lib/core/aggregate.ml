@@ -494,14 +494,14 @@ and agg_do ctx ~loc (d : Ast.do_loop) : Perf_expr.t =
        !loop_total_extra)
     (Perf_expr.add (Perf_expr.of_mem mem_cost) (Perf_expr.of_comm comm_cost))
 
-let make_ctx ~machine ~options ~symtab ?ranges () =
+let make_ctx ~machine ~options ~symtab ?ranges ?(prob_offset = 0) () =
   {
     machine;
     options;
     symtab;
     loops = [];
     invariants = SSet.empty;
-    probs = { counter = 0; vars = []; diags = [] };
+    probs = { counter = prob_offset; vars = []; diags = [] };
     ranges;
     scratch = { bins = None; symbol_set = None };
   }
@@ -514,9 +514,9 @@ let infer_ranges_of ~options ~symtab body =
     in
     Some (Pperf_absint.Absint.analyze { Typecheck.routine; symbols = symtab }))
 
-let stmts ~machine ?(options = default_options) ~symtab body =
+let stmts ~machine ?(options = default_options) ?(prob_offset = 0) ~symtab body =
   let ranges = infer_ranges_of ~options ~symtab body in
-  let ctx = make_ctx ~machine ~options ~symtab ?ranges () in
+  let ctx = make_ctx ~machine ~options ~symtab ?ranges ~prob_offset () in
   let cost = agg_stmts ctx body in
   {
     cost;

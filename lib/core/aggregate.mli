@@ -60,8 +60,22 @@ type prediction = {
           model — each one a place where the prediction went conservative *)
 }
 
+val is_straight : Ast.stmt -> bool
+(** Is the statement straight-line at its own level (no loop, no branch)?
+    Adjacent straight-line statements aggregate as one translated block, so
+    callers that cost statement groups independently (see {!Incremental})
+    must use maximal straight-line runs as their unit. *)
+
 val stmts :
-  machine:Machine.t -> ?options:options -> symtab:Typecheck.symtab -> Ast.stmt list -> prediction
+  machine:Machine.t ->
+  ?options:options ->
+  ?prob_offset:int ->
+  symtab:Typecheck.symtab ->
+  Ast.stmt list ->
+  prediction
+(** [prob_offset] (default 0) starts the fresh-probability-variable counter
+    at [p{offset+1}], so a statement group costed on its own gets the same
+    variable names it would get at position [offset] of a larger body. *)
 
 val routine : machine:Machine.t -> ?options:options -> Typecheck.checked -> prediction
 

@@ -3,10 +3,20 @@
     "Each transformation defines an affected region of performance based on
     the structure it changes"; everything outside the region keeps its
     cached estimate. We realize the affected-region idea structurally: the
-    predictor memoizes per-subtree costs keyed by the subtree's structure
-    and context, so re-predicting a transformed program recomputes exactly
-    the subtrees the transformation rebuilt — the untouched ones (and
-    unchanged duplicates) hit the cache.
+    predictor memoizes per-unit predictions — a unit is a maximal
+    straight-line run or a single loop/conditional, exactly the granularity
+    {!Aggregate.stmts} aggregates at — keyed by the unit's structure and
+    context, so re-predicting a transformed program recomputes exactly the
+    units the transformation rebuilt; the untouched ones (and unchanged
+    duplicates) hit the cache.
+
+    Cached units reproduce the from-scratch prediction bit-for-bit: each
+    unit is costed with the probability-variable counter pre-advanced to
+    its position in the whole body ([Aggregate.stmts ~prob_offset]), so
+    [p1, p2, ...] names agree with a whole-routine aggregation, and the
+    offset is part of the cache key so an edit that inserts or removes a
+    probability variable upstream re-predicts the downstream units whose
+    names change.
 
     A statistics counter exposes the hit rate so the incremental-vs-full
     benchmark (PERF-INC in DESIGN.md) can report honest numbers. *)
@@ -19,9 +29,9 @@ type stats = { mutable hits : int; mutable misses : int }
 type t = {
   machine : Machine.t;
   options : Aggregate.options;
-  cache : (string * int, Ast.stmt * Perf_expr.t) Hashtbl.t;
-      (** the statement is kept to verify hits structurally: a fingerprint
-          collision must never return a stale cost *)
+  cache : (string * int, Ast.stmt list * Aggregate.prediction) Hashtbl.t;
+      (** the unit's statements are kept to verify hits structurally: a
+          fingerprint collision must never return a stale prediction *)
   stats : stats;
 }
 
@@ -29,44 +39,84 @@ let create ?(options = Aggregate.default_options) machine =
   { machine; options; cache = Hashtbl.create 256; stats = { hits = 0; misses = 0 } }
 
 let stats t = (t.stats.hits, t.stats.misses)
+
 let clear t =
   Hashtbl.reset t.cache;
   t.stats.hits <- 0;
   t.stats.misses <- 0
 
-(* the context key must capture everything that changes a subtree's cost:
-   the enclosing loop variables (addressing/invariance) only; the symbol
-   table is per-routine and keyed separately. The fingerprint traverses the
-   whole subtree (cheap, no string building); hits are verified with a
-   structural equality check. *)
-let subtree_key routine_name loop_vars (s : Ast.stmt) =
-  (routine_name ^ "|" ^ String.concat "," loop_vars, Hashtbl.hash_param 4096 4096 s.Ast.kind)
-
-(* Predict a routine re-using cached per-top-level-statement costs.
-   Granularity: the children of the routine body and of each top-level
-   loop nest; finer granularity costs more hashing than it saves. *)
-let predict t (checked : Typecheck.checked) : Perf_expr.t =
-  let name = checked.routine.rname in
-  let symtab = checked.symbols in
-  List.fold_left
-    (fun acc (s : Ast.stmt) ->
-      let key = subtree_key name [] s in
-      let cost =
-        match Hashtbl.find_opt t.cache key with
-        | Some (s0, c) when Ast.equal_stmt s0 s ->
-          t.stats.hits <- t.stats.hits + 1;
-          c
-        | _ ->
-          t.stats.misses <- t.stats.misses + 1;
-          let p = Aggregate.stmts ~machine:t.machine ~options:t.options ~symtab [ s ] in
-          Hashtbl.replace t.cache key (s, p.cost);
-          p.cost
+(* split a body into the units Aggregate.stmts aggregates independently:
+   maximal straight-line runs and single compound statements *)
+let units_of body =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | s :: _ as rest when Aggregate.is_straight s ->
+      let rec take run = function
+        | x :: r when Aggregate.is_straight x -> take (x :: run) r
+        | r -> (List.rev run, r)
       in
-      Perf_expr.add acc cost)
-    Perf_expr.zero checked.routine.body
+      let run, rest' = take [] rest in
+      go (run :: acc) rest'
+    | s :: rest -> go ([ s ] :: acc) rest
+  in
+  go [] body
+
+(* the context key must capture everything that changes a unit's
+   prediction: the routine (symbol table) and the probability-variable
+   offset. The fingerprint traverses the whole unit (cheap, no string
+   building); hits are verified with a structural equality check. *)
+let unit_key routine_name prob_offset (unit : Ast.stmt list) =
+  ( Printf.sprintf "%s|%d" routine_name prob_offset,
+    Hashtbl.hash_param 4096 4096 (List.map (fun (s : Ast.stmt) -> s.Ast.kind) unit) )
+
+let unit_equal a b =
+  List.length a = List.length b && List.for_all2 Ast.equal_stmt a b
+
+(* Predict a routine re-using cached per-unit predictions. With
+   [infer_ranges] on, the interval analysis reads the whole body, so units
+   are not independent and we fall back to a from-scratch aggregation. *)
+let predict_checked t (checked : Typecheck.checked) : Aggregate.prediction =
+  if t.options.Aggregate.infer_ranges then
+    Aggregate.routine ~machine:t.machine ~options:t.options checked
+  else (
+    let name = checked.routine.rname in
+    let symtab = checked.symbols in
+    let cost, prob_vars, diags, _ =
+      List.fold_left
+        (fun (cost, vars, diags, prob_offset) unit ->
+          let key = unit_key name prob_offset unit in
+          let p =
+            match Hashtbl.find_opt t.cache key with
+            | Some (unit0, p) when unit_equal unit0 unit ->
+              t.stats.hits <- t.stats.hits + 1;
+              p
+            | _ ->
+              t.stats.misses <- t.stats.misses + 1;
+              let p =
+                Aggregate.stmts ~machine:t.machine ~options:t.options ~prob_offset ~symtab
+                  unit
+              in
+              Hashtbl.replace t.cache key (unit, p);
+              p
+          in
+          ( Perf_expr.add cost p.Aggregate.cost,
+            vars @ p.prob_vars,
+            diags @ p.diagnostics,
+            prob_offset + List.length p.prob_vars ))
+        (Perf_expr.zero, [], [], 0)
+        (units_of checked.routine.body)
+    in
+    { Aggregate.cost; prob_vars; diagnostics = Pperf_lint.Lint.dedupe diags })
+
+let predict t checked = (predict_checked t checked).Aggregate.cost
 
 let invalidate_routine t (checked : Typecheck.checked) =
   let name = checked.routine.rname in
-  List.iter
-    (fun (s : Ast.stmt) -> Hashtbl.remove t.cache (subtree_key name [] s))
-    checked.routine.body
+  let prefix = name ^ "|" in
+  let stale =
+    Hashtbl.fold
+      (fun ((ctx, _) as key) _ acc ->
+        if String.starts_with ~prefix ctx then key :: acc else acc)
+      t.cache []
+  in
+  List.iter (Hashtbl.remove t.cache) stale

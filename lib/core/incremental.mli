@@ -2,10 +2,19 @@
 
     "Each transformation defines an affected region of performance based on
     the structure it changes"; everything outside keeps its cached estimate.
-    Realized structurally: per-subtree costs are memoized under a full
-    structural fingerprint (verified by equality on hits, so collisions can
-    never return a stale cost); re-predicting a transformed program
-    recomputes exactly the subtrees the transformation rebuilt. *)
+    Realized structurally: per-unit predictions (a unit is a maximal
+    straight-line run or one compound statement, the granularity
+    {!Aggregate.stmts} works at) are memoized under a full structural
+    fingerprint (verified by equality on hits, so collisions can never
+    return a stale prediction) plus the probability-variable offset of the
+    unit's position; re-predicting a transformed program recomputes exactly
+    the units the transformation rebuilt, and the result — cost, [p{k}]
+    names, precision diagnostics — is identical to a from-scratch
+    {!Aggregate.routine} (asserted in tests).
+
+    With [options.infer_ranges] set the interval analysis couples units
+    through the whole body, so prediction falls back to from-scratch
+    aggregation (no caching) rather than return subtly different ranges. *)
 
 open Pperf_lang
 open Pperf_machine
@@ -14,13 +23,17 @@ type t
 
 val create : ?options:Aggregate.options -> Machine.t -> t
 
+val predict_checked : t -> Typecheck.checked -> Aggregate.prediction
+(** Same prediction as {!Aggregate.routine} (asserted in tests), reusing
+    cached unit predictions. *)
+
 val predict : t -> Typecheck.checked -> Perf_expr.t
-(** Same result as {!Aggregate.routine} (asserted in tests), reusing cached
-    subtree costs. *)
+(** [(predict_checked t c).cost]. *)
 
 val stats : t -> int * int
 (** [(hits, misses)] since creation or the last {!clear}. *)
 
 val clear : t -> unit
+
 val invalidate_routine : t -> Typecheck.checked -> unit
-(** Drop the cached entries for this routine's top-level statements. *)
+(** Drop every cached unit of this routine (by name). *)

@@ -1,33 +1,38 @@
 (* Global registry of named operation counters. Hot paths hold a direct
-   pointer to their counter record, so a bump is one mutable-field
-   increment with no lookup. *)
+   pointer to their counter record, so a bump is one atomic fetch-and-add
+   with no lookup — domain-safe, so the prediction server's worker domains
+   can share the registry without losing events. *)
 
-type counter = { name : string; mutable count : int }
+type counter = { name : string; count : int Atomic.t }
 
-let registry : counter list ref = ref []
+let registry : counter list Atomic.t = Atomic.make []
 
 let counter name =
-  let c = { name; count = 0 } in
-  registry := c :: !registry;
+  let c = { name; count = Atomic.make 0 } in
+  let rec push () =
+    let old = Atomic.get registry in
+    if not (Atomic.compare_and_set registry old (c :: old)) then push ()
+  in
+  push ();
   c
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let count c = c.count
-let reset_all () = List.iter (fun c -> c.count <- 0) !registry
+let incr c = Atomic.incr c.count
+let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c.count n)
+let count c = Atomic.get c.count
+let reset_all () = List.iter (fun c -> Atomic.set c.count 0) (Atomic.get registry)
 
 let snapshot () =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun c ->
       let cur = match Hashtbl.find_opt tbl c.name with Some n -> n | None -> 0 in
-      Hashtbl.replace tbl c.name (cur + c.count))
-    !registry;
+      Hashtbl.replace tbl c.name (cur + Atomic.get c.count))
+    (Atomic.get registry);
   Hashtbl.fold (fun name n acc -> (name, n) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let to_json () =
-  let fields =
-    snapshot () |> List.map (fun (name, n) -> Printf.sprintf "%S: %d" name n)
-  in
+let json_of_snapshot snap =
+  let fields = List.map (fun (name, n) -> Printf.sprintf "%S: %d" name n) snap in
   "{" ^ String.concat ", " fields ^ "}"
+
+let to_json () = json_of_snapshot (snapshot ())

@@ -1,13 +1,15 @@
 (** Lightweight operation counters for the analysis hot paths.
 
     Modules register named counters once at module-initialization time and
-    bump them from their hot loops; the cost per event is a single mutable
-    integer increment, cheap enough to leave enabled unconditionally. The
+    bump them from their hot loops; the cost per event is a single atomic
+    fetch-and-add, cheap enough to leave enabled unconditionally and safe
+    to bump from the prediction server's worker domains concurrently. The
     CLI's [--stats] flag snapshots the registry after an analysis and
     appends it as a JSON object, giving per-run visibility into how much
     symbolic and scheduling work a prediction actually did (poly
     operations, monomial allocations, bin placements, focus-span scan
-    lengths, interval widenings, fit fallbacks). *)
+    lengths, interval widenings, fit fallbacks). The server's [stats] verb
+    uses {!snapshot}/{!reset_all} for the same numbers cumulatively. *)
 
 type counter
 
@@ -31,6 +33,10 @@ val reset_all : unit -> unit
 val snapshot : unit -> (string * int) list
 (** All registered counters with their current values, sorted by name.
     Counters that never fired report 0. *)
+
+val json_of_snapshot : (string * int) list -> string
+(** Render a snapshot (or a difference of snapshots) in the same JSON
+    object shape [--stats] emits. *)
 
 val to_json : unit -> string
 (** The snapshot as a single-line JSON object [{"name": count, ...}]. *)

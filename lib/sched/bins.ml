@@ -18,11 +18,13 @@ type t = {
 
 (* the candidate table depends only on the machine's unit mix; bins are
    created per dropped dag, so share it across all bins of one machine
-   (keyed by physical identity — machines are built once and reused) *)
-let kc_cache : (Machine.t * int array array) list ref = ref []
+   (keyed by physical identity — machines are built once and reused).
+   Atomic so concurrent server domains publish entries safely; a lost
+   CAS race only recomputes a pure table. *)
+let kc_cache : (Machine.t * int array array) list Atomic.t = Atomic.make []
 
 let kind_candidates_of machine =
-  match List.find_opt (fun (m, _) -> m == machine) !kc_cache with
+  match List.find_opt (fun (m, _) -> m == machine) (Atomic.get kc_cache) with
   | Some (_, kc) -> kc
   | None ->
     let n = Machine.num_units machine in
@@ -36,7 +38,16 @@ let kind_candidates_of machine =
           (* prefer the named unit itself, then its twins *)
           Array.of_list (u :: List.filter (fun v -> v <> u) same))
     in
-    kc_cache := (machine, kc) :: List.filteri (fun i _ -> i < 15) !kc_cache;
+    let rec publish () =
+      let old = Atomic.get kc_cache in
+      if List.exists (fun (m, _) -> m == machine) old then ()
+      else if
+        Atomic.compare_and_set kc_cache old
+          ((machine, kc) :: List.filteri (fun i _ -> i < 15) old)
+      then ()
+      else publish ()
+    in
+    publish ();
     kc
 
 let create ?(focus_span = 64) machine =

@@ -1,0 +1,84 @@
+(* Content-addressed result cache. The key digests (machine hash, source
+   hash, query kind, canonical flags); the value is the finished response
+   payload, so a warm hit costs one digest and one table lookup — no
+   parsing, no translation, no bin packing. Shared across worker domains
+   behind a mutex (critical sections are lookups and inserts only; the
+   expensive evaluation happens outside the lock). Bounded: when full,
+   a cheap second-chance sweep evicts the stalest entries. *)
+
+type 'a entry = { value : 'a; mutable live : bool }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?(capacity = 4096) () =
+  {
+    capacity = max 1 capacity;
+    table = Hashtbl.create 256;
+    lock = Mutex.create ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let key ~machine_hash ~source_hash ~kind ~flags =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" [ machine_hash; source_hash; kind; flags ]))
+
+let find t k =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+        e.live <- true;
+        Atomic.incr t.hits;
+        Some e.value
+      | None ->
+        Atomic.incr t.misses;
+        None)
+
+(* second-chance eviction: clear every live bit; drop entries not touched
+   since the previous sweep until half the capacity is free *)
+let evict_locked t =
+  let stale =
+    Hashtbl.fold
+      (fun k e acc -> if e.live then (e.live <- false; acc) else k :: acc)
+      t.table []
+  in
+  let want_free = t.capacity / 2 in
+  let rec drop n = function
+    | k :: rest when n < want_free ->
+      Hashtbl.remove t.table k;
+      drop (n + 1) rest
+    | _ -> n
+  in
+  let freed = drop 0 stale in
+  if freed < want_free then (
+    (* everything was recently touched: fall back to dropping arbitrary
+       entries so an adversarial key stream cannot pin the table *)
+    let extra = ref (want_free - freed) in
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
+    List.iter
+      (fun k ->
+        if !extra > 0 then (
+          Hashtbl.remove t.table k;
+          decr extra))
+      keys)
+
+let store t k v =
+  Mutex.protect t.lock (fun () ->
+      if Hashtbl.length t.table >= t.capacity then evict_locked t;
+      if not (Hashtbl.mem t.table k) then Hashtbl.add t.table k { value = v; live = true })
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      (Atomic.get t.hits, Atomic.get t.misses, Hashtbl.length t.table))
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.table;
+      Atomic.set t.hits 0;
+      Atomic.set t.misses 0)

@@ -1,0 +1,23 @@
+(** Content-addressed result cache for the prediction service.
+
+    Keys digest (machine hash, source hash, query kind, canonical flags);
+    values are finished response payloads. Domain-safe; bounded with a
+    second-chance sweep when full. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] defaults to 4096 entries. *)
+
+val key : machine_hash:string -> source_hash:string -> kind:string -> flags:string -> string
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit or a miss. *)
+
+val store : 'a t -> string -> 'a -> unit
+(** First writer wins; concurrent duplicate computations store once. *)
+
+val stats : 'a t -> int * int * int
+(** [(hits, misses, entries)]. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,250 @@
+(* Request evaluation: one request in, one response out, never an
+   escaping exception. Query verbs go through a content-addressed result
+   cache keyed by (machine hash, source hash, verb, canonical flags); a
+   miss renders with the shared Render module — predict through a
+   per-domain Incremental predictor — so the output is byte-identical to
+   the one-shot CLI. Every error maps to a structured error response with
+   the same message the CLI prints to stderr. *)
+
+open Pperf_lang
+open Pperf_machine
+open Pperf_core
+
+(* the cacheable part of a finished query *)
+type payload = { output : string; warnings : string list; status : int }
+
+type t = {
+  cache : payload Cache.t;
+  jobs : int;
+  requests : int Atomic.t;
+  ok_count : int Atomic.t;
+  err_count : int Atomic.t;
+  inc_hits : int Atomic.t;
+  inc_misses : int Atomic.t;
+  queue_ns_total : int Atomic.t;
+  eval_ns_total : int Atomic.t;
+}
+
+let create ?cache_capacity ~jobs () =
+  {
+    cache = Cache.create ?capacity:cache_capacity ();
+    jobs = max 1 jobs;
+    requests = Atomic.make 0;
+    ok_count = Atomic.make 0;
+    err_count = Atomic.make 0;
+    inc_hits = Atomic.make 0;
+    inc_misses = Atomic.make 0;
+    queue_ns_total = Atomic.make 0;
+    eval_ns_total = Atomic.make 0;
+  }
+
+let jobs t = t.jobs
+let cache_stats t = Cache.stats t.cache
+
+let now = Unix.gettimeofday
+let ns_of_span s = int_of_float (s *. 1e9)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let source_text = function Protocol.File p -> read_file p | Protocol.Text s -> s
+
+(* Worker domains keep their own Incremental predictors (no lock on the
+   unit cache), one per (machine, options) pair. *)
+let inc_key : (string, Incremental.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let incremental ~machine ~machine_hash ~(options : Aggregate.options) =
+  let tbl = Domain.DLS.get inc_key in
+  let key =
+    Printf.sprintf "%s|mem=%b|rng=%b" machine_hash options.include_memory
+      options.infer_ranges
+  in
+  match Hashtbl.find_opt tbl key with
+  | Some inc -> inc
+  | None ->
+    let inc = Incremental.create ~options machine in
+    Hashtbl.add tbl key inc;
+    inc
+
+let options_of (f : Protocol.flags) =
+  { Aggregate.default_options with include_memory = f.memory; infer_ranges = f.ranges }
+
+exception Bad_req of string
+
+let require_source (req : Protocol.request) =
+  match req.source with
+  | Some s -> s
+  | None ->
+    raise
+      (Bad_req
+         (Printf.sprintf "verb %S needs a \"source\" or \"file\" field"
+            (Protocol.verb_string req.verb)))
+
+(* evaluate a query verb from scratch; exceptions escape to [handle] *)
+let run_query t (req : Protocol.request) machine : payload =
+  let flags = req.flags in
+  let options = options_of flags in
+  let warnings = ref [] in
+  let warn m = warnings := m :: !warnings in
+  let output, status =
+    match req.verb with
+    | Protocol.Predict ->
+      let src = source_text (require_source req) in
+      let machine_hash = Machines.hash machine in
+      let inc = incremental ~machine ~machine_hash ~options in
+      let h0, m0 = Incremental.stats inc in
+      let out =
+        Render.predict
+          ~predictor:(Incremental.predict_checked inc)
+          ~machine ~options ~interproc:flags.interproc ~strict:flags.strict
+          ~evals:flags.eval ~warn src
+      in
+      let h1, m1 = Incremental.stats inc in
+      if h1 > h0 then ignore (Atomic.fetch_and_add t.inc_hits (h1 - h0));
+      if m1 > m0 then ignore (Atomic.fetch_and_add t.inc_misses (m1 - m0));
+      (out, 0)
+    | Protocol.Compare ->
+      let src1 = source_text (require_source req) in
+      let src2 =
+        match req.source2 with
+        | Some s -> source_text s
+        | None -> raise (Bad_req "verb \"compare\" needs a \"source2\" or \"file2\" field")
+      in
+      ( Render.compare ~machine ~options ~use_ranges:flags.ranges ~ranges:flags.range
+          src1 src2,
+        0 )
+    | Protocol.Ranges ->
+      let src = source_text (require_source req) in
+      (Render.ranges ~json:flags.json src, 0)
+    | Protocol.Lint ->
+      let src = source_text (require_source req) in
+      Render.lint ~json:flags.json ~use_ranges:flags.ranges src
+    | Protocol.Ping | Protocol.Stats | Protocol.Shutdown -> assert false
+  in
+  { output; warnings = List.rev !warnings; status }
+
+(* digest the request's sources so a file edit invalidates the entry *)
+let source_key (req : Protocol.request) =
+  let one = function
+    | None -> ""
+    | Some s -> Digest.string (source_text s)
+  in
+  Digest.string (one req.source ^ one req.source2)
+
+let stats_json t =
+  let hits, misses, entries = Cache.stats t.cache in
+  Json.Obj
+    [ ("requests", Json.Int (Atomic.get t.requests));
+      ("ok", Json.Int (Atomic.get t.ok_count));
+      ("errors", Json.Int (Atomic.get t.err_count));
+      ( "cache",
+        Json.Obj
+          [ ("hits", Json.Int hits); ("misses", Json.Int misses);
+            ("entries", Json.Int entries) ] );
+      ( "incremental",
+        Json.Obj
+          [ ("hits", Json.Int (Atomic.get t.inc_hits));
+            ("misses", Json.Int (Atomic.get t.inc_misses)) ] );
+      ("machines", Json.Int (Machines.loaded_count ()));
+      ("jobs", Json.Int t.jobs);
+      ("queue_ns", Json.Int (Atomic.get t.queue_ns_total));
+      ("eval_ns", Json.Int (Atomic.get t.eval_ns_total));
+      ( "counters",
+        Json.Obj
+          (List.map (fun (name, n) -> (name, Json.Int n)) (Pperf_obs.Obs.snapshot ())) ) ]
+
+(* the CLI's handle_code exception table, as structured error responses *)
+let error_of_exn = function
+  | Bad_req msg -> Some (Protocol.Bad_request, msg)
+  | Parser.Error (msg, loc) ->
+    Some
+      ( Protocol.Parse_error,
+        Printf.sprintf "parse error at %s: %s" (Srcloc.to_string loc) msg )
+  | Typecheck.Type_error (msg, loc) ->
+    Some
+      ( Protocol.Type_error,
+        Printf.sprintf "type error at %s: %s" (Srcloc.to_string loc) msg )
+  | Descr.Parse_error msg ->
+    Some (Protocol.Machine_error, Printf.sprintf "machine description error: %s" msg)
+  | Machine.Unknown_atomic { machine; op } ->
+    Some
+      ( Protocol.Machine_error,
+        Printf.sprintf "machine %s has no atomic operation %s" machine op )
+  | Failure msg -> Some (Protocol.Failed, msg)
+  | Sys_error msg -> Some (Protocol.Failed, msg)
+  | _ -> None
+
+let handle t ~received (req : Protocol.request) : Protocol.response =
+  Atomic.incr t.requests;
+  let start = now () in
+  let queue_ns = ns_of_span (start -. received) in
+  ignore (Atomic.fetch_and_add t.queue_ns_total queue_ns);
+  let expired at =
+    match req.deadline_ms with
+    | Some d -> (at -. received) *. 1000.0 > d
+    | None -> false
+  in
+  let finish response =
+    (match response with
+     | Protocol.Ok_response _ -> Atomic.incr t.ok_count
+     | Protocol.Err_response _ -> Atomic.incr t.err_count);
+    response
+  in
+  if expired start then
+    finish
+      (Protocol.err ~id:req.id Protocol.Deadline_exceeded
+         (Printf.sprintf "deadline of %gms expired before evaluation"
+            (Option.get req.deadline_ms)))
+  else
+    match req.verb with
+    | Protocol.Ping ->
+      finish
+        (Protocol.ok ~id:req.id ~verb:req.verb ~timing:{ queue_ns; eval_ns = 0 } "pong")
+    | Protocol.Stats ->
+      finish
+        (Protocol.ok ~id:req.id ~verb:req.verb ~stats:(stats_json t)
+           ~timing:{ queue_ns; eval_ns = 0 } "")
+    | Protocol.Shutdown ->
+      finish
+        (Protocol.ok ~id:req.id ~verb:req.verb ~timing:{ queue_ns; eval_ns = 0 } "")
+    | Protocol.Predict | Protocol.Compare | Protocol.Ranges | Protocol.Lint -> (
+      match
+        let machine = Machines.load req.machine in
+        let key =
+          if Protocol.cacheable req.verb then
+            Some
+              (Cache.key ~machine_hash:(Machines.hash machine)
+                 ~source_hash:(source_key req)
+                 ~kind:(Protocol.verb_string req.verb)
+                 ~flags:(Protocol.flags_key req.flags))
+          else None
+        in
+        let payload, cached =
+          match Option.bind key (Cache.find t.cache) with
+          | Some p -> (p, true)
+          | None ->
+            let p = run_query t req machine in
+            Option.iter (fun k -> Cache.store t.cache k p) key;
+            (p, false)
+        in
+        (payload, cached)
+      with
+      | payload, cached ->
+        let stop = now () in
+        let eval_ns = ns_of_span (stop -. start) in
+        ignore (Atomic.fetch_and_add t.eval_ns_total eval_ns);
+        finish
+          (Protocol.ok ~id:req.id ~verb:req.verb ~status:payload.status ~cached
+             ~deadline_missed:(expired stop) ~warnings:payload.warnings
+             ~timing:{ queue_ns; eval_ns } payload.output)
+      | exception e -> (
+        match error_of_exn e with
+        | Some (code, message) -> finish (Protocol.err ~id:req.id code message)
+        | None ->
+          finish
+            (Protocol.err ~id:req.id Protocol.Internal
+               (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e)))))

@@ -1,0 +1,32 @@
+(** Request evaluation for the prediction service.
+
+    [handle] maps one {!Protocol.request} to one {!Protocol.response} and
+    never lets an exception escape: the CLI's error table (parse, type,
+    machine, [Failure]) becomes structured error responses, and anything
+    else becomes [internal] with the server still live.
+
+    Query verbs are served through a content-addressed result cache keyed
+    by (machine hash, source hash, verb, canonical flags) — file sources
+    are digested by content, so editing the file invalidates the entry —
+    and, on a miss, rendered with {!Render} (predict through a per-domain
+    {!Pperf_core.Incremental} predictor), so [output] is byte-identical
+    to the one-shot CLI subcommand. *)
+
+type t
+
+val create : ?cache_capacity:int -> jobs:int -> unit -> t
+(** [jobs] is reported by the [stats] verb; clamped to at least 1. *)
+
+val jobs : t -> int
+
+val handle : t -> received:float -> Protocol.request -> Protocol.response
+(** [received] is [Unix.gettimeofday ()] at the moment the request line
+    was read; deadlines and queue time are measured from it. *)
+
+val stats_json : t -> Json.t
+(** The [stats] verb payload: request/outcome counts, result-cache and
+    incremental-cache hit rates, loaded machines, jobs, cumulative
+    queue/eval time, and the {!Pperf_obs.Obs} counter snapshot. *)
+
+val cache_stats : t -> int * int * int
+(** [(hits, misses, entries)] of the result cache. *)

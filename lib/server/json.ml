@@ -1,0 +1,270 @@
+(* Minimal JSON: just enough for the prediction service's line protocol.
+   No external dependency; objects keep field order so responses render
+   with a stable, pinnable layout. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* ---------------------------------------------------------------- parse *)
+
+type state = { s : string; mutable i : int }
+
+let max_depth = 64
+
+let peek st = if st.i < String.length st.s then Some st.s.[st.i] else None
+
+let skip_ws st =
+  while
+    st.i < String.length st.s
+    && match st.s.[st.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.i <- st.i + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.i <- st.i + 1
+  | Some c' -> error "expected '%c' at offset %d, got '%c'" c st.i c'
+  | None -> error "expected '%c' at offset %d, got end of input" c st.i
+
+let literal st word value =
+  let n = String.length word in
+  if st.i + n <= String.length st.s && String.sub st.s st.i n = word then (
+    st.i <- st.i + n;
+    value)
+  else error "invalid literal at offset %d" st.i
+
+let utf8_of_code buf code =
+  (* encode one Unicode scalar value as UTF-8 *)
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then (
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+  else if code < 0x10000 then (
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+  else (
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+
+let hex4 st =
+  if st.i + 4 > String.length st.s then error "truncated \\u escape at offset %d" st.i;
+  let v = ref 0 in
+  for k = st.i to st.i + 3 do
+    let d =
+      match st.s.[k] with
+      | '0' .. '9' as c -> Char.code c - Char.code '0'
+      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+      | c -> error "bad hex digit '%c' in \\u escape" c
+    in
+    v := (!v * 16) + d
+  done;
+  st.i <- st.i + 4;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.i >= String.length st.s then error "unterminated string";
+    let c = st.s.[st.i] in
+    st.i <- st.i + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+      if st.i >= String.length st.s then error "unterminated escape";
+      let e = st.s.[st.i] in
+      st.i <- st.i + 1;
+      (match e with
+       | '"' -> Buffer.add_char buf '"'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '/' -> Buffer.add_char buf '/'
+       | 'b' -> Buffer.add_char buf '\b'
+       | 'f' -> Buffer.add_char buf '\012'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'u' ->
+         let code = hex4 st in
+         let code =
+           (* surrogate pair *)
+           if code >= 0xD800 && code <= 0xDBFF
+              && st.i + 2 <= String.length st.s
+              && st.s.[st.i] = '\\'
+              && st.s.[st.i + 1] = 'u'
+           then (
+             st.i <- st.i + 2;
+             let lo = hex4 st in
+             if lo >= 0xDC00 && lo <= 0xDFFF then
+               0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+             else error "invalid low surrogate \\u%04X" lo)
+           else code
+         in
+         utf8_of_code buf code
+       | c -> error "bad escape '\\%c'" c);
+      go ())
+    | c when Char.code c < 0x20 -> error "raw control character in string"
+    | c ->
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.i in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while st.i < String.length st.s && is_num_char st.s.[st.i] do
+    st.i <- st.i + 1
+  done;
+  let text = String.sub st.s start (st.i - start) in
+  match int_of_string_opt text with
+  | Some n -> Int n
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error "malformed number '%s' at offset %d" text start)
+
+let rec parse_value st depth =
+  if depth > max_depth then error "nesting deeper than %d" max_depth;
+  skip_ws st;
+  match peek st with
+  | None -> error "unexpected end of input"
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some '[' ->
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then (
+      st.i <- st.i + 1;
+      List [])
+    else (
+      let rec items acc =
+        let v = parse_value st (depth + 1) in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.i <- st.i + 1;
+          items (v :: acc)
+        | Some ']' ->
+          st.i <- st.i + 1;
+          List.rev (v :: acc)
+        | _ -> error "expected ',' or ']' at offset %d" st.i
+      in
+      List (items []))
+  | Some '{' ->
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then (
+      st.i <- st.i + 1;
+      Obj [])
+    else (
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st (depth + 1) in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.i <- st.i + 1;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          st.i <- st.i + 1;
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> error "expected ',' or '}' at offset %d" st.i
+      in
+      fields [])
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error "unexpected character '%c' at offset %d" c st.i
+
+let of_string s =
+  let st = { s; i = 0 } in
+  let v = parse_value st 0 in
+  skip_ws st;
+  if st.i <> String.length s then error "trailing garbage at offset %d" st.i;
+  v
+
+(* ---------------------------------------------------------------- print *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Printf.bprintf buf "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.bprintf buf "%.0f" f
+    else Printf.bprintf buf "%.17g" f
+  | String s -> escape buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf v)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------- accessors *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let to_number_opt = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | _ -> None
+
+let to_list_opt = function List l -> Some l | _ -> None

@@ -1,0 +1,32 @@
+(** Minimal JSON values for the prediction service's line protocol.
+
+    Self-contained (the repo deliberately has no JSON dependency); objects
+    preserve field order so rendered responses have a stable layout the
+    cram tests can pin byte-for-byte. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse one complete JSON value; rejects trailing garbage, raw control
+    characters in strings, and nesting deeper than 64 levels.
+    @raise Parse_error with a position-carrying message. *)
+
+val to_string : t -> string
+(** Compact single-line rendering with full string escaping. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_number_opt : t -> float option
+val to_list_opt : t -> t list option

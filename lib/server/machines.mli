@@ -1,0 +1,27 @@
+(** The "load the machine once" helper shared by every CLI subcommand and
+    by the prediction server.
+
+    Resolves a machine spec — a builtin name ([power1], [power1x2],
+    [alpha21064]/[alpha], [scalar]) or a [.pmach] description file — and
+    memoizes file loads by content digest, so a long-lived server parses
+    each distinct description once while still picking up edits to the
+    file. Loading also pre-builds the machine's derived tables (atomic-op
+    chains, bin kind-candidate arrays) so worker domains mostly read them.
+    Domain-safe. *)
+
+open Pperf_machine
+
+val load : string -> Machine.t
+(** @raise Failure on an unknown name, {!Descr.Parse_error} on a bad
+    description file. *)
+
+val hash : Machine.t -> string
+(** Content digest of the machine's canonical textual description
+    (memoized per machine); part of the server's result-cache key. *)
+
+val warm : Machine.t -> unit
+(** Pre-build the derived tables for a machine obtained elsewhere. *)
+
+val loaded_count : unit -> int
+(** Distinct description files parsed so far (the [stats] verb's
+    [machines] field). *)

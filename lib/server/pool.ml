@@ -1,0 +1,82 @@
+(* Domain pool: a fixed set of OCaml 5 worker domains draining a shared
+   queue. jobs = 1 runs everything inline on the caller — no domain spawn,
+   fully deterministic scheduling — so `--jobs 1` sessions are exactly the
+   sequential semantics and the parallel path is pure opt-in. *)
+
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  drained : Condition.t;
+  mutable pending : int;  (** queued + running jobs *)
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let rec worker t =
+  let job =
+    Mutex.protect t.lock (fun () ->
+        let rec wait () =
+          if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+          else if t.closing then None
+          else (
+            Condition.wait t.nonempty t.lock;
+            wait ())
+        in
+        wait ())
+  in
+  match job with
+  | None -> ()
+  | Some job ->
+    (try job () with _ -> ());
+    Mutex.protect t.lock (fun () ->
+        t.pending <- t.pending - 1;
+        if t.pending = 0 then Condition.broadcast t.drained);
+    worker t
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      drained = Condition.create ();
+      pending = 0;
+      closing = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let submit t job =
+  if t.jobs = 1 then (try job () with _ -> ())
+  else
+    Mutex.protect t.lock (fun () ->
+        if t.closing then invalid_arg "Pool.submit: pool is closing";
+        t.pending <- t.pending + 1;
+        Queue.push job t.queue;
+        Condition.signal t.nonempty)
+
+let drain t =
+  if t.jobs > 1 then
+    Mutex.protect t.lock (fun () ->
+        while t.pending > 0 do
+          Condition.wait t.drained t.lock
+        done)
+
+let close t =
+  drain t;
+  if t.jobs > 1 then (
+    Mutex.protect t.lock (fun () ->
+        t.closing <- true;
+        Condition.broadcast t.nonempty);
+    List.iter Domain.join t.workers;
+    t.workers <- [])

@@ -1,0 +1,24 @@
+(** Fixed pool of OCaml 5 worker domains over a shared job queue.
+
+    [jobs = 1] degenerates to inline execution on the submitting domain —
+    no spawn, deterministic order — so sequential mode is exactly the
+    sequential semantics. Jobs must handle their own errors; a raising job
+    is swallowed (the server's jobs always produce a response instead). *)
+
+type t
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val create : jobs:int -> t
+val jobs : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue (or run inline when [jobs = 1]).
+    @raise Invalid_argument after {!close}. *)
+
+val drain : t -> unit
+(** Block until every submitted job has finished. *)
+
+val close : t -> unit
+(** Drain, then stop and join the workers. Idempotent. *)

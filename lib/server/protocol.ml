@@ -1,0 +1,235 @@
+(* The JSON-lines request/response protocol of `ppredict batch` and
+   `ppredict serve`. One request object per line in; one response object
+   per line out, emitted in request order. See README "Prediction
+   service" for the schema. *)
+
+type verb = Predict | Compare | Ranges | Lint | Ping | Stats | Shutdown
+
+let verb_string = function
+  | Predict -> "predict"
+  | Compare -> "compare"
+  | Ranges -> "ranges"
+  | Lint -> "lint"
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let verb_of_string = function
+  | "predict" -> Some Predict
+  | "compare" -> Some Compare
+  | "ranges" -> Some Ranges
+  | "lint" -> Some Lint
+  | "ping" -> Some Ping
+  | "stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type source = File of string | Text of string
+
+type flags = {
+  memory : bool;
+  ranges : bool;
+  interproc : bool;
+  strict : bool;
+  json : bool;
+  eval : string list;
+  range : string list;
+}
+
+let default_flags =
+  { memory = false; ranges = false; interproc = false; strict = false; json = false;
+    eval = []; range = [] }
+
+type request = {
+  id : Json.t;
+  verb : verb;
+  machine : string;
+  source : source option;
+  source2 : source option;
+  flags : flags;
+  deadline_ms : float option;
+}
+
+type error_code =
+  | Bad_json
+  | Unknown_verb
+  | Bad_request
+  | Oversized
+  | Parse_error
+  | Type_error
+  | Machine_error
+  | Deadline_exceeded
+  | Failed
+  | Internal
+
+let error_code_string = function
+  | Bad_json -> "bad_json"
+  | Unknown_verb -> "unknown_verb"
+  | Bad_request -> "bad_request"
+  | Oversized -> "oversized"
+  | Parse_error -> "parse_error"
+  | Type_error -> "type_error"
+  | Machine_error -> "machine_error"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Failed -> "error"
+  | Internal -> "internal"
+
+(* ------------------------------------------------------------- requests *)
+
+let get_bool obj name ~default =
+  match Json.member name obj with
+  | None -> Ok default
+  | Some j -> (
+    match Json.to_bool_opt j with
+    | Some b -> Ok b
+    | None -> Error (Bad_request, Printf.sprintf "flag %S must be a boolean" name))
+
+let get_string_list obj name =
+  match Json.member name obj with
+  | None -> Ok []
+  | Some j -> (
+    match Json.to_list_opt j with
+    | None -> Error (Bad_request, Printf.sprintf "field %S must be a list of strings" name)
+    | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+          match Json.to_string_opt x with
+          | Some s -> go (s :: acc) rest
+          | None ->
+            Error (Bad_request, Printf.sprintf "field %S must be a list of strings" name))
+      in
+      go [] items)
+
+let ( let* ) = Result.bind
+
+let parse_flags obj =
+  match Json.member "flags" obj with
+  | None -> Ok default_flags
+  | Some (Json.Obj _ as f) ->
+    let* memory = get_bool f "memory" ~default:false in
+    let* ranges = get_bool f "ranges" ~default:false in
+    let* interproc = get_bool f "interproc" ~default:false in
+    let* strict = get_bool f "strict" ~default:false in
+    let* json = get_bool f "json" ~default:false in
+    let* eval = get_string_list f "eval" in
+    let* range = get_string_list f "range" in
+    Ok { memory; ranges; interproc; strict; json; eval; range }
+  | Some _ -> Error (Bad_request, "field \"flags\" must be an object")
+
+let parse_source obj ~file_field ~text_field =
+  match (Json.member file_field obj, Json.member text_field obj) with
+  | None, None -> Ok None
+  | Some _, Some _ ->
+    Error
+      ( Bad_request,
+        Printf.sprintf "give %S or %S, not both" file_field text_field )
+  | Some j, None -> (
+    match Json.to_string_opt j with
+    | Some p -> Ok (Some (File p))
+    | None -> Error (Bad_request, Printf.sprintf "field %S must be a string" file_field))
+  | None, Some j -> (
+    match Json.to_string_opt j with
+    | Some s -> Ok (Some (Text s))
+    | None -> Error (Bad_request, Printf.sprintf "field %S must be a string" text_field))
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ ->
+    let id = Option.value (Json.member "id" j) ~default:Json.Null in
+    let* verb =
+      match Json.member "verb" j with
+      | None -> Error (Bad_request, "missing \"verb\"")
+      | Some v -> (
+        match Json.to_string_opt v with
+        | None -> Error (Bad_request, "field \"verb\" must be a string")
+        | Some s -> (
+          match verb_of_string s with
+          | Some verb -> Ok verb
+          | None -> Error (Unknown_verb, Printf.sprintf "unknown verb %S" s)))
+    in
+    let* machine =
+      match Json.member "machine" j with
+      | None -> Ok "power1"
+      | Some v -> (
+        match Json.to_string_opt v with
+        | Some s -> Ok s
+        | None -> Error (Bad_request, "field \"machine\" must be a string"))
+    in
+    let* source = parse_source j ~file_field:"file" ~text_field:"source" in
+    let* source2 = parse_source j ~file_field:"file2" ~text_field:"source2" in
+    let* flags = parse_flags j in
+    let* deadline_ms =
+      match Json.member "deadline_ms" j with
+      | None -> Ok None
+      | Some v -> (
+        match Json.to_number_opt v with
+        | Some f when f > 0.0 -> Ok (Some f)
+        | _ -> Error (Bad_request, "field \"deadline_ms\" must be a positive number"))
+    in
+    Ok { id; verb; machine; source; source2; flags; deadline_ms }
+  | _ -> Error (Bad_request, "request must be a JSON object")
+
+let request_of_line line =
+  match Json.of_string line with
+  | exception Json.Parse_error msg -> Error (Bad_json, msg)
+  | j -> request_of_json j
+
+(* the canonical flag rendering that keys the result cache: every field,
+   fixed order, so two requests share an entry iff their flags agree *)
+let flags_key f =
+  Printf.sprintf "m%b,r%b,i%b,s%b,j%b,e[%s],g[%s]" f.memory f.ranges f.interproc f.strict
+    f.json
+    (String.concat ";" f.eval)
+    (String.concat ";" f.range)
+
+let cacheable = function
+  | Predict | Compare | Ranges | Lint -> true
+  | Ping | Stats | Shutdown -> false
+
+(* ------------------------------------------------------------ responses *)
+
+type timing = { queue_ns : int; eval_ns : int }
+
+type response =
+  | Ok_response of {
+      id : Json.t;
+      verb : verb;
+      status : int;
+      cached : bool;
+      deadline_missed : bool;
+      warnings : string list;
+      output : string;
+      stats : Json.t option;
+      timing : timing;
+    }
+  | Err_response of { id : Json.t; code : error_code; message : string }
+
+let ok ?(status = 0) ?(cached = false) ?(deadline_missed = false) ?(warnings = [])
+    ?stats ~id ~verb ~timing output =
+  Ok_response { id; verb; status; cached; deadline_missed; warnings; output; stats; timing }
+
+let err ~id code message = Err_response { id; code; message }
+
+let response_id = function Ok_response { id; _ } | Err_response { id; _ } -> id
+
+let response_to_json = function
+  | Ok_response r ->
+    Json.Obj
+      ([ ("id", r.id); ("ok", Json.Bool true); ("verb", Json.String (verb_string r.verb));
+         ("status", Json.Int r.status); ("cached", Json.Bool r.cached) ]
+      @ (if r.deadline_missed then [ ("deadline_missed", Json.Bool true) ] else [])
+      @ (if r.warnings = [] then []
+         else [ ("warnings", Json.List (List.map (fun w -> Json.String w) r.warnings)) ])
+      @ (match r.stats with Some s -> [ ("stats", s) ] | None -> [ ("output", Json.String r.output) ])
+      @ [ ("t", Json.Obj [ ("queue_ns", Json.Int r.timing.queue_ns);
+                           ("eval_ns", Json.Int r.timing.eval_ns) ]) ])
+  | Err_response r ->
+    Json.Obj
+      [ ("id", r.id); ("ok", Json.Bool false);
+        ("error",
+         Json.Obj
+           [ ("code", Json.String (error_code_string r.code));
+             ("message", Json.String r.message) ]) ]
+
+let response_line r = Json.to_string (response_to_json r)

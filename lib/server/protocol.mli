@@ -1,0 +1,96 @@
+(** The JSON-lines request/response protocol spoken by [ppredict batch]
+    and [ppredict serve].
+
+    One request object per input line; one response object per output
+    line, in request order. Query verbs ([predict], [compare], [ranges],
+    [lint]) carry a machine spec, a source (inline text or a file path)
+    and CLI-mirroring flags; their [output] field is byte-identical to the
+    one-shot CLI subcommand's stdout. Control verbs: [ping], [stats],
+    [shutdown]. *)
+
+type verb = Predict | Compare | Ranges | Lint | Ping | Stats | Shutdown
+
+val verb_string : verb -> string
+val verb_of_string : string -> verb option
+
+type source = File of string | Text of string
+
+type flags = {
+  memory : bool;  (** include the cache cost model (CLI [--memory]) *)
+  ranges : bool;  (** interval analysis first (CLI [--ranges]) *)
+  interproc : bool;  (** call-site charging (CLI [-i], predict only) *)
+  strict : bool;  (** binding mismatches are errors (CLI [--strict]) *)
+  json : bool;  (** JSON output for [ranges]/[lint] (CLI [--json]) *)
+  eval : string list;  (** [VAR=VALUE] bindings (CLI [--eval]) *)
+  range : string list;  (** [VAR=LO:HI] ranges (CLI [--range], compare only) *)
+}
+
+val default_flags : flags
+
+type request = {
+  id : Json.t;  (** echoed verbatim in the response; [Null] if absent *)
+  verb : verb;
+  machine : string;  (** builtin name or .pmach path; default ["power1"] *)
+  source : source option;
+  source2 : source option;  (** second variant, [compare] only *)
+  flags : flags;
+  deadline_ms : float option;
+      (** budget from the moment the server reads the request: requests
+          still queued past it are rejected with [deadline_exceeded];
+          responses finishing past it carry [deadline_missed] *)
+}
+
+type error_code =
+  | Bad_json  (** the line is not valid JSON *)
+  | Unknown_verb
+  | Bad_request  (** well-formed JSON, ill-formed request *)
+  | Oversized  (** line longer than the server's request budget *)
+  | Parse_error  (** PF source failed to parse *)
+  | Type_error  (** PF source failed to typecheck *)
+  | Machine_error  (** unknown machine, bad description, missing atomic *)
+  | Deadline_exceeded
+  | Failed  (** the analysis itself reported an error ([Failure]) *)
+  | Internal  (** anything else; the server stays up *)
+
+val error_code_string : error_code -> string
+
+val request_of_json : Json.t -> (request, error_code * string) result
+val request_of_line : string -> (request, error_code * string) result
+
+val flags_key : flags -> string
+(** Canonical flag rendering used in the result-cache key. *)
+
+val cacheable : verb -> bool
+
+type timing = { queue_ns : int; eval_ns : int }
+
+type response =
+  | Ok_response of {
+      id : Json.t;
+      verb : verb;
+      status : int;  (** the one-shot CLI's exit code (lint: 0/1/2) *)
+      cached : bool;
+      deadline_missed : bool;
+      warnings : string list;  (** what the CLI would print to stderr *)
+      output : string;  (** byte-identical to the CLI subcommand's stdout *)
+      stats : Json.t option;  (** [stats] verb payload, replaces [output] *)
+      timing : timing;
+    }
+  | Err_response of { id : Json.t; code : error_code; message : string }
+
+val ok :
+  ?status:int ->
+  ?cached:bool ->
+  ?deadline_missed:bool ->
+  ?warnings:string list ->
+  ?stats:Json.t ->
+  id:Json.t ->
+  verb:verb ->
+  timing:timing ->
+  string ->
+  response
+
+val err : id:Json.t -> error_code -> string -> response
+val response_id : response -> Json.t
+val response_to_json : response -> Json.t
+val response_line : response -> string

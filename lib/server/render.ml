@@ -1,0 +1,217 @@
+(* The one-shot renderings of the query subcommands, shared verbatim by
+   `ppredict predict/compare/ranges/lint` and the server's verbs of the
+   same names: both sides call these, so a server response's [output] is
+   byte-identical to the one-shot CLI's stdout by construction (the CI
+   serve-gate asserts it end-to-end). *)
+
+open Pperf_lang
+open Pperf_core
+
+let with_formatter f =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let parse_bindings specs =
+  List.map
+    (fun s ->
+      match String.index_opt s '=' with
+      | Some i -> (
+        let value = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt value with
+        | Some f -> (String.sub s 0 i, f)
+        | None ->
+          failwith
+            (Printf.sprintf "malformed --eval binding '%s': '%s' is not a number" s value))
+      | None ->
+        failwith
+          (Printf.sprintf "malformed --eval binding '%s': expected VAR=VALUE" s))
+    specs
+
+let range_env specs =
+  List.fold_left
+    (fun env spec ->
+      match String.split_on_char '=' spec with
+      | [ v; range ] -> (
+        match String.split_on_char ':' range with
+        | [ lo; hi ] -> (
+          match (int_of_string_opt lo, int_of_string_opt hi) with
+          | Some lo, Some hi ->
+            Pperf_symbolic.Interval.Env.add v
+              (Pperf_symbolic.Interval.of_ints lo hi)
+              env
+          | _ -> failwith ("malformed range " ^ spec))
+        | _ -> failwith ("malformed range " ^ spec))
+      | _ -> failwith ("malformed range " ^ spec))
+    Pperf_symbolic.Interval.Env.empty specs
+
+(* an --eval/--bind set that names variables the expression does not have,
+   or misses variables it does, silently predicts with the wrong values
+   (unbound unknowns default to 1.0); say so *)
+let check_bindings ~strict ~warn ~expr_vars ~prob_vars bindings =
+  if bindings <> [] then (
+    let bound = List.map fst bindings in
+    let known v = List.mem v expr_vars || List.mem v prob_vars in
+    let unused = List.filter (fun v -> not (known v)) bound in
+    let unbound = List.filter (fun v -> not (List.mem v bound)) expr_vars in
+    let msgs =
+      (if unused = [] then []
+       else
+         [ Printf.sprintf
+             "binding%s %s do%s not match any variable of the performance expression"
+             (if List.length unused = 1 then "" else "s")
+             (String.concat ", " unused)
+             (if List.length unused = 1 then "es" else "") ])
+      @
+      if unbound = [] then []
+      else
+        [ Printf.sprintf "unbound variable%s %s default%s to 1.0"
+            (if List.length unbound = 1 then "" else "s")
+            (String.concat ", " unbound)
+            (if List.length unbound = 1 then "s" else "") ]
+    in
+    if msgs <> [] then
+      if strict then failwith (String.concat "; " msgs) else List.iter warn msgs)
+
+(* ---- predict ---- *)
+
+let predict ?predictor ~machine ~options ~interproc ~strict ~evals ~warn src =
+  let use_ranges = options.Aggregate.infer_ranges in
+  let bindings = parse_bindings evals in
+  with_formatter (fun fmt ->
+      if interproc then (
+        let t = Interproc.of_source ~options ~machine src in
+        Format.fprintf fmt "%a" Interproc.pp t;
+        if bindings <> [] then
+          List.iter
+            (fun (rp : Interproc.routine_prediction) ->
+              let total = Perf_expr.total rp.prediction.cost in
+              check_bindings ~strict ~warn ~expr_vars:(Pperf_symbolic.Poly.vars total)
+                ~prob_vars:rp.prediction.prob_vars bindings;
+              let v =
+                Pperf_symbolic.Poly.eval_float
+                  (fun x -> match List.assoc_opt x bindings with Some f -> f | None -> 1.0)
+                  total
+              in
+              Format.fprintf fmt "  %s at bindings: %.0f cycles@." rp.checked.routine.rname v)
+            t.routines)
+      else (
+        let checkeds = Typecheck.check_program (Parser.parse_program src) in
+        let predictions =
+          List.map
+            (fun (c : Typecheck.checked) ->
+              let prediction =
+                match predictor with
+                | Some f -> f c
+                | None -> Aggregate.routine ~machine ~options c
+              in
+              { Predict.routine = c.routine; symbols = c.symbols; machine; prediction })
+            checkeds
+        in
+        List.iter
+          (fun p ->
+            Format.fprintf fmt "%a@." Predict.pp p;
+            if Predict.prob_vars p <> [] then
+              Format.fprintf fmt "  branch probabilities: %s (in [0,1])@."
+                (String.concat ", " (Predict.prob_vars p));
+            let diags = Predict.precision_diagnostics ~ranges:use_ranges p in
+            if diags <> [] then (
+              Format.fprintf fmt "  precision diagnostics:@.";
+              List.iter
+                (fun d -> Format.fprintf fmt "    %a@." Pperf_lint.Diagnostic.pp_short d)
+                diags);
+            if bindings <> [] then (
+              check_bindings ~strict ~warn
+                ~expr_vars:(Pperf_symbolic.Poly.vars (Predict.total p))
+                ~prob_vars:(Predict.prob_vars p) bindings;
+              Format.fprintf fmt "  at %s: %.0f cycles@."
+                (String.concat ", "
+                   (List.map (fun (v, x) -> Printf.sprintf "%s=%g" v x) bindings))
+                (Predict.eval p bindings)))
+          predictions))
+
+(* ---- compare ---- *)
+
+let compare ~machine ~options ~use_ranges ~ranges src1 src2 =
+  let user_env = range_env ranges in
+  with_formatter (fun fmt ->
+      let c1 = Typecheck.check_routine (Parser.parse_routine src1) in
+      let c2 = Typecheck.check_routine (Parser.parse_routine src2) in
+      let env =
+        if use_ranges then Compare.inferred_env ~base:user_env [ c1; c2 ] else user_env
+      in
+      let p1 = Predict.of_checked ~options ~machine c1 in
+      let p2 = Predict.of_checked ~options ~machine c2 in
+      Format.fprintf fmt "first:  %a@." Predict.pp p1;
+      Format.fprintf fmt "second: %a@." Predict.pp p2;
+      let d = Compare.decide env (Predict.cost p1) (Predict.cost p2) in
+      Format.fprintf fmt "%a@." Compare.pp_decision d;
+      match d.verdict with
+      | Pperf_symbolic.Signs.Undecided diff ->
+        let t = Runtime_test.of_difference env diff in
+        Format.fprintf fmt "suggested run-time test: %a@." Runtime_test.pp t
+      | _ -> ())
+
+(* ---- ranges ---- *)
+
+let ranges ~json src =
+  let module Absint = Pperf_absint.Absint in
+  let module Interval = Pperf_symbolic.Interval in
+  let checkeds = Typecheck.check_program (Parser.parse_program src) in
+  let analyzed = List.map (fun (c : Typecheck.checked) -> (c, Absint.analyze c)) checkeds in
+  if json then (
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\"routines\":[";
+    List.iteri
+      (fun i ((c : Typecheck.checked), r) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Printf.bprintf buf "{\"routine\":\"%s\",\"loops\":[" c.routine.rname;
+        List.iteri
+          (fun j (l : Absint.loop_range) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf
+              "{\"var\":\"%s\",\"line\":%d,\"depth\":%d,\"index\":\"%s\",\"trip\":\"%s\"}"
+              l.lvar l.at.Srcloc.line l.depth
+              (Interval.to_string l.index)
+              (Interval.to_string l.trip))
+          (Absint.loops r);
+        Buffer.add_string buf "],\"summary\":{";
+        List.iteri
+          (fun j (x, iv) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf "\"%s\":\"%s\"" x (Interval.to_string iv))
+          (Interval.Env.bindings (Absint.summary r));
+        Buffer.add_string buf "}}")
+      analyzed;
+    Buffer.add_string buf "]}\n";
+    Buffer.contents buf)
+  else
+    with_formatter (fun fmt ->
+        List.iter
+          (fun ((c : Typecheck.checked), r) ->
+            Format.fprintf fmt "routine %s:@." c.routine.rname;
+            (match Absint.loops r with
+             | [] -> Format.fprintf fmt "  no loops@."
+             | ls ->
+               Format.fprintf fmt "  loops:@.";
+               List.iter (fun l -> Format.fprintf fmt "    %a@." Absint.pp_loop_range l) ls);
+            match Interval.Env.bindings (Absint.summary r) with
+            | [] -> Format.fprintf fmt "  no variable ranges inferred@."
+            | bs ->
+              Format.fprintf fmt "  variable ranges:@.";
+              List.iter
+                (fun (x, iv) -> Format.fprintf fmt "    %s in %s@." x (Interval.to_string iv))
+                bs)
+          analyzed)
+
+(* ---- lint ---- *)
+
+let lint ~json ~use_ranges src =
+  let reports = Pperf_lint.Lint.run_source ~ranges:use_ranges src in
+  let output =
+    if json then Pperf_lint.Lint.to_json reports
+    else with_formatter (fun fmt -> Format.fprintf fmt "%a" Pperf_lint.Lint.pp reports)
+  in
+  (output, Pperf_lint.Lint.exit_code reports)

@@ -1,0 +1,58 @@
+(** Shared renderers for the query verbs.
+
+    Both the one-shot CLI subcommands and the server verbs call these, so
+    a server response's [output] field is byte-identical to the CLI's
+    stdout for the same machine, source, and flags — by construction, not
+    by parallel maintenance of two formatting paths. *)
+
+open Pperf_lang
+open Pperf_machine
+open Pperf_core
+
+val parse_bindings : string list -> (string * float) list
+(** ["VAR=VALUE"] specs to bindings. @raise Failure on malformed specs. *)
+
+val range_env : string list -> Pperf_symbolic.Interval.Env.t
+(** ["VAR=LO:HI"] specs to an interval environment.
+    @raise Failure on malformed specs. *)
+
+val check_bindings :
+  strict:bool ->
+  warn:(string -> unit) ->
+  expr_vars:string list ->
+  prob_vars:string list ->
+  (string * float) list ->
+  unit
+(** Diagnose bindings that name no variable of the expression and
+    expression variables left unbound. [strict] turns the diagnoses into
+    [Failure]; otherwise each message goes to [warn]. *)
+
+val predict :
+  ?predictor:(Typecheck.checked -> Aggregate.prediction) ->
+  machine:Machine.t ->
+  options:Aggregate.options ->
+  interproc:bool ->
+  strict:bool ->
+  evals:string list ->
+  warn:(string -> unit) ->
+  string ->
+  string
+(** Render the prediction report for a program source. [predictor]
+    substitutes for [Aggregate.routine ~machine ~options] in the
+    intraprocedural path (the server passes its incremental engine);
+    it must produce bit-identical predictions. *)
+
+val compare :
+  machine:Machine.t ->
+  options:Aggregate.options ->
+  use_ranges:bool ->
+  ranges:string list ->
+  string ->
+  string ->
+  string
+(** [compare ~machine ~options ~use_ranges ~ranges src1 src2]. *)
+
+val ranges : json:bool -> string -> string
+
+val lint : json:bool -> use_ranges:bool -> string -> string * int
+(** Returns the rendered report and the lint exit code. *)

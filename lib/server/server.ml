@@ -1,0 +1,199 @@
+(* The service loops: `ppredict batch` (read requests to EOF, answer all)
+   and `ppredict serve` (long-lived daemon on stdin/stdout or a Unix
+   socket). One JSON request per line in, one JSON response per line out,
+   in request order even though evaluation fans out to the domain pool —
+   a sequencer holds out-of-order completions until their turn. The loop
+   never dies on input: unparsable, ill-formed, or oversized lines get
+   structured error responses and reading continues. *)
+
+let default_max_request_bytes = 1 lsl 20
+
+(* ------------------------------------------------------- bounded reader *)
+
+type line = Line of string | Too_long | Eof
+
+(* read one line, at most [max_bytes] long; longer lines are discarded to
+   the newline and reported, so a runaway request cannot hold the line
+   buffer hostage *)
+let read_line_bounded ic ~max_bytes =
+  let buf = Buffer.create 256 in
+  let rec skip () =
+    match input_char ic with exception End_of_file -> () | '\n' -> () | _ -> skip ()
+  in
+  let rec go n =
+    match input_char ic with
+    | exception End_of_file -> if n = 0 then Eof else Line (Buffer.contents buf)
+    | '\n' -> Line (Buffer.contents buf)
+    | c ->
+      if n >= max_bytes then (
+        skip ();
+        Too_long)
+      else (
+        Buffer.add_char buf c;
+        go (n + 1))
+  in
+  go 0
+
+(* --------------------------------------------------------- sequencer *)
+
+(* responses leave in request order: a worker finishing request [n] parks
+   its response and whoever holds the next-to-emit response drains the run *)
+type sequencer = {
+  write : string -> unit;
+  flush_out : unit -> unit;
+  flush_each : bool;
+  lock : Mutex.t;
+  parked : (int, Protocol.response) Hashtbl.t;
+  mutable next : int;
+}
+
+let sequencer ~flush_each ~write ~flush_out =
+  { write; flush_out; flush_each; lock = Mutex.create (); parked = Hashtbl.create 16;
+    next = 0 }
+
+let emit seq n response =
+  Mutex.protect seq.lock (fun () ->
+      Hashtbl.replace seq.parked n response;
+      let rec pump () =
+        match Hashtbl.find_opt seq.parked seq.next with
+        | None -> ()
+        | Some r ->
+          Hashtbl.remove seq.parked seq.next;
+          seq.write (Protocol.response_line r ^ "\n");
+          seq.next <- seq.next + 1;
+          pump ()
+      in
+      pump ();
+      if seq.flush_each then seq.flush_out ())
+
+(* ----------------------------------------------------------- session *)
+
+(* best effort at correlating an error with the request's id *)
+let id_of_line line =
+  match Json.of_string line with
+  | exception _ -> Json.Null
+  | j -> Option.value (Json.member "id" j) ~default:Json.Null
+
+(* Read requests until EOF or a shutdown verb; returns [true] iff the
+   session ended by shutdown. *)
+let session ~engine ~pool ~max_request_bytes ~flush_each ic write flush_out =
+  let seq = sequencer ~flush_each ~write ~flush_out in
+  let n = ref 0 in
+  let next () =
+    let i = !n in
+    incr n;
+    i
+  in
+  let shutdown = ref false in
+  let eof = ref false in
+  while not (!shutdown || !eof) do
+    match read_line_bounded ic ~max_bytes:max_request_bytes with
+    | Eof -> eof := true
+    | Too_long ->
+      emit seq (next ())
+        (Protocol.err ~id:Json.Null Protocol.Oversized
+           (Printf.sprintf "request line exceeds %d bytes" max_request_bytes))
+    | Line l when String.trim l = "" -> ()
+    | Line l -> (
+      let received = Unix.gettimeofday () in
+      match Protocol.request_of_line l with
+      | Error (code, msg) -> emit seq (next ()) (Protocol.err ~id:(id_of_line l) code msg)
+      | Ok ({ verb = Protocol.Shutdown; _ } as req) ->
+        emit seq (next ()) (Engine.handle engine ~received req);
+        shutdown := true
+      | Ok req ->
+        let i = next () in
+        Pool.submit pool (fun () -> emit seq i (Engine.handle engine ~received req)))
+  done;
+  Pool.drain pool;
+  flush_out ();
+  !shutdown
+
+(* ------------------------------------------------------------- modes *)
+
+let with_engine ?cache_capacity ~jobs f =
+  let engine = Engine.create ?cache_capacity ~jobs () in
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.close pool) (fun () -> f engine pool)
+
+let batch ?cache_capacity ?(max_request_bytes = default_max_request_bytes) ~jobs ic oc =
+  with_engine ?cache_capacity ~jobs (fun engine pool ->
+      ignore
+        (session ~engine ~pool ~max_request_bytes ~flush_each:false ic
+           (output_string oc) (fun () -> flush oc));
+      0)
+
+let serve_channels ?cache_capacity ?(max_request_bytes = default_max_request_bytes)
+    ~jobs ic oc =
+  with_engine ?cache_capacity ~jobs (fun engine pool ->
+      ignore
+        (session ~engine ~pool ~max_request_bytes ~flush_each:true ic
+           (output_string oc) (fun () -> flush oc));
+      0)
+
+(* Unix-socket daemon: one engine (one warm cache) across connections,
+   served one at a time; a shutdown verb ends the whole daemon, EOF just
+   the connection. *)
+let serve_socket ?cache_capacity ?(max_request_bytes = default_max_request_bytes)
+    ~jobs path =
+  if Sys.file_exists path then Unix.unlink path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      with_engine ?cache_capacity ~jobs (fun engine pool ->
+          let stop = ref false in
+          while not !stop do
+            let conn, _ = Unix.accept sock in
+            let ic = Unix.in_channel_of_descr conn in
+            let oc = Unix.out_channel_of_descr conn in
+            let shutdown =
+              try
+                session ~engine ~pool ~max_request_bytes ~flush_each:true ic
+                  (output_string oc) (fun () -> flush oc)
+              with Sys_error _ | Unix.Unix_error _ ->
+                (* peer hung up mid-session: drop the connection, keep serving *)
+                Pool.drain pool;
+                false
+            in
+            (try flush oc with Sys_error _ -> ());
+            (try Unix.close conn with Unix.Unix_error _ -> ());
+            if shutdown then stop := true
+          done;
+          0))
+
+let serve ?cache_capacity ?max_request_bytes ?socket ~jobs () =
+  match socket with
+  | Some path -> serve_socket ?cache_capacity ?max_request_bytes ~jobs path
+  | None -> serve_channels ?cache_capacity ?max_request_bytes ~jobs stdin stdout
+
+(* In-memory batch session for tests and benchmarks: request lines in,
+   response lines out, same code path as [batch]. *)
+let batch_lines ?cache_capacity ?(max_request_bytes = default_max_request_bytes)
+    ~jobs lines =
+  with_engine ?cache_capacity ~jobs (fun engine pool ->
+      let buf = Buffer.create 4096 in
+      let seq =
+        sequencer ~flush_each:false ~write:(Buffer.add_string buf) ~flush_out:ignore
+      in
+      let lines = List.filter (fun l -> String.trim l <> "") lines in
+      List.iteri
+        (fun i l ->
+          if String.length l > max_request_bytes then
+            emit seq i
+              (Protocol.err ~id:Json.Null Protocol.Oversized
+                 (Printf.sprintf "request line exceeds %d bytes" max_request_bytes))
+          else (
+            let received = Unix.gettimeofday () in
+            match Protocol.request_of_line l with
+            | Error (code, msg) -> emit seq i (Protocol.err ~id:(id_of_line l) code msg)
+            | Ok req -> Pool.submit pool (fun () -> emit seq i (Engine.handle engine ~received req))))
+        lines;
+      Pool.drain pool;
+      String.split_on_char '\n' (String.trim (Buffer.contents buf))
+      |> List.filter (fun s -> s <> ""))

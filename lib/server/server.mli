@@ -1,0 +1,40 @@
+(** The service loops behind [ppredict batch] and [ppredict serve].
+
+    JSON-lines protocol (see {!Protocol}): one request per input line,
+    one response per output line, responses in request order even though
+    evaluation fans out to a {!Pool} of worker domains. Malformed,
+    unknown-verb, and oversized lines produce structured error responses;
+    the loop itself never dies on input. *)
+
+val default_max_request_bytes : int
+(** 1 MiB. *)
+
+val batch :
+  ?cache_capacity:int ->
+  ?max_request_bytes:int ->
+  jobs:int ->
+  in_channel ->
+  out_channel ->
+  int
+(** Read requests until EOF (or a [shutdown] verb), answer all, flush
+    once at the end. Returns the process exit code (0). *)
+
+val serve :
+  ?cache_capacity:int ->
+  ?max_request_bytes:int ->
+  ?socket:string ->
+  jobs:int ->
+  unit ->
+  int
+(** Long-lived daemon. Without [socket]: stdin/stdout, one response
+    flushed per request, until EOF or [shutdown]. With [socket]: bind a
+    Unix socket at the path (replacing any stale file) and serve
+    connections one at a time with a single shared engine — a warm cache
+    survives across connections; EOF ends a connection, [shutdown] ends
+    the daemon. *)
+
+val batch_lines :
+  ?cache_capacity:int -> ?max_request_bytes:int -> jobs:int -> string list -> string list
+(** In-memory batch session for tests and benchmarks: request lines in,
+    response lines out (blank input lines skipped), same evaluation path
+    as {!batch}. *)

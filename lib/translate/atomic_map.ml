@@ -60,21 +60,47 @@ let map_uncached (m : Machine.t) (b : Basic_op.t) : Atomic_op.t list =
 
 (* the mapping is a pure function of the machine's tables; every block
    translation asks for the same handful of basic ops, so cache the
-   chains per machine (keyed by physical identity) *)
-let cache : (Machine.t * (Basic_op.t, Atomic_op.t list) Hashtbl.t) list ref = ref []
+   chains per machine (keyed by physical identity). The prediction
+   server's worker domains translate concurrently, so the memo must be
+   domain-safe: per machine an immutable map swapped in with CAS (lost
+   races just recompute a pure value), never a shared Hashtbl. *)
+module BMap = Map.Make (struct
+  type t = Basic_op.t
+
+  let compare = Stdlib.compare
+end)
+
+type entry = { machine : Machine.t; chains : Atomic_op.t list BMap.t Atomic.t }
+
+let cache : entry list Atomic.t = Atomic.make []
+
+let entry_for (m : Machine.t) =
+  match List.find_opt (fun e -> e.machine == m) (Atomic.get cache) with
+  | Some e -> e
+  | None ->
+    let e = { machine = m; chains = Atomic.make BMap.empty } in
+    let rec push () =
+      let old = Atomic.get cache in
+      match List.find_opt (fun e' -> e'.machine == m) old with
+      | Some e' -> e'
+      | None ->
+        if Atomic.compare_and_set cache old (e :: List.filteri (fun i _ -> i < 15) old)
+        then e
+        else push ()
+    in
+    push ()
 
 let map (m : Machine.t) (b : Basic_op.t) : Atomic_op.t list =
-  let tbl =
-    match List.find_opt (fun (m', _) -> m' == m) !cache with
-    | Some (_, tbl) -> tbl
-    | None ->
-      let tbl = Hashtbl.create 64 in
-      cache := (m, tbl) :: List.filteri (fun i _ -> i < 15) !cache;
-      tbl
-  in
-  match Hashtbl.find_opt tbl b with
+  let e = entry_for m in
+  match BMap.find_opt b (Atomic.get e.chains) with
   | Some chain -> chain
   | None ->
     let chain = map_uncached m b in
-    Hashtbl.add tbl b chain;
+    let rec publish () =
+      let old = Atomic.get e.chains in
+      if BMap.mem b old then ()
+      else if Atomic.compare_and_set e.chains old (BMap.add b chain old) then ()
+      else publish ()
+    in
+    publish ();
     chain

@@ -96,10 +96,13 @@ let binop_key_name : Ast.binop -> string = function
 
 (* the exact-hex rendering of a float literal is format-machinery slow;
    distinct literals recur across the many builders one prediction makes,
-   so memoize the rendering globally *)
-let real_key_tbl : (float, string) Hashtbl.t = Hashtbl.create 64
+   so memoize the rendering. Domain-local: each server worker keeps its
+   own table, so no locking on this hot path and no Hashtbl races *)
+let real_key_tbl_key =
+  Domain.DLS.new_key (fun () : (float, string) Hashtbl.t -> Hashtbl.create 64)
 
 let real_key f =
+  let real_key_tbl = Domain.DLS.get real_key_tbl_key in
   match Hashtbl.find_opt real_key_tbl f with
   | Some k -> k
   | None ->

@@ -218,13 +218,12 @@ with every unknown defaulted to 1.0; --strict turns the warning into an
 error:
 
   $ ppredict predict ../../samples/daxpy.pf --bind m=3
-  daxpy on power1: 5*n + 4
   warning: binding m does not match any variable of the performance expression
   warning: unbound variable n defaults to 1.0
+  daxpy on power1: 5*n + 4
     at m=3: 9 cycles
 
   $ ppredict predict ../../samples/daxpy.pf --bind m=3 --strict
-  daxpy on power1: 5*n + 4
   error: binding m does not match any variable of the performance expression; unbound variable n defaults to 1.0
   [1]
 

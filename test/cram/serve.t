@@ -1,0 +1,73 @@
+The JSON-lines prediction service, pinned end to end. `serve` on
+stdin/stdout answers one response line per request line, in request
+order; timings are nondeterministic, so they are redacted.
+
+  $ redact() { sed -e 's/"t":{"queue_ns":[0-9]*,"eval_ns":[0-9]*}/"t":{}/' ; }
+
+Query verbs answer with the one-shot CLI's stdout in "output", ping and
+shutdown close the loop, and a repeated request is served from the
+content-addressed cache ("cached":true, same bytes):
+
+  $ ppredict serve --jobs 1 <<'EOF' | redact
+  > {"id":1,"verb":"ping"}
+  > {"id":2,"verb":"predict","file":"../../samples/daxpy.pf"}
+  > {"id":3,"verb":"predict","file":"../../samples/daxpy.pf"}
+  > {"id":4,"verb":"predict","file":"../../samples/daxpy.pf","flags":{"eval":["n=500"]}}
+  > {"id":5,"verb":"compare","file":"../../samples/daxpy.pf","file2":"../../samples/daxpy.pf"}
+  > {"id":6,"verb":"lint","file":"../../samples/lintdemo.pf","flags":{"json":true}}
+  > {"id":7,"verb":"shutdown"}
+  > EOF
+  {"id":1,"ok":true,"verb":"ping","status":0,"cached":false,"output":"pong","t":{}}
+  {"id":2,"ok":true,"verb":"predict","status":0,"cached":false,"output":"daxpy on power1: 5*n + 4\n","t":{}}
+  {"id":3,"ok":true,"verb":"predict","status":0,"cached":true,"output":"daxpy on power1: 5*n + 4\n","t":{}}
+  {"id":4,"ok":true,"verb":"predict","status":0,"cached":false,"output":"daxpy on power1: 5*n + 4\n  at n=500: 2504 cycles\n","t":{}}
+  {"id":5,"ok":true,"verb":"compare","status":0,"cached":false,"output":"first:  daxpy on power1: 5*n + 4\nsecond: daxpy on power1: 5*n + 4\nequal (recommend either)\n","t":{}}
+  {"id":6,"ok":true,"verb":"lint","status":2,"cached":false,"output":"{\"routines\":[{\"routine\":\"lintdemo\",\"diagnostics\":[{\"severity\":\"hint\",\"check\":\"unused-var\",\"line\":0,\"col\":0,\"message\":\"variable unused is declared but never referenced\",\"fix\":\"remove the declaration of unused\"},{\"severity\":\"warning\",\"check\":\"use-before-def\",\"line\":8,\"col\":4,\"message\":\"scalar t may be read before it is assigned\",\"fix\":\"assign t before this statement\"},{\"severity\":\"warning\",\"check\":\"dead-store\",\"line\":9,\"col\":7,\"message\":\"value stored to dead is never read\",\"fix\":\"delete the assignment or use dead afterwards\"},{\"severity\":\"error\",\"check\":\"oob-subscript\",\"line\":12,\"col\":6,\"message\":\"subscript of a reaches 101, past its upper bound 100\",\"fix\":\"shrink the loop bounds or enlarge the array\"},{\"severity\":\"hint\",\"check\":\"carried-dep\",\"line\":15,\"col\":5,\"message\":\"loop over i carries a flow dependence on b (<): iterations are not independent\",\"fix\":\"do not parallelize or reorder this loop's iterations\"},{\"severity\":\"hint\",\"check\":\"carried-dep\",\"line\":19,\"col\":5,\"message\":\"loop over i carries a output dependence on c (<): iterations are not independent\",\"fix\":\"do not parallelize or reorder this loop's iterations\"},{\"severity\":\"precision\",\"check\":\"non-affine-subscript\",\"line\":20,\"col\":6,\"message\":\"non-affine subscript of c: the dependence tests assume a dependence, blocking transformations conservatively\",\"fix\":\"rewrite the subscript as an affine function of the loop indices\"},{\"severity\":\"error\",\"check\":\"bad-step\",\"line\":23,\"col\":5,\"message\":\"zero step: the loop over k never advances\",\"fix\":\"use a nonzero step\"},{\"severity\":\"warning\",\"check\":\"provably-empty-loop\",\"line\":27,\"col\":5,\"message\":\"the loop over k never executes (its trip count is 0)\",\"fix\":\"delete the loop or fix its bounds\"},{\"severity\":\"error\",\"check\":\"index-shadowed\",\"line\":32,\"col\":7,\"message\":\"loop index i shadows the index of an enclosing loop\",\"fix\":\"rename the inner loop index\"},{\"severity\":\"error\",\"check\":\"index-modified\",\"line\":38,\"col\":6,\"message\":\"loop index j is modified inside the loop body\",\"fix\":\"use a separate scalar for the computation\"},{\"severity\":\"warning\",\"check\":\"unreachable-branch\",\"line\":42,\"col\":7,\"message\":\"condition i < 0 is always false: its branch is never taken\",\"fix\":\"remove the branch or fix the condition\"},{\"severity\":\"error\",\"check\":\"div-by-zero\",\"line\":45,\"col\":6,\"message\":\"division by zero\",\"fix\":\"remove the division or fix the denominator\"},{\"severity\":\"warning\",\"check\":\"dead-store\",\"line\":45,\"col\":6,\"message\":\"value stored to m is never read\",\"fix\":\"delete the assignment or use m afterwards\"},{\"severity\":\"precision\",\"check\":\"unknown-call\",\"line\":48,\"col\":7,\"message\":\"call to unknown routine mystery falls back to the default call cost\",\"fix\":\"predict interprocedurally (-i) or register mystery in the library cost table\"}]}],\"max_severity\":\"error\",\"exit_code\":2}\n","t":{}}
+  {"id":7,"ok":true,"verb":"shutdown","status":0,"cached":false,"output":"","t":{}}
+
+Bad input never kills the session: unparsable JSON, unknown verbs,
+ill-formed requests, unknown machines, and PF sources that do not parse
+each get a structured error response, and later requests still answer.
+Strict binding mismatches surface as the CLI's error; non-strict ones
+ride along in "warnings":
+
+  $ ppredict serve --jobs 1 <<'EOF' | redact
+  > not json
+  > {"id":2,"verb":"frobnicate"}
+  > {"id":3,"verb":"predict"}
+  > {"id":4,"verb":"predict","file":"../../samples/daxpy.pf","machine":"vax"}
+  > {"id":5,"verb":"predict","source":"subroutine ("}
+  > {"id":6,"verb":"predict","file":"../../samples/daxpy.pf","flags":{"eval":["m=3"],"strict":true}}
+  > {"id":7,"verb":"predict","file":"../../samples/daxpy.pf","flags":{"eval":["m=3"]}}
+  > {"id":8,"verb":"ping"}
+  > EOF
+  {"id":null,"ok":false,"error":{"code":"bad_json","message":"invalid literal at offset 0"}}
+  {"id":2,"ok":false,"error":{"code":"unknown_verb","message":"unknown verb \"frobnicate\""}}
+  {"id":3,"ok":false,"error":{"code":"bad_request","message":"verb \"predict\" needs a \"source\" or \"file\" field"}}
+  {"id":4,"ok":false,"error":{"code":"error","message":"unknown machine vax (power1|power1x2|alpha21064|scalar|FILE)"}}
+  {"id":5,"ok":false,"error":{"code":"parse_error","message":"parse error at 1:12: expected identifier (got ()"}}
+  {"id":6,"ok":false,"error":{"code":"error","message":"binding m does not match any variable of the performance expression; unbound variable n defaults to 1.0"}}
+  {"id":7,"ok":true,"verb":"predict","status":0,"cached":false,"warnings":["binding m does not match any variable of the performance expression","unbound variable n defaults to 1.0"],"output":"daxpy on power1: 5*n + 4\n  at m=3: 9 cycles\n","t":{}}
+  {"id":8,"ok":true,"verb":"ping","status":0,"cached":false,"output":"pong","t":{}}
+
+A request line over the budget is answered (oversized) and skipped:
+
+  $ { printf '{"id":1,"verb":"predict","source":"'; head -c 2000 /dev/zero | tr '\0' 'x'; printf '"}\n'; printf '{"id":2,"verb":"ping"}\n'; } \
+  >   | ppredict serve --jobs 1 --max-request-bytes 1024 | redact
+  {"id":null,"ok":false,"error":{"code":"oversized","message":"request line exceeds 1024 bytes"}}
+  {"id":2,"ok":true,"verb":"ping","status":0,"cached":false,"output":"pong","t":{}}
+
+The stats verb reports the engine's counters; shapes only, the numbers
+are workload-dependent:
+
+  $ ppredict serve --jobs 1 <<'EOF' | tail -1 | tr ',' '\n' | grep -c '"'
+  > {"id":1,"verb":"predict","file":"../../samples/jacobi.pf"}
+  > {"id":2,"verb":"stats"}
+  > EOF
+  28
+
+`batch` speaks the same protocol from a file argument:
+
+  $ printf '%s\n' '{"id":1,"verb":"ranges","file":"../../samples/rangedemo.pf","flags":{"json":true}}' > reqs.jsonl
+  $ ppredict batch --jobs 1 reqs.jsonl | redact | head -1 | cut -c1-60
+  {"id":1,"ok":true,"verb":"ranges","status":0,"cached":false,

@@ -1,0 +1,325 @@
+(* Tests for lib/server: the hand-written JSON layer, the request/response
+   protocol, the result cache, the domain pool, and full batch sessions —
+   including the acceptance properties: responses byte-identical to the
+   one-shot renderers, warm repeats served from cache, malformed requests
+   answered with structured errors while the session stays live, and
+   identical response sets under --jobs 1 and --jobs 4. *)
+
+open Pperf_server
+
+let daxpy =
+  "subroutine daxpy(x, y, a, n)\n\
+  \  integer n, i\n\
+  \  real x(100000), y(100000), a\n\
+  \  do i = 1, n\n\
+  \    y(i) = y(i) + a * x(i)\n\
+  \  end do\n\
+   end\n"
+
+(* ------------------------------------------------------------- json *)
+
+let roundtrip s = Json.to_string (Json.of_string s)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (roundtrip s))
+    [
+      "null"; "true"; "false"; "0"; "-12"; "3.5"; "\"\""; "\"a b\""; "[]";
+      "[1,2,3]"; "{}"; "{\"a\":1,\"b\":[true,null]}"; "\"\\n\\t\\\\\\\"\"";
+      "{\"nested\":{\"deep\":[{\"x\":\"y\"}]}}";
+    ]
+
+let test_json_escapes () =
+  Alcotest.(check string) "unicode escape" "\"\xc3\xa9\"" (roundtrip "\"\\u00e9\"");
+  Alcotest.(check string) "surrogate pair" "\"\xf0\x9f\x99\x82\"" (roundtrip "\"\\ud83d\\ude42\"");
+  Alcotest.(check string) "control char escaped" "\"\\u0001\"" (Json.to_string (Json.String "\x01"))
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | j -> Alcotest.failf "%S parsed as %s" s (Json.to_string j))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated"; "{\"a\" 1}";
+      "\"raw\ncontrol\"" ]
+
+(* --------------------------------------------------------- protocol *)
+
+let parse_req line =
+  match Protocol.request_of_line line with
+  | Ok r -> r
+  | Error (_, msg) -> Alcotest.failf "request rejected: %s" msg
+
+let test_request_defaults () =
+  let r = parse_req {|{"verb":"predict","source":"x"}|} in
+  Alcotest.(check string) "default machine" "power1" r.machine;
+  Alcotest.(check bool) "id defaults to null" true (r.id = Json.Null);
+  Alcotest.(check bool) "no deadline" true (r.deadline_ms = None);
+  Alcotest.(check bool) "default flags" true (r.flags = Protocol.default_flags)
+
+let test_request_rejects () =
+  let code line =
+    match Protocol.request_of_line line with
+    | Error (c, _) -> Protocol.error_code_string c
+    | Ok _ -> "ok"
+  in
+  Alcotest.(check string) "bad json" "bad_json" (code "nope");
+  Alcotest.(check string) "non-object" "bad_request" (code "[1]");
+  Alcotest.(check string) "missing verb" "bad_request" (code "{}");
+  Alcotest.(check string) "unknown verb" "unknown_verb" (code {|{"verb":"zap"}|});
+  Alcotest.(check string) "source and file" "bad_request"
+    (code {|{"verb":"predict","source":"x","file":"y"}|});
+  Alcotest.(check string) "bad deadline" "bad_request"
+    (code {|{"verb":"ping","deadline_ms":-1}|});
+  Alcotest.(check string) "bad flag type" "bad_request"
+    (code {|{"verb":"predict","source":"x","flags":{"memory":"yes"}}|})
+
+let test_flags_key_distinguishes () =
+  let base = Protocol.default_flags in
+  let keys =
+    List.map Protocol.flags_key
+      [ base; { base with memory = true }; { base with ranges = true };
+        { base with json = true }; { base with eval = [ "n=10" ] };
+        { base with range = [ "n=1:10" ] } ]
+  in
+  Alcotest.(check int) "all distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+(* ------------------------------------------------------------ cache *)
+
+let test_cache_basics () =
+  let c = Cache.create ~capacity:4 () in
+  let k = Cache.key ~machine_hash:"m" ~source_hash:"s" ~kind:"predict" ~flags:"f" in
+  Alcotest.(check bool) "miss first" true (Cache.find c k = None);
+  Cache.store c k 42;
+  Alcotest.(check bool) "hit second" true (Cache.find c k = Some 42);
+  let hits, misses, entries = Cache.stats c in
+  Alcotest.(check (triple int int int)) "stats" (1, 1, 1) (hits, misses, entries);
+  Alcotest.(check bool) "machine change misses" true
+    (Cache.find c (Cache.key ~machine_hash:"m2" ~source_hash:"s" ~kind:"predict" ~flags:"f")
+     = None);
+  Alcotest.(check bool) "source change misses" true
+    (Cache.find c (Cache.key ~machine_hash:"m" ~source_hash:"s2" ~kind:"predict" ~flags:"f")
+     = None)
+
+let test_cache_eviction () =
+  let c = Cache.create ~capacity:4 () in
+  for i = 0 to 19 do
+    Cache.store c
+      (Cache.key ~machine_hash:"m" ~source_hash:(string_of_int i) ~kind:"k" ~flags:"")
+      i
+  done;
+  let _, _, entries = Cache.stats c in
+  Alcotest.(check bool) "stays bounded" true (entries <= 4)
+
+(* ------------------------------------------------------------- pool *)
+
+let test_pool_inline () =
+  let p = Pool.create ~jobs:1 in
+  let acc = ref [] in
+  for i = 0 to 9 do
+    Pool.submit p (fun () -> acc := i :: !acc)
+  done;
+  Pool.drain p;
+  Pool.close p;
+  Alcotest.(check (list int)) "inline order" [ 9; 8; 7; 6; 5; 4; 3; 2; 1; 0 ] !acc
+
+let test_pool_parallel () =
+  let p = Pool.create ~jobs:4 in
+  let sum = Atomic.make 0 in
+  for i = 1 to 100 do
+    Pool.submit p (fun () -> ignore (Atomic.fetch_and_add sum i))
+  done;
+  Pool.drain p;
+  Alcotest.(check int) "all jobs ran" 5050 (Atomic.get sum);
+  Pool.close p;
+  Alcotest.check_raises "submit after close"
+    (Invalid_argument "Pool.submit: pool is closing") (fun () ->
+      Pool.submit p (fun () -> ()))
+
+(* ---------------------------------------------------------- sessions *)
+
+let req ?(extra = "") id verb =
+  Printf.sprintf {|{"id":%d,"verb":"%s"%s}|} id verb extra
+
+let predict_daxpy id =
+  req id "predict" ~extra:(Printf.sprintf {|,"source":%s|} (Json.to_string (Json.String daxpy)))
+
+let field name line =
+  match Json.member name (Json.of_string line) with
+  | Some j -> j
+  | None -> Alcotest.failf "no %S in %s" name line
+
+let test_batch_order_and_output () =
+  let lines =
+    Server.batch_lines ~jobs:1
+      [ req 0 "ping"; predict_daxpy 1; predict_daxpy 2; req 3 "stats" ]
+  in
+  Alcotest.(check int) "one response per request" 4 (List.length lines);
+  List.iteri
+    (fun i l -> Alcotest.(check bool) (Printf.sprintf "id %d in order" i) true
+        (field "id" l = Json.Int i))
+    lines;
+  let out l = match field "output" l with Json.String s -> s | _ -> assert false in
+  let expected =
+    Render.predict ~machine:Pperf_machine.Machine.power1
+      ~options:Pperf_core.Aggregate.default_options ~interproc:false ~strict:false
+      ~evals:[] ~warn:ignore daxpy
+  in
+  Alcotest.(check string) "byte-identical to the one-shot renderer" expected
+    (out (List.nth lines 1));
+  Alcotest.(check bool) "first predict cold" true
+    (field "cached" (List.nth lines 1) = Json.Bool false);
+  Alcotest.(check bool) "second predict cached" true
+    (field "cached" (List.nth lines 2) = Json.Bool true);
+  Alcotest.(check string) "identical payload from cache" expected (out (List.nth lines 2))
+
+let test_batch_errors_keep_session_live () =
+  let lines =
+    Server.batch_lines ~jobs:1 ~max_request_bytes:200
+      [ "garbage"; req 1 "zap"; req 2 "predict" (* missing source *);
+        String.make 300 'x'; predict_daxpy 4 ]
+  in
+  Alcotest.(check int) "every line answered" 5 (List.length lines);
+  let ok l = field "ok" l = Json.Bool true in
+  let code l =
+    match Json.member "error" (Json.of_string l) with
+    | Some e -> (match Json.member "code" e with Some (Json.String s) -> s | _ -> "?")
+    | None -> "?"
+  in
+  Alcotest.(check string) "bad json" "bad_json" (code (List.nth lines 0));
+  Alcotest.(check string) "unknown verb" "unknown_verb" (code (List.nth lines 1));
+  Alcotest.(check string) "missing source" "bad_request" (code (List.nth lines 2));
+  Alcotest.(check string) "oversized" "oversized" (code (List.nth lines 3));
+  Alcotest.(check bool) "server still answers" true (ok (List.nth lines 4));
+  (* parse/type errors from the analysis are structured too *)
+  let lines =
+    Server.batch_lines ~jobs:1
+      [ req 0 "predict" ~extra:{|,"source":"subroutine ("|}; predict_daxpy 1 ]
+  in
+  Alcotest.(check string) "parse error" "parse_error" (code (List.nth lines 0));
+  Alcotest.(check bool) "alive after parse error" true (ok (List.nth lines 1))
+
+let test_batch_jobs_equivalence () =
+  let requests =
+    req 0 "ping"
+    :: List.concat_map
+         (fun i ->
+           [ predict_daxpy (2 * i + 1);
+             req (2 * i + 2) "lint"
+               ~extra:
+                 (Printf.sprintf {|,"source":%s,"flags":{"json":true}|}
+                    (Json.to_string (Json.String daxpy))) ])
+         [ 0; 1; 2; 3; 4 ]
+  in
+  let strip_timing l =
+    Json.to_string
+      (match Json.of_string l with
+      | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "t") fields)
+      | j -> j)
+  in
+  let sequential = List.map strip_timing (Server.batch_lines ~jobs:1 requests) in
+  let parallel = List.map strip_timing (Server.batch_lines ~jobs:4 requests) in
+  (* caching order differs under parallelism (the "cached" bit may land on
+     either duplicate), so compare with the bit stripped too *)
+  let strip_cached l =
+    Json.to_string
+      (match Json.of_string l with
+      | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields)
+      | j -> j)
+  in
+  Alcotest.(check (list string)) "same responses, same order"
+    (List.map strip_cached sequential)
+    (List.map strip_cached parallel)
+
+let test_deadline () =
+  let e = Engine.create ~jobs:1 () in
+  let r = parse_req (predict_daxpy 0 ^ "") in
+  let r = { r with Protocol.deadline_ms = Some 1.0 } in
+  (* a request that sat in the queue past its deadline is rejected *)
+  match Engine.handle e ~received:(Unix.gettimeofday () -. 10.0) r with
+  | Protocol.Err_response { code = Protocol.Deadline_exceeded; _ } -> ()
+  | resp -> Alcotest.failf "expected deadline_exceeded, got %s" (Protocol.response_line resp)
+
+let test_file_source_invalidation () =
+  let path = Filename.temp_file "pperf_test" ".pf" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let write s =
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc
+      in
+      write daxpy;
+      let r id = req id "predict" ~extra:(Printf.sprintf {|,"file":%S|} path) in
+      let e = Engine.create ~jobs:1 () in
+      let handle id =
+        match Engine.handle e ~received:(Unix.gettimeofday ()) (parse_req (r id)) with
+        | Protocol.Ok_response { cached; output; _ } -> (cached, output)
+        | resp -> Alcotest.failf "error: %s" (Protocol.response_line resp)
+      in
+      let c0, o0 = handle 0 in
+      let c1, o1 = handle 1 in
+      Alcotest.(check bool) "cold then warm" true ((not c0) && c1);
+      Alcotest.(check string) "same output" o0 o1;
+      (* editing the file must invalidate the entry (content-addressed key) *)
+      write (String.concat "" [ daxpy ]);
+      let c2, _ = handle 2 in
+      Alcotest.(check bool) "unchanged content still warm" true c2;
+      write
+        "subroutine daxpy(x, y, a, n)\n\
+        \  integer n, i\n\
+        \  real x(100000), y(100000), a\n\
+        \  do i = 1, n\n\
+        \    y(i) = y(i) / a + x(i)\n\
+        \  end do\n\
+         end\n";
+      let c3, o3 = handle 3 in
+      Alcotest.(check bool) "edited content recomputes" false c3;
+      Alcotest.(check bool) "and predicts differently" true (o3 <> o0))
+
+let test_machines_helper () =
+  let m1 = Machines.load "power1" in
+  let m2 = Machines.load "alpha" in
+  Alcotest.(check bool) "distinct hashes" true (Machines.hash m1 <> Machines.hash m2);
+  Alcotest.(check string) "hash stable" (Machines.hash m1) (Machines.hash m1);
+  match Machines.load "no-such-machine" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unknown machine must raise"
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "defaults" `Quick test_request_defaults;
+          Alcotest.test_case "rejects" `Quick test_request_rejects;
+          Alcotest.test_case "flags key" `Quick test_flags_key_distinguishes;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "basics" `Quick test_cache_basics;
+          Alcotest.test_case "eviction" `Quick test_cache_eviction;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "inline" `Quick test_pool_inline;
+          Alcotest.test_case "parallel" `Quick test_pool_parallel;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "order and output" `Quick test_batch_order_and_output;
+          Alcotest.test_case "errors keep live" `Quick test_batch_errors_keep_session_live;
+          Alcotest.test_case "jobs equivalence" `Quick test_batch_jobs_equivalence;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "file invalidation" `Quick test_file_source_invalidation;
+          Alcotest.test_case "machines helper" `Quick test_machines_helper;
+        ] );
+    ]
