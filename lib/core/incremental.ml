@@ -6,7 +6,8 @@
     predictor memoizes per-unit predictions — a unit is a maximal
     straight-line run or a single loop/conditional, exactly the granularity
     {!Aggregate.stmts} aggregates at — keyed by the unit's structure and
-    context, so re-predicting a transformed program recomputes exactly the
+    context (routine name, symbol table, probability offset), so
+    re-predicting a transformed program recomputes exactly the
     units the transformation rebuilt; the untouched ones (and unchanged
     duplicates) hit the cache.
 
@@ -26,12 +27,19 @@ open Pperf_machine
 
 type stats = { mutable hits : int; mutable misses : int }
 
+(* the unit's statements and the routine's symbol bindings are kept to
+   verify hits structurally: a fingerprint collision must never return a
+   stale prediction *)
+type entry = {
+  syms : (string * Typecheck.sym) list;
+  stmts : Ast.stmt list;
+  pred : Aggregate.prediction;
+}
+
 type t = {
   machine : Machine.t;
   options : Aggregate.options;
-  cache : (string * int, Ast.stmt list * Aggregate.prediction) Hashtbl.t;
-      (** the unit's statements are kept to verify hits structurally: a
-          fingerprint collision must never return a stale prediction *)
+  cache : (string * int, entry) Hashtbl.t;
   stats : stats;
 }
 
@@ -62,15 +70,30 @@ let units_of body =
   go [] body
 
 (* the context key must capture everything that changes a unit's
-   prediction: the routine (symbol table) and the probability-variable
-   offset. The fingerprint traverses the whole unit (cheap, no string
-   building); hits are verified with a structural equality check. *)
-let unit_key routine_name prob_offset (unit : Ast.stmt list) =
-  ( Printf.sprintf "%s|%d" routine_name prob_offset,
+   prediction: the routine name, its symbol table (unit costs depend on
+   variable types, array dimensions, and element sizes — a
+   declarations-only edit must miss), and the probability-variable
+   offset. The fingerprints traverse the structure (cheap, no string
+   building); hits are verified with structural equality checks. *)
+let unit_key routine_name symtab_fp prob_offset (unit : Ast.stmt list) =
+  ( Printf.sprintf "%s|%d|%d" routine_name symtab_fp prob_offset,
     Hashtbl.hash_param 4096 4096 (List.map (fun (s : Ast.stmt) -> s.Ast.kind) unit) )
 
 let unit_equal a b =
   List.length a = List.length b && List.for_all2 Ast.equal_stmt a b
+
+let sym_equal (a : Typecheck.sym) (b : Typecheck.sym) =
+  Ast.equal_dtype a.ty b.ty
+  && a.is_param = b.is_param
+  && a.element_bytes = b.element_bytes
+  && List.length a.dims = List.length b.dims
+  && List.for_all2 Ast.equal_array_dim a.dims b.dims
+
+let syms_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, s1) (n2, s2) -> String.equal n1 n2 && sym_equal s1 s2)
+       a b
 
 (* Predict a routine re-using cached per-unit predictions. With
    [infer_ranges] on, the interval analysis reads the whole body, so units
@@ -81,22 +104,24 @@ let predict_checked t (checked : Typecheck.checked) : Aggregate.prediction =
   else (
     let name = checked.routine.rname in
     let symtab = checked.symbols in
+    let syms = Typecheck.symbols_list symtab in
+    let symtab_fp = Hashtbl.hash_param 4096 4096 syms in
     let cost, prob_vars, diags, _ =
       List.fold_left
         (fun (cost, vars, diags, prob_offset) unit ->
-          let key = unit_key name prob_offset unit in
+          let key = unit_key name symtab_fp prob_offset unit in
           let p =
             match Hashtbl.find_opt t.cache key with
-            | Some (unit0, p) when unit_equal unit0 unit ->
+            | Some e when unit_equal e.stmts unit && syms_equal e.syms syms ->
               t.stats.hits <- t.stats.hits + 1;
-              p
+              e.pred
             | _ ->
               t.stats.misses <- t.stats.misses + 1;
               let p =
                 Aggregate.stmts ~machine:t.machine ~options:t.options ~prob_offset ~symtab
                   unit
               in
-              Hashtbl.replace t.cache key (unit, p);
+              Hashtbl.replace t.cache key { syms; stmts = unit; pred = p };
               p
           in
           ( Perf_expr.add cost p.Aggregate.cost,

@@ -6,8 +6,10 @@
     straight-line run or one compound statement, the granularity
     {!Aggregate.stmts} works at) are memoized under a full structural
     fingerprint (verified by equality on hits, so collisions can never
-    return a stale prediction) plus the probability-variable offset of the
-    unit's position; re-predicting a transformed program recomputes exactly
+    return a stale prediction) plus the routine's symbol table (unit costs
+    depend on variable types and array shapes, so a declarations-only edit
+    re-predicts) and the probability-variable offset of the unit's
+    position; re-predicting a transformed program recomputes exactly
     the units the transformation rebuilt, and the result — cost, [p{k}]
     names, precision diagnostics — is identical to a from-scratch
     {!Aggregate.routine} (asserted in tests).

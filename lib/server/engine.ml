@@ -75,17 +75,19 @@ let options_of (f : Protocol.flags) =
 
 exception Bad_req of string
 
-let require_source (req : Protocol.request) =
-  match req.source with
+let require_source verb = function
   | Some s -> s
   | None ->
     raise
       (Bad_req
          (Printf.sprintf "verb %S needs a \"source\" or \"file\" field"
-            (Protocol.verb_string req.verb)))
+            (Protocol.verb_string verb)))
 
-(* evaluate a query verb from scratch; exceptions escape to [handle] *)
-let run_query t (req : Protocol.request) machine : payload =
+(* Evaluate a query verb from scratch; exceptions escape to [handle].
+   [src]/[src2] are the request's sources already resolved to text — the
+   same text the cache key digested, so a file edit racing the request
+   can never cache one version's output under the other's digest. *)
+let run_query t (req : Protocol.request) ~src ~src2 machine : payload =
   let flags = req.flags in
   let options = options_of flags in
   let warnings = ref [] in
@@ -93,7 +95,7 @@ let run_query t (req : Protocol.request) machine : payload =
   let output, status =
     match req.verb with
     | Protocol.Predict ->
-      let src = source_text (require_source req) in
+      let src = require_source req.verb src in
       let machine_hash = Machines.hash machine in
       let inc = incremental ~machine ~machine_hash ~options in
       let h0, m0 = Incremental.stats inc in
@@ -108,32 +110,30 @@ let run_query t (req : Protocol.request) machine : payload =
       if m1 > m0 then ignore (Atomic.fetch_and_add t.inc_misses (m1 - m0));
       (out, 0)
     | Protocol.Compare ->
-      let src1 = source_text (require_source req) in
+      let src1 = require_source req.verb src in
       let src2 =
-        match req.source2 with
-        | Some s -> source_text s
+        match src2 with
+        | Some s -> s
         | None -> raise (Bad_req "verb \"compare\" needs a \"source2\" or \"file2\" field")
       in
       ( Render.compare ~machine ~options ~use_ranges:flags.ranges ~ranges:flags.range
           src1 src2,
         0 )
     | Protocol.Ranges ->
-      let src = source_text (require_source req) in
+      let src = require_source req.verb src in
       (Render.ranges ~json:flags.json src, 0)
     | Protocol.Lint ->
-      let src = source_text (require_source req) in
+      let src = require_source req.verb src in
       Render.lint ~json:flags.json ~use_ranges:flags.ranges src
     | Protocol.Ping | Protocol.Stats | Protocol.Shutdown -> assert false
   in
   { output; warnings = List.rev !warnings; status }
 
-(* digest the request's sources so a file edit invalidates the entry *)
-let source_key (req : Protocol.request) =
-  let one = function
-    | None -> ""
-    | Some s -> Digest.string (source_text s)
-  in
-  Digest.string (one req.source ^ one req.source2)
+(* digest the request's resolved sources so a file edit invalidates the
+   entry *)
+let source_key ~src ~src2 =
+  let one = function None -> "" | Some s -> Digest.string s in
+  Digest.string (one src ^ one src2)
 
 let stats_json t =
   let hits, misses, entries = Cache.stats t.cache in
@@ -214,11 +214,15 @@ let handle t ~received (req : Protocol.request) : Protocol.response =
     | Protocol.Predict | Protocol.Compare | Protocol.Ranges | Protocol.Lint -> (
       match
         let machine = Machines.load req.machine in
+        (* resolve file sources to text exactly once: digesting and
+           evaluating the same bytes even if the file changes mid-request *)
+        let src = Option.map source_text req.source in
+        let src2 = Option.map source_text req.source2 in
         let key =
           if Protocol.cacheable req.verb then
             Some
               (Cache.key ~machine_hash:(Machines.hash machine)
-                 ~source_hash:(source_key req)
+                 ~source_hash:(source_key ~src ~src2)
                  ~kind:(Protocol.verb_string req.verb)
                  ~flags:(Protocol.flags_key req.flags))
           else None
@@ -227,7 +231,7 @@ let handle t ~received (req : Protocol.request) : Protocol.response =
           match Option.bind key (Cache.find t.cache) with
           | Some p -> (p, true)
           | None ->
-            let p = run_query t req machine in
+            let p = run_query t req ~src ~src2 machine in
             Option.iter (fun k -> Cache.store t.cache k p) key;
             (p, false)
         in

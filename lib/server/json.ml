@@ -114,6 +114,10 @@ let parse_string st =
              else error "invalid low surrogate \\u%04X" lo)
            else code
          in
+         (* a lone high or low surrogate is not a scalar value: encoding
+            it would emit invalid UTF-8 that the printer passes through *)
+         if code >= 0xD800 && code <= 0xDFFF then
+           error "unpaired surrogate \\u%04X" code;
          utf8_of_code buf code
        | c -> error "bad escape '\\%c'" c);
       go ())

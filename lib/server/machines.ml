@@ -40,6 +40,22 @@ let warm m =
     common_basic_ops;
   ignore (Pperf_sched.Bins.create m)
 
+(* warm once per machine (physical identity), so builtins served on every
+   request do not rebuild their bins structure per request; a concurrent
+   double-warm is harmless (warm is idempotent), the CAS only keeps the
+   memo list consistent *)
+let warmed : Machine.t list Atomic.t = Atomic.make []
+
+let ensure_warm m =
+  if not (List.memq m (Atomic.get warmed)) then (
+    warm m;
+    let rec publish () =
+      let old = Atomic.get warmed in
+      if List.memq m old then ()
+      else if not (Atomic.compare_and_set warmed old (m :: old)) then publish ()
+    in
+    publish ())
+
 let lock = Mutex.create ()
 let with_lock f = Mutex.protect lock f
 
@@ -69,7 +85,7 @@ let hash (m : Machine.t) =
 let load spec =
   match builtin spec with
   | Some m ->
-    warm m;
+    ensure_warm m;
     m
   | None ->
     if Sys.file_exists spec then (
@@ -80,7 +96,7 @@ let load spec =
           | Some m -> m
           | None ->
             let m = Descr.of_string text in
-            warm m;
+            ensure_warm m;
             Hashtbl.add by_digest digest m;
             m))
     else

@@ -45,26 +45,39 @@ type sequencer = {
   lock : Mutex.t;
   parked : (int, Protocol.response) Hashtbl.t;
   mutable next : int;
+  mutable dead : bool;
+      (** a write failed (peer hung up): stop emitting so the session can
+          unwind instead of parking every later response forever *)
 }
 
 let sequencer ~flush_each ~write ~flush_out =
   { write; flush_out; flush_each; lock = Mutex.create (); parked = Hashtbl.create 16;
-    next = 0 }
+    next = 0; dead = false }
 
+(* emit is called from worker domains whose exceptions the pool swallows,
+   so a failed write must not be silently dropped: the entry stays parked,
+   [next] only advances on success, and [dead] tells the read loop to stop *)
 let emit seq n response =
   Mutex.protect seq.lock (fun () ->
       Hashtbl.replace seq.parked n response;
       let rec pump () =
-        match Hashtbl.find_opt seq.parked seq.next with
-        | None -> ()
-        | Some r ->
-          Hashtbl.remove seq.parked seq.next;
-          seq.write (Protocol.response_line r ^ "\n");
-          seq.next <- seq.next + 1;
-          pump ()
+        if not seq.dead then
+          match Hashtbl.find_opt seq.parked seq.next with
+          | None -> ()
+          | Some r -> (
+            match seq.write (Protocol.response_line r ^ "\n") with
+            | () ->
+              Hashtbl.remove seq.parked seq.next;
+              seq.next <- seq.next + 1;
+              pump ()
+            | exception (Sys_error _ | Unix.Unix_error _) -> seq.dead <- true)
       in
       pump ();
-      if seq.flush_each then seq.flush_out ())
+      if seq.flush_each && not seq.dead then
+        try seq.flush_out ()
+        with Sys_error _ | Unix.Unix_error _ -> seq.dead <- true)
+
+let sequencer_dead seq = Mutex.protect seq.lock (fun () -> seq.dead)
 
 (* ----------------------------------------------------------- session *)
 
@@ -74,8 +87,8 @@ let id_of_line line =
   | exception _ -> Json.Null
   | j -> Option.value (Json.member "id" j) ~default:Json.Null
 
-(* Read requests until EOF or a shutdown verb; returns [true] iff the
-   session ended by shutdown. *)
+(* Read requests until EOF, a shutdown verb, or a dead peer (write
+   failure); returns [true] iff the session ended by shutdown. *)
 let session ~engine ~pool ~max_request_bytes ~flush_each ic write flush_out =
   let seq = sequencer ~flush_each ~write ~flush_out in
   let n = ref 0 in
@@ -86,7 +99,7 @@ let session ~engine ~pool ~max_request_bytes ~flush_each ic write flush_out =
   in
   let shutdown = ref false in
   let eof = ref false in
-  while not (!shutdown || !eof) do
+  while not (!shutdown || !eof || sequencer_dead seq) do
     match read_line_bounded ic ~max_bytes:max_request_bytes with
     | Eof -> eof := true
     | Too_long ->
@@ -106,7 +119,7 @@ let session ~engine ~pool ~max_request_bytes ~flush_each ic write flush_out =
         Pool.submit pool (fun () -> emit seq i (Engine.handle engine ~received req)))
   done;
   Pool.drain pool;
-  flush_out ();
+  if not (sequencer_dead seq) then flush_out ();
   !shutdown
 
 (* ------------------------------------------------------------- modes *)

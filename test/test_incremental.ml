@@ -101,6 +101,31 @@ let test_edit_one_routine () =
     (fun c r -> same_prediction "after edit" r (Aggregate.routine ~machine c))
     edited results
 
+(* a declarations-only edit — same routine name, structurally identical
+   body, different symbol table — must NOT reuse cached units: unit costs
+   depend on variable types (integer vs real picks different atomic ops) *)
+let test_decl_only_edit () =
+  let prog ty =
+    Printf.sprintf
+      "subroutine s(x, n)\n\
+      \  integer n, i\n\
+      \  %s x(1000)\n\
+      \  do i = 1, n\n\
+      \    x(i) = x(i) + 1\n\
+      \  end do\n\
+       end\n"
+      ty
+  in
+  let as_real = check_src (prog "real") in
+  let as_int = check_src (prog "integer") in
+  let inc = Incremental.create machine in
+  let on_real = Incremental.predict_checked inc as_real in
+  let on_int = Incremental.predict_checked inc as_int in
+  same_prediction "real decl" on_real (Aggregate.routine ~machine as_real);
+  same_prediction "integer decl" on_int (Aggregate.routine ~machine as_int);
+  Alcotest.(check bool) "decl edit changes the prediction" true
+    (cost_string on_real.cost <> cost_string on_int.cost)
+
 let test_invalidate_routine () =
   let checked = check_src daxpy in
   let inc = Incremental.create machine in
@@ -157,6 +182,7 @@ let () =
         [
           Alcotest.test_case "warm hits" `Quick test_warm_hits;
           Alcotest.test_case "edit one routine" `Quick test_edit_one_routine;
+          Alcotest.test_case "declarations-only edit" `Quick test_decl_only_edit;
           Alcotest.test_case "invalidate routine" `Quick test_invalidate_routine;
           Alcotest.test_case "clear" `Quick test_clear;
         ] );

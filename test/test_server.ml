@@ -41,7 +41,10 @@ let test_json_errors () =
       | exception Json.Parse_error _ -> ()
       | j -> Alcotest.failf "%S parsed as %s" s (Json.to_string j))
     [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated"; "{\"a\" 1}";
-      "\"raw\ncontrol\"" ]
+      "\"raw\ncontrol\"";
+      (* unpaired surrogates must not decode to invalid UTF-8 *)
+      "\"\\ud800\""; "\"\\udc00\""; "\"\\ud800x\""; "\"\\ud800\\n\"";
+      "\"\\ud83d\\ud83d\"" ]
 
 (* --------------------------------------------------------- protocol *)
 
