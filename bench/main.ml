@@ -758,6 +758,37 @@ let timing ?json () =
     Test.make ~name:"predict/jacobi-e2e"
       (Staged.stage (fun () -> ignore (Predict.of_source ~machine:p1 src)))
   in
+  (* the same prediction under --trace: span-tree capture must stay
+     within the telemetry overhead budget (DESIGN.md SS2.4) of the
+     untraced run above *)
+  let predict_traced_test =
+    let src = Workloads.jacobi.Workloads.source in
+    Test.make ~name:"predict/jacobi-e2e-traced"
+      (Staged.stage (fun () ->
+           ignore (Pperf_obs.Obs.Trace.collect (fun () ->
+               Predict.of_source ~machine:p1 src))))
+  in
+  (* telemetry primitive costs: one counter bump, one histogram record,
+     one span enter/exit round trip (the per-event cost every
+     instrumented phase pays) *)
+  let obs_counter = Pperf_obs.Obs.counter "bench.obs.counter" in
+  let obs_counter_test =
+    Test.make ~name:"obs/counter-incr"
+      (Staged.stage (fun () ->
+           for _ = 1 to 100 do Pperf_obs.Obs.incr obs_counter done))
+  in
+  let obs_hist = Pperf_obs.Obs.histogram "bench.obs.hist" in
+  let obs_hist_test =
+    Test.make ~name:"obs/hist-record"
+      (Staged.stage (fun () ->
+           for v = 1 to 100 do Pperf_obs.Obs.record obs_hist (v * 977) done))
+  in
+  let obs_span = Pperf_obs.Obs.span "bench.obs.span" in
+  let obs_span_test =
+    Test.make ~name:"obs/span-roundtrip"
+      (Staged.stage (fun () ->
+           for _ = 1 to 100 do Pperf_obs.Obs.time obs_span (fun () -> ()) done))
+  in
   let big_src =
     "subroutine big(x, n)\n  integer n, i\n  real x(100000)\n"
     ^ String.concat ""
@@ -818,7 +849,9 @@ let timing ?json () =
   let tests =
     [ drop_test 10; drop_test 100; drop_test 1000; drop_test 10000;
       oracle_test 100; oracle_test 1000;
-      slots_test; slots_naive_test; predict_test; full_test; inc_test;
+      slots_test; slots_naive_test; predict_test; predict_traced_test;
+      full_test; inc_test;
+      obs_counter_test; obs_hist_test; obs_span_test;
       serve_cold_test; serve_cold_j4_test; serve_warm_test ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in

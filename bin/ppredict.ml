@@ -56,17 +56,36 @@ let stats_arg =
   let doc = "Append a JSON object of internal operation counters to the output." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let with_stats stats f =
+let trace_arg =
+  let doc =
+    "Append a JSON span tree of the evaluation: per-phase (parse, typecheck, \
+     aggregate, ...) wall time with self/total split."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+(* reset the registry, run the command, then append the requested
+   telemetry: the span tree under --trace, the counters under --stats *)
+let with_telemetry ?(stats = false) ?(trace = false) f =
   Pperf_obs.Obs.reset_all ();
-  f ();
-  if stats then print_string (Pperf_obs.Obs.to_json () ^ "\n")
+  let code =
+    if trace then (
+      let code, node = Pperf_obs.Obs.Trace.collect f in
+      print_string (Pperf_obs.Obs.Trace.to_json node ^ "\n");
+      code)
+    else f ()
+  in
+  if stats then print_string (Pperf_obs.Obs.to_json () ^ "\n");
+  code
+
+let with_stats ?(stats = false) ?(trace = false) f =
+  ignore (with_telemetry ~stats ~trace (fun () -> f (); 0))
 
 let parse_bindings = Pperf_server.Render.parse_bindings
 
 let warn_stderr m = Printf.eprintf "warning: %s\n%!" m
 
 let options_of ~memory =
-  { Aggregate.default_options with include_memory = memory }
+  Pperf_server.Options.(to_aggregate { default with memory })
 
 let ranges_flag =
   let doc =
@@ -106,19 +125,25 @@ let interproc_arg =
   Arg.(value & flag & info [ "interprocedural"; "i" ] ~doc)
 
 let predict_cmd =
-  let run mspec memory interproc use_ranges strict stats evals file =
+  let run mspec memory interproc use_ranges strict stats trace evals file =
     handle (fun () ->
-        with_stats stats (fun () ->
+        with_stats ~stats ~trace (fun () ->
         let machine = machine_of_spec mspec in
-        let options = { (options_of ~memory) with Aggregate.infer_ranges = use_ranges } in
+        (* the same Options record the server parses from request flags:
+           one canonicalization, one Aggregate mapping for both surfaces *)
+        let opts =
+          { Pperf_server.Options.default with
+            memory; ranges = use_ranges; interproc; strict; trace; eval = evals }
+        in
+        let options = Pperf_server.Options.to_aggregate opts in
         print_string
-          (Pperf_server.Render.predict ~machine ~options ~interproc ~strict ~evals
-             ~warn:warn_stderr (read_file file))))
+          (Pperf_server.Render.predict ~machine ~options ~interproc:opts.interproc
+             ~strict:opts.strict ~evals:opts.eval ~warn:warn_stderr (read_file file))))
   in
   let doc = "Predict performance expressions for each routine in a PF file." in
   Cmd.v (Cmd.info "predict" ~doc)
     Term.(const run $ machine_arg $ memory_arg $ interproc_arg $ ranges_flag $ strict_arg
-          $ stats_arg $ eval_arg $ file_arg 0 "FILE")
+          $ stats_arg $ trace_arg $ eval_arg $ file_arg 0 "FILE")
 
 (* ---- schedule ---- *)
 
@@ -166,19 +191,23 @@ let range_arg =
   Arg.(value & opt_all string [] & info [ "range" ] ~docv:"VAR=LO:HI" ~doc)
 
 let compare_cmd =
-  let run mspec memory ranges use_ranges stats f1 f2 =
+  let run mspec memory ranges use_ranges stats trace f1 f2 =
     handle (fun () ->
-        with_stats stats (fun () ->
+        with_stats ~stats ~trace (fun () ->
         let machine = machine_of_spec mspec in
-        let options = options_of ~memory in
+        let opts =
+          { Pperf_server.Options.default with
+            memory; ranges = use_ranges; trace; range = ranges }
+        in
+        let options = Pperf_server.Options.to_aggregate opts in
         print_string
-          (Pperf_server.Render.compare ~machine ~options ~use_ranges ~ranges
-             (read_file f1) (read_file f2))))
+          (Pperf_server.Render.compare ~machine ~options ~use_ranges:opts.ranges
+             ~ranges:opts.range (read_file f1) (read_file f2))))
   in
   let doc = "Compare two program variants symbolically." in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ machine_arg $ memory_arg $ range_arg $ ranges_flag $ stats_arg
-          $ file_arg 0 "FILE1" $ file_arg 1 "FILE2")
+          $ trace_arg $ file_arg 0 "FILE1" $ file_arg 1 "FILE2")
 
 (* ---- search ---- *)
 
@@ -299,13 +328,14 @@ let run_cmd =
 (* ---- lint ---- *)
 
 let lint_cmd =
-  let run json use_ranges file =
+  let run json use_ranges trace file =
     handle_code (fun () ->
-        let output, code =
-          Pperf_server.Render.lint ~json ~use_ranges (read_file file)
-        in
-        print_string output;
-        code)
+        with_telemetry ~trace (fun () ->
+            let output, code =
+              Pperf_server.Render.lint ~json ~use_ranges (read_file file)
+            in
+            print_string output;
+            code))
   in
   let json_arg =
     let doc = "Emit diagnostics as JSON instead of text." in
@@ -319,14 +349,14 @@ let lint_cmd =
      Exit status is 2 when any error is reported, 1 when any warning, else 0."
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const run $ json_arg $ ranges_flag $ file_arg 0 "FILE")
+    Term.(const run $ json_arg $ ranges_flag $ trace_arg $ file_arg 0 "FILE")
 
 (* ---- ranges ---- *)
 
 let ranges_cmd =
-  let run json stats file =
+  let run json stats trace file =
     handle (fun () ->
-        with_stats stats (fun () ->
+        with_stats ~stats ~trace (fun () ->
         print_string (Pperf_server.Render.ranges ~json (read_file file))))
   in
   let json_arg =
@@ -338,7 +368,8 @@ let ranges_cmd =
      inferred ranges: per-loop index and trip-count intervals (indented by \
      nesting depth) and the routine-wide variable range summary."
   in
-  Cmd.v (Cmd.info "ranges" ~doc) Term.(const run $ json_arg $ stats_arg $ file_arg 0 "FILE")
+  Cmd.v (Cmd.info "ranges" ~doc)
+    Term.(const run $ json_arg $ stats_arg $ trace_arg $ file_arg 0 "FILE")
 
 (* ---- machine ---- *)
 

@@ -485,7 +485,10 @@ let seed_env symtab =
         env s.dims)
     Env.empty (Typecheck.symbols_list symtab)
 
+let sp_fixpoint = Pperf_obs.Obs.span "absint.fixpoint"
+
 let analyze (checked : Typecheck.checked) =
+  Pperf_obs.Obs.time sp_fixpoint @@ fun () ->
   let ctx =
     { symtab = checked.symbols; tbl = Hashtbl.create 64; loops = []; exits = []; depth = 0 }
   in

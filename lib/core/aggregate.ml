@@ -514,7 +514,10 @@ let infer_ranges_of ~options ~symtab body =
     in
     Some (Pperf_absint.Absint.analyze { Typecheck.routine; symbols = symtab }))
 
+let sp_aggregate = Pperf_obs.Obs.span "aggregate"
+
 let stmts ~machine ?(options = default_options) ?(prob_offset = 0) ~symtab body =
+  Pperf_obs.Obs.time sp_aggregate @@ fun () ->
   let ranges = infer_ranges_of ~options ~symtab body in
   let ctx = make_ctx ~machine ~options ~symtab ?ranges ~prob_offset () in
   let cost = agg_stmts ctx body in

@@ -62,7 +62,10 @@ let inferred_env ?(base = Interval.Env.empty) checkeds =
     inferred
     (Interval.Env.bindings base)
 
+let sp_compare = Pperf_obs.Obs.span "compare"
+
 let decide ?eps ?depth env (cf : Perf_expr.t) (cg : Perf_expr.t) : decision =
+  Pperf_obs.Obs.time sp_compare @@ fun () ->
   let f = subst_points env (Perf_expr.total cf)
   and g = subst_points env (Perf_expr.total cg) in
   let diff = Poly.sub f g in

@@ -277,7 +277,10 @@ let classify (src : Analysis.array_ref) (dst : Analysis.array_ref) =
   | true, true -> Output
   | false, false -> Input
 
+let sp_depend = Pperf_obs.Obs.span "depend"
+
 let dependences_in ?env stmts =
+  Pperf_obs.Obs.time sp_depend @@ fun () ->
   let refs = Analysis.array_refs stmts in
   let deps = ref [] in
   let arr = Array.of_list refs in

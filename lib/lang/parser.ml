@@ -388,15 +388,18 @@ let with_state src f =
   try f { toks = Lexer.tokenize src; i = 0 }
   with Lexer.Error (msg, l) -> raise (Error (msg, l))
 
+let sp_parse = Pperf_obs.Obs.span "parse"
+
 let parse_program src =
-  with_state src (fun st ->
-      let units = ref [] in
-      skip_newlines st;
-      while peek_tok st <> EOF do
-        units := parse_unit st :: !units;
-        skip_newlines st
-      done;
-      List.rev !units)
+  Pperf_obs.Obs.time sp_parse (fun () ->
+      with_state src (fun st ->
+          let units = ref [] in
+          skip_newlines st;
+          while peek_tok st <> EOF do
+            units := parse_unit st :: !units;
+            skip_newlines st
+          done;
+          List.rev !units))
 
 let parse_routine src =
   match parse_program src with

@@ -217,12 +217,15 @@ let build_symtab (r : Ast.routine) : symtab =
     r.params;
   !tab
 
+let sp_typecheck = Pperf_obs.Obs.span "typecheck"
+
 let check_routine (r : Ast.routine) : checked =
-  let tab = build_symtab r in
-  let body = List.map (resolve_stmt tab) r.body in
-  let routine = { r with body } in
-  List.iter (check_stmt tab) body;
-  { routine; symbols = tab }
+  Pperf_obs.Obs.time sp_typecheck (fun () ->
+      let tab = build_symtab r in
+      let body = List.map (resolve_stmt tab) r.body in
+      let routine = { r with body } in
+      List.iter (check_stmt tab) body;
+      { routine; symbols = tab })
 
 let check_program (p : Ast.program) : checked list = List.map check_routine p
 

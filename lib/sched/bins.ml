@@ -179,7 +179,10 @@ let cost_block t =
 
 let current_cost t = Costblock.cost (cost_block t)
 
+let sp_bins = Obs.span "sched.bins"
+
 let drop_dag ?(start_at = 0) t (dag : Dag.t) =
+  Obs.time sp_bins @@ fun () ->
   let n = Dag.length dag in
   let placements = Array.make n { node = 0; start = 0; finish = 0; filled = [] } in
   for i = 0 to n - 1 do

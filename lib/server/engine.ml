@@ -4,11 +4,18 @@
    miss renders with the shared Render module — predict through a
    per-domain Incremental predictor — so the output is byte-identical to
    the one-shot CLI. Every error maps to a structured error response with
-   the same message the CLI prints to stderr. *)
+   the same message the CLI prints to stderr.
+
+   Telemetry: every lifecycle stage is measured into the Obs registry —
+   queue wait, cache lookup, and evaluation as log-bucketed histograms
+   (plus the end-to-end request latency), cache lookup and evaluation
+   additionally as spans so a traced request ([flags.trace]) shows where
+   it spent its time down through the pipeline phases. *)
 
 open Pperf_lang
 open Pperf_machine
 open Pperf_core
+module Obs = Pperf_obs.Obs
 
 (* the cacheable part of a finished query *)
 type payload = { output : string; warnings : string list; status : int }
@@ -24,6 +31,25 @@ type t = {
   queue_ns_total : int Atomic.t;
   eval_ns_total : int Atomic.t;
 }
+
+(* request-lifecycle telemetry (shared registry: a daemon has one engine,
+   so the per-process registry is the engine's) *)
+let h_request = Obs.histogram "server.request_ns"
+let h_queue = Obs.histogram "server.queue_ns"
+let h_cache = Obs.histogram "server.cache_ns"
+let h_eval = Obs.histogram "server.eval_ns"
+let sp_cache = Obs.span "server.cache_lookup"
+let sp_eval = Obs.span "server.eval"
+let g_requests = Obs.gauge "server.requests"
+let g_ok = Obs.gauge "server.ok"
+let g_errors = Obs.gauge "server.errors"
+let g_cache_hits = Obs.gauge "server.cache.hits"
+let g_cache_misses = Obs.gauge "server.cache.misses"
+let g_cache_entries = Obs.gauge "server.cache.entries"
+let g_inc_hits = Obs.gauge "server.incremental.hits"
+let g_inc_misses = Obs.gauge "server.incremental.misses"
+let g_jobs = Obs.gauge "server.jobs"
+let g_machines = Obs.gauge "server.machines"
 
 let create ?cache_capacity ~jobs () =
   {
@@ -52,6 +78,16 @@ let read_file path =
 
 let source_text = function Protocol.File p -> read_file p | Protocol.Text s -> s
 
+(* a span plus a latency histogram around one lifecycle stage *)
+let staged sp hist f =
+  Obs.enter sp;
+  let t0 = now () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.record hist (ns_of_span (now () -. t0));
+      Obs.exit sp)
+    f
+
 (* Worker domains keep their own Incremental predictors (no lock on the
    unit cache), one per (machine, options) pair. *)
 let inc_key : (string, Incremental.t) Hashtbl.t Domain.DLS.key =
@@ -70,9 +106,6 @@ let incremental ~machine ~machine_hash ~(options : Aggregate.options) =
     Hashtbl.add tbl key inc;
     inc
 
-let options_of (f : Protocol.flags) =
-  { Aggregate.default_options with include_memory = f.memory; infer_ranges = f.ranges }
-
 exception Bad_req of string
 
 let require_source verb = function
@@ -89,7 +122,7 @@ let require_source verb = function
    can never cache one version's output under the other's digest. *)
 let run_query t (req : Protocol.request) ~src ~src2 machine : payload =
   let flags = req.flags in
-  let options = options_of flags in
+  let options = Options.to_aggregate flags in
   let warnings = ref [] in
   let warn m = warnings := m :: !warnings in
   let output, status =
@@ -125,7 +158,8 @@ let run_query t (req : Protocol.request) ~src ~src2 machine : payload =
     | Protocol.Lint ->
       let src = require_source req.verb src in
       Render.lint ~json:flags.json ~use_ranges:flags.ranges src
-    | Protocol.Ping | Protocol.Stats | Protocol.Shutdown -> assert false
+    | Protocol.Ping | Protocol.Stats | Protocol.Metrics | Protocol.Shutdown ->
+      assert false
   in
   { output; warnings = List.rev !warnings; status }
 
@@ -135,8 +169,39 @@ let source_key ~src ~src2 =
   let one = function None -> "" | Some s -> Digest.string s in
   Digest.string (one src ^ one src2)
 
+(* refresh the engine-state gauges so stats/metrics exposition and any
+   later scrape see current values *)
+let publish_gauges t =
+  let hits, misses, entries = Cache.stats t.cache in
+  Obs.set_gauge g_requests (Atomic.get t.requests);
+  Obs.set_gauge g_ok (Atomic.get t.ok_count);
+  Obs.set_gauge g_errors (Atomic.get t.err_count);
+  Obs.set_gauge g_cache_hits hits;
+  Obs.set_gauge g_cache_misses misses;
+  Obs.set_gauge g_cache_entries entries;
+  Obs.set_gauge g_inc_hits (Atomic.get t.inc_hits);
+  Obs.set_gauge g_inc_misses (Atomic.get t.inc_misses);
+  Obs.set_gauge g_jobs t.jobs;
+  Obs.set_gauge g_machines (Machines.loaded_count ())
+
+let quantile_json hs q =
+  let v = Obs.quantile hs q in
+  if Float.is_finite v then Json.Float v else Json.String "+Inf"
+
+let hist_json hs =
+  Json.Obj
+    [ ("count", Json.Int hs.Obs.hist_count); ("sum_ns", Json.Int hs.Obs.hist_sum);
+      ("p50_ns", quantile_json hs 0.50); ("p90_ns", quantile_json hs 0.90);
+      ("p99_ns", quantile_json hs 0.99) ]
+
 let stats_json t =
   let hits, misses, entries = Cache.stats t.cache in
+  let snap = Obs.snapshot () in
+  let hist name =
+    match List.assoc_opt name snap.Obs.histograms with
+    | Some hs -> hist_json hs
+    | None -> Json.Obj []
+  in
   Json.Obj
     [ ("requests", Json.Int (Atomic.get t.requests));
       ("ok", Json.Int (Atomic.get t.ok_count));
@@ -153,9 +218,33 @@ let stats_json t =
       ("jobs", Json.Int t.jobs);
       ("queue_ns", Json.Int (Atomic.get t.queue_ns_total));
       ("eval_ns", Json.Int (Atomic.get t.eval_ns_total));
-      ( "counters",
+      ("latency", hist "server.request_ns");
+      ( "stages",
         Json.Obj
-          (List.map (fun (name, n) -> (name, Json.Int n)) (Pperf_obs.Obs.snapshot ())) ) ]
+          [ ("queue", hist "server.queue_ns"); ("cache", hist "server.cache_ns");
+            ("eval", hist "server.eval_ns"); ("write", hist "server.write_ns") ] );
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (name, s) ->
+               ( name,
+                 Json.Obj
+                   [ ("count", Json.Int s.Obs.span_count);
+                     ("total_ns", Json.Int s.Obs.span_total_ns);
+                     ("self_ns", Json.Int s.Obs.span_self_ns) ] ))
+             snap.Obs.spans) );
+      ( "counters",
+        Json.Obj (List.map (fun (name, n) -> (name, Json.Int n)) snap.Obs.counters) ) ]
+
+let metrics_text t =
+  publish_gauges t;
+  Obs.Export.prometheus (Obs.snapshot ())
+
+let rec trace_to_json (n : Obs.Trace.node) =
+  Json.Obj
+    [ ("name", Json.String n.name); ("total_ns", Json.Int n.total_ns);
+      ("self_ns", Json.Int n.self_ns);
+      ("children", Json.List (List.map trace_to_json n.children)) ]
 
 (* the CLI's handle_code exception table, as structured error responses *)
 let error_of_exn = function
@@ -183,6 +272,7 @@ let handle t ~received (req : Protocol.request) : Protocol.response =
   let start = now () in
   let queue_ns = ns_of_span (start -. received) in
   ignore (Atomic.fetch_and_add t.queue_ns_total queue_ns);
+  Obs.record h_queue queue_ns;
   let expired at =
     match req.deadline_ms with
     | Some d -> (at -. received) *. 1000.0 > d
@@ -192,6 +282,7 @@ let handle t ~received (req : Protocol.request) : Protocol.response =
     (match response with
      | Protocol.Ok_response _ -> Atomic.incr t.ok_count
      | Protocol.Err_response _ -> Atomic.incr t.err_count);
+    Obs.record h_request (ns_of_span (now () -. received));
     response
   in
   if expired start then
@@ -203,14 +294,20 @@ let handle t ~received (req : Protocol.request) : Protocol.response =
     match req.verb with
     | Protocol.Ping ->
       finish
-        (Protocol.ok ~id:req.id ~verb:req.verb ~timing:{ queue_ns; eval_ns = 0 } "pong")
+        (Protocol.ok ~id:req.id ~verb:req.verb ~warnings:req.proto_warnings
+           ~timing:{ queue_ns; eval_ns = 0 } "pong")
     | Protocol.Stats ->
       finish
         (Protocol.ok ~id:req.id ~verb:req.verb ~stats:(stats_json t)
-           ~timing:{ queue_ns; eval_ns = 0 } "")
+           ~warnings:req.proto_warnings ~timing:{ queue_ns; eval_ns = 0 } "")
+    | Protocol.Metrics ->
+      finish
+        (Protocol.ok ~id:req.id ~verb:req.verb ~warnings:req.proto_warnings
+           ~timing:{ queue_ns; eval_ns = 0 } (metrics_text t))
     | Protocol.Shutdown ->
       finish
-        (Protocol.ok ~id:req.id ~verb:req.verb ~timing:{ queue_ns; eval_ns = 0 } "")
+        (Protocol.ok ~id:req.id ~verb:req.verb ~warnings:req.proto_warnings
+           ~timing:{ queue_ns; eval_ns = 0 } "")
     | Protocol.Predict | Protocol.Compare | Protocol.Ranges | Protocol.Lint -> (
       match
         let machine = Machines.load req.machine in
@@ -218,8 +315,10 @@ let handle t ~received (req : Protocol.request) : Protocol.response =
            evaluating the same bytes even if the file changes mid-request *)
         let src = Option.map source_text req.source in
         let src2 = Option.map source_text req.source2 in
+        (* traced requests bypass the result cache: their span tree is
+           per-evaluation by definition, and must not be served stale *)
         let key =
-          if Protocol.cacheable req.verb then
+          if Protocol.cacheable req.verb && not req.flags.trace then
             Some
               (Cache.key ~machine_hash:(Machines.hash machine)
                  ~source_hash:(source_key ~src ~src2)
@@ -227,24 +326,38 @@ let handle t ~received (req : Protocol.request) : Protocol.response =
                  ~flags:(Protocol.flags_key req.flags))
           else None
         in
-        let payload, cached =
-          match Option.bind key (Cache.find t.cache) with
-          | Some p -> (p, true)
-          | None ->
-            let p = run_query t req ~src ~src2 machine in
-            Option.iter (fun k -> Cache.store t.cache k p) key;
-            (p, false)
+        let lookup () =
+          match key with
+          | None -> None
+          | Some k -> staged sp_cache h_cache (fun () -> Cache.find t.cache k)
         in
-        (payload, cached)
+        let payload, cached, trace =
+          match lookup () with
+          | Some p -> (p, true, None)
+          | None ->
+            let eval () =
+              staged sp_eval h_eval (fun () -> run_query t req ~src ~src2 machine)
+            in
+            let p, trace =
+              if req.flags.trace then (
+                let p, node = Obs.Trace.collect eval in
+                (p, Some (trace_to_json node)))
+              else (eval (), None)
+            in
+            Option.iter (fun k -> Cache.store t.cache k p) key;
+            (p, false, trace)
+        in
+        (payload, cached, trace)
       with
-      | payload, cached ->
+      | payload, cached, trace ->
         let stop = now () in
         let eval_ns = ns_of_span (stop -. start) in
         ignore (Atomic.fetch_and_add t.eval_ns_total eval_ns);
         finish
           (Protocol.ok ~id:req.id ~verb:req.verb ~status:payload.status ~cached
-             ~deadline_missed:(expired stop) ~warnings:payload.warnings
-             ~timing:{ queue_ns; eval_ns } payload.output)
+             ~deadline_missed:(expired stop)
+             ~warnings:(payload.warnings @ req.proto_warnings)
+             ?trace ~timing:{ queue_ns; eval_ns } payload.output)
       | exception e -> (
         match error_of_exn e with
         | Some (code, message) -> finish (Protocol.err ~id:req.id code message)

@@ -26,7 +26,14 @@ val handle : t -> received:float -> Protocol.request -> Protocol.response
 val stats_json : t -> Json.t
 (** The [stats] verb payload: request/outcome counts, result-cache and
     incremental-cache hit rates, loaded machines, jobs, cumulative
-    queue/eval time, and the {!Pperf_obs.Obs} counter snapshot. *)
+    queue/eval time, p50/p90/p99 request latency plus per-stage
+    (queue/cache/eval/write) histogram summaries, span aggregates, and
+    the {!Pperf_obs.Obs} counter snapshot. *)
+
+val metrics_text : t -> string
+(** The [metrics] verb payload: the full telemetry snapshot (counters,
+    gauges, latency histograms, span aggregates) as Prometheus text
+    exposition, with the engine's own state published as gauges. *)
 
 val cache_stats : t -> int * int * int
 (** [(hits, misses, entries)] of the result cache. *)

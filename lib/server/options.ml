@@ -1,0 +1,42 @@
+(* Query options shared by the CLI subcommands and the server verbs —
+   one record, one canonical rendering, one Aggregate.options mapping,
+   so flag identity (and with it the result-cache key) cannot diverge
+   between the two surfaces. *)
+
+type t = {
+  memory : bool;
+  ranges : bool;
+  interproc : bool;
+  strict : bool;
+  json : bool;
+  trace : bool;
+  eval : string list;
+  range : string list;
+}
+
+let default =
+  {
+    memory = false;
+    ranges = false;
+    interproc = false;
+    strict = false;
+    json = false;
+    trace = false;
+    eval = [];
+    range = [];
+  }
+
+(* every field, fixed order: two option sets share a cache entry iff
+   their canonical strings agree *)
+let to_canonical_string f =
+  Printf.sprintf "m%b,r%b,i%b,s%b,j%b,t%b,e[%s],g[%s]" f.memory f.ranges f.interproc
+    f.strict f.json f.trace
+    (String.concat ";" f.eval)
+    (String.concat ";" f.range)
+
+let to_aggregate f =
+  {
+    Pperf_core.Aggregate.default_options with
+    include_memory = f.memory;
+    infer_ranges = f.ranges;
+  }

@@ -1,0 +1,29 @@
+(** The one set of query options shared by the CLI subcommands and the
+    server verbs.
+
+    Both [bin/ppredict] and {!Protocol} build this record from their
+    respective surfaces (cmdliner flags, JSON [flags] objects), and both
+    the result-cache key and any future flag-sensitive identity go
+    through {!to_canonical_string} — so a new flag added here is
+    automatically part of the cache identity on both sides and cannot
+    silently diverge between CLI and server. *)
+
+type t = {
+  memory : bool;  (** include the cache cost model (CLI [--memory]) *)
+  ranges : bool;  (** interval analysis first (CLI [--ranges]) *)
+  interproc : bool;  (** call-site charging (CLI [-i], predict only) *)
+  strict : bool;  (** binding/protocol mismatches are errors (CLI [--strict]) *)
+  json : bool;  (** JSON output for [ranges]/[lint] (CLI [--json]) *)
+  trace : bool;  (** capture and append the span tree (CLI [--trace]) *)
+  eval : string list;  (** [VAR=VALUE] bindings (CLI [--eval]) *)
+  range : string list;  (** [VAR=LO:HI] ranges (CLI [--range], compare only) *)
+}
+
+val default : t
+
+val to_canonical_string : t -> string
+(** Canonical rendering of every field in a fixed order: two option sets
+    share a result-cache entry iff their canonical strings agree. *)
+
+val to_aggregate : t -> Pperf_core.Aggregate.options
+(** The {!Pperf_core.Aggregate.options} these flags select. *)

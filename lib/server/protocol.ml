@@ -1,9 +1,17 @@
 (* The JSON-lines request/response protocol of `ppredict batch` and
    `ppredict serve`. One request object per line in; one response object
    per line out, emitted in request order. See README "Prediction
-   service" for the schema. *)
+   service" for the schema.
 
-type verb = Predict | Compare | Ranges | Lint | Ping | Stats | Shutdown
+   Wire versioning: requests may carry "v": 1 (the only version so far;
+   absent means 1). Unknown top-level fields are rejected with a
+   structured bad_request under flags.strict and warned about otherwise,
+   so clients probing a future field learn about it instead of being
+   silently ignored. *)
+
+type verb = Predict | Compare | Ranges | Lint | Ping | Stats | Metrics | Shutdown
+
+let protocol_version = 1
 
 let verb_string = function
   | Predict -> "predict"
@@ -12,6 +20,7 @@ let verb_string = function
   | Lint -> "lint"
   | Ping -> "ping"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Shutdown -> "shutdown"
 
 let verb_of_string = function
@@ -21,24 +30,24 @@ let verb_of_string = function
   | "lint" -> Some Lint
   | "ping" -> Some Ping
   | "stats" -> Some Stats
+  | "metrics" -> Some Metrics
   | "shutdown" -> Some Shutdown
   | _ -> None
 
 type source = File of string | Text of string
 
-type flags = {
+type flags = Options.t = {
   memory : bool;
   ranges : bool;
   interproc : bool;
   strict : bool;
   json : bool;
+  trace : bool;
   eval : string list;
   range : string list;
 }
 
-let default_flags =
-  { memory = false; ranges = false; interproc = false; strict = false; json = false;
-    eval = []; range = [] }
+let default_flags = Options.default
 
 type request = {
   id : Json.t;
@@ -48,6 +57,7 @@ type request = {
   source2 : source option;
   flags : flags;
   deadline_ms : float option;
+  proto_warnings : string list;
 }
 
 type error_code =
@@ -112,9 +122,10 @@ let parse_flags obj =
     let* interproc = get_bool f "interproc" ~default:false in
     let* strict = get_bool f "strict" ~default:false in
     let* json = get_bool f "json" ~default:false in
+    let* trace = get_bool f "trace" ~default:false in
     let* eval = get_string_list f "eval" in
     let* range = get_string_list f "range" in
-    Ok { memory; ranges; interproc; strict; json; eval; range }
+    Ok { memory; ranges; interproc; strict; json; trace; eval; range }
   | Some _ -> Error (Bad_request, "field \"flags\" must be an object")
 
 let parse_source obj ~file_field ~text_field =
@@ -133,10 +144,24 @@ let parse_source obj ~file_field ~text_field =
     | Some s -> Ok (Some (Text s))
     | None -> Error (Bad_request, Printf.sprintf "field %S must be a string" text_field))
 
+(* every top-level field this protocol version understands *)
+let known_fields =
+  [ "v"; "id"; "verb"; "machine"; "file"; "source"; "file2"; "source2"; "flags";
+    "deadline_ms" ]
+
 let request_of_json j =
   match j with
-  | Json.Obj _ ->
+  | Json.Obj fields ->
     let id = Option.value (Json.member "id" j) ~default:Json.Null in
+    let* () =
+      match Json.member "v" j with
+      | None | Some (Json.Int 1) -> Ok ()
+      | Some v ->
+        Error
+          ( Bad_request,
+            Printf.sprintf "unsupported protocol version %s (this server speaks v%d)"
+              (Json.to_string v) protocol_version )
+    in
     let* verb =
       match Json.member "verb" j with
       | None -> Error (Bad_request, "missing \"verb\"")
@@ -167,7 +192,29 @@ let request_of_json j =
         | Some f when f > 0.0 -> Ok (Some f)
         | _ -> Error (Bad_request, "field \"deadline_ms\" must be a positive number"))
     in
-    Ok { id; verb; machine; source; source2; flags; deadline_ms }
+    let unknown =
+      List.filter_map
+        (fun (k, _) -> if List.mem k known_fields then None else Some k)
+        fields
+    in
+    let* proto_warnings =
+      match unknown with
+      | [] -> Ok []
+      | ks ->
+        let listed = String.concat ", " (List.map (Printf.sprintf "%S") ks) in
+        if flags.strict then
+          Error
+            ( Bad_request,
+              Printf.sprintf "unknown field%s %s (this server speaks protocol v%d)"
+                (if List.length ks = 1 then "" else "s")
+                listed protocol_version )
+        else
+          Ok
+            [ Printf.sprintf "ignoring unknown field%s %s (protocol v%d)"
+                (if List.length ks = 1 then "" else "s")
+                listed protocol_version ]
+    in
+    Ok { id; verb; machine; source; source2; flags; deadline_ms; proto_warnings }
   | _ -> Error (Bad_request, "request must be a JSON object")
 
 let request_of_line line =
@@ -175,17 +222,11 @@ let request_of_line line =
   | exception Json.Parse_error msg -> Error (Bad_json, msg)
   | j -> request_of_json j
 
-(* the canonical flag rendering that keys the result cache: every field,
-   fixed order, so two requests share an entry iff their flags agree *)
-let flags_key f =
-  Printf.sprintf "m%b,r%b,i%b,s%b,j%b,e[%s],g[%s]" f.memory f.ranges f.interproc f.strict
-    f.json
-    (String.concat ";" f.eval)
-    (String.concat ";" f.range)
+let flags_key = Options.to_canonical_string
 
 let cacheable = function
   | Predict | Compare | Ranges | Lint -> true
-  | Ping | Stats | Shutdown -> false
+  | Ping | Stats | Metrics | Shutdown -> false
 
 (* ------------------------------------------------------------ responses *)
 
@@ -201,13 +242,15 @@ type response =
       warnings : string list;
       output : string;
       stats : Json.t option;
+      trace : Json.t option;
       timing : timing;
     }
   | Err_response of { id : Json.t; code : error_code; message : string }
 
 let ok ?(status = 0) ?(cached = false) ?(deadline_missed = false) ?(warnings = [])
-    ?stats ~id ~verb ~timing output =
-  Ok_response { id; verb; status; cached; deadline_missed; warnings; output; stats; timing }
+    ?stats ?trace ~id ~verb ~timing output =
+  Ok_response
+    { id; verb; status; cached; deadline_missed; warnings; output; stats; trace; timing }
 
 let err ~id code message = Err_response { id; code; message }
 
@@ -222,6 +265,7 @@ let response_to_json = function
       @ (if r.warnings = [] then []
          else [ ("warnings", Json.List (List.map (fun w -> Json.String w) r.warnings)) ])
       @ (match r.stats with Some s -> [ ("stats", s) ] | None -> [ ("output", Json.String r.output) ])
+      @ (match r.trace with Some t -> [ ("trace", t) ] | None -> [])
       @ [ ("t", Json.Obj [ ("queue_ns", Json.Int r.timing.queue_ns);
                            ("eval_ns", Json.Int r.timing.eval_ns) ]) ])
   | Err_response r ->

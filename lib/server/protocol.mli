@@ -6,21 +6,31 @@
     [lint]) carry a machine spec, a source (inline text or a file path)
     and CLI-mirroring flags; their [output] field is byte-identical to the
     one-shot CLI subcommand's stdout. Control verbs: [ping], [stats],
-    [shutdown]. *)
+    [metrics], [shutdown].
 
-type verb = Predict | Compare | Ranges | Lint | Ping | Stats | Shutdown
+    {b Versioning.} Requests may carry an optional top-level [{"v": 1}]
+    field; absent means version {!protocol_version}. Any other value is a
+    [bad_request]. Unknown top-level fields are a [bad_request] under
+    [flags.strict] and a response warning otherwise, so old servers fail
+    loudly (or at least visibly) on newer clients. *)
+
+type verb = Predict | Compare | Ranges | Lint | Ping | Stats | Metrics | Shutdown
+
+val protocol_version : int
+(** The wire version this server speaks (1). *)
 
 val verb_string : verb -> string
 val verb_of_string : string -> verb option
 
 type source = File of string | Text of string
 
-type flags = {
+type flags = Options.t = {
   memory : bool;  (** include the cache cost model (CLI [--memory]) *)
   ranges : bool;  (** interval analysis first (CLI [--ranges]) *)
   interproc : bool;  (** call-site charging (CLI [-i], predict only) *)
-  strict : bool;  (** binding mismatches are errors (CLI [--strict]) *)
+  strict : bool;  (** binding/protocol mismatches are errors (CLI [--strict]) *)
   json : bool;  (** JSON output for [ranges]/[lint] (CLI [--json]) *)
+  trace : bool;  (** append the span tree of the evaluation (CLI [--trace]) *)
   eval : string list;  (** [VAR=VALUE] bindings (CLI [--eval]) *)
   range : string list;  (** [VAR=LO:HI] ranges (CLI [--range], compare only) *)
 }
@@ -38,6 +48,9 @@ type request = {
       (** budget from the moment the server reads the request: requests
           still queued past it are rejected with [deadline_exceeded];
           responses finishing past it carry [deadline_missed] *)
+  proto_warnings : string list;
+      (** non-strict protocol diagnoses (unknown top-level fields),
+          surfaced in the response's [warnings] *)
 }
 
 type error_code =
@@ -58,7 +71,8 @@ val request_of_json : Json.t -> (request, error_code * string) result
 val request_of_line : string -> (request, error_code * string) result
 
 val flags_key : flags -> string
-(** Canonical flag rendering used in the result-cache key. *)
+(** Canonical flag rendering used in the result-cache key; an alias for
+    {!Options.to_canonical_string}. *)
 
 val cacheable : verb -> bool
 
@@ -74,6 +88,7 @@ type response =
       warnings : string list;  (** what the CLI would print to stderr *)
       output : string;  (** byte-identical to the CLI subcommand's stdout *)
       stats : Json.t option;  (** [stats] verb payload, replaces [output] *)
+      trace : Json.t option;  (** span tree, present iff [flags.trace] *)
       timing : timing;
     }
   | Err_response of { id : Json.t; code : error_code; message : string }
@@ -84,6 +99,7 @@ val ok :
   ?deadline_missed:bool ->
   ?warnings:string list ->
   ?stats:Json.t ->
+  ?trace:Json.t ->
   id:Json.t ->
   verb:verb ->
   timing:timing ->

@@ -6,6 +6,11 @@
 
 open Pperf_lang
 open Pperf_core
+module Obs = Pperf_obs.Obs
+
+(* one span for the whole rendering of a query verb: in a trace it is the
+   parent of the pipeline phase spans (parse, typecheck, aggregate, ...) *)
+let sp_render = Obs.span "render"
 
 let with_formatter f =
   let buf = Buffer.create 1024 in
@@ -78,6 +83,7 @@ let check_bindings ~strict ~warn ~expr_vars ~prob_vars bindings =
 (* ---- predict ---- *)
 
 let predict ?predictor ~machine ~options ~interproc ~strict ~evals ~warn src =
+  Obs.time sp_render @@ fun () ->
   let use_ranges = options.Aggregate.infer_ranges in
   let bindings = parse_bindings evals in
   with_formatter (fun fmt ->
@@ -135,6 +141,7 @@ let predict ?predictor ~machine ~options ~interproc ~strict ~evals ~warn src =
 (* ---- compare ---- *)
 
 let compare ~machine ~options ~use_ranges ~ranges src1 src2 =
+  Obs.time sp_render @@ fun () ->
   let user_env = range_env ranges in
   with_formatter (fun fmt ->
       let c1 = Typecheck.check_routine (Parser.parse_routine src1) in
@@ -157,6 +164,7 @@ let compare ~machine ~options ~use_ranges ~ranges src1 src2 =
 (* ---- ranges ---- *)
 
 let ranges ~json src =
+  Obs.time sp_render @@ fun () ->
   let module Absint = Pperf_absint.Absint in
   let module Interval = Pperf_symbolic.Interval in
   let checkeds = Typecheck.check_program (Parser.parse_program src) in
@@ -209,6 +217,7 @@ let ranges ~json src =
 (* ---- lint ---- *)
 
 let lint ~json ~use_ranges src =
+  Obs.time sp_render @@ fun () ->
   let reports = Pperf_lint.Lint.run_source ~ranges:use_ranges src in
   let output =
     if json then Pperf_lint.Lint.to_json reports

@@ -8,6 +8,9 @@
 
 let default_max_request_bytes = 1 lsl 20
 
+(* response-write latency (the last lifecycle stage a request sees) *)
+let h_write = Pperf_obs.Obs.histogram "server.write_ns"
+
 (* ------------------------------------------------------- bounded reader *)
 
 type line = Line of string | Too_long | Eof
@@ -65,8 +68,11 @@ let emit seq n response =
           match Hashtbl.find_opt seq.parked seq.next with
           | None -> ()
           | Some r -> (
+            let t0 = Unix.gettimeofday () in
             match seq.write (Protocol.response_line r ^ "\n") with
             | () ->
+              Pperf_obs.Obs.record h_write
+                (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
               Hashtbl.remove seq.parked seq.next;
               seq.next <- seq.next + 1;
               pump ()

@@ -57,14 +57,44 @@ A request line over the budget is answered (oversized) and skipped:
   {"id":null,"ok":false,"error":{"code":"oversized","message":"request line exceeds 1024 bytes"}}
   {"id":2,"ok":true,"verb":"ping","status":0,"cached":false,"output":"pong","t":{}}
 
-The stats verb reports the engine's counters; shapes only, the numbers
-are workload-dependent:
+Requests may carry the protocol version; only v1 is spoken. Unknown
+top-level fields are ignored with a warning by default, and rejected
+before evaluation under strict flags:
+
+  $ ppredict serve --jobs 1 <<'EOF' | redact
+  > {"v":1,"id":1,"verb":"ping"}
+  > {"v":2,"id":2,"verb":"ping"}
+  > {"id":3,"verb":"ping","bogus":1}
+  > {"id":4,"verb":"predict","file":"../../samples/daxpy.pf","flags":{"strict":true},"bogus":1}
+  > {"id":5,"verb":"ping"}
+  > EOF
+  {"id":1,"ok":true,"verb":"ping","status":0,"cached":false,"output":"pong","t":{}}
+  {"id":2,"ok":false,"error":{"code":"bad_request","message":"unsupported protocol version 2 (this server speaks v1)"}}
+  {"id":3,"ok":true,"verb":"ping","status":0,"cached":false,"warnings":["ignoring unknown field \"bogus\" (protocol v1)"],"output":"pong","t":{}}
+  {"id":4,"ok":false,"error":{"code":"bad_request","message":"unknown field \"bogus\" (this server speaks protocol v1)"}}
+  {"id":5,"ok":true,"verb":"ping","status":0,"cached":false,"output":"pong","t":{}}
+
+The stats verb reports the engine's counters plus the request-latency
+histogram (p50/p90/p99), per-stage histograms, and pipeline spans;
+shapes only, the numbers are workload-dependent:
 
   $ ppredict serve --jobs 1 <<'EOF' | tail -1 | tr ',' '\n' | grep -c '"'
   > {"id":1,"verb":"predict","file":"../../samples/jacobi.pf"}
   > {"id":2,"verb":"stats"}
   > EOF
-  28
+  83
+
+  $ ppredict serve --jobs 1 <<'EOF' | tail -1 | tr '{,' '\n\n' | sed -n 's/^"\(latency\|stages\|spans\|counters\|p50_ns\|p90_ns\|p99_ns\)":.*/\1/p' | sort -u
+  > {"id":1,"verb":"predict","file":"../../samples/jacobi.pf"}
+  > {"id":2,"verb":"stats"}
+  > EOF
+  counters
+  latency
+  p50_ns
+  p90_ns
+  p99_ns
+  spans
+  stages
 
 `batch` speaks the same protocol from a file argument:
 

@@ -1,0 +1,75 @@
+The telemetry surfaces, pinned by shape. Timings are nondeterministic,
+so every *_ns value is redacted to 0.
+
+`--trace` appends one JSON line holding the span tree of the
+evaluation: the root covers the whole command, its children are the
+pipeline phases that ran:
+
+  $ ppredict predict --trace ../../samples/daxpy.pf | sed -e 's/_ns":[0-9]*/_ns":0/g'
+  daxpy on power1: 5*n + 4
+  {"name":"trace","total_ns":0,"self_ns":0,"children":[{"name":"render","total_ns":0,"self_ns":0,"children":[{"name":"parse","total_ns":0,"self_ns":0,"children":[]},{"name":"typecheck","total_ns":0,"self_ns":0,"children":[]},{"name":"aggregate","total_ns":0,"self_ns":0,"children":[{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]},{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]},{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]},{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]}]},{"name":"depend","total_ns":0,"self_ns":0,"children":[]}]}]}
+
+Phases nest: with range inference the interval analysis runs inside
+aggregation, and the comparison verb traces both evaluations plus the
+symbolic compare:
+
+  $ ppredict compare --trace ../../samples/daxpy.pf ../../samples/daxpy.pf | sed -e 's/_ns":[0-9]*/_ns":0/g'
+  first:  daxpy on power1: 5*n + 4
+  second: daxpy on power1: 5*n + 4
+  equal (recommend either)
+  {"name":"trace","total_ns":0,"self_ns":0,"children":[{"name":"render","total_ns":0,"self_ns":0,"children":[{"name":"parse","total_ns":0,"self_ns":0,"children":[]},{"name":"typecheck","total_ns":0,"self_ns":0,"children":[]},{"name":"parse","total_ns":0,"self_ns":0,"children":[]},{"name":"typecheck","total_ns":0,"self_ns":0,"children":[]},{"name":"aggregate","total_ns":0,"self_ns":0,"children":[{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]},{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]},{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]},{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]}]},{"name":"aggregate","total_ns":0,"self_ns":0,"children":[{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]},{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]},{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]},{"name":"sched.bins","total_ns":0,"self_ns":0,"children":[]}]},{"name":"compare","total_ns":0,"self_ns":0,"children":[]}]}]}
+
+`--trace` composes with `--stats` (the span tree line, then the
+counters object):
+
+  $ ppredict predict --trace --stats ../../samples/daxpy.pf | sed -e 's/_ns":[0-9]*/_ns":0/g' | tail -2 | cut -c1-16
+  {"name":"trace",
+  {"absint.widenin
+
+The metrics verb serves the same snapshot as Prometheus text
+exposition. The family set is deterministic; sample values are not, so
+pin the TYPE lines:
+
+  $ ppredict serve --jobs 1 <<'EOF' > metrics.out
+  > {"id":1,"verb":"predict","file":"../../samples/daxpy.pf"}
+  > {"id":2,"verb":"metrics"}
+  > EOF
+  $ tail -1 metrics.out | sed -e 's/.*"output":"//' -e 's/","t":.*//' -e 's/\\n/\n/g' > exposition.txt
+  $ grep '^# TYPE' exposition.txt
+  # TYPE pperf_absint_widenings_total counter
+  # TYPE pperf_bins_fit_fallback_total counter
+  # TYPE pperf_bins_placements_total counter
+  # TYPE pperf_bins_scan_cells_total counter
+  # TYPE pperf_monomial_alloc_total counter
+  # TYPE pperf_poly_add_total counter
+  # TYPE pperf_poly_eval_total counter
+  # TYPE pperf_poly_mul_total counter
+  # TYPE pperf_poly_subst_total counter
+  # TYPE pperf_obs_span_unbalanced gauge
+  # TYPE pperf_server_cache_entries gauge
+  # TYPE pperf_server_cache_hits gauge
+  # TYPE pperf_server_cache_misses gauge
+  # TYPE pperf_server_errors gauge
+  # TYPE pperf_server_incremental_hits gauge
+  # TYPE pperf_server_incremental_misses gauge
+  # TYPE pperf_server_jobs gauge
+  # TYPE pperf_server_machines gauge
+  # TYPE pperf_server_ok gauge
+  # TYPE pperf_server_requests gauge
+  # TYPE pperf_server_cache_ns histogram
+  # TYPE pperf_server_eval_ns histogram
+  # TYPE pperf_server_queue_ns histogram
+  # TYPE pperf_server_request_ns histogram
+  # TYPE pperf_server_write_ns histogram
+  # TYPE pperf_span_count counter
+  # TYPE pperf_span_total_ns counter
+  # TYPE pperf_span_self_ns counter
+
+Every sample line parses as `name value` or `name{labels} value`, and
+the request-latency histogram saw the predict served before the scrape:
+
+  $ grep -v '^#' exposition.txt | sed '/^$/d' | grep -cv '^[a-z_]*\({[^}]*}\)\? [0-9.+eInf]*$'
+  0
+  [1]
+  $ awk '$1=="pperf_server_request_ns_count" {print ($2>=1) ? "nonempty" : "empty"}' exposition.txt
+  nonempty

@@ -82,11 +82,51 @@ let test_flags_key_distinguishes () =
   let keys =
     List.map Protocol.flags_key
       [ base; { base with memory = true }; { base with ranges = true };
-        { base with json = true }; { base with eval = [ "n=10" ] };
-        { base with range = [ "n=1:10" ] } ]
+        { base with json = true }; { base with trace = true };
+        { base with eval = [ "n=10" ] }; { base with range = [ "n=1:10" ] } ]
   in
   Alcotest.(check int) "all distinct" (List.length keys)
-    (List.length (List.sort_uniq compare keys))
+    (List.length (List.sort_uniq compare keys));
+  (* CLI and server derive cache keys from the same canonicalization *)
+  Alcotest.(check string) "flags_key is Options.to_canonical_string"
+    (Options.to_canonical_string base) (Protocol.flags_key base)
+
+let test_protocol_version () =
+  let code line =
+    match Protocol.request_of_line line with
+    | Error (c, _) -> Protocol.error_code_string c
+    | Ok _ -> "ok"
+  in
+  Alcotest.(check string) "explicit v1 accepted" "ok" (code {|{"v":1,"verb":"ping"}|});
+  Alcotest.(check string) "omitted version accepted" "ok" (code {|{"verb":"ping"}|});
+  Alcotest.(check string) "future version rejected" "bad_request"
+    (code {|{"v":2,"verb":"ping"}|});
+  Alcotest.(check string) "non-integer version rejected" "bad_request"
+    (code {|{"v":"1","verb":"ping"}|})
+
+let test_unknown_fields () =
+  (* lax (default): the request is served, with a warning attached *)
+  (match Protocol.request_of_line {|{"verb":"ping","bogus":1}|} with
+  | Ok r ->
+    Alcotest.(check bool) "warned" true
+      (List.exists
+         (fun w ->
+           let has_sub needle hay =
+             let nh = String.length hay and nn = String.length needle in
+             let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+             go 0
+           in
+           has_sub "bogus" w)
+         r.proto_warnings)
+  | Error (_, m) -> Alcotest.failf "lax mode must accept unknown fields: %s" m);
+  (* strict: rejected before evaluation *)
+  match
+    Protocol.request_of_line
+      {|{"verb":"predict","source":"x","flags":{"strict":true},"bogus":1}|}
+  with
+  | Error (Protocol.Bad_request, _) -> ()
+  | Error (c, m) -> Alcotest.failf "wrong code %s: %s" (Protocol.error_code_string c) m
+  | Ok _ -> Alcotest.fail "strict mode must reject unknown fields"
 
 (* ------------------------------------------------------------ cache *)
 
@@ -282,6 +322,103 @@ let test_file_source_invalidation () =
       Alcotest.(check bool) "edited content recomputes" false c3;
       Alcotest.(check bool) "and predicts differently" true (o3 <> o0))
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_metrics_verb () =
+  let lines = Server.batch_lines ~jobs:1 [ predict_daxpy 0; req 1 "metrics" ] in
+  let metrics = List.nth lines 1 in
+  Alcotest.(check bool) "metrics ok" true (field "ok" metrics = Json.Bool true);
+  let text = match field "output" metrics with Json.String s -> s | _ -> assert false in
+  Alcotest.(check bool) "exposition has TYPE lines" true (contains text "# TYPE ");
+  Alcotest.(check bool) "request latency histogram family" true
+    (contains text "# TYPE pperf_server_request_ns histogram");
+  (* the predict served before this scrape must be in the latency histogram *)
+  let count_line =
+    String.split_on_char '\n' text
+    |> List.find_opt (fun l ->
+           String.length l > 30 && String.sub l 0 30 = "pperf_server_request_ns_count ")
+  in
+  (match count_line with
+  | Some l ->
+    let n = int_of_string (String.trim (String.sub l 30 (String.length l - 30))) in
+    Alcotest.(check bool) "latency histogram non-empty" true (n >= 1)
+  | None -> Alcotest.fail "no pperf_server_request_ns_count sample");
+  (* every non-comment line is `name[{labels}] value` *)
+  String.split_on_char '\n' text
+  |> List.iter (fun l ->
+         if l <> "" && l.[0] <> '#' then
+           match String.rindex_opt l ' ' with
+           | Some i ->
+             let v = String.sub l (i + 1) (String.length l - i - 1) in
+             if
+               (try ignore (int_of_string v); false with Failure _ -> true)
+               && (try ignore (float_of_string v); false with Failure _ -> true)
+             then Alcotest.failf "unparseable sample value in %S" l
+           | None -> Alcotest.failf "sample line without value: %S" l)
+
+let test_trace_flag () =
+  let traced id =
+    req id "predict"
+      ~extra:
+        (Printf.sprintf {|,"source":%s,"flags":{"trace":true}|}
+           (Json.to_string (Json.String daxpy)))
+  in
+  let lines = Server.batch_lines ~jobs:1 [ traced 0; traced 1; predict_daxpy 2 ] in
+  let tree l =
+    match field "trace" l with
+    | Json.Obj _ as t -> t
+    | j -> Alcotest.failf "trace is not an object: %s" (Json.to_string j)
+  in
+  List.iteri
+    (fun i l ->
+      let t = tree l in
+      Alcotest.(check bool) (Printf.sprintf "trace %d rooted" i) true
+        (Json.member "name" t = Some (Json.String "trace"));
+      (* traced requests never come from (or land in) the result cache *)
+      Alcotest.(check bool) (Printf.sprintf "trace %d uncached" i) true
+        (field "cached" l = Json.Bool false))
+    [ List.nth lines 0; List.nth lines 1 ];
+  (* an untraced twin afterwards is also a cache miss: traced runs not stored *)
+  Alcotest.(check bool) "untraced twin is cold" true
+    (field "cached" (List.nth lines 2) = Json.Bool false);
+  Alcotest.(check bool) "untraced twin has no trace" true
+    (Json.member "trace" (Json.of_string (List.nth lines 2)) = None)
+
+let test_extended_stats () =
+  let lines =
+    Server.batch_lines ~jobs:1 [ predict_daxpy 0; predict_daxpy 1; req 2 "stats" ]
+  in
+  let stats = field "stats" (List.nth lines 2) in
+  let mem name =
+    match Json.member name stats with
+    | Some j -> j
+    | None -> Alcotest.failf "stats has no %S section" name
+  in
+  (* latency quantiles over the session so far *)
+  (match mem "latency" with
+  | Json.Obj _ as l ->
+    List.iter
+      (fun q ->
+        match Json.member q l with
+        | Some (Json.Int _ | Json.Float _ | Json.String "+Inf") -> ()
+        | Some j -> Alcotest.failf "%s not a quantile: %s" q (Json.to_string j)
+        | None -> Alcotest.failf "latency has no %s" q)
+      [ "p50_ns"; "p90_ns"; "p99_ns" ];
+    (match Json.member "count" l with
+    | Some (Json.Int n) -> Alcotest.(check bool) "latency count >= 2" true (n >= 2)
+    | _ -> Alcotest.fail "latency.count missing")
+  | j -> Alcotest.failf "latency not an object: %s" (Json.to_string j));
+  (* per-stage histograms and pipeline spans ride along *)
+  List.iter
+    (fun sec ->
+      match mem sec with
+      | Json.Obj _ -> ()
+      | j -> Alcotest.failf "%s not an object: %s" sec (Json.to_string j))
+    [ "stages"; "spans"; "counters" ]
+
 let test_machines_helper () =
   let m1 = Machines.load "power1" in
   let m2 = Machines.load "alpha" in
@@ -305,6 +442,8 @@ let () =
           Alcotest.test_case "defaults" `Quick test_request_defaults;
           Alcotest.test_case "rejects" `Quick test_request_rejects;
           Alcotest.test_case "flags key" `Quick test_flags_key_distinguishes;
+          Alcotest.test_case "version" `Quick test_protocol_version;
+          Alcotest.test_case "unknown fields" `Quick test_unknown_fields;
         ] );
       ( "cache",
         [
@@ -323,6 +462,9 @@ let () =
           Alcotest.test_case "jobs equivalence" `Quick test_batch_jobs_equivalence;
           Alcotest.test_case "deadline" `Quick test_deadline;
           Alcotest.test_case "file invalidation" `Quick test_file_source_invalidation;
+          Alcotest.test_case "metrics verb" `Quick test_metrics_verb;
+          Alcotest.test_case "trace flag" `Quick test_trace_flag;
+          Alcotest.test_case "extended stats" `Quick test_extended_stats;
           Alcotest.test_case "machines helper" `Quick test_machines_helper;
         ] );
     ]
