@@ -95,6 +95,25 @@ let ranges_flag =
   in
   Arg.(value & flag & info [ "ranges" ] ~doc)
 
+let domain_arg =
+  let domains = List.map (fun d -> (d, d)) Pperf_absint.Absint.all_domains in
+  let doc =
+    "Abstract domain for the range analysis: $(b,interval) (the default), \
+     $(b,octagon) (difference constraints ±x ± y <= c), $(b,affine) (exact \
+     equalities x = Σ aᵢ·yᵢ + c), or $(b,product) (both with mutual \
+     reduction). Relational domains decide comparisons and rebut \
+     diagnostics that intervals alone cannot."
+  in
+  Arg.(value & opt (some (enum domains)) None & info [ "domain" ] ~docv:"DOMAIN" ~doc)
+
+(* the enum already validated the name, so an unknown string is impossible *)
+let resolve_domain = function
+  | None -> Pperf_absint.Absint.Box
+  | Some d -> (
+    match Pperf_absint.Absint.domain_of_string d with
+    | Some dom -> dom
+    | None -> Pperf_absint.Absint.Box)
+
 let handle_code f =
   try f () with
   | Parser.Error (msg, loc) ->
@@ -125,7 +144,7 @@ let interproc_arg =
   Arg.(value & flag & info [ "interprocedural"; "i" ] ~doc)
 
 let predict_cmd =
-  let run mspec memory interproc use_ranges strict stats trace evals file =
+  let run mspec memory interproc use_ranges domain strict stats trace evals file =
     handle (fun () ->
         with_stats ~stats ~trace (fun () ->
         let machine = machine_of_spec mspec in
@@ -133,7 +152,8 @@ let predict_cmd =
            one canonicalization, one Aggregate mapping for both surfaces *)
         let opts =
           { Pperf_server.Options.default with
-            memory; ranges = use_ranges; interproc; strict; trace; eval = evals }
+            memory; ranges = use_ranges; interproc; strict; trace; eval = evals;
+            domain }
         in
         let options = Pperf_server.Options.to_aggregate opts in
         print_string
@@ -142,8 +162,8 @@ let predict_cmd =
   in
   let doc = "Predict performance expressions for each routine in a PF file." in
   Cmd.v (Cmd.info "predict" ~doc)
-    Term.(const run $ machine_arg $ memory_arg $ interproc_arg $ ranges_flag $ strict_arg
-          $ stats_arg $ trace_arg $ eval_arg $ file_arg 0 "FILE")
+    Term.(const run $ machine_arg $ memory_arg $ interproc_arg $ ranges_flag $ domain_arg
+          $ strict_arg $ stats_arg $ trace_arg $ eval_arg $ file_arg 0 "FILE")
 
 (* ---- schedule ---- *)
 
@@ -191,23 +211,25 @@ let range_arg =
   Arg.(value & opt_all string [] & info [ "range" ] ~docv:"VAR=LO:HI" ~doc)
 
 let compare_cmd =
-  let run mspec memory ranges use_ranges stats trace f1 f2 =
+  let run mspec memory ranges use_ranges domain stats trace f1 f2 =
     handle (fun () ->
         with_stats ~stats ~trace (fun () ->
         let machine = machine_of_spec mspec in
         let opts =
           { Pperf_server.Options.default with
-            memory; ranges = use_ranges; trace; range = ranges }
+            memory; ranges = use_ranges; trace; range = ranges; domain }
         in
         let options = Pperf_server.Options.to_aggregate opts in
         print_string
-          (Pperf_server.Render.compare ~machine ~options ~use_ranges:opts.ranges
-             ~ranges:opts.range (read_file f1) (read_file f2))))
+          (Pperf_server.Render.compare
+             ~domain:(Pperf_server.Options.domain opts)
+             ~machine ~options ~use_ranges:opts.ranges ~ranges:opts.range
+             (read_file f1) (read_file f2))))
   in
   let doc = "Compare two program variants symbolically." in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ machine_arg $ memory_arg $ range_arg $ ranges_flag $ stats_arg
-          $ trace_arg $ file_arg 0 "FILE1" $ file_arg 1 "FILE2")
+    Term.(const run $ machine_arg $ memory_arg $ range_arg $ ranges_flag $ domain_arg
+          $ stats_arg $ trace_arg $ file_arg 0 "FILE1" $ file_arg 1 "FILE2")
 
 (* ---- search ---- *)
 
@@ -328,11 +350,13 @@ let run_cmd =
 (* ---- lint ---- *)
 
 let lint_cmd =
-  let run json use_ranges trace file =
+  let run json use_ranges domain trace file =
     handle_code (fun () ->
         with_telemetry ~trace (fun () ->
             let output, code =
-              Pperf_server.Render.lint ~json ~use_ranges (read_file file)
+              Pperf_server.Render.lint
+                ~domain:(resolve_domain domain)
+                ~json ~use_ranges (read_file file)
             in
             print_string output;
             code))
@@ -349,27 +373,32 @@ let lint_cmd =
      Exit status is 2 when any error is reported, 1 when any warning, else 0."
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const run $ json_arg $ ranges_flag $ trace_arg $ file_arg 0 "FILE")
+    Term.(const run $ json_arg $ ranges_flag $ domain_arg $ trace_arg $ file_arg 0 "FILE")
 
 (* ---- ranges ---- *)
 
 let ranges_cmd =
-  let run json stats trace file =
+  let run json domain stats trace file =
     handle (fun () ->
         with_stats ~stats ~trace (fun () ->
-        print_string (Pperf_server.Render.ranges ~json (read_file file))))
+        print_string
+          (Pperf_server.Render.ranges
+             ~domain:(resolve_domain domain)
+             ~json (read_file file))))
   in
   let json_arg =
     let doc = "Emit the ranges as JSON instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let doc =
-    "Run the interval abstract interpretation over each routine and print the \
+    "Run the abstract interpretation over each routine and print the \
      inferred ranges: per-loop index and trip-count intervals (indented by \
-     nesting depth) and the routine-wide variable range summary."
+     nesting depth) and the routine-wide variable range summary. A \
+     relational --domain additionally prints the per-point and summary \
+     relational constraints."
   in
   Cmd.v (Cmd.info "ranges" ~doc)
-    Term.(const run $ json_arg $ stats_arg $ trace_arg $ file_arg 0 "FILE")
+    Term.(const run $ json_arg $ domain_arg $ stats_arg $ trace_arg $ file_arg 0 "FILE")
 
 (* ---- machine ---- *)
 

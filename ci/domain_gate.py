@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""CI gate for the relational abstract domains (--domain).
+
+Domain monotonicity over the shipped samples: for every pair of sample
+routines that `ppredict compare` accepts,
+
+  1. the product domain decides at least as many comparisons as the
+     interval domain (a relational analysis only ever adds facts);
+  2. a comparison the interval domain already decides is never flipped
+     to the opposite sign by the product domain (soundness: more facts
+     can refine "either direction" into one, never reverse a proof);
+  3. every sample that ranges cleanly under intervals also ranges
+     cleanly under every relational domain.
+
+Plus two directed assertions that the relational machinery actually
+pays off: reldemo.pf vs reldemo2.pf and divloop.pf vs mulloop.pf are
+undecided under intervals and decided under the product domain.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+
+PP = os.environ.get("PPREDICT", "./_build/default/bin/ppredict.exe")
+
+fail = 0
+
+
+def err(msg):
+    global fail
+    fail += 1
+    print("::error::" + msg)
+
+
+def run(args):
+    return subprocess.run([PP] + args, capture_output=True, text=True)
+
+
+def verdict(out):
+    """Classify a compare stdout: 'le' | 'ge' | 'eq' | None (not decided)."""
+    for line in out.splitlines():
+        if line.startswith("first <= second"):
+            return "le"
+        if line.startswith("first >= second"):
+            return "ge"
+        if line.startswith("equal"):
+            return "eq"
+        if line.startswith("undecided") or line.startswith("crossover"):
+            return None
+    return None
+
+
+samples = sorted(glob.glob("samples/*.pf"))
+if not samples:
+    err("no samples found (run from the repository root)")
+
+# -- 1/2: pairwise compare monotonicity ------------------------------------
+
+decided = {"interval": 0, "product": 0}
+pairs = 0
+for i, a in enumerate(samples):
+    for b in samples[i + 1 :]:
+        base = run(["compare", a, b])
+        if base.returncode != 0:
+            continue  # pair not comparable (e.g. multi-routine file)
+        prod = run(["compare", "--domain", "product", a, b])
+        if prod.returncode != 0:
+            err(f"compare --domain product failed on {a} {b}: {prod.stderr.strip()}")
+            continue
+        pairs += 1
+        vi, vp = verdict(base.stdout), verdict(prod.stdout)
+        if vi is not None:
+            decided["interval"] += 1
+            if vp is None:
+                err(f"{a} vs {b}: interval decided ({vi}) but product undecided")
+            elif vi != vp and "eq" not in (vi, vp):
+                err(f"{a} vs {b}: product flips the decided sign ({vi} -> {vp})")
+        if vp is not None:
+            decided["product"] += 1
+
+print(f"compared {pairs} sample pairs: "
+      f"interval decided {decided['interval']}, product decided {decided['product']}")
+if decided["product"] < decided["interval"]:
+    err("product domain decides fewer comparisons than intervals")
+
+# -- directed: the relational domains must earn their keep -----------------
+
+for a, b in [("samples/reldemo.pf", "samples/reldemo2.pf"),
+             ("samples/divloop.pf", "samples/mulloop.pf")]:
+    vi = verdict(run(["compare", a, b]).stdout)
+    vp = verdict(run(["compare", "--domain", "product", a, b]).stdout)
+    if vi is not None:
+        err(f"{a} vs {b}: expected undecided under intervals, got {vi}")
+    if vp is None:
+        err(f"{a} vs {b}: product domain no longer decides the comparison")
+
+# -- 3: every domain ranges every sample cleanly ---------------------------
+
+for f in samples:
+    if run(["ranges", f]).returncode != 0:
+        continue  # the interval gate owns plain failures
+    for dom in ["octagon", "affine", "product"]:
+        r = run(["ranges", "--domain", dom, f])
+        if r.returncode != 0:
+            err(f"ranges --domain {dom} failed on {f}: {r.stderr.strip()}")
+
+if fail:
+    print(f"domain gate: {fail} failure(s)")
+    sys.exit(1)
+print("domain gate: ok")

@@ -3,6 +3,12 @@ open Pperf_symbolic
 open Pperf_lang
 module Env = Interval.Env
 
+type domain = Reldom.domain = Box | Octagon | Affine | Product
+
+let domain_of_string = Reldom.domain_of_string
+let domain_to_string = Reldom.domain_to_string
+let all_domains = Reldom.all_domains
+
 type loop_range = {
   at : Srcloc.t;
   lvar : string;
@@ -13,9 +19,13 @@ type loop_range = {
 
 type result = {
   at_stmt : (Srcloc.t, Env.t) Hashtbl.t;
+  rel_stmt : (Srcloc.t, Reldom.t) Hashtbl.t;
   loop_ranges : loop_range list;
   exit_env : Env.t;
   summary_env : Env.t;
+  exit_rel : Reldom.t;
+  sum_rel : Reldom.t;
+  dom : domain;
 }
 
 (* ---------- bounds (Interval exposes the bound constructors) ---------- *)
@@ -280,24 +290,71 @@ and assume_not symtab env c =
   | Ast.Binop (Ast.Ge, a, b) -> assume symtab env (Ast.Binop (Ast.Lt, a, b))
   | _ -> Some env
 
-let rec decide_cond env cond =
+(* Relational counterpart of [assume]: [env] is the (already refined)
+   interval box, used to bound residuals the octagon cannot carry. *)
+let rec rel_assume symtab env rel cond =
+  if Reldom.domain rel = Box then rel
+  else (
+    let ivb v = Env.find v env in
+    match cond with
+    | Ast.Unop (Ast.Not, c) -> rel_assume symtab env rel (negate_cond c)
+    | Ast.Binop (Ast.And, a, b) -> rel_assume symtab env (rel_assume symtab env rel a) b
+    | Ast.Binop (Ast.Or, a, b) ->
+      Reldom.join (rel_assume symtab env rel a) (rel_assume symtab env rel b)
+    | Ast.Binop ((Ast.Le | Ast.Lt | Ast.Ge | Ast.Gt | Ast.Eq) as op, a, b) -> (
+      match Sym_expr.to_poly (Ast.Binop (Ast.Sub, a, b)) with
+      | None -> rel
+      | Some d ->
+        (* strict comparisons tighten by one on all-integer forms *)
+        let integral p =
+          List.for_all (is_int_var symtab) (Poly.vars p)
+          && List.for_all (fun (c, _) -> Rat.is_integer c) (Poly.terms p)
+        in
+        let bump p = if integral p then Poly.add_const Rat.one p else p in
+        (match op with
+        | Ast.Le -> Reldom.assume_le ~ivb rel d
+        | Ast.Lt -> Reldom.assume_le ~ivb rel (bump d)
+        | Ast.Ge -> Reldom.assume_le ~ivb rel (Poly.neg d)
+        | Ast.Gt -> Reldom.assume_le ~ivb rel (bump (Poly.neg d))
+        | _ -> Reldom.assume_eq ~ivb rel d))
+    | _ -> rel)
+
+and negate_cond c =
+  match c with
+  | Ast.Logical b -> Ast.Logical (not b)
+  | Ast.Unop (Ast.Not, c') -> c'
+  | Ast.Binop (Ast.And, a, b) -> Ast.Binop (Ast.Or, negate_cond a, negate_cond b)
+  | Ast.Binop (Ast.Or, a, b) -> Ast.Binop (Ast.And, negate_cond a, negate_cond b)
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b) ->
+    Ast.Binop (negate_op op, a, b)
+  | _ -> Ast.Unop (Ast.Not, c)
+
+and decide_cond ?rel env cond =
   match cond with
   | Ast.Logical b -> Some b
-  | Ast.Unop (Ast.Not, c) -> Option.map not (decide_cond env c)
+  | Ast.Unop (Ast.Not, c) -> Option.map not (decide_cond ?rel env c)
   | Ast.Binop (Ast.And, a, b) -> (
-    match (decide_cond env a, decide_cond env b) with
+    match (decide_cond ?rel env a, decide_cond ?rel env b) with
     | Some false, _ | _, Some false -> Some false
     | Some true, Some true -> Some true
     | _ -> None)
   | Ast.Binop (Ast.Or, a, b) -> (
-    match (decide_cond env a, decide_cond env b) with
+    match (decide_cond ?rel env a, decide_cond ?rel env b) with
     | Some true, _ | _, Some true -> Some true
     | Some false, Some false -> Some false
     | _ -> None)
   | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b) ->
     let di =
       match Sym_expr.to_poly (Ast.Binop (Ast.Sub, a, b)) with
-      | Some d -> Interval.eval_poly env d
+      | Some d -> (
+        let iv = Interval.eval_poly env d in
+        match rel with
+        | Some r when Reldom.domain r <> Box -> (
+          let ivb v = Env.find v env in
+          match Interval.intersect iv (Reldom.bound ~ivb r d) with
+          | Some m -> m
+          | None -> iv)
+        | _ -> iv)
       | None -> Interval.sub (eval env a) (eval env b)
     in
     let surely_true op di = surely_false (negate_op op) di in
@@ -320,15 +377,41 @@ and negate_op = function
 type ctx = {
   symtab : Typecheck.symtab;
   tbl : (Srcloc.t, Env.t) Hashtbl.t;
+  rel_tbl : (Srcloc.t, Reldom.t) Hashtbl.t;
+  dom : domain;
+  thresholds : Rat.t list;
   mutable loops : loop_range list;
-  mutable exits : Env.t list;
+  mutable exits : (Env.t * Reldom.t) list;
   mutable depth : int;
 }
 
-let record ctx loc env =
-  match Hashtbl.find_opt ctx.tbl loc with
+(* Relational transfers run under their own span so --trace shows the cost
+   split out of the enclosing fixpoint. *)
+let rtime ctx f =
+  if ctx.dom = Box then f ()
+  else Pperf_obs.Obs.time (Lazy.force Reldom.sp_relational) f
+
+let record ctx loc env rel =
+  (match Hashtbl.find_opt ctx.tbl loc with
   | Some e -> Hashtbl.replace ctx.tbl loc (join_env e env)
-  | None -> Hashtbl.add ctx.tbl loc env
+  | None -> Hashtbl.add ctx.tbl loc env);
+  if ctx.dom <> Box then
+    match Hashtbl.find_opt ctx.rel_tbl loc with
+    | Some r -> Hashtbl.replace ctx.rel_tbl loc (Reldom.join r rel)
+    | None -> Hashtbl.add ctx.rel_tbl loc rel
+
+let join_st (e1, r1) (e2, r2) = (join_env e1 e2, Reldom.join r1 r2)
+
+let assume_st ctx (env, rel) cond =
+  match assume ctx.symtab env cond with
+  | None -> None
+  | Some env' -> Some (env', rtime ctx (fun () -> rel_assume ctx.symtab env' rel cond))
+
+let assume_not_st ctx (env, rel) cond =
+  match assume_not ctx.symtab env cond with
+  | None -> None
+  | Some env' ->
+    Some (env', rtime ctx (fun () -> rel_assume ctx.symtab env' rel (negate_cond cond)))
 
 let is_scalar ctx x =
   match Typecheck.lookup ctx.symtab x with
@@ -343,45 +426,51 @@ let rec exec_stmts ctx ~rec_ st stmts =
 and exec_stmt ctx ~rec_ st (s : Ast.stmt) =
   match st with
   | None -> None
-  | Some env -> (
-    if rec_ then record ctx s.loc env;
+  | Some ((env, rel) as st) -> (
+    if rec_ then record ctx s.loc env rel;
     match s.kind with
     | Ast.Assign (lhs, e) ->
-      if lhs.subs = [] && is_scalar ctx lhs.base then
-        Some (Env.add lhs.base (eval env e) env)
-      else Some env
+      if lhs.subs = [] && is_scalar ctx lhs.base then (
+        let rel' =
+          rtime ctx (fun () ->
+              let ivb v = Env.find v env in
+              Reldom.assign ~ivb rel lhs.base (Sym_expr.to_poly e))
+        in
+        Some (Env.add lhs.base (eval env e) env, rel'))
+      else Some st
     | Ast.Call_stmt (_, args) ->
       (* scalars passed by reference may be clobbered by the callee *)
       Some
         (List.fold_left
-           (fun env a ->
+           (fun (env, rel) a ->
              match a with
-             | Ast.Var x when is_scalar ctx x -> Env.add x Interval.full env
-             | _ -> env)
-           env args)
+             | Ast.Var x when is_scalar ctx x ->
+               (Env.add x Interval.full env, Reldom.forget rel x)
+             | _ -> (env, rel))
+           st args)
     | Ast.Return ->
-      if rec_ then ctx.exits <- env :: ctx.exits;
+      if rec_ then ctx.exits <- st :: ctx.exits;
       None
     | Ast.If (branches, els) ->
-      let fall = ref (Some env) in
+      let fall = ref (Some st) in
       let outs = ref [] in
       List.iter
         (fun (cond, body) ->
-          let enter = Option.bind !fall (fun e -> assume ctx.symtab e cond) in
+          let enter = Option.bind !fall (fun e -> assume_st ctx e cond) in
           (match exec_stmts ctx ~rec_ enter body with
           | Some o -> outs := o :: !outs
           | None -> ());
-          fall := Option.bind !fall (fun e -> assume_not ctx.symtab e cond))
+          fall := Option.bind !fall (fun e -> assume_not_st ctx e cond))
         branches;
       (match exec_stmts ctx ~rec_ !fall els with
       | Some o -> outs := o :: !outs
       | None -> ());
       (match !outs with
       | [] -> None
-      | o :: rest -> Some (List.fold_left join_env o rest))
-    | Ast.Do d -> exec_do ctx ~rec_ env s.loc d)
+      | o :: rest -> Some (List.fold_left join_st o rest))
+    | Ast.Do d -> exec_do ctx ~rec_ st s.loc d)
 
-and exec_do ctx ~rec_ env loc (d : Ast.do_loop) =
+and exec_do ctx ~rec_ (env, rel) loc (d : Ast.do_loop) =
   let lo_iv = eval env d.lo and hi_iv = eval env d.hi in
   let step_expr = match d.step with Some s -> s | None -> Ast.Int 1 in
   let step_iv = eval env step_expr in
@@ -435,11 +524,54 @@ and exec_do ctx ~rec_ env loc (d : Ast.do_loop) =
   match idx_opt with
   | None ->
     (* the body never executes; the index is left at lo *)
-    Some (Env.add d.var lo_iv env)
+    let rel' =
+      rtime ctx (fun () ->
+          let ivb v = Env.find v env in
+          Reldom.assign ~ivb rel d.var (Sym_expr.to_poly d.lo))
+    in
+    Some (Env.add d.var lo_iv env, rel')
   | Some idx ->
     let entry = env in
-    let set_idx e = Env.add d.var idx e in
-    let head = ref (set_idx entry) in
+    (* Loop-head relational guards [lo <= i <= hi] (mirrored for a negative
+       step). Sound only for loop-invariant bounds — Fortran evaluates DO
+       bounds once at entry, so the guard may not mention anything the body
+       (or the loop itself) assigns. *)
+    let mutated =
+      Analysis.SSet.add d.var
+        (Analysis.SSet.union
+           (Analysis.assigned_vars d.body)
+           (Analysis.loop_indices d.body))
+    in
+    let inv_poly e =
+      match Sym_expr.to_poly e with
+      | Some p when List.for_all (fun x -> not (Analysis.SSet.mem x mutated)) (Poly.vars p)
+        ->
+        Some p
+      | _ -> None
+    in
+    let guards =
+      if ctx.dom = Box || step_sign = 0 then []
+      else (
+        let ip = Poly.var d.var in
+        let pair lo hi =
+          (match lo with Some p -> [ Poly.sub p ip ] | None -> [])
+          @ (match hi with Some p -> [ Poly.sub ip p ] | None -> [])
+        in
+        if step_sign > 0 then pair (inv_poly d.lo) (inv_poly d.hi)
+        else pair (inv_poly d.hi) (inv_poly d.lo))
+    in
+    let set_idx_st (env, rel) =
+      let env' = Env.add d.var idx env in
+      let rel' =
+        rtime ctx (fun () ->
+            let ivb v = Env.find v env' in
+            List.fold_left
+              (fun r g -> Reldom.assume_le ~ivb r g)
+              (Reldom.forget rel d.var) guards)
+      in
+      (env', rel')
+    in
+    let head = ref (set_idx_st (entry, rel)) in
     ctx.depth <- ctx.depth + 1;
     (let continue = ref true and iter = ref 0 in
      while !continue && !iter < max_iters do
@@ -447,17 +579,32 @@ and exec_do ctx ~rec_ env loc (d : Ast.do_loop) =
        match exec_stmts ctx ~rec_:false (Some !head) d.body with
        | None -> continue := false
        | Some out ->
-         let next = join_env !head (set_idx out) in
-         if env_equal next !head then continue := false
-         else head := if !iter >= 3 then widen_env !head next else next
+         let he, hr = !head in
+         let ne, nr = join_st !head (set_idx_st out) in
+         if env_equal ne he && Reldom.equal nr hr then continue := false
+         else
+           head :=
+             if !iter >= 3 then
+               (widen_env he ne, Reldom.widen ~thresholds:ctx.thresholds hr nr)
+             else (ne, nr)
      done);
     (* one narrowing pass to recover bounds widening discarded *)
     (match exec_stmts ctx ~rec_:false (Some !head) d.body with
-    | Some out -> head := narrow_env !head (join_env (set_idx entry) (set_idx out))
+    | Some out ->
+      let he, hr = !head in
+      let ne, nr = join_st (set_idx_st (entry, rel)) (set_idx_st out) in
+      head := (narrow_env he ne, Reldom.narrow hr nr)
     | None -> ());
     let out = exec_stmts ctx ~rec_ (Some !head) d.body in
     ctx.depth <- ctx.depth - 1;
-    let after_base = match out with None -> entry | Some o -> join_env entry o in
+    let after_base, after_rel =
+      match out with
+      | None -> (entry, rel)
+      | Some (oe, orl) -> (join_env entry oe, Reldom.join rel orl)
+    in
+    (* the index's exit value is not one of the in-loop values the
+       relational facts were proved for *)
+    let after_rel = rtime ctx (fun () -> Reldom.forget after_rel d.var) in
     let idx_after =
       match step_const with
       | Some s ->
@@ -467,7 +614,7 @@ and exec_do ctx ~rec_ env loc (d : Ast.do_loop) =
         Interval.union lo_iv (Interval.add hi_iv sstep)
       | None -> Interval.full
     in
-    Some (Env.add d.var idx_after after_base)
+    Some (Env.add d.var idx_after after_base, after_rel)
 
 (* ---------- seeding and entry point ---------- *)
 
@@ -487,16 +634,92 @@ let seed_env symtab =
 
 let sp_fixpoint = Pperf_obs.Obs.span "absint.fixpoint"
 
-let analyze (checked : Typecheck.checked) =
+(* Widening thresholds: the routine's integer literals (and their simple
+   multiples), so octagon bounds step through program constants instead of
+   jumping straight to infinity. *)
+let collect_thresholds (r : Ast.routine) =
+  let acc = ref [ Rat.zero ] in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Ast.Int i ->
+      let k = Rat.of_int i in
+      let k2 = Rat.mul Rat.two k in
+      acc := k :: Rat.neg k :: k2 :: Rat.neg k2 :: !acc
+    | Ast.Real _ | Ast.Logical _ | Ast.Var _ -> ()
+    | Ast.Index (_, es) | Ast.Call (_, es) -> List.iter expr es
+    | Ast.Unop (_, a) -> expr a
+    | Ast.Binop (_, a, b) ->
+      expr a;
+      expr b
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.kind with
+    | Ast.Assign (lhs, e) ->
+      List.iter expr lhs.subs;
+      expr e
+    | Ast.If (branches, els) ->
+      List.iter
+        (fun (c, body) ->
+          expr c;
+          List.iter stmt body)
+        branches;
+      List.iter stmt els
+    | Ast.Do d ->
+      expr d.lo;
+      expr d.hi;
+      Option.iter expr d.step;
+      List.iter stmt d.body
+    | Ast.Call_stmt (_, es) -> List.iter expr es
+    | Ast.Return -> ()
+  in
+  List.iter stmt r.body;
+  List.sort_uniq Rat.compare !acc
+
+(* Relational counterpart of [seed_env]: declared extents give
+   [lo - hi <= 0] octagon facts relating e.g. a bound variable pair. *)
+let seed_rel symtab dom entry =
+  let top = Reldom.top dom in
+  if dom = Box then top
+  else (
+    let ivb v = Env.find v entry in
+    List.fold_left
+      (fun rel (_, (s : Typecheck.sym)) ->
+        List.fold_left
+          (fun rel (dim : Ast.array_dim) ->
+            let lo_e = Option.value dim.dim_lo ~default:(Ast.Int 1) in
+            match Sym_expr.to_poly (Ast.Binop (Ast.Sub, lo_e, dim.dim_hi)) with
+            | Some diff -> Reldom.assume_le ~ivb rel diff
+            | None -> rel)
+          rel s.dims)
+      top
+      (Typecheck.symbols_list symtab))
+
+let analyze ?(domain = Box) (checked : Typecheck.checked) =
   Pperf_obs.Obs.time sp_fixpoint @@ fun () ->
   let ctx =
-    { symtab = checked.symbols; tbl = Hashtbl.create 64; loops = []; exits = []; depth = 0 }
+    {
+      symtab = checked.symbols;
+      tbl = Hashtbl.create 64;
+      rel_tbl = Hashtbl.create 64;
+      dom = domain;
+      thresholds = (if domain = Box then [] else collect_thresholds checked.routine);
+      loops = [];
+      exits = [];
+      depth = 0;
+    }
   in
   let entry = seed_env checked.symbols in
-  let out = exec_stmts ctx ~rec_:true (Some entry) checked.routine.body in
+  let entry_rel = rtime ctx (fun () -> seed_rel checked.symbols domain entry) in
+  let out = exec_stmts ctx ~rec_:true (Some (entry, entry_rel)) checked.routine.body in
   let exits = match out with Some o -> o :: ctx.exits | None -> ctx.exits in
+  let exit_envs = List.map fst exits in
   let exit_env =
-    match exits with [] -> Env.empty | e :: r -> strip (List.fold_left join_env e r)
+    match exit_envs with [] -> Env.empty | e :: r -> strip (List.fold_left join_env e r)
+  in
+  let exit_rel =
+    match List.map snd exits with
+    | [] -> Reldom.top domain
+    | e :: r -> List.fold_left Reldom.join e r
   in
   let assigned =
     Analysis.SSet.union
@@ -517,7 +740,7 @@ let analyze (checked : Typecheck.checked) =
         (Env.bindings env)
     in
     Hashtbl.iter (fun _ e -> absorb e) ctx.tbl;
-    List.iter absorb exits;
+    List.iter absorb exit_envs;
     let acc =
       Hashtbl.fold
         (fun x iv acc -> if Interval.is_full iv then acc else Env.add x iv acc)
@@ -529,11 +752,36 @@ let analyze (checked : Typecheck.checked) =
         else Env.add x iv acc)
       acc (Env.bindings entry)
   in
+  let sum_rel =
+    (* a relation graduates to the summary when every recorded program
+       point either entails it or leaves some of its variables completely
+       unconstrained (the fact is about values not yet computed there) *)
+    if domain = Box then entry_rel
+    else
+      rtime ctx (fun () ->
+          let states =
+            Hashtbl.fold (fun _ r acc -> r :: acc) ctx.rel_tbl (List.map snd exits)
+          in
+          let holds_at p (c : Lin.cons) =
+            Reldom.entails p c
+            || List.exists (fun x -> Reldom.unconstrained p x) (Lin.vars c.lhs)
+          in
+          let kept =
+            List.filter
+              (fun c -> List.for_all (fun p -> holds_at p c) states)
+              (Reldom.constraints exit_rel)
+          in
+          List.fold_left Reldom.assume_cons (Reldom.top domain) kept)
+  in
   {
     at_stmt = ctx.tbl;
+    rel_stmt = ctx.rel_tbl;
     loop_ranges = List.rev ctx.loops;
     exit_env;
     summary_env;
+    exit_rel;
+    sum_rel;
+    dom = domain;
   }
 
 let ranges_at r loc =
@@ -542,6 +790,46 @@ let ranges_at r loc =
 let summary r = r.summary_env
 let exit_env r = r.exit_env
 let loops r = r.loop_ranges
+let domain_used (r : result) = r.dom
+
+let rel_at r loc =
+  match Hashtbl.find_opt r.rel_stmt loc with Some rel -> rel | None -> Reldom.top r.dom
+
+let env_at r loc =
+  match Hashtbl.find_opt r.at_stmt loc with Some e -> e | None -> Env.empty
+
+let meet_rel env rel p iv =
+  let ivb v = Env.find v env in
+  match Interval.intersect iv (Reldom.bound ~ivb rel p) with Some m -> m | None -> iv
+
+let bound_at r loc p =
+  let env = env_at r loc in
+  let iv = Interval.eval_poly env p in
+  if r.dom = Box then iv else meet_rel env (rel_at r loc) p iv
+
+let decide_cond_at r loc cond =
+  let env = env_at r loc in
+  if r.dom = Box then decide_cond env cond
+  else decide_cond ~rel:(rel_at r loc) env cond
+
+let summary_rel r = r.sum_rel
+
+let summary_bound r p =
+  let iv = Interval.eval_poly r.summary_env p in
+  if r.dom = Box then iv else meet_rel r.summary_env r.sum_rel p iv
+
+let rewrites r = Reldom.rewrites r.sum_rel
+let relations r = Reldom.constraints r.sum_rel
+let relations_at (r : result) loc =
+  if r.dom = Box then [] else Reldom.constraints (rel_at r loc)
+
+let relation_points (r : result) =
+  if r.dom = Box then []
+  else
+    Hashtbl.fold (fun loc rel acc -> (loc, Reldom.constraints rel) :: acc) r.rel_stmt []
+    |> List.filter (fun (_, cs) -> cs <> [])
+    |> List.sort (fun ((a : Srcloc.t), _) ((b : Srcloc.t), _) ->
+           compare (a.line, a.col) (b.line, b.col))
 
 let pp_loop_range fmt (l : loop_range) =
   Format.fprintf fmt "%s%s at %s: index %s, trip %s"

@@ -18,6 +18,16 @@
 open Pperf_symbolic
 open Pperf_lang
 
+type domain = Reldom.domain = Box | Octagon | Affine | Product
+(** Abstract domain selector: [Box] is the interval-only analysis (the
+    historical behaviour, zero relational overhead); [Octagon] adds
+    [±x ± y <= c] difference facts; [Affine] adds exact equalities
+    [x = Σ aᵢ·yᵢ + c]; [Product] runs both with mutual reduction. *)
+
+val domain_of_string : string -> domain option
+val domain_to_string : domain -> string
+val all_domains : string list
+
 type loop_range = {
   at : Srcloc.t;  (** location of the [do] statement *)
   lvar : string;  (** loop index variable *)
@@ -28,9 +38,13 @@ type loop_range = {
 
 type result
 
-val analyze : Typecheck.checked -> result
+val analyze : ?domain:domain -> Typecheck.checked -> result
 (** Run the fixpoint over the routine body. Always terminates (widening
-    jumps escaping bounds to infinity) and never raises. *)
+    jumps escaping bounds to infinity) and never raises. [domain] (default
+    [Box]) additionally threads a relational state through the same
+    fixpoint: loop-head guards assume [lo <= i <= hi] for loop-invariant
+    bounds, affine assignments transfer exactly, and octagon bounds widen
+    through thresholds harvested from the routine's integer literals. *)
 
 val ranges_at : result -> Srcloc.t -> Interval.Env.t
 (** Environment holding immediately {e before} the statement at this
@@ -57,8 +71,47 @@ val eval_expr : Interval.Env.t -> Ast.expr -> Interval.t
     go through {!Interval.eval_poly}, the rest structurally (division,
     [min]/[max]/[abs]/[mod] intrinsics); unknown constructs give [full]. *)
 
-val decide_cond : Interval.Env.t -> Ast.expr -> bool option
-(** [Some b] when the condition provably evaluates to [b] over the box. *)
+val decide_cond : ?rel:Reldom.t -> Interval.Env.t -> Ast.expr -> bool option
+(** [Some b] when the condition provably evaluates to [b] over the box,
+    optionally sharpened by a relational state ([i - n <= -1] decides
+    [i + 1 <= n] even when both boxes are unbounded). *)
+
+val domain_used : result -> domain
+
+val rel_at : result -> Srcloc.t -> Reldom.t
+(** Relational state holding immediately before the statement (top for
+    unknown locations or the [Box] domain). *)
+
+val bound_at : result -> Srcloc.t -> Poly.t -> Interval.t
+(** Enclosure of the polynomial at the location: interval evaluation met
+    with the relational bound. *)
+
+val decide_cond_at : result -> Srcloc.t -> Ast.expr -> bool option
+(** {!decide_cond} in the environment and relational state at the
+    location. *)
+
+val summary_rel : result -> Reldom.t
+(** Whole-routine relational summary: the exit relations that every
+    recorded program point either entails or is agnostic about (all
+    variables unconstrained there). Survivors are typically input
+    couplings like [m = 2*n]; loop-local facts are filtered out. *)
+
+val summary_bound : result -> Poly.t -> Interval.t
+(** Enclosure of the polynomial over {!summary}, met with the relational
+    summary's bound. *)
+
+val rewrites : result -> (string * Poly.t) list
+(** Exact substitutions from the affine rows of {!summary_rel}, usable on
+    arbitrary polynomials (e.g. [m = 2*n] turns [m·n] into [2·n²]). *)
+
+val relations : result -> Lin.cons list
+(** Displayable constraints of {!summary_rel}. *)
+
+val relations_at : result -> Srcloc.t -> Lin.cons list
+
+val relation_points : result -> (Srcloc.t * Lin.cons list) list
+(** Every recorded program point with at least one relational fact, in
+    source order — the [ranges --json] relational report. *)
 
 val assume : Typecheck.symtab -> Interval.Env.t -> Ast.expr -> Interval.Env.t option
 (** Refine the box assuming the condition holds; [None] when the condition

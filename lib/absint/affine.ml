@@ -1,0 +1,229 @@
+open Pperf_num
+open Pperf_symbolic
+
+(* Rows are linear forms [f = 0], each with unit leading coefficient,
+   sorted by leading variable, leading variables eliminated everywhere
+   else. *)
+type t = Bot | Rows of Lin.t list
+
+let top = Rows []
+let bot = Bot
+let is_bot t = t = Bot
+let is_top t = t = Rows []
+
+let lead (f : Lin.t) =
+  match f.terms with (_, x) :: _ -> x | [] -> invalid_arg "Affine.lead"
+
+let reduce_form rows (l : Lin.t) =
+  (* leading variables occur in exactly one row each, so one pass is a
+     full reduction *)
+  List.fold_left
+    (fun l f ->
+      let c = Lin.coeff (lead f) l in
+      if Rat.is_zero c then l else Lin.sub l (Lin.scale c f))
+    l rows
+
+let reduce_lin t l = match t with Bot -> l | Rows rows -> reduce_form rows l
+
+(* Insert a (not yet reduced) form. *)
+let add_eq t lin =
+  match t with
+  | Bot -> Bot
+  | Rows rows -> (
+    let l = reduce_form rows lin in
+    match l.terms with
+    | [] -> if Rat.is_zero l.const then t else Bot
+    | (a, x) :: _ ->
+      let f = Lin.scale (Rat.inv a) l in
+      let rows =
+        List.map
+          (fun g ->
+            let c = Lin.coeff x g in
+            if Rat.is_zero c then g else Lin.sub g (Lin.scale c f))
+          rows
+      in
+      let rec insert = function
+        | [] -> [ f ]
+        | g :: tl ->
+          if String.compare x (lead g) < 0 then f :: g :: tl else g :: insert tl
+      in
+      Rows (insert rows))
+
+let of_forms forms = List.fold_left add_eq top forms
+let meet a b = match (a, b) with Bot, _ | _, Bot -> Bot | Rows _, Rows rb -> List.fold_left add_eq a rb
+
+let rows = function Bot -> [] | Rows rows -> rows
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Bot, _ | _, Bot -> false
+  | Rows ra, Rows rb -> List.length ra = List.length rb && List.for_all2 Lin.equal ra rb
+
+(* ---------- join: affine hull via rowspace intersection ---------- *)
+
+(* An affine functional vanishing on both row sets' solution spaces is one
+   in the intersection of their spans: Zassenhaus block elimination on
+   [[A|A];[B|0]] — reduced rows with a zero left block carry intersection
+   vectors in their right block. *)
+let join a b =
+  match (a, b) with
+  | Bot, t | t, Bot -> t
+  | Rows ra, Rows rb ->
+    if equal a b then a
+    else (
+      let vars =
+        List.sort_uniq String.compare
+          (List.concat_map Lin.vars ra @ List.concat_map Lin.vars rb)
+      in
+      let n = List.length vars in
+      let dimv = n + 1 in
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun i x -> Hashtbl.add pos x i) vars;
+      let vec_of (f : Lin.t) =
+        let v = Array.make dimv Rat.zero in
+        List.iter (fun (c, x) -> v.(Hashtbl.find pos x) <- c) f.terms;
+        v.(n) <- f.const;
+        v
+      in
+      let width = 2 * dimv in
+      let rows_m =
+        List.map
+          (fun f ->
+            let v = vec_of f in
+            Array.append v v)
+          ra
+        @ List.map (fun f -> Array.append (vec_of f) (Array.make dimv Rat.zero)) rb
+      in
+      let mat = Array.of_list rows_m in
+      let nrows = Array.length mat in
+      (* plain Gaussian elimination, left-to-right *)
+      let rank = ref 0 in
+      for col = 0 to width - 1 do
+        if !rank < nrows then (
+          let piv = ref (-1) in
+          for r = !rank to nrows - 1 do
+            if !piv < 0 && not (Rat.is_zero mat.(r).(col)) then piv := r
+          done;
+          if !piv >= 0 then (
+            let tmp = mat.(!rank) in
+            mat.(!rank) <- mat.(!piv);
+            mat.(!piv) <- tmp;
+            let p = mat.(!rank).(col) in
+            for r = 0 to nrows - 1 do
+              if r <> !rank && not (Rat.is_zero mat.(r).(col)) then (
+                let k = Rat.div mat.(r).(col) p in
+                for c = col to width - 1 do
+                  mat.(r).(c) <- Rat.sub mat.(r).(c) (Rat.mul k mat.(!rank).(c))
+                done)
+            done;
+            incr rank))
+      done;
+      let lin_of_right v =
+        let terms = List.mapi (fun i x -> (v.(dimv + i), x)) vars in
+        Lin.of_terms terms v.(dimv + n)
+      in
+      let inter = ref [] in
+      Array.iter
+        (fun v ->
+          let left_zero = ref true in
+          for c = 0 to dimv - 1 do
+            if not (Rat.is_zero v.(c)) then left_zero := false
+          done;
+          if !left_zero then (
+            let l = lin_of_right v in
+            match Lin.is_const l with
+            | Some c when Rat.is_zero c -> ()
+            | _ -> inter := l :: !inter))
+        mat;
+      of_forms !inter)
+
+let widen = join
+let narrow = meet
+
+(* ---------- forget / assign ---------- *)
+
+let forget t x =
+  match t with
+  | Bot -> Bot
+  | Rows rws ->
+    if not (List.exists (Lin.mem_var x) rws) then t
+    else (
+      (* eliminate x with one pivot row, drop the pivot *)
+      let pivot = List.find (Lin.mem_var x) rws in
+      let px = Lin.coeff x pivot in
+      let rest =
+        List.filter (fun g -> g != pivot) rws
+        |> List.map (fun g ->
+               let c = Lin.coeff x g in
+               if Rat.is_zero c then g
+               else Lin.sub g (Lin.scale (Rat.div c px) pivot))
+      in
+      of_forms rest)
+
+let ghost = "%old"
+
+let assign t x rhs =
+  match t with
+  | Bot -> Bot
+  | Rows rws -> (
+    match rhs with
+    | None -> forget t x
+    | Some (e : Lin.t) ->
+      if not (Lin.mem_var x e) then
+        add_eq (forget t x) (Lin.sub (Lin.var x) e)
+      else (
+        (* invertible-ish update: route the old value through a ghost *)
+        let renamed = List.map (Lin.rename x ghost) rws in
+        let e' = Lin.rename x ghost e in
+        match add_eq (of_forms renamed) (Lin.sub (Lin.var x) e') with
+        | Bot -> Bot
+        | t' -> forget t' ghost))
+
+(* ---------- inspection ---------- *)
+
+let project t x =
+  match t with
+  | Bot -> Interval.full
+  | Rows rws -> (
+    match List.find_opt (fun f -> lead f = x) rws with
+    | Some { Lin.terms = [ (a, y) ]; const }
+      when y = x && Rat.equal a Rat.one ->
+      Interval.point (Rat.neg const)
+    | _ -> Interval.full)
+
+let rewrites t =
+  match t with
+  | Bot -> []
+  | Rows rws ->
+    List.map
+      (fun f ->
+        let x = lead f in
+        (x, Lin.to_poly (Lin.neg (Lin.drop_var x f))))
+      rws
+
+let reduce_poly t p =
+  List.fold_left
+    (fun p (x, q) ->
+      if Poly.mem_var x p && Poly.min_degree_in x p >= 0 then Poly.subst x q p else p)
+    p (rewrites t)
+
+let constraints t =
+  match t with Bot -> [] | Rows rws -> List.map (fun f -> { Lin.lhs = f; is_eq = true }) rws
+
+let entails t (c : Lin.cons) =
+  match t with
+  | Bot -> true
+  | Rows rows -> (
+    let r = reduce_form rows c.lhs in
+    match Lin.is_const r with
+    | Some v -> if c.is_eq then Rat.is_zero v else Rat.sign v <= 0
+    | None -> false)
+
+let unconstrained t x =
+  match t with Bot -> false | Rows rws -> not (List.exists (Lin.mem_var x) rws)
+
+let satisfies f t =
+  match t with
+  | Bot -> false
+  | Rows rws -> List.for_all (fun r -> Rat.is_zero (Lin.eval f r)) rws

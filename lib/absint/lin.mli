@@ -1,0 +1,54 @@
+(** Affine linear forms over exact rationals: [Σ aᵢ·xᵢ + c].
+
+    The shared currency of the relational domains: octagon constraints,
+    affine-equality rows, and the bridge to {!Pperf_symbolic.Poly}
+    performance polynomials (a form converts exactly when the polynomial
+    has total degree at most one). *)
+
+open Pperf_num
+open Pperf_symbolic
+
+type t = {
+  terms : (Rat.t * string) list;  (** sorted by variable, coefficients nonzero *)
+  const : Rat.t;
+}
+
+val zero : t
+val const : Rat.t -> t
+val var : string -> t
+val of_terms : (Rat.t * string) list -> Rat.t -> t
+
+val of_poly : Poly.t -> t option
+(** [Some l] exactly when the polynomial is affine (total degree <= 1). *)
+
+val to_poly : t -> Poly.t
+val is_const : t -> Rat.t option
+val coeff : string -> t -> Rat.t
+val vars : t -> string list
+val mem_var : string -> t -> bool
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Rat.t -> t -> t
+val add_const : Rat.t -> t -> t
+val drop_var : string -> t -> t
+(** Remove the variable's term (not a sound transfer by itself — callers
+    account for the dropped term separately). *)
+
+val rename : string -> string -> t -> t
+val eval : (string -> Rat.t) -> t -> Rat.t
+val eval_iv : (string -> Interval.t) -> t -> Interval.t
+(** Sound interval enclosure under per-variable bounds. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+(** Render as a constraint-friendly sum, e.g. ["i - n + 1"]. *)
+
+type cons = { lhs : t; is_eq : bool }
+(** A linear constraint [lhs <= 0] (or [lhs = 0] when [is_eq]). *)
+
+val cons_equal : cons -> cons -> bool
+val cons_to_string : cons -> string
+(** Human form: inequalities as ["i - n <= -1"] (constant moved right),
+    equalities solved for their leading variable as ["m = 2*n"]. *)

@@ -17,6 +17,7 @@ type options = {
   iteration_overlap : bool;
   library : Libtable.t option;
   infer_ranges : bool;
+  range_domain : Pperf_absint.Absint.domain;
 }
 
 let default_options =
@@ -30,6 +31,7 @@ let default_options =
     iteration_overlap = true;
     library = None;
     infer_ranges = false;
+    range_domain = Pperf_absint.Absint.Box;
   }
 
 type prediction = {
@@ -512,7 +514,9 @@ let infer_ranges_of ~options ~symtab body =
     let routine =
       { Ast.rname = "<block>"; rkind = Ast.Subroutine; params = []; decls = []; body }
     in
-    Some (Pperf_absint.Absint.analyze { Typecheck.routine; symbols = symtab }))
+    Some
+      (Pperf_absint.Absint.analyze ~domain:options.range_domain
+         { Typecheck.routine; symbols = symtab }))
 
 let sp_aggregate = Pperf_obs.Obs.span "aggregate"
 

@@ -47,6 +47,9 @@ type options = {
           the inferred ranges: symbolic-trip precision events carry the
           inferred trip bounds, and closed-form trips not provably
           non-negative over the ranges are reported *)
+  range_domain : Pperf_absint.Absint.domain;
+      (** abstract domain for that analysis (default [Box]); relational
+          domains sharpen the flow-sensitive facts the events consult *)
 }
 
 val default_options : options

@@ -43,34 +43,105 @@ let subst_points env p =
       | _ -> p)
     p (Interval.Env.bindings env)
 
-let inferred_env ?(base = Interval.Env.empty) checkeds =
+type rel_facts = {
+  rel_domain : Pperf_absint.Absint.domain;
+  rel_rewrites : (string * Poly.t) list;
+  rel_oracle : Poly.t -> Interval.t;
+  rel_show : string list;
+}
+
+let inferred_rel ?(base = Interval.Env.empty) ?(domain = Pperf_absint.Absint.Box) checkeds =
+  let module A = Pperf_absint.Absint in
+  let results = List.map (A.analyze ~domain) checkeds in
   let inferred =
     List.fold_left
-      (fun env checked ->
-        let s = Pperf_absint.Absint.summary (Pperf_absint.Absint.analyze checked) in
+      (fun env res ->
         List.fold_left
           (fun env (x, iv) ->
             match Interval.Env.find_opt x env with
             | Some cur -> Interval.Env.add x (Interval.union cur iv) env
             | None -> Interval.Env.add x iv env)
-          env (Interval.Env.bindings s))
-      Interval.Env.empty checkeds
+          env
+          (Interval.Env.bindings (A.summary res)))
+      Interval.Env.empty results
   in
   (* explicit caller bindings win over inferred ones *)
-  List.fold_left
-    (fun env (x, iv) -> Interval.Env.add x iv env)
-    inferred
-    (Interval.Env.bindings base)
+  let env =
+    List.fold_left
+      (fun env (x, iv) -> Interval.Env.add x iv env)
+      inferred
+      (Interval.Env.bindings base)
+  in
+  let rel =
+    if domain = A.Box then None
+    else
+      match List.map A.summary_rel results with
+      | [] -> None
+      | r :: tl ->
+        (* join: only relations valid in every routine survive, so the
+           oracle is sound for a cross-routine comparison *)
+        let joined = List.fold_left Pperf_absint.Reldom.join r tl in
+        let ivb v = Interval.Env.find v env in
+        Some
+          {
+            rel_domain = domain;
+            rel_rewrites = Pperf_absint.Reldom.rewrites joined;
+            rel_oracle = (fun p -> Pperf_absint.Reldom.bound ~ivb joined p);
+            rel_show =
+              List.map Pperf_absint.Lin.cons_to_string
+                (Pperf_absint.Reldom.constraints joined);
+          }
+  in
+  (env, rel)
+
+let inferred_env ?base checkeds = fst (inferred_rel ?base checkeds)
 
 let sp_compare = Pperf_obs.Obs.span "compare"
 
-let decide ?eps ?depth env (cf : Perf_expr.t) (cg : Perf_expr.t) : decision =
+(* one decision counter per domain, registered on first decided verdict so
+   interval-only runs keep their historical counter set *)
+let c_decided : (string, Pperf_obs.Obs.counter) Hashtbl.t = Hashtbl.create 4
+
+let count_decided rel verdict =
+  match verdict with
+  | Signs.Always_le | Signs.Always_ge | Signs.Equal ->
+    let dom =
+      match rel with
+      | Some r -> Pperf_absint.Absint.domain_to_string r.rel_domain
+      | None -> "interval"
+    in
+    let name = "compare.decided." ^ dom in
+    let c =
+      match Hashtbl.find_opt c_decided name with
+      | Some c -> c
+      | None ->
+        let c = Pperf_obs.Obs.counter name in
+        Hashtbl.add c_decided name c;
+        c
+    in
+    Pperf_obs.Obs.incr c
+  | Signs.Crossover _ | Signs.Undecided _ -> ()
+
+let apply_rewrites rel p =
+  match rel with
+  | None -> p
+  | Some r ->
+    List.fold_left
+      (fun p (x, q) ->
+        if Poly.mem_var x p && Poly.min_degree_in x p >= 0 then Poly.subst x q p else p)
+      p r.rel_rewrites
+
+let decide ?eps ?depth ?rel env (cf : Perf_expr.t) (cg : Perf_expr.t) : decision =
   Pperf_obs.Obs.time sp_compare @@ fun () ->
-  let f = subst_points env (Perf_expr.total cf)
-  and g = subst_points env (Perf_expr.total cg) in
+  (* affine rewrites ([m = 2*n]) eliminate coupled variables exactly, which
+     can collapse a multivariate difference to a decidable one *)
+  let f = subst_points env (apply_rewrites rel (Perf_expr.total cf))
+  and g = subst_points env (apply_rewrites rel (Perf_expr.total cg)) in
   let diff = Poly.sub f g in
   let env = widen_env env diff in
-  let verdict = Signs.compare_over ?eps ?depth env f g in
+  let oracle = Option.map (fun r -> r.rel_oracle) rel in
+  let verdict = Signs.compare_over ?eps ?depth ?oracle env f g in
+  count_decided rel verdict;
   let recommended =
     match verdict with
     | Signs.Always_le -> First

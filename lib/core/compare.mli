@@ -19,22 +19,45 @@ type decision = {
   difference : Poly.t;  (** [total first - total second] *)
 }
 
+type rel_facts = {
+  rel_domain : Pperf_absint.Absint.domain;
+  rel_rewrites : (string * Poly.t) list;
+      (** exact affine substitutions, e.g. [m ↦ 2·n] *)
+  rel_oracle : Poly.t -> Interval.t;
+      (** sound enclosure of a polynomial from the relational summary *)
+  rel_show : string list;  (** the relations, rendered for display *)
+}
+
 val inferred_env :
   ?base:Interval.Env.t -> Pperf_lang.Typecheck.checked list -> Interval.Env.t
 (** Seed a comparison environment from the interval abstract interpretation
     of the routines being compared (union when several routines constrain
     the same variable); bindings in [base] override inferred ones. *)
 
+val inferred_rel :
+  ?base:Interval.Env.t ->
+  ?domain:Pperf_absint.Absint.domain ->
+  Pperf_lang.Typecheck.checked list ->
+  Interval.Env.t * rel_facts option
+(** {!inferred_env} generalized over the abstract domain: relational
+    domains additionally return the joined whole-routine relations (facts
+    must hold in {e every} routine to survive the join, so the oracle is
+    sound for the comparison). [None] under the default [Box] domain. *)
+
 val decide :
   ?eps:Pperf_num.Rat.t ->
   ?depth:int ->
+  ?rel:rel_facts ->
   Interval.Env.t ->
   Perf_expr.t ->
   Perf_expr.t ->
   decision
 (** Variables the environment pins to a point are substituted into both
     expressions before the sign analysis, so e.g. a known scalar loop bound
-    turns a multivariate difference into a decidable univariate one. *)
+    turns a multivariate difference into a decidable univariate one.
+    [rel] applies its affine rewrites to both expressions first and feeds
+    its oracle to the sign analysis; decided verdicts bump a per-domain
+    [compare.decided.<domain>] counter. *)
 
 val pp_choice : Format.formatter -> choice -> unit
 val pp_decision : Format.formatter -> decision -> unit

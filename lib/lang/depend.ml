@@ -20,20 +20,29 @@ let direction_to_string = function Lt -> "<" | Eq -> "=" | Gt -> ">"
 (* constant loop bounds when available; with a range environment, symbolic
    bounds collapse to sound integer enclosures (floor the lower end, ceil
    the upper), e.g. [do i = 1, m] with m in [2,2] gives (1, 2) *)
-let const_bounds ?env (l : Analysis.loop_ctx) =
+let const_bounds ?env ?oracle (l : Analysis.loop_ctx) =
   let poly_of e = Sym_expr.to_poly e in
   let const e =
     match poly_of e with
     | Some p -> (match Poly.to_const p with Some c -> Rat.to_int c | None -> None)
     | None -> None
   in
+  let enclose p =
+    let base =
+      match env with Some env -> Interval.eval_poly env p | None -> Interval.full
+    in
+    match oracle with
+    | Some f -> (
+      match Interval.intersect base (f p) with Some m -> m | None -> base)
+    | None -> base
+  in
   let iv_bound round pick e =
-    match (env, poly_of e) with
-    | Some env, Some p -> (
-      match pick (Interval.eval_poly env p) with
+    match poly_of e with
+    | Some p -> (
+      match pick (enclose p) with
       | Interval.Fin r -> Bigint.to_int (round r)
       | _ -> None)
-    | _ -> None
+    | None -> None
   in
   let step_ok = match l.lstep with None -> true | Some (Ast.Int 1) -> true | _ -> false in
   if not step_ok then None
@@ -53,7 +62,7 @@ let const_bounds ?env (l : Analysis.loop_ctx) =
 (* one subscript pair viewed affinely in the common loop indices:
    (a_coeffs, b_coeffs, diff) with  sum a_j x_j - sum b_j y_j = diff
    (diff constant); None = not analyzable -> assume dependent *)
-let subscript_pair ?env common (f : Ast.expr) (g : Ast.expr) =
+let subscript_pair ?env ?oracle common (f : Ast.expr) (g : Ast.expr) =
   let vars = List.map (fun (l : Analysis.loop_ctx) -> l.lvar) common in
   match (Sym_expr.affine_in vars f, Sym_expr.affine_in vars g) with
   | Some (fa, frest), Some (ga, grest) ->
@@ -63,10 +72,21 @@ let subscript_pair ?env common (f : Ast.expr) (g : Ast.expr) =
       | Some c -> Some c
       | None -> (
         (* a range environment may pin the symbolic difference to a point,
-           e.g. a(i) vs a(i+m) with m in [2,2] *)
-        match env with
-        | Some env -> Interval.is_point (Interval.eval_poly env diff)
-        | None -> None)
+           e.g. a(i) vs a(i+m) with m in [2,2]; a relational oracle can do
+           the same for symbolic couplings, e.g. a(i+m) vs a(i+2*n) under
+           m = 2*n *)
+        let base =
+          match env with
+          | Some env -> Interval.eval_poly env diff
+          | None -> Interval.full
+        in
+        let iv =
+          match oracle with
+          | Some f -> (
+            match Interval.intersect base (f diff) with Some m -> m | None -> base)
+          | None -> base
+        in
+        Interval.is_point iv)
     in
     (match diff_const with
      | Some c when Rat.is_integer c -> (
@@ -112,12 +132,12 @@ let term_bounds a b lo hi (dir : dir_or_any) =
 
 (* Banerjee-style test of one subscript pair against a direction vector:
    true = disproved (no dependence with these directions) *)
-let banerjee_disproves ?env common dirs (fa, ga, diff) =
+let banerjee_disproves ?env ?oracle common dirs (fa, ga, diff) =
   let rec go common dirs fa ga (mn, mx) =
     match (common, dirs, fa, ga) with
     | [], [], [], [] -> diff < mn || diff > mx
     | l :: common', d :: dirs', a :: fa', b :: ga' -> (
-      match const_bounds ?env l with
+      match const_bounds ?env ?oracle l with
       | None ->
         (* unknown bounds: only the Eq direction allows exact treatment of
            the (a-b) x term when a = b (contributes 0) *)
@@ -136,12 +156,12 @@ let banerjee_disproves ?env common dirs (fa, ga, diff) =
 
 (* test a full direction vector against all subscript pairs; true = the
    tests disproved a dependence with this direction vector *)
-let vector_disproved ?env common dirs pairs =
+let vector_disproved ?env ?oracle common dirs pairs =
   List.exists
     (fun pair ->
       match pair with
       | None -> false (* unanalyzable dimension: cannot disprove *)
-      | Some p -> gcd_disproves p || banerjee_disproves ?env common dirs p)
+      | Some p -> gcd_disproves p || banerjee_disproves ?env ?oracle common dirs p)
     pairs
 
 (* strong-SIV sharpening: when a dim is a*x - a*y = diff with a <> 0, the
@@ -219,14 +239,16 @@ let ranges_disjoint env (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
          = None)
        r1.subs r2.subs
 
-let directions ~common ?env (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
+let directions ~common ?env ?oracle (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
   if not (String.equal r1.array r2.array) then []
   else if (match env with Some env -> ranges_disjoint env r1 r2 | None -> false) then []
   else if List.length r1.subs <> List.length r2.subs then
     (* inconsistent shapes: be conservative, all-any *)
     [ List.map (fun _ -> Eq) common ]
   else (
-    let pairs = List.map2 (fun f g -> subscript_pair ?env common f g) r1.subs r2.subs in
+    let pairs =
+      List.map2 (fun f g -> subscript_pair ?env ?oracle common f g) r1.subs r2.subs
+    in
     let forced = siv_direction common pairs in
     if List.exists (fun f -> f = Some `Impossible) forced then []
     else (
@@ -236,7 +258,8 @@ let directions ~common ?env (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) 
       let rec refine prefix j =
         if j = n then (
           let dirs = List.rev prefix in
-          if not (vector_disproved ?env common (List.map (fun d -> D d) dirs) pairs) then
+          if not (vector_disproved ?env ?oracle common (List.map (fun d -> D d) dirs) pairs)
+          then
             results := dirs :: !results)
         else (
           let candidates =
@@ -251,14 +274,14 @@ let directions ~common ?env (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) 
                 List.rev_append (List.map (fun d -> D d) (d :: prefix))
                   (List.init (n - j - 1) (fun _ -> Any))
               in
-              if not (vector_disproved ?env common partial pairs) then
+              if not (vector_disproved ?env ?oracle common partial pairs) then
                 refine (d :: prefix) (j + 1))
             candidates)
       in
       refine [] 0;
       List.rev !results))
 
-let may_depend ~common ?env r1 r2 = directions ~common ?env r1 r2 <> []
+let may_depend ~common ?env ?oracle r1 r2 = directions ~common ?env ?oracle r1 r2 <> []
 
 let common_loops (r1 : Analysis.array_ref) (r2 : Analysis.array_ref) =
   let rec go l1 l2 =
@@ -279,7 +302,7 @@ let classify (src : Analysis.array_ref) (dst : Analysis.array_ref) =
 
 let sp_depend = Pperf_obs.Obs.span "depend"
 
-let dependences_in ?env stmts =
+let dependences_in ?env ?oracle stmts =
   Pperf_obs.Obs.time sp_depend @@ fun () ->
   let refs = Analysis.array_refs stmts in
   let deps = ref [] in
@@ -291,7 +314,7 @@ let dependences_in ?env stmts =
       if String.equal r1.array r2.array && (r1.is_write || r2.is_write) && not (i = j && not r1.is_write)
       then (
         let common = common_loops r1 r2 in
-        let dirs = directions ~common ?env r1 r2 in
+        let dirs = directions ~common ?env ?oracle r1 r2 in
         List.iter
           (fun dvec ->
             (* orient the dependence source-before-destination *)
@@ -311,14 +334,14 @@ let dependences_in ?env stmts =
   done;
   List.rev !deps
 
-let carried_dependences ?env (d : Ast.do_loop) =
-  let deps = dependences_in ?env [ Ast.mk (Ast.Do d) ] in
+let carried_dependences ?env ?oracle (d : Ast.do_loop) =
+  let deps = dependences_in ?env ?oracle [ Ast.mk (Ast.Do d) ] in
   List.filter
     (fun dep -> match dep.directions with (Lt | Gt) :: _ -> true | _ -> false)
     deps
 
-let interchange_legal ?env (d : Ast.do_loop) =
-  let deps = dependences_in ?env [ Ast.mk (Ast.Do d) ] in
+let interchange_legal ?env ?oracle (d : Ast.do_loop) =
+  let deps = dependences_in ?env ?oracle [ Ast.mk (Ast.Do d) ] in
   not
     (List.exists
        (fun dep ->

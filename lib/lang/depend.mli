@@ -29,6 +29,7 @@ val classify : Analysis.array_ref -> Analysis.array_ref -> dep_kind
 val may_depend :
   common:Analysis.loop_ctx list ->
   ?env:Pperf_symbolic.Interval.Env.t ->
+  ?oracle:(Pperf_symbolic.Poly.t -> Pperf_symbolic.Interval.t) ->
   Analysis.array_ref ->
   Analysis.array_ref ->
   bool
@@ -37,6 +38,7 @@ val may_depend :
 val directions :
   common:Analysis.loop_ctx list ->
   ?env:Pperf_symbolic.Interval.Env.t ->
+  ?oracle:(Pperf_symbolic.Poly.t -> Pperf_symbolic.Interval.t) ->
   Analysis.array_ref ->
   Analysis.array_ref ->
   direction list list
@@ -48,21 +50,36 @@ val directions :
     the analyzed fragment. It strengthens the tests three ways: symbolic
     loop bounds collapse to integer enclosures for Banerjee, a symbolic
     subscript difference pinned to a point becomes testable, and references
-    whose subscript ranges cannot overlap are proved independent. *)
+    whose subscript ranges cannot overlap are proved independent.
+
+    The optional [oracle] must return a sound enclosure of any polynomial
+    (typically relational abstract-domain facts over subscript pairs); it
+    sharpens the same places [env] does, e.g. deciding [a(i+m)] vs
+    [a(i+2*n)] under the coupling [m = 2*n]. *)
 
 val dependences_in :
-  ?env:Pperf_symbolic.Interval.Env.t -> Ast.stmt list -> dependence list
+  ?env:Pperf_symbolic.Interval.Env.t ->
+  ?oracle:(Pperf_symbolic.Poly.t -> Pperf_symbolic.Interval.t) ->
+  Ast.stmt list ->
+  dependence list
 (** All pairwise dependences among array references of the fragment that
     share an array and include a write ({!Input} pairs are filtered here),
     classified by kind. Scalars are ignored here (handled by the
     translator's renaming/reduction logic). *)
 
 val carried_dependences :
-  ?env:Pperf_symbolic.Interval.Env.t -> Ast.do_loop -> dependence list
+  ?env:Pperf_symbolic.Interval.Env.t ->
+  ?oracle:(Pperf_symbolic.Poly.t -> Pperf_symbolic.Interval.t) ->
+  Ast.do_loop ->
+  dependence list
 (** Dependences carried by this loop (direction [Lt] or [Gt] at its
     level). *)
 
-val interchange_legal : ?env:Pperf_symbolic.Interval.Env.t -> Ast.do_loop -> bool
+val interchange_legal :
+  ?env:Pperf_symbolic.Interval.Env.t ->
+  ?oracle:(Pperf_symbolic.Poly.t -> Pperf_symbolic.Interval.t) ->
+  Ast.do_loop ->
+  bool
 (** True when the outer two loops of the (perfect) nest can be swapped:
     no dependence with direction (<, >). *)
 

@@ -250,7 +250,7 @@ let oob_subscript ctx (c : Typecheck.checked) =
   let ranges_refute at margin =
     match ctx.ranges with
     | None -> false
-    | Some res -> bound_ge0 (Interval.lo (Interval.eval_poly (Absint.ranges_at res at) margin))
+    | Some res -> bound_ge0 (Interval.lo (Absint.bound_at res at margin))
   in
   List.iter
     (fun (r : Analysis.array_ref) ->
@@ -320,7 +320,7 @@ let oob_subscript ctx (c : Typecheck.checked) =
 
 let dep_kind_str = Depend.kind_to_string
 
-let loop_carried ?env ~loc (d : Ast.do_loop) =
+let loop_carried ?env ?oracle ~loc (d : Ast.do_loop) =
   List.map
     (fun (dep : Depend.dependence) ->
       Diagnostic.make Diagnostic.Hint ~check:"carried-dep" ~loc
@@ -329,7 +329,7 @@ let loop_carried ?env ~loc (d : Ast.do_loop) =
            d.var (dep_kind_str dep.kind) dep.src.Analysis.array
            (String.concat "," (List.map Depend.direction_to_string dep.directions)))
         ~fix:"do not parallelize or reorder this loop's iterations")
-    (Depend.carried_dependences ?env d)
+    (Depend.carried_dependences ?env ?oracle d)
   |> List.sort_uniq Diagnostic.compare
 
 (* ranges holding before the statement, restricted to variables the
@@ -345,6 +345,23 @@ let invariant_env_at ctx loc (body : Ast.stmt list) index =
     in
     Some (Absint.restrict (Absint.ranges_at res loc) ~keep:(fun x -> not (SSet.mem x assigned)))
 
+(* relational facts at the statement, usable as a sound dependence-test
+   oracle only on polynomials over unreassigned variables *)
+let invariant_oracle ctx loc (body : Ast.stmt list) index =
+  match ctx.ranges with
+  | None -> None
+  | Some res ->
+    if Absint.domain_used res = Absint.Box then None
+    else (
+      let assigned =
+        SSet.add index
+          (SSet.union (Analysis.assigned_vars body) (Analysis.loop_indices body))
+      in
+      Some
+        (fun p ->
+          if List.exists (fun x -> SSet.mem x assigned) (Poly.vars p) then Interval.full
+          else Absint.bound_at res loc p))
+
 let carried_dep ctx (c : Typecheck.checked) =
   let diags = ref [] in
   Ast.iter_stmts
@@ -352,7 +369,8 @@ let carried_dep ctx (c : Typecheck.checked) =
       match s.Ast.kind with
       | Ast.Do d ->
         let env = invariant_env_at ctx s.Ast.loc d.body d.var in
-        diags := loop_carried ?env ~loc:s.Ast.loc d @ !diags
+        let oracle = invariant_oracle ctx s.Ast.loc d.body d.var in
+        diags := loop_carried ?env ?oracle ~loc:s.Ast.loc d @ !diags
       | _ -> ())
     c.routine.body;
   List.sort_uniq Diagnostic.compare !diags
@@ -517,7 +535,11 @@ let div_zero ctx (c : Typecheck.checked) =
           match Sym_expr.to_poly den with
           | None -> () (* non-polynomial denominator: nothing provable *)
           | Some p ->
-            let i = Interval.eval_poly env p in
+            let i =
+              match ctx.ranges with
+              | Some res -> Absint.bound_at res loc p
+              | None -> Interval.eval_poly env p
+            in
             if match Interval.is_point i with Some r -> Rat.is_zero r | None -> false then
               diags :=
                 Diagnostic.make Diagnostic.Error ~check:"div-by-zero" ~loc "division by zero"
@@ -617,7 +639,7 @@ let constant_condition ctx (c : Typecheck.checked) =
               (fun (cond, body) ->
                 (* skip what the range-free unreachable-branch check already
                    decides, to avoid duplicate reports *)
-                (match (cond_value env cond, Absint.decide_cond (Absint.ranges_at res s.Ast.loc) cond) with
+                (match (cond_value env cond, Absint.decide_cond_at res s.Ast.loc cond) with
                 | None, Some b ->
                   diags :=
                     Diagnostic.make Diagnostic.Hint ~check:"constant-condition" ~loc:s.Ast.loc

@@ -34,7 +34,12 @@ val registry : check list
 val ids : string list
 
 val loop_carried :
-  ?env:Pperf_symbolic.Interval.Env.t -> loc:Srcloc.t -> Ast.do_loop -> Diagnostic.t list
+  ?env:Pperf_symbolic.Interval.Env.t ->
+  ?oracle:(Pperf_symbolic.Poly.t -> Pperf_symbolic.Interval.t) ->
+  loc:Srcloc.t ->
+  Ast.do_loop ->
+  Diagnostic.t list
 (** The carried-dependence diagnostics of one loop — exposed so the
     transformation search can cite the diagnostic that blocked an action.
-    [env] passes loop-invariant variable ranges to the dependence tests. *)
+    [env] passes loop-invariant variable ranges to the dependence tests;
+    [oracle] passes relational facts over unreassigned variables. *)

@@ -2,26 +2,26 @@ open Pperf_lang
 
 type report = { routine : string; diagnostics : Diagnostic.t list }
 
-let run_checked ?known ?(ranges = false) (c : Typecheck.checked) =
+let run_checked ?known ?(ranges = false) ?domain (c : Typecheck.checked) =
   let ctx =
     {
       Checks.known = (match known with None -> (fun _ -> false) | Some f -> f);
-      ranges = (if ranges then Some (Pperf_absint.Absint.analyze c) else None);
+      ranges = (if ranges then Some (Pperf_absint.Absint.analyze ?domain c) else None);
     }
   in
   List.concat_map (fun (check : Checks.check) -> check.run ctx c) Checks.registry
   |> List.sort Diagnostic.compare
 
-let run_program ?(ranges = false) (checkeds : Typecheck.checked list) =
+let run_program ?(ranges = false) ?domain (checkeds : Typecheck.checked list) =
   let names = List.map (fun (c : Typecheck.checked) -> c.routine.Ast.rname) checkeds in
   let known f = List.mem f names in
   List.map
     (fun (c : Typecheck.checked) ->
-      { routine = c.routine.Ast.rname; diagnostics = run_checked ~known ~ranges c })
+      { routine = c.routine.Ast.rname; diagnostics = run_checked ~known ~ranges ?domain c })
     checkeds
 
-let run_source ?ranges src =
-  run_program ?ranges (Typecheck.check_program (Parser.parse_program src))
+let run_source ?ranges ?domain src =
+  run_program ?ranges ?domain (Typecheck.check_program (Parser.parse_program src))
 
 let precision = List.filter (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Precision)
 

@@ -9,17 +9,26 @@ type report = {
 }
 
 val run_checked :
-  ?known:(string -> bool) -> ?ranges:bool -> Typecheck.checked -> Diagnostic.t list
+  ?known:(string -> bool) ->
+  ?ranges:bool ->
+  ?domain:Pperf_absint.Absint.domain ->
+  Typecheck.checked ->
+  Diagnostic.t list
 (** Every registry check over one routine. [known] marks routine names
     with a known cost (defaults to none). [ranges] (default false) runs
     the interval abstract interpretation first and hands the result to the
     checks: fewer out-of-bounds / div-by-zero false positives, dependence
-    tests with variable ranges, and the [constant-condition] check. *)
+    tests with variable ranges, and the [constant-condition] check.
+    [domain] selects the abstract domain of that analysis — relational
+    domains rebut further false positives (an [i + 1 <= n] guard inside an
+    [i = 1..n] loop proves a subscript in range). *)
 
-val run_program : ?ranges:bool -> Typecheck.checked list -> report list
+val run_program :
+  ?ranges:bool -> ?domain:Pperf_absint.Absint.domain -> Typecheck.checked list -> report list
 (** Routines defined in the program are [known] to each other. *)
 
-val run_source : ?ranges:bool -> string -> report list
+val run_source :
+  ?ranges:bool -> ?domain:Pperf_absint.Absint.domain -> string -> report list
 (** Parse, check, lint. @raise Parser.Error / Typecheck.Type_error *)
 
 val precision : Diagnostic.t list -> Diagnostic.t list

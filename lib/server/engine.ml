@@ -96,8 +96,9 @@ let inc_key : (string, Incremental.t) Hashtbl.t Domain.DLS.key =
 let incremental ~machine ~machine_hash ~(options : Aggregate.options) =
   let tbl = Domain.DLS.get inc_key in
   let key =
-    Printf.sprintf "%s|mem=%b|rng=%b" machine_hash options.include_memory
+    Printf.sprintf "%s|mem=%b|rng=%b|dom=%s" machine_hash options.include_memory
       options.infer_ranges
+      (Pperf_absint.Absint.domain_to_string options.range_domain)
   in
   match Hashtbl.find_opt tbl key with
   | Some inc -> inc
@@ -149,15 +150,18 @@ let run_query t (req : Protocol.request) ~src ~src2 machine : payload =
         | Some s -> s
         | None -> raise (Bad_req "verb \"compare\" needs a \"source2\" or \"file2\" field")
       in
-      ( Render.compare ~machine ~options ~use_ranges:flags.ranges ~ranges:flags.range
-          src1 src2,
+      ( Render.compare
+          ~domain:(Options.domain flags)
+          ~machine ~options ~use_ranges:flags.ranges ~ranges:flags.range src1 src2,
         0 )
     | Protocol.Ranges ->
       let src = require_source req.verb src in
-      (Render.ranges ~json:flags.json src, 0)
+      (Render.ranges ~domain:(Options.domain flags) ~json:flags.json src, 0)
     | Protocol.Lint ->
       let src = require_source req.verb src in
-      Render.lint ~json:flags.json ~use_ranges:flags.ranges src
+      Render.lint
+        ~domain:(Options.domain flags)
+        ~json:flags.json ~use_ranges:flags.ranges src
     | Protocol.Ping | Protocol.Stats | Protocol.Metrics | Protocol.Shutdown ->
       assert false
   in

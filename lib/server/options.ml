@@ -12,6 +12,7 @@ type t = {
   trace : bool;
   eval : string list;
   range : string list;
+  domain : string option;
 }
 
 let default =
@@ -24,19 +25,30 @@ let default =
     trace = false;
     eval = [];
     range = [];
+    domain = None;
   }
 
 (* every field, fixed order: two option sets share a cache entry iff
    their canonical strings agree *)
 let to_canonical_string f =
-  Printf.sprintf "m%b,r%b,i%b,s%b,j%b,t%b,e[%s],g[%s]" f.memory f.ranges f.interproc
-    f.strict f.json f.trace
+  Printf.sprintf "m%b,r%b,i%b,s%b,j%b,t%b,e[%s],g[%s],d[%s]" f.memory f.ranges
+    f.interproc f.strict f.json f.trace
     (String.concat ";" f.eval)
     (String.concat ";" f.range)
+    (match f.domain with None -> "interval" | Some d -> d)
+
+let domain f =
+  match f.domain with
+  | None -> Pperf_absint.Absint.Box
+  | Some d -> (
+    match Pperf_absint.Absint.domain_of_string d with
+    | Some dom -> dom
+    | None -> Pperf_absint.Absint.Box)
 
 let to_aggregate f =
   {
     Pperf_core.Aggregate.default_options with
     include_memory = f.memory;
     infer_ranges = f.ranges;
+    range_domain = domain f;
   }

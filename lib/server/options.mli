@@ -17,6 +17,10 @@ type t = {
   trace : bool;  (** capture and append the span tree (CLI [--trace]) *)
   eval : string list;  (** [VAR=VALUE] bindings (CLI [--eval]) *)
   range : string list;  (** [VAR=LO:HI] ranges (CLI [--range], compare only) *)
+  domain : string option;
+      (** abstract domain for the range analysis (CLI [--domain]);
+          [None] means interval. Part of the canonical string, so an
+          octagon answer is never served from an interval cache entry. *)
 }
 
 val default : t
@@ -24,6 +28,10 @@ val default : t
 val to_canonical_string : t -> string
 (** Canonical rendering of every field in a fixed order: two option sets
     share a result-cache entry iff their canonical strings agree. *)
+
+val domain : t -> Pperf_absint.Absint.domain
+(** The parsed {!Pperf_absint.Absint.domain}; unknown or absent spellings
+    fall back to [Box] (validation happens at the surfaces). *)
 
 val to_aggregate : t -> Pperf_core.Aggregate.options
 (** The {!Pperf_core.Aggregate.options} these flags select. *)

@@ -45,6 +45,7 @@ type flags = Options.t = {
   trace : bool;
   eval : string list;
   range : string list;
+  domain : string option;
 }
 
 let default_flags = Options.default
@@ -125,7 +126,20 @@ let parse_flags obj =
     let* trace = get_bool f "trace" ~default:false in
     let* eval = get_string_list f "eval" in
     let* range = get_string_list f "range" in
-    Ok { memory; ranges; interproc; strict; json; trace; eval; range }
+    let* domain =
+      match Json.member "domain" f with
+      | None -> Ok None
+      | Some j -> (
+        match Json.to_string_opt j with
+        | Some d when List.mem d Pperf_absint.Absint.all_domains -> Ok (Some d)
+        | Some d ->
+          Error
+            ( Bad_request,
+              Printf.sprintf "unknown domain %S (expected one of %s)" d
+                (String.concat ", " Pperf_absint.Absint.all_domains) )
+        | None -> Error (Bad_request, "field \"domain\" must be a string"))
+    in
+    Ok { memory; ranges; interproc; strict; json; trace; eval; range; domain }
   | Some _ -> Error (Bad_request, "field \"flags\" must be an object")
 
 let parse_source obj ~file_field ~text_field =

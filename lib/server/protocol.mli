@@ -33,6 +33,9 @@ type flags = Options.t = {
   trace : bool;  (** append the span tree of the evaluation (CLI [--trace]) *)
   eval : string list;  (** [VAR=VALUE] bindings (CLI [--eval]) *)
   range : string list;  (** [VAR=LO:HI] ranges (CLI [--range], compare only) *)
+  domain : string option;
+      (** abstract domain for range analysis (CLI [--domain]); validated
+          against {!Pperf_absint.Absint.all_domains} at parse time *)
 }
 
 val default_flags : flags

@@ -140,20 +140,29 @@ let predict ?predictor ~machine ~options ~interproc ~strict ~evals ~warn src =
 
 (* ---- compare ---- *)
 
-let compare ~machine ~options ~use_ranges ~ranges src1 src2 =
+let compare ?(domain = Pperf_absint.Absint.Box) ~machine ~options ~use_ranges ~ranges
+    src1 src2 =
   Obs.time sp_render @@ fun () ->
   let user_env = range_env ranges in
   with_formatter (fun fmt ->
       let c1 = Typecheck.check_routine (Parser.parse_routine src1) in
       let c2 = Typecheck.check_routine (Parser.parse_routine src2) in
-      let env =
-        if use_ranges then Compare.inferred_env ~base:user_env [ c1; c2 ] else user_env
+      let env, rel =
+        if use_ranges || domain <> Pperf_absint.Absint.Box then
+          Compare.inferred_rel ~base:user_env ~domain [ c1; c2 ]
+        else (user_env, None)
       in
       let p1 = Predict.of_checked ~options ~machine c1 in
       let p2 = Predict.of_checked ~options ~machine c2 in
       Format.fprintf fmt "first:  %a@." Predict.pp p1;
       Format.fprintf fmt "second: %a@." Predict.pp p2;
-      let d = Compare.decide env (Predict.cost p1) (Predict.cost p2) in
+      (match rel with
+      | Some r when r.Compare.rel_show <> [] ->
+        Format.fprintf fmt "relations (%s domain): %s@."
+          (Pperf_absint.Absint.domain_to_string domain)
+          (String.concat "; " r.Compare.rel_show)
+      | _ -> ());
+      let d = Compare.decide ?rel env (Predict.cost p1) (Predict.cost p2) in
       Format.fprintf fmt "%a@." Compare.pp_decision d;
       match d.verdict with
       | Pperf_symbolic.Signs.Undecided diff ->
@@ -163,15 +172,24 @@ let compare ~machine ~options ~use_ranges ~ranges src1 src2 =
 
 (* ---- ranges ---- *)
 
-let ranges ~json src =
+let ranges ?(domain = Pperf_absint.Absint.Box) ~json src =
   Obs.time sp_render @@ fun () ->
   let module Absint = Pperf_absint.Absint in
+  let module Lin = Pperf_absint.Lin in
   let module Interval = Pperf_symbolic.Interval in
+  let relational = domain <> Absint.Box in
   let checkeds = Typecheck.check_program (Parser.parse_program src) in
-  let analyzed = List.map (fun (c : Typecheck.checked) -> (c, Absint.analyze c)) checkeds in
+  let analyzed =
+    List.map (fun (c : Typecheck.checked) -> (c, Absint.analyze ~domain c)) checkeds
+  in
   if json then (
     let buf = Buffer.create 1024 in
-    Buffer.add_string buf "{\"routines\":[";
+    Buffer.add_string buf "{";
+    (* the domain and relations keys appear only under a relational domain,
+       so interval output is byte-identical to the historical format *)
+    if relational then
+      Printf.bprintf buf "\"domain\":\"%s\"," (Absint.domain_to_string domain);
+    Buffer.add_string buf "\"routines\":[";
     List.iteri
       (fun i ((c : Typecheck.checked), r) ->
         if i > 0 then Buffer.add_char buf ',';
@@ -191,7 +209,28 @@ let ranges ~json src =
             if j > 0 then Buffer.add_char buf ',';
             Printf.bprintf buf "\"%s\":\"%s\"" x (Interval.to_string iv))
           (Interval.Env.bindings (Absint.summary r));
-        Buffer.add_string buf "}}")
+        Buffer.add_string buf "}";
+        if relational then (
+          Buffer.add_string buf ",\"relations\":[";
+          List.iteri
+            (fun j ((loc : Srcloc.t), cons) ->
+              if j > 0 then Buffer.add_char buf ',';
+              Printf.bprintf buf "{\"line\":%d,\"facts\":[" loc.line;
+              List.iteri
+                (fun k c ->
+                  if k > 0 then Buffer.add_char buf ',';
+                  Printf.bprintf buf "\"%s\"" (Lin.cons_to_string c))
+                cons;
+              Buffer.add_string buf "]}")
+            (Absint.relation_points r);
+          Buffer.add_string buf "],\"summary_relations\":[";
+          List.iteri
+            (fun j c ->
+              if j > 0 then Buffer.add_char buf ',';
+              Printf.bprintf buf "\"%s\"" (Lin.cons_to_string c))
+            (Absint.relations r);
+          Buffer.add_string buf "]");
+        Buffer.add_string buf "}")
       analyzed;
     Buffer.add_string buf "]}\n";
     Buffer.contents buf)
@@ -205,20 +244,39 @@ let ranges ~json src =
              | ls ->
                Format.fprintf fmt "  loops:@.";
                List.iter (fun l -> Format.fprintf fmt "    %a@." Absint.pp_loop_range l) ls);
-            match Interval.Env.bindings (Absint.summary r) with
+            (match Interval.Env.bindings (Absint.summary r) with
             | [] -> Format.fprintf fmt "  no variable ranges inferred@."
             | bs ->
               Format.fprintf fmt "  variable ranges:@.";
               List.iter
                 (fun (x, iv) -> Format.fprintf fmt "    %s in %s@." x (Interval.to_string iv))
-                bs)
+                bs);
+            if relational then (
+              match Absint.relation_points r with
+              | [] -> Format.fprintf fmt "  no relations inferred@."
+              | pts ->
+                Format.fprintf fmt "  relations (%s domain):@."
+                  (Absint.domain_to_string domain);
+                List.iter
+                  (fun ((loc : Srcloc.t), cons) ->
+                    Format.fprintf fmt "    line %d: %s@." loc.line
+                      (String.concat "; " (List.map Lin.cons_to_string cons)))
+                  pts;
+                match Absint.relations r with
+                | [] -> ()
+                | cs ->
+                  Format.fprintf fmt "    summary: %s@."
+                    (String.concat "; " (List.map Lin.cons_to_string cs))))
           analyzed)
 
 (* ---- lint ---- *)
 
-let lint ~json ~use_ranges src =
+let lint ?(domain = Pperf_absint.Absint.Box) ~json ~use_ranges src =
   Obs.time sp_render @@ fun () ->
-  let reports = Pperf_lint.Lint.run_source ~ranges:use_ranges src in
+  (* a relational domain is only consulted through the range analysis, so
+     requesting one implies --ranges *)
+  let use_ranges = use_ranges || domain <> Pperf_absint.Absint.Box in
+  let reports = Pperf_lint.Lint.run_source ~ranges:use_ranges ~domain src in
   let output =
     if json then Pperf_lint.Lint.to_json reports
     else with_formatter (fun fmt -> Format.fprintf fmt "%a" Pperf_lint.Lint.pp reports)

@@ -43,6 +43,7 @@ val predict :
     it must produce bit-identical predictions. *)
 
 val compare :
+  ?domain:Pperf_absint.Absint.domain ->
   machine:Machine.t ->
   options:Aggregate.options ->
   use_ranges:bool ->
@@ -50,9 +51,20 @@ val compare :
   string ->
   string ->
   string
-(** [compare ~machine ~options ~use_ranges ~ranges src1 src2]. *)
+(** [compare ~machine ~options ~use_ranges ~ranges src1 src2]. A relational
+    [domain] (default [Box]) implies range inference, prints the joined
+    whole-routine relations, and feeds them to the decision procedure. *)
 
-val ranges : json:bool -> string -> string
+val ranges : ?domain:Pperf_absint.Absint.domain -> json:bool -> string -> string
+(** Under a relational [domain] the JSON gains a top-level ["domain"] key
+    and per-routine ["relations"] / ["summary_relations"]; with the default
+    [Box] the output is byte-identical to the historical format. *)
 
-val lint : json:bool -> use_ranges:bool -> string -> string * int
-(** Returns the rendered report and the lint exit code. *)
+val lint :
+  ?domain:Pperf_absint.Absint.domain ->
+  json:bool ->
+  use_ranges:bool ->
+  string ->
+  string * int
+(** Returns the rendered report and the lint exit code. A relational
+    [domain] implies [use_ranges]. *)

@@ -60,8 +60,16 @@ let regions ?eps p x iv =
     in
     List.rev merged
 
-let rec sign_over ?(depth = 3) env p =
-  match Interval.sign_of_poly env p with
+let rec sign_over ?oracle ?(depth = 3) env p =
+  let base =
+    match Interval.sign_of_poly env p with
+    | Mixed ->
+      (* a relational oracle (e.g. octagon facts from {!Pperf_absint}) may
+         know a sign the variable box cannot express *)
+      (match oracle with Some f -> Interval.sign (f p) | None -> Mixed)
+    | s -> s
+  in
+  match base with
   | (Pos | Neg | Zero) as s -> s
   | Mixed when depth <= 0 -> Mixed
   | Mixed ->
@@ -86,10 +94,10 @@ let rec sign_over ?(depth = 3) env p =
          let m = Interval.midpoint iv in
          let left = Interval.make (Interval.lo iv) (Interval.Fin m) in
          let right = Interval.make (Interval.Fin m) (Interval.hi iv) in
-         let s1 = sign_over ~depth:(depth - 1) (Interval.Env.add x left env) p in
+         let s1 = sign_over ?oracle ~depth:(depth - 1) (Interval.Env.add x left env) p in
          if s1 = Mixed then Mixed
          else (
-           let s2 = sign_over ~depth:(depth - 1) (Interval.Env.add x right env) p in
+           let s2 = sign_over ?oracle ~depth:(depth - 1) (Interval.Env.add x right env) p in
            match (s1, s2) with
            | a, b when a = b -> a
            | Pos, Zero | Zero, Pos -> Pos (* zero only on the seam boundary *)
@@ -103,11 +111,11 @@ type verdict =
   | Crossover of region list
   | Undecided of Poly.t
 
-let compare_over ?eps ?depth env cf cg =
+let compare_over ?eps ?depth ?oracle env cf cg =
   let d = Poly.sub cf cg in
   if Poly.is_zero d then Equal
   else
-    match sign_over ?depth env d with
+    match sign_over ?oracle ?depth env d with
     | Neg -> Always_le
     | Pos -> Always_ge
     | Zero -> Equal
@@ -115,6 +123,15 @@ let compare_over ?eps ?depth env cf cg =
       (match Poly.is_univariate d with
        | Some x ->
          let iv = Interval.Env.find x env in
+         let iv =
+           (* the oracle may clip an unbounded variable to a finite range *)
+           match oracle with
+           | Some f -> (
+             match Interval.intersect iv (f (Poly.var x)) with
+             | Some m -> m
+             | None -> iv)
+           | None -> iv
+         in
          let rs = regions ?eps d x iv in
          (* the regions may still be single-signed if interval arith was too
             coarse *)

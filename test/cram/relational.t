@@ -1,0 +1,94 @@
+The relational abstract domains (--domain octagon|affine|product), on the
+reldemo sample pair.
+
+Relational ranges report the per-point constraints the interval text omits:
+the branch guard becomes the octagon fact i - n <= -1 at the guarded store
+(line 14), and the affine row m = 2*n survives to the routine summary.
+
+  $ ppredict ranges --domain product ../../samples/reldemo.pf
+  routine reldemo:
+    loops:
+      i at 12:5: index [1, +inf], trip [1, +inf]
+      i at 17:5: index [1, +inf], trip [2, +inf]
+    variable ranges:
+      i in [1, +inf]
+      m in [2, +inf]
+      n in [1, +inf]
+    relations (product domain):
+      line 12: m = 2*n; - m + n <= -1
+      line 13: m = 2*n; i - m <= -1; i - n <= 0; - m + n <= -1
+      line 14: m = 2*n; i - m <= -2; i - n <= -1; - m + n <= -1
+      line 17: m = 2*n; - m + n <= -1
+      line 18: m = 2*n; - m + n <= -1
+      line 20: m = 2*n; - m + n <= -1
+      summary: m = 2*n; - m + n <= -1
+
+Without --domain the output is the historical interval format, relation-free:
+
+  $ ppredict ranges ../../samples/reldemo.pf
+  routine reldemo:
+    loops:
+      i at 12:5: index [1, +inf], trip [1, +inf]
+      i at 17:5: index [1, +inf], trip [2, +inf]
+    variable ranges:
+      i in [1, +inf]
+      m in [2, +inf]
+      n in [1, +inf]
+
+The JSON report gains the domain and relations keys only when asked:
+
+  $ ppredict ranges --json --domain octagon ../../samples/reldemo.pf
+  {"domain":"octagon","routines":[{"routine":"reldemo","loops":[{"var":"i","line":12,"depth":0,"index":"[1, +inf]","trip":"[1, +inf]"},{"var":"i","line":17,"depth":0,"index":"[1, +inf]","trip":"[2, +inf]"}],"summary":{"i":"[1, +inf]","m":"[2, +inf]","n":"[1, +inf]"},"relations":[{"line":12,"facts":["- m + n <= -1"]},{"line":13,"facts":["i - m <= -1","i - n <= 0","- m + n <= -1"]},{"line":14,"facts":["i - m <= -2","i - n <= -1","- m + n <= -1"]},{"line":17,"facts":["- m + n <= -1"]},{"line":18,"facts":["i - m <= 0","- m + n <= -1"]},{"line":20,"facts":["- m + n <= -1"]}],"summary_relations":["- m + n <= -1"]}]}
+
+The interval domain leaves the reldemo/reldemo2 comparison to a run-time
+test; the affine coupling m = 2*n decides it statically and the suggested
+test disappears:
+
+  $ ppredict compare ../../samples/reldemo.pf ../../samples/reldemo2.pf
+  first:  reldemo on power1: 6*n*p1 + 3*m + 5*n + 10
+  second: reldemo2 on power1: 6*n*p1 + 8*n + 10
+  undecided; run-time test on sign of 3*m - 3*n (recommend either)
+  suggested run-time test: if (3*m - 3*n .le. 0) then  ! tests m, n; ~8 cycles
+
+  $ ppredict compare --domain product ../../samples/reldemo.pf ../../samples/reldemo2.pf
+  first:  reldemo on power1: 6*n*p1 + 3*m + 5*n + 10
+  second: reldemo2 on power1: 6*n*p1 + 8*n + 10
+  relations (product domain): m = 2*n; - m + n <= -1
+  first >= second over the whole range (recommend second)
+
+The same holds on the existing divloop/mulloop pair (m = 8 is an affine
+point fact):
+
+  $ ppredict compare ../../samples/divloop.pf ../../samples/mulloop.pf
+  first:  divloop on power1: 18*n + 2
+  second: mulloop on power1: 3*m*n + 6*n + 3
+  undecided; run-time test on sign of -3*m*n + 12*n - 1 (recommend second)
+  suggested run-time test: if (-1 - 3*m*n + 12*n .le. 0) then  ! tests n, m; ~11 cycles
+
+  $ ppredict compare --domain product ../../samples/divloop.pf ../../samples/mulloop.pf
+  first:  divloop on power1: 18*n + 2
+  second: mulloop on power1: 3*m*n + 6*n + 3
+  first <= second over the whole range (recommend first)
+
+Lint: the out-of-bounds report on the guarded a(i + 1) store is a false
+positive that intervals cannot rebut (n is unbounded) but the octagon
+guard fact can:
+
+  $ ppredict lint --ranges ../../samples/reldemo.pf
+  reldemo: 1 diagnostic
+    14:8 error[oob-subscript] subscript of a reaches n + 1, past its upper bound n
+      fix: shrink the loop bounds or enlarge the array
+  [2]
+
+  $ ppredict lint --domain product ../../samples/reldemo.pf
+  reldemo: clean
+
+Decisions are counted per domain, and the relational work is visible in
+the octagon closure counter:
+
+  $ ppredict compare --domain product --stats ../../samples/reldemo.pf ../../samples/reldemo2.pf | tail -1 | tr ',' '\n' | grep -E "closures|decided"
+  {"absint.octagon.closures": 68
+   "compare.decided.product": 1
+
+  $ ppredict compare --ranges --stats ../../samples/divloop.pf ../../samples/mulloop.pf | tail -1 | tr ',' '\n' | grep "decided"
+   "compare.decided.interval": 1

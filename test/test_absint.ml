@@ -182,6 +182,225 @@ let test_summary_excludes_input_refinement () =
   Alcotest.(check bool) "n unconstrained in summary" true
     (Interval.is_full (find_summary res "n"))
 
+(* ---- relational domains: directed cases ---- *)
+
+module R = Pperf_absint.Reldom
+module Oct = Pperf_absint.Oct
+module Lin = Pperf_absint.Lin
+
+let guarded_src =
+  "subroutine s(a, b, n)\n\
+  \  integer n, i, m\n\
+  \  real a(n), b(n)\n\
+  \  m = 2 * n\n\
+  \  do i = 1, n\n\
+  \    if (i + 1 <= n) then\n\
+  \      a(i + 1) = b(i)\n\
+  \    end if\n\
+  \  end do\nend\n"
+
+(* the guarded store sits on line 7 of [guarded_src] *)
+let rel_point res line =
+  match
+    List.find_opt (fun ((l : Srcloc.t), _) -> l.line = line) (A.relation_points res)
+  with
+  | Some (loc, _) -> loc
+  | None -> Alcotest.failf "no relational facts recorded at line %d" line
+
+let test_guard_i_le_n () =
+  let res = A.analyze ~domain:A.Product (checked guarded_src) in
+  let loc = rel_point res 7 in
+  (* inside the guard, n - i >= 1 although both boxes are unbounded above *)
+  Alcotest.(check string) "n - i under the guard" "[1, +inf]"
+    (s (A.bound_at res loc (Poly.sub (Poly.var "n") (Poly.var "i"))));
+  let cond =
+    Ast.Binop (Ast.Le, Ast.Binop (Ast.Add, Ast.Var "i", Ast.Int 1), Ast.Var "n")
+  in
+  Alcotest.(check (option bool)) "guard decided" (Some true)
+    (A.decide_cond_at res loc cond);
+  (* interval-only analysis decides neither *)
+  let box = A.analyze (checked guarded_src) in
+  Alcotest.(check (option bool)) "box cannot decide" None
+    (A.decide_cond_at box loc cond)
+
+let test_affine_coupling () =
+  let src = "subroutine s(n)\n  integer n, m, k\n  m = 2 * n\n  k = m - n\nend\n" in
+  let res = A.analyze ~domain:A.Affine (checked src) in
+  let strs = List.map Lin.cons_to_string (A.relations res) in
+  Alcotest.(check bool) "m = 2*n survives to the summary" true
+    (List.mem "m = 2*n" strs);
+  (match List.assoc_opt "m" (A.rewrites res) with
+   | Some p -> Alcotest.(check string) "rewrite m -> 2*n" "2*n" (Poly.to_string p)
+   | None -> Alcotest.fail "no exact rewrite for m")
+
+let coupled_src name =
+  Printf.sprintf
+    "subroutine %s(a, n)\n\
+    \  integer n, i, m\n\
+    \  real a(100000)\n\
+    \  m = 2 * n\n\
+    \  do i = 1, m\n\
+    \    a(i) = 0.0\n\
+    \  end do\nend\n"
+    name
+
+let test_product_decides_compare () =
+  let module C = Pperf_core.Compare in
+  let c1 = checked (coupled_src "v1") and c2 = checked (coupled_src "v2") in
+  let env, rel = C.inferred_rel ~domain:A.Product [ c1; c2 ] in
+  let cf = Pperf_core.Perf_expr.of_cpu (Poly.var "m")
+  and cg = Pperf_core.Perf_expr.of_cpu (Poly.scale_int 2 (Poly.var "n")) in
+  (match (C.decide env cf cg).verdict with
+   | Signs.Undecided _ -> ()
+   | v -> Alcotest.failf "interval should be undecided, got %a" Signs.pp_verdict v);
+  match (C.decide ?rel env cf cg).verdict with
+  | Signs.Equal | Signs.Always_le | Signs.Always_ge -> ()
+  | v -> Alcotest.failf "product should decide m vs 2*n, got %a" Signs.pp_verdict v
+
+(* ---- relational domains: properties ---- *)
+
+let pool = [ "a"; "b"; "c"; "d" ]
+
+(* a random octagonal constraint [±x ± y + c <= 0] over the pool *)
+let gen_lin =
+  let open QCheck.Gen in
+  let signed = map2 (fun s v -> (s, v)) (oneofl [ 1; -1 ]) (oneofl pool) in
+  map3
+    (fun (sa, x) (sb, y) c ->
+      Lin.add_const (Rat.of_int c)
+        (Lin.add
+           (Lin.scale (Rat.of_int sa) (Lin.var x))
+           (Lin.scale (Rat.of_int sb) (Lin.var y))))
+    signed signed (int_range (-8) 8)
+
+let gen_lins = QCheck.Gen.list_size (QCheck.Gen.int_range 0 6) gen_lin
+
+let print_lins ls = String.concat " && " (List.map (fun l -> Lin.to_string l ^ " <= 0") ls)
+
+let build_oct = List.fold_left (fun t l -> Oct.meet_le t l) Oct.top
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"octagon: re-assuming own constraints is identity" ~count:500
+    (QCheck.make ~print:print_lins gen_lins)
+    (fun lins ->
+      let t = build_oct lins in
+      if Oct.is_bot t then true
+      else begin
+        let cs = Oct.constraints t in
+        List.iter
+          (fun c ->
+            if not (Oct.entails t c) then
+              QCheck.Test.fail_reportf "constraint %s not entailed by its own octagon"
+                (Lin.cons_to_string c))
+          cs;
+        let t' =
+          List.fold_left
+            (fun acc (c : Lin.cons) ->
+              if c.is_eq then Oct.meet_eq acc c.lhs else Oct.meet_le acc c.lhs)
+            t cs
+        in
+        Oct.equal t t'
+      end)
+
+(* strong closure must not invent facts: any concrete model of the asserted
+   constraints still satisfies the closed octagon *)
+let prop_closure_sound =
+  let open QCheck.Gen in
+  let gen = pair gen_lins (list_repeat (List.length pool) (int_range (-10) 10)) in
+  QCheck.Test.make ~name:"octagon: closure keeps concrete models" ~count:500
+    (QCheck.make ~print:(fun (ls, vs) ->
+         Printf.sprintf "%s at [%s]" (print_lins ls)
+           (String.concat ";" (List.map string_of_int vs)))
+       gen)
+    (fun (lins, vals) ->
+      let valu x = Rat.of_int (List.nth vals (Option.get (List.find_index (( = ) x) pool))) in
+      let holds l = Rat.sign (Lin.eval valu l) <= 0 in
+      let t = build_oct (List.filter holds lins) in
+      Oct.satisfies valu t)
+
+(* random straight-line integer programs: every relational fact the product
+   domain reports for the routine must hold of the concrete final state *)
+let locals = [ "w"; "x"; "y"; "z" ]
+
+let gen_straightline =
+  let open QCheck.Gen in
+  let rhs defined =
+    let term = map2 (fun k v -> (k, v)) (int_range (-2) 2) (oneofl defined) in
+    map2
+      (fun c ts ->
+        List.fold_left
+          (fun e (k, v) ->
+            let t = Ast.Binop (Ast.Mul, Ast.Int (abs k), Ast.Var v) in
+            Ast.Binop ((if k < 0 then Ast.Sub else Ast.Add), e, t))
+          (Ast.Int c) ts)
+      (int_range (-5) 5)
+      (list_size (int_range 0 2) term)
+  in
+  let all = "p" :: "q" :: locals in
+  (* initialize every local, then a few more assignments, then one guarded
+     branch so the assume/join transfers are exercised too *)
+  let inits =
+    List.fold_left
+      (fun (acc, defined) v ->
+        (map2 (fun ss e -> ss @ [ Ast.sassign v e ]) acc (rhs defined), v :: defined))
+      (return [], [ "p"; "q" ]) locals
+    |> fst
+  in
+  let extra = map2 (fun v e -> Ast.sassign v e) (oneofl locals) (rhs all) in
+  let branch =
+    let open Ast in
+    map3
+      (fun g t e -> if_ (Binop (Le, g, Int 0)) [ t ] [ e ])
+      (rhs all) extra extra
+  in
+  map3
+    (fun inits extras branch ->
+      let decls =
+        List.map (fun v -> { Ast.dname = v; dty = Ast.Tint; dims = [] }) all
+      in
+      { Ast.rname = "r"; rkind = Ast.Subroutine; params = [ "p"; "q" ];
+        decls; body = inits @ extras @ [ branch ] })
+    inits
+    (QCheck.Gen.list_size (int_range 0 4) extra)
+    branch
+
+let prop_product_sound_on_exec =
+  let open QCheck.Gen in
+  let gen = triple gen_straightline (int_range (-6) 6) (int_range (-6) 6) in
+  QCheck.Test.make ~name:"product domain sound vs concrete execution" ~count:250
+    (QCheck.make
+       ~print:(fun (r, p, q) ->
+         Printf.sprintf "p=%d q=%d\n%s" p q (Pp_ast.routine_to_string r))
+       gen)
+    (fun (r, p, q) ->
+      let src = Pp_ast.routine_to_string r in
+      let c = checked src in
+      let res =
+        Pperf_exec.Interp.run_source ~machine:Pperf_machine.Machine.power1
+          ~args:[ ("p", Pperf_exec.Interp.VInt p); ("q", Pperf_exec.Interp.VInt q) ]
+          src
+      in
+      let valu x =
+        match List.assoc_opt x res.Pperf_exec.Interp.scalars with
+        | Some (Pperf_exec.Interp.VInt i) -> Rat.of_int i
+        | _ -> QCheck.Test.fail_reportf "no final integer value for %s" x
+      in
+      let a = A.analyze ~domain:A.Product c in
+      if not (R.satisfies valu (A.summary_rel a)) then
+        QCheck.Test.fail_reportf "summary relation violated: %s"
+          (String.concat "; " (List.map Lin.cons_to_string (A.relations a)));
+      (* the exit box must also enclose every final value *)
+      List.for_all
+        (fun v ->
+          match Interval.Env.find_opt v (A.exit_env a) with
+          | None -> true
+          | Some iv -> Interval.contains iv (valu v))
+        ("p" :: "q" :: locals))
+
+let qsuite name tests =
+  ( name,
+    List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |])) tests )
+
 let () =
   Alcotest.run "absint"
     [
@@ -206,4 +425,12 @@ let () =
           Alcotest.test_case "branch join" `Quick test_branch_refinement_flows;
           Alcotest.test_case "summary hygiene" `Quick test_summary_excludes_input_refinement;
         ] );
+      ( "relational",
+        [
+          Alcotest.test_case "i <= n guard" `Quick test_guard_i_le_n;
+          Alcotest.test_case "m = 2*n coupling" `Quick test_affine_coupling;
+          Alcotest.test_case "product decides compare" `Quick test_product_decides_compare;
+        ] );
+      qsuite "relational-props"
+        [ prop_closure_idempotent; prop_closure_sound; prop_product_sound_on_exec ];
     ]

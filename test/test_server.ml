@@ -83,13 +83,18 @@ let test_flags_key_distinguishes () =
     List.map Protocol.flags_key
       [ base; { base with memory = true }; { base with ranges = true };
         { base with json = true }; { base with trace = true };
-        { base with eval = [ "n=10" ] }; { base with range = [ "n=1:10" ] } ]
+        { base with eval = [ "n=10" ] }; { base with range = [ "n=1:10" ] };
+        { base with domain = Some "octagon" }; { base with domain = Some "product" } ]
   in
   Alcotest.(check int) "all distinct" (List.length keys)
     (List.length (List.sort_uniq compare keys));
   (* CLI and server derive cache keys from the same canonicalization *)
   Alcotest.(check string) "flags_key is Options.to_canonical_string"
-    (Options.to_canonical_string base) (Protocol.flags_key base)
+    (Options.to_canonical_string base) (Protocol.flags_key base);
+  (* the default spelling and an explicit "interval" collide on purpose *)
+  Alcotest.(check string) "interval is the default domain"
+    (Protocol.flags_key base)
+    (Protocol.flags_key { base with domain = Some "interval" })
 
 let test_protocol_version () =
   let code line =
