@@ -4,6 +4,8 @@
      predict   FILE        symbolic performance expressions for each routine
      schedule  FILE        atomic ops + bin diagram of the innermost block
      compare   F1 F2       symbolic comparison of two variants
+     bounds    FILE        three-bound analysis: bin-packing vs critical
+                           path/LCD vs memory, per loop nest
      search    FILE        performance-guided restructuring
      lint      FILE        static diagnostics (defects + precision losses)
      ranges    FILE        interval abstract interpretation: loop/variable ranges
@@ -44,9 +46,39 @@ let memory_arg =
 let file_arg idx name =
   Arg.(required & pos idx (some file) None & info [] ~docv:name ~doc:"PF source file")
 
+(* validate binding/range syntax at parse time: a malformed value is a
+   clean cmdliner usage error, not a mid-run failure *)
+let binding_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | None -> Error (`Msg (Printf.sprintf "malformed binding '%s': expected VAR=VALUE" s))
+    | Some i -> (
+      let value = String.sub s (i + 1) (String.length s - i - 1) in
+      match float_of_string_opt value with
+      | Some _ -> Ok s
+      | None ->
+        Error (`Msg (Printf.sprintf "malformed binding '%s': '%s' is not a number" s value)))
+  in
+  Arg.conv ~docv:"VAR=VALUE" (parse, Format.pp_print_string)
+
+let range_conv =
+  let parse s =
+    let bad reason = Error (`Msg (Printf.sprintf "malformed range '%s': %s" s reason)) in
+    match String.split_on_char '=' s with
+    | [ _; range ] -> (
+      match String.split_on_char ':' range with
+      | [ lo; hi ] -> (
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some _, Some _ -> Ok s
+        | _ -> bad "bounds must be integers")
+      | _ -> bad "expected VAR=LO:HI")
+    | _ -> bad "expected VAR=LO:HI"
+  in
+  Arg.conv ~docv:"VAR=LO:HI" (parse, Format.pp_print_string)
+
 let eval_arg =
   let doc = "Evaluate the expression at VAR=VALUE (repeatable). --bind is a synonym." in
-  Arg.(value & opt_all string [] & info [ "eval"; "bind" ] ~docv:"VAR=VALUE" ~doc)
+  Arg.(value & opt_all binding_conv [] & info [ "eval"; "bind" ] ~docv:"VAR=VALUE" ~doc)
 
 let strict_arg =
   let doc = "Treat binding mismatches (unbound or unused variable names) as errors." in
@@ -128,6 +160,14 @@ let handle_code f =
   | Machine.Unknown_atomic { machine; op } ->
     Printf.eprintf "error: machine %s has no atomic operation %s\n" machine op;
     1
+  | Pperf_server.Render.Bad_flag msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Pperf_backend.Pipeline.Livelock { cycle; unissued } ->
+    Printf.eprintf
+      "error: pipeline schedule livelocked after %d cycles with %d operation(s) unissued\n"
+      cycle unissued;
+    1
   | Failure msg ->
     Printf.eprintf "error: %s\n" msg;
     1
@@ -208,7 +248,7 @@ let schedule_cmd =
 
 let range_arg =
   let doc = "Range of an unknown: VAR=LO:HI (repeatable)." in
-  Arg.(value & opt_all string [] & info [ "range" ] ~docv:"VAR=LO:HI" ~doc)
+  Arg.(value & opt_all range_conv [] & info [ "range" ] ~docv:"VAR=LO:HI" ~doc)
 
 let compare_cmd =
   let run mspec memory ranges use_ranges domain stats trace f1 f2 =
@@ -230,6 +270,32 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ machine_arg $ memory_arg $ range_arg $ ranges_flag $ domain_arg
           $ stats_arg $ trace_arg $ file_arg 0 "FILE1" $ file_arg 1 "FILE2")
+
+(* ---- bounds ---- *)
+
+let bounds_cmd =
+  let run mspec memory json stats trace evals file =
+    handle (fun () ->
+        with_stats ~stats ~trace (fun () ->
+        let machine = machine_of_spec mspec in
+        print_string
+          (Pperf_server.Render.bounds ~machine ~memory ~json ~evals (read_file file))))
+  in
+  let json_arg =
+    let doc = "Emit the bound summary as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let doc =
+    "Three-bound analysis of every loop nest: the paper's bin-packing \
+     (throughput) bound, the critical path and loop-carried-dependence (LCD) \
+     latency bound, and (with --memory) the cache-line bound, each totalled \
+     symbolically over the trip counts. The steady-state classification takes \
+     the max; a bound-disagreement event marks nests where the packing model \
+     is provably optimistic."
+  in
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(const run $ machine_arg $ memory_arg $ json_arg $ stats_arg $ trace_arg
+          $ eval_arg $ file_arg 0 "FILE")
 
 (* ---- search ---- *)
 
@@ -267,20 +333,7 @@ let report_cmd =
     handle (fun () ->
         let machine = machine_of_spec mspec in
         let options = options_of ~memory in
-        let env =
-          List.fold_left
-            (fun env spec ->
-              match String.split_on_char '=' spec with
-              | [ v; range ] -> (
-                match String.split_on_char ':' range with
-                | [ lo; hi ] ->
-                  Pperf_symbolic.Interval.Env.add v
-                    (Pperf_symbolic.Interval.of_ints (int_of_string lo) (int_of_string hi))
-                    env
-                | _ -> failwith ("malformed range " ^ spec))
-              | _ -> failwith ("malformed range " ^ spec))
-            Pperf_symbolic.Interval.Env.empty ranges
-        in
+        let env = Pperf_server.Render.range_env ranges in
         List.iter
           (fun checked ->
             let r = Report.generate ~options ~env ~machine checked in
@@ -488,4 +541,4 @@ let serve_cmd =
 let () =
   let doc = "compile-time performance prediction for superscalar machines" in
   let info = Cmd.info "ppredict" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; ranges_cmd; machine_cmd; batch_cmd; serve_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; bounds_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; ranges_cmd; machine_cmd; batch_cmd; serve_cmd ]))

@@ -3,6 +3,10 @@ open Pperf_sched
 
 type exec_result = { cycles : int; issue : int array; stalls : int }
 
+exception Livelock of { cycle : int; unissued : int }
+
+let default_max_cycles = 10_000_000
+
 (* per-unit busy state: the cycle at which the unit becomes free *)
 type state = {
   machine : Machine.t;
@@ -55,7 +59,7 @@ let do_issue st cycle (op : Atomic_op.t) chosen =
 
 (* generic engine: [pick ready] chooses the next op to try to issue among
    ready ones (indices into the dag) *)
-let run ~pick (m : Machine.t) (dag : Dag.t) =
+let run ?(max_cycles = default_max_cycles) ~pick (m : Machine.t) (dag : Dag.t) =
   let n = Dag.length dag in
   let st = make_state m in
   let issue = Array.make n (-1) in
@@ -67,7 +71,8 @@ let run ~pick (m : Machine.t) (dag : Dag.t) =
   let guard = ref 0 in
   while !remaining > 0 do
     incr guard;
-    if !guard > 10_000_000 then failwith "Pipeline.run: livelock";
+    if !guard > max_cycles then
+      raise (Livelock { cycle = !cycle; unissued = !remaining });
     (* ops whose predecessors' results are available at this cycle *)
     let ready =
       List.filter
@@ -103,7 +108,7 @@ let run ~pick (m : Machine.t) (dag : Dag.t) =
   done;
   { cycles = !makespan; issue; stalls = !stalls }
 
-let run_in_order m dag =
+let run_in_order ?(max_cycles = default_max_cycles) m dag =
   (* strict program order with head-of-line blocking: an op may not issue
      before all earlier ops have issued *)
   let n = Dag.length dag in
@@ -115,6 +120,8 @@ let run_in_order m dag =
   let makespan = ref 0 in
   let next = ref 0 in
   while !next < n do
+    if !cycle > max_cycles then
+      raise (Livelock { cycle = !cycle; unissued = n - !next });
     let issued_this_cycle = ref 0 in
     let blocked = ref false in
     while (not !blocked) && !next < n && !issued_this_cycle < m.Machine.issue_width do
@@ -138,7 +145,7 @@ let run_in_order m dag =
   done;
   { cycles = !makespan; issue; stalls = !stalls }
 
-let run_list_scheduled m dag =
+let run_list_scheduled ?max_cycles m dag =
   (* priority = critical-path height to any sink *)
   let n = Dag.length dag in
   let height = Array.make n 0 in
@@ -152,6 +159,6 @@ let run_list_scheduled m dag =
   let pick ready =
     List.sort (fun a b -> compare (height.(b), a) (height.(a), b)) ready
   in
-  run ~pick m dag
+  run ?max_cycles ~pick m dag
 
 let reference_cycles m dag = (run_list_scheduled m dag).cycles

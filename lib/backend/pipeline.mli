@@ -26,11 +26,21 @@ type exec_result = {
   stalls : int;  (** cycles in which nothing could be issued *)
 }
 
-val run_list_scheduled : Machine.t -> Dag.t -> exec_result
-(** Greedy critical-path list scheduling — the reference measurement. *)
+exception Livelock of { cycle : int; unissued : int }
+(** The pipeline made no progress within the cycle budget — typically an
+    operation whose required unit kind the machine description does not
+    provide. Carries the cycle reached and the operations still unissued;
+    callers (the CLI, the server) turn it into a structured error rather
+    than a crash. *)
 
-val run_in_order : Machine.t -> Dag.t -> exec_result
-(** Strict program-order issue (still multi-issue and pipelined). *)
+val run_list_scheduled : ?max_cycles:int -> Machine.t -> Dag.t -> exec_result
+(** Greedy critical-path list scheduling — the reference measurement.
+    @raise Livelock after [max_cycles] (default 10M) cycles without
+    completing. *)
+
+val run_in_order : ?max_cycles:int -> Machine.t -> Dag.t -> exec_result
+(** Strict program-order issue (still multi-issue and pipelined).
+    @raise Livelock after [max_cycles] cycles without completing. *)
 
 val reference_cycles : Machine.t -> Dag.t -> int
 (** [= (run_list_scheduled m d).cycles]. *)

@@ -18,6 +18,7 @@ type options = {
   library : Libtable.t option;
   infer_ranges : bool;
   range_domain : Pperf_absint.Absint.domain;
+  bound_events : bool;
 }
 
 let default_options =
@@ -32,6 +33,7 @@ let default_options =
     library = None;
     infer_ranges = false;
     range_domain = Pperf_absint.Absint.Box;
+    bound_events = false;
   }
 
 type prediction = {
@@ -525,10 +527,20 @@ let stmts ~machine ?(options = default_options) ?(prob_offset = 0) ~symtab body 
   let ranges = infer_ranges_of ~options ~symtab body in
   let ctx = make_ctx ~machine ~options ~symtab ?ranges ~prob_offset () in
   let cost = agg_stmts ctx body in
+  (* opt-in (it costs a dependence analysis per nest): report where the
+     critical-path/LCD or memory bound crosses above the bin-packing
+     prediction, i.e. where this expression is provably optimistic *)
+  let bound_diags =
+    if options.bound_events then
+      snd
+        (Pperf_bounds.Bounds.analyze_stmts ~machine
+           ~include_memory:options.include_memory ~symtab body)
+    else []
+  in
   {
     cost;
     prob_vars = List.rev ctx.probs.vars;
-    diagnostics = Pperf_lint.Lint.dedupe ctx.probs.diags;
+    diagnostics = Pperf_lint.Lint.dedupe (ctx.probs.diags @ bound_diags);
   }
 
 let routine ~machine ?(options = default_options) (checked : Typecheck.checked) =

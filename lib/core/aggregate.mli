@@ -50,6 +50,12 @@ type options = {
   range_domain : Pperf_absint.Absint.domain;
       (** abstract domain for that analysis (default [Box]); relational
           domains sharpen the flow-sensitive facts the events consult *)
+  bound_events : bool;
+      (** run the three-bound analysis ({!Pperf_bounds.Bounds}) over every
+          loop nest and add a [bound-disagreement] precision event where a
+          critical-path/LCD or memory bound exceeds the bin-packing
+          prediction (default off: it costs a dependence analysis per
+          nest) *)
 }
 
 val default_options : options

@@ -25,6 +25,7 @@ type t = {
   samples : (float * float) list;  (** (n, predicted cycles) with others at midpoints *)
   sensitivity : Sensitivity.report list;
   hotspots : hotspot list;
+  bounds : Pperf_bounds.Bounds.nest list;
   diagnostics : Pperf_lint.Diagnostic.t list;
 }
 
@@ -68,6 +69,9 @@ let hotspots ~machine ~options (checked : Typecheck.checked) =
 let generate ?(options = Aggregate.default_options) ?(env = Interval.Env.empty) ~machine
     (checked : Typecheck.checked) : t =
   let prediction = Aggregate.routine ~machine ~options checked in
+  let bound_summary =
+    Pperf_bounds.Bounds.analyze ~machine ~include_memory:options.include_memory checked
+  in
   let total = Perf_expr.total prediction.cost in
   let unknowns = List.map (fun v -> (v, Interval.Env.find v env)) (Poly.vars total) in
   let valuation n v =
@@ -92,11 +96,13 @@ let generate ?(options = Aggregate.default_options) ?(env = Interval.Env.empty) 
       List.sort
         (fun a b -> compare b.cycles_per_iteration a.cycles_per_iteration)
         (hotspots ~machine ~options checked);
+    bounds = bound_summary.nests;
     diagnostics =
-      (* the aggregation's own events, merged with the static lint pass so
-         the report names every source of conservatism once *)
+      (* the aggregation's own events, merged with the bound-disagreement
+         events and the static lint pass so the report names every source
+         of conservatism (and optimism) once *)
       Pperf_lint.Lint.dedupe
-        (prediction.diagnostics
+        (prediction.diagnostics @ bound_summary.diagnostics
         @ Pperf_lint.Lint.precision (Pperf_lint.Lint.run_checked checked));
   }
 
@@ -123,6 +129,19 @@ let pp fmt (t : t) =
         Format.fprintf fmt "  line %-4d loops [%s]: %d cycles/iter@." h.at.Srcloc.line
           (String.concat "," h.loops) h.cycles_per_iteration)
       t.hotspots);
+  if t.bounds <> [] then (
+    Format.fprintf fmt "@.bounds (bin-packing vs critical-path/LCD vs memory, max wins):@.";
+    List.iter
+      (fun (n : Pperf_bounds.Bounds.nest) ->
+        Format.fprintf fmt "  line %-4d bin %d/iter, cp %d%s%s -> %s@." n.at.Srcloc.line
+          n.bin_per_iter n.critical_path
+          (if Pperf_num.Rat.is_zero n.lcd_per_iter then ""
+           else Printf.sprintf ", lcd %s/iter" (Pperf_num.Rat.to_string n.lcd_per_iter))
+          (match n.mem_bound with
+           | Some m -> Printf.sprintf ", mem %s" (Poly.to_string m)
+           | None -> "")
+          (Pperf_bounds.Bounds.classification_string n.classification))
+      t.bounds);
   if t.diagnostics <> [] then (
     Format.fprintf fmt "@.precision diagnostics (where the prediction is conservative):@.";
     List.iter

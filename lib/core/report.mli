@@ -23,6 +23,9 @@ type t = {
   samples : (float * float) list;
   sensitivity : Sensitivity.report list;
   hotspots : hotspot list;  (** hottest first *)
+  bounds : Pperf_bounds.Bounds.nest list;
+      (** the three-bound summary per loop nest (bin-packing vs
+          critical-path/LCD vs memory), in source order *)
   diagnostics : Pperf_lint.Diagnostic.t list;
       (** [Precision] diagnostics: aggregation events (symbolic trips,
           invented branch probabilities, default-cost calls) merged with

@@ -162,6 +162,9 @@ let run_query t (req : Protocol.request) ~src ~src2 machine : payload =
       Render.lint
         ~domain:(Options.domain flags)
         ~json:flags.json ~use_ranges:flags.ranges src
+    | Protocol.Bounds ->
+      let src = require_source req.verb src in
+      (Render.bounds ~machine ~memory:flags.memory ~json:flags.json ~evals:flags.eval src, 0)
     | Protocol.Ping | Protocol.Stats | Protocol.Metrics | Protocol.Shutdown ->
       assert false
   in
@@ -253,6 +256,13 @@ let rec trace_to_json (n : Obs.Trace.node) =
 (* the CLI's handle_code exception table, as structured error responses *)
 let error_of_exn = function
   | Bad_req msg -> Some (Protocol.Bad_request, msg)
+  | Render.Bad_flag msg -> Some (Protocol.Bad_request, msg)
+  | Pperf_backend.Pipeline.Livelock { cycle; unissued } ->
+    Some
+      ( Protocol.Failed,
+        Printf.sprintf
+          "pipeline schedule livelocked after %d cycles with %d operation(s) unissued"
+          cycle unissued )
   | Parser.Error (msg, loc) ->
     Some
       ( Protocol.Parse_error,
@@ -312,7 +322,8 @@ let handle t ~received (req : Protocol.request) : Protocol.response =
       finish
         (Protocol.ok ~id:req.id ~verb:req.verb ~warnings:req.proto_warnings
            ~timing:{ queue_ns; eval_ns = 0 } "")
-    | Protocol.Predict | Protocol.Compare | Protocol.Ranges | Protocol.Lint -> (
+    | Protocol.Predict | Protocol.Compare | Protocol.Ranges | Protocol.Lint
+    | Protocol.Bounds -> (
       match
         let machine = Machines.load req.machine in
         (* resolve file sources to text exactly once: digesting and

@@ -9,7 +9,7 @@
    so clients probing a future field learn about it instead of being
    silently ignored. *)
 
-type verb = Predict | Compare | Ranges | Lint | Ping | Stats | Metrics | Shutdown
+type verb = Predict | Compare | Ranges | Lint | Bounds | Ping | Stats | Metrics | Shutdown
 
 let protocol_version = 1
 
@@ -18,6 +18,7 @@ let verb_string = function
   | Compare -> "compare"
   | Ranges -> "ranges"
   | Lint -> "lint"
+  | Bounds -> "bounds"
   | Ping -> "ping"
   | Stats -> "stats"
   | Metrics -> "metrics"
@@ -28,6 +29,7 @@ let verb_of_string = function
   | "compare" -> Some Compare
   | "ranges" -> Some Ranges
   | "lint" -> Some Lint
+  | "bounds" -> Some Bounds
   | "ping" -> Some Ping
   | "stats" -> Some Stats
   | "metrics" -> Some Metrics
@@ -239,7 +241,7 @@ let request_of_line line =
 let flags_key = Options.to_canonical_string
 
 let cacheable = function
-  | Predict | Compare | Ranges | Lint -> true
+  | Predict | Compare | Ranges | Lint | Bounds -> true
   | Ping | Stats | Metrics | Shutdown -> false
 
 (* ------------------------------------------------------------ responses *)

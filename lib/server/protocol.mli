@@ -14,7 +14,7 @@
     [flags.strict] and a response warning otherwise, so old servers fail
     loudly (or at least visibly) on newer clients. *)
 
-type verb = Predict | Compare | Ranges | Lint | Ping | Stats | Metrics | Shutdown
+type verb = Predict | Compare | Ranges | Lint | Bounds | Ping | Stats | Metrics | Shutdown
 
 val protocol_version : int
 (** The wire version this server speaks (1). *)

@@ -7,6 +7,7 @@
 open Pperf_lang
 open Pperf_core
 module Obs = Pperf_obs.Obs
+module Bounds = Pperf_bounds.Bounds
 
 (* one span for the whole rendering of a query verb: in a trace it is the
    parent of the pipeline phase spans (parse, typecheck, aggregate, ...) *)
@@ -19,6 +20,11 @@ let with_formatter f =
   Format.pp_print_flush fmt ();
   Buffer.contents buf
 
+exception Bad_flag of string
+(* A malformed --eval/--bind/--range value. The CLI never raises it (its
+   cmdliner converters validate at parse time); the server maps it to a
+   structured bad_request response instead of a generic failure. *)
+
 let parse_bindings specs =
   List.map
     (fun s ->
@@ -28,11 +34,12 @@ let parse_bindings specs =
         match float_of_string_opt value with
         | Some f -> (String.sub s 0 i, f)
         | None ->
-          failwith
-            (Printf.sprintf "malformed --eval binding '%s': '%s' is not a number" s value))
+          raise
+            (Bad_flag
+               (Printf.sprintf "malformed binding '%s': '%s' is not a number" s value)))
       | None ->
-        failwith
-          (Printf.sprintf "malformed --eval binding '%s': expected VAR=VALUE" s))
+        raise
+          (Bad_flag (Printf.sprintf "malformed binding '%s': expected VAR=VALUE" s)))
     specs
 
 let range_env specs =
@@ -47,9 +54,16 @@ let range_env specs =
             Pperf_symbolic.Interval.Env.add v
               (Pperf_symbolic.Interval.of_ints lo hi)
               env
-          | _ -> failwith ("malformed range " ^ spec))
-        | _ -> failwith ("malformed range " ^ spec))
-      | _ -> failwith ("malformed range " ^ spec))
+          | _ ->
+            raise
+              (Bad_flag
+                 (Printf.sprintf "malformed range '%s': bounds must be integers" spec)))
+        | _ ->
+          raise
+            (Bad_flag (Printf.sprintf "malformed range '%s': expected VAR=LO:HI" spec)))
+      | _ ->
+        raise
+          (Bad_flag (Printf.sprintf "malformed range '%s': expected VAR=LO:HI" spec)))
     Pperf_symbolic.Interval.Env.empty specs
 
 (* an --eval/--bind set that names variables the expression does not have,
@@ -165,9 +179,34 @@ let compare ?(domain = Pperf_absint.Absint.Box) ~machine ~options ~use_ranges ~r
       let d = Compare.decide ?rel env (Predict.cost p1) (Predict.cost p2) in
       Format.fprintf fmt "%a@." Compare.pp_decision d;
       match d.verdict with
-      | Pperf_symbolic.Signs.Undecided diff ->
-        let t = Runtime_test.of_difference env diff in
-        Format.fprintf fmt "suggested run-time test: %a@." Runtime_test.pp t
+      | Pperf_symbolic.Signs.Undecided diff -> (
+        (* before suggesting a measurement, consult the three-bound
+           steady state: the tighter of the bin/LCD rates (plus the memory
+           bound) can separate variants whose bin expressions cannot *)
+        let include_memory = options.Aggregate.include_memory in
+        let b1 = Bounds.steady_total (Bounds.analyze ~machine ~include_memory c1) in
+        let b2 = Bounds.steady_total (Bounds.analyze ~machine ~include_memory c2) in
+        let module Poly = Pperf_symbolic.Poly in
+        let consulted =
+          if Poly.equal b1 (Predict.total p1) && Poly.equal b2 (Predict.total p2) then
+            None
+          else (
+            let db = Compare.decide ?rel env (Perf_expr.of_cpu b1) (Perf_expr.of_cpu b2) in
+            match db.verdict with
+            | Pperf_symbolic.Signs.Always_le | Pperf_symbolic.Signs.Always_ge
+            | Pperf_symbolic.Signs.Equal ->
+              Some db
+            | _ -> None)
+        in
+        match consulted with
+        | Some db ->
+          Format.fprintf fmt "three-bound steady state: first %s vs second %s@."
+            (Poly.to_string b1) (Poly.to_string b2);
+          Format.fprintf fmt "%a (decided by the tighter bound; no run-time test needed)@."
+            Compare.pp_decision db
+        | None ->
+          let t = Runtime_test.of_difference env diff in
+          Format.fprintf fmt "suggested run-time test: %a@." Runtime_test.pp t)
       | _ -> ())
 
 (* ---- ranges ---- *)
@@ -268,6 +307,120 @@ let ranges ?(domain = Pperf_absint.Absint.Box) ~json src =
                   Format.fprintf fmt "    summary: %s@."
                     (String.concat "; " (List.map Lin.cons_to_string cs))))
           analyzed)
+
+(* ---- bounds ---- *)
+
+let bounds ~machine ~memory ~json ~evals src =
+  Obs.time sp_render @@ fun () ->
+  let bindings = parse_bindings evals in
+  let mname = machine.Pperf_machine.Machine.name in
+  let module Poly = Pperf_symbolic.Poly in
+  let routines =
+    List.map
+      (Bounds.analyze ~machine ~include_memory:memory ~bindings)
+      (Typecheck.check_program (Parser.parse_program src))
+  in
+  let point_string =
+    String.concat ", " (List.map (fun (v, x) -> Printf.sprintf "%s=%g" v x) bindings)
+  in
+  let eval_at p =
+    Poly.eval_float
+      (fun v -> match List.assoc_opt v bindings with Some f -> f | None -> 256.0)
+      p
+  in
+  if json then (
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\"routines\":[";
+    List.iteri
+      (fun i (r : Bounds.routine) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Printf.bprintf buf "{\"routine\":\"%s\",\"machine\":\"%s\",\"nests\":[" r.rname
+          mname;
+        List.iteri
+          (fun j (n : Bounds.nest) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf
+              "{\"line\":%d,\"loops\":[%s],\"trips\":\"%s\",\"bin_per_iter\":%d,\"bin_once\":%d,\"critical_path\":%d,\"lcd_per_iter\":\"%s\",\"carried\":[%s],\"bin_bound\":\"%s\",\"lcd_bound\":\"%s\","
+              n.at.Srcloc.line
+              (String.concat "," (List.map (Printf.sprintf "\"%s\"") n.loop_vars))
+              (Poly.to_string n.trips) n.bin_per_iter n.bin_once n.critical_path
+              (Pperf_num.Rat.to_string n.lcd_per_iter)
+              (String.concat ","
+                 (List.map
+                    (fun (c : Bounds.carried) ->
+                      Printf.sprintf
+                        "{\"array\":\"%s\",\"level\":\"%s\",\"distance\":%d,\"exact\":%b,\"ratio\":\"%s\"}"
+                        c.carray c.clevel c.cdistance c.cexact
+                        (Pperf_num.Rat.to_string c.cratio))
+                    n.carried))
+              (Poly.to_string n.bin_bound)
+              (Poly.to_string n.lcd_bound);
+            (match n.mem_bound with
+             | Some m -> Printf.bprintf buf "\"mem_bound\":\"%s\"," (Poly.to_string m)
+             | None -> ());
+            Printf.bprintf buf "\"classification\":\"%s\"}"
+              (Bounds.classification_string n.classification))
+          r.nests;
+        Buffer.add_string buf "],\"events\":[";
+        List.iteri
+          (fun j (d : Pperf_lint.Diagnostic.t) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf "{\"check\":\"%s\",\"line\":%d,\"message\":\"%s\"}"
+              d.check d.loc.Srcloc.line (String.escaped d.message))
+          r.diagnostics;
+        Buffer.add_string buf "]}")
+      routines;
+    Buffer.add_string buf "]}\n";
+    Buffer.contents buf)
+  else
+    with_formatter (fun fmt ->
+        List.iter
+          (fun (r : Bounds.routine) ->
+            Format.fprintf fmt "routine %s on %s:@." r.rname mname;
+            if r.nests = [] then Format.fprintf fmt "  no loop nests@."
+            else
+              List.iter
+                (fun (n : Bounds.nest) ->
+                  Format.fprintf fmt "  nest at line %d, loops [%s], trips %s:@."
+                    n.at.Srcloc.line
+                    (String.concat "," n.loop_vars)
+                    (Poly.to_string n.trips);
+                  Format.fprintf fmt "    bin-packing:   %d cycles/iter | total %s@."
+                    n.bin_per_iter (Poly.to_string n.bin_bound);
+                  Format.fprintf fmt
+                    "    critical path: %d cycles (one iteration alone packs in %d)@."
+                    n.critical_path n.bin_once;
+                  (match n.carried with
+                   | [] -> Format.fprintf fmt "    LCD:           no carried chain@."
+                   | cs ->
+                     Format.fprintf fmt "    LCD:           %s cycles/iter via %s | total %s@."
+                       (Pperf_num.Rat.to_string n.lcd_per_iter)
+                       (String.concat "; "
+                          (List.map
+                             (fun (c : Bounds.carried) ->
+                               Printf.sprintf "%s (distance %d at loop %s%s)" c.carray
+                                 c.cdistance c.clevel
+                                 (if c.cexact then "" else ", assumed"))
+                             cs))
+                       (Poly.to_string n.lcd_bound));
+                  (match n.mem_bound with
+                   | Some m ->
+                     Format.fprintf fmt "    memory:        total %s@." (Poly.to_string m)
+                   | None -> ());
+                  if bindings <> [] then
+                    Format.fprintf fmt "    at %s: bin %.0f | lcd %.0f%s@." point_string
+                      (eval_at n.bin_bound) (eval_at n.lcd_bound)
+                      (match n.mem_bound with
+                       | Some m -> Printf.sprintf " | mem %.0f" (eval_at m)
+                       | None -> "");
+                  Format.fprintf fmt "    steady state:  %s@."
+                    (Bounds.classification_string n.classification))
+                r.nests;
+            List.iter
+              (fun d ->
+                Format.fprintf fmt "  %a@." Pperf_lint.Diagnostic.pp_short d)
+              r.diagnostics)
+          routines)
 
 (* ---- lint ---- *)
 

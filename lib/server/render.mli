@@ -9,12 +9,17 @@ open Pperf_lang
 open Pperf_machine
 open Pperf_core
 
+exception Bad_flag of string
+(** A malformed [--eval]/[--bind]/[--range] value. The server maps it to a
+    structured [bad_request] response; the CLI's cmdliner converters
+    validate the same syntax at parse time, so it never escapes there. *)
+
 val parse_bindings : string list -> (string * float) list
-(** ["VAR=VALUE"] specs to bindings. @raise Failure on malformed specs. *)
+(** ["VAR=VALUE"] specs to bindings. @raise Bad_flag on malformed specs. *)
 
 val range_env : string list -> Pperf_symbolic.Interval.Env.t
 (** ["VAR=LO:HI"] specs to an interval environment.
-    @raise Failure on malformed specs. *)
+    @raise Bad_flag on malformed specs. *)
 
 val check_bindings :
   strict:bool ->
@@ -54,6 +59,13 @@ val compare :
 (** [compare ~machine ~options ~use_ranges ~ranges src1 src2]. A relational
     [domain] (default [Box]) implies range inference, prints the joined
     whole-routine relations, and feeds them to the decision procedure. *)
+
+val bounds :
+  machine:Machine.t -> memory:bool -> json:bool -> evals:string list -> string -> string
+(** The three-bound summary (bin-packing vs critical-path/LCD vs memory)
+    of every loop nest of every routine, text or JSON. [memory] folds the
+    cache-line bound in; [evals] moves the classification's evaluation
+    point (unbound unknowns default to 256). *)
 
 val ranges : ?domain:Pperf_absint.Absint.domain -> json:bool -> string -> string
 (** Under a relational [domain] the JSON gains a top-level ["domain"] key

@@ -40,6 +40,12 @@ pin the TYPE lines:
   # TYPE pperf_bins_fit_fallback_total counter
   # TYPE pperf_bins_placements_total counter
   # TYPE pperf_bins_scan_cells_total counter
+  # TYPE pperf_bounds_compute_bound_total counter
+  # TYPE pperf_bounds_disagreements_total counter
+  # TYPE pperf_bounds_latency_bound_total counter
+  # TYPE pperf_bounds_lcd_chains_total counter
+  # TYPE pperf_bounds_memory_bound_total counter
+  # TYPE pperf_bounds_nests_total counter
   # TYPE pperf_monomial_alloc_total counter
   # TYPE pperf_poly_add_total counter
   # TYPE pperf_poly_eval_total counter

@@ -34,6 +34,23 @@ let test_list_beats_inorder () =
   let io = Pipeline.run_in_order p1 (Dag.of_ops ops) in
   Alcotest.(check bool) "list sched <= in-order" true (ls.cycles <= io.cycles)
 
+let test_livelock_typed () =
+  (* a cycle budget too small for the schedule raises the typed Livelock
+     exception (not a bare Failure), carrying how far the run got *)
+  let chain = Dag.of_ops (List.init 64 (fun i -> (fdiv, if i = 0 then [] else [ i - 1 ]))) in
+  (match Pipeline.run_list_scheduled ~max_cycles:10 p1 chain with
+   | exception Pipeline.Livelock { cycle; unissued } ->
+     Alcotest.(check bool) "cycle reported" true (cycle >= 0);
+     Alcotest.(check bool) "some ops unissued" true (unissued > 0)
+   | _ -> Alcotest.fail "expected Livelock");
+  (match Pipeline.run_in_order ~max_cycles:10 p1 chain with
+   | exception Pipeline.Livelock { unissued; _ } ->
+     Alcotest.(check bool) "in-order unissued" true (unissued > 0)
+   | _ -> Alcotest.fail "expected Livelock");
+  (* the default budget is plenty: same DAG completes *)
+  Alcotest.(check bool) "default budget completes" true
+    ((Pipeline.run_list_scheduled p1 chain).cycles > 0)
+
 let test_stall_accounting () =
   let r = Pipeline.run_in_order p1 (Dag.of_ops [ (load, []); (fadd, [ 0 ]) ]) in
   Alcotest.(check bool) "stalls counted" true (r.stalls > 0);
@@ -109,6 +126,7 @@ let () =
           Alcotest.test_case "issue width" `Quick test_issue_width_limits;
           Alcotest.test_case "list vs in-order" `Quick test_list_beats_inorder;
           Alcotest.test_case "stalls" `Quick test_stall_accounting;
+          Alcotest.test_case "livelock typed" `Quick test_livelock_typed;
         ] );
       qsuite "props"
         [

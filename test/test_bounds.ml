@@ -1,0 +1,105 @@
+(* Tests for the three-bound analysis: bin-packing throughput vs
+   critical-path/LCD latency vs memory, and its Aggregate integration. *)
+
+open Pperf_num
+open Pperf_symbolic
+open Pperf_lang
+open Pperf_machine
+open Pperf_bounds
+
+let p1 = Machine.power1
+let check_src src = Typecheck.check_routine (Parser.parse_routine src)
+
+let analyze ?(include_memory = false) src =
+  Bounds.analyze ~machine:p1 ~include_memory (check_src src)
+
+let recurrence_src =
+  "subroutine rec(a, n)\n  integer n, i, j\n  real a(512,512)\n  do i = 2, n\n    do j = 1, n - 1\n      a(i,j) = a(i-1,j+1) + 1.0\n    end do\n  end do\nend\n"
+
+let daxpy_src =
+  "subroutine daxpy(x, y, a, n)\n  integer n, i\n  real x(100000), y(100000), a\n  do i = 1, n\n    y(i) = y(i) + a * x(i)\n  end do\nend\n"
+
+let test_recurrence_lcd () =
+  let r = analyze recurrence_src in
+  let n = List.hd r.nests in
+  Alcotest.(check int) "bin 3/iter" 3 n.bin_per_iter;
+  Alcotest.(check string) "lcd 6/iter" "6" (Rat.to_string n.lcd_per_iter);
+  Alcotest.(check bool) "latency-bound" true (n.classification = Latency_bound);
+  Alcotest.(check bool) "disagreement flagged" true (n.disagreement <> None);
+  (match n.carried with
+   | [ c ] ->
+     Alcotest.(check string) "carried on a" "a" c.carray;
+     Alcotest.(check int) "distance 1" 1 c.cdistance;
+     Alcotest.(check bool) "exact" true c.cexact
+   | cs -> Alcotest.fail (Printf.sprintf "expected 1 chain, got %d" (List.length cs)));
+  (* the LCD bound dominates the bin bound as a polynomial: 2x here *)
+  Alcotest.(check bool) "lcd bound = 2 * bin bound" true
+    (Poly.equal n.lcd_bound (Poly.scale (Rat.of_int 2) n.bin_bound))
+
+let test_no_carry_compute_bound () =
+  let r = analyze daxpy_src in
+  let n = List.hd r.nests in
+  Alcotest.(check bool) "no chains" true (n.carried = []);
+  Alcotest.(check bool) "lcd zero" true (Rat.is_zero n.lcd_per_iter);
+  Alcotest.(check bool) "compute-bound" true (n.classification = Compute_bound);
+  Alcotest.(check bool) "no disagreement" true (n.disagreement = None)
+
+let test_distance_two_halves_ratio () =
+  (* a(i) = a(i-2) + 1.0: the chain latency amortizes over two iterations *)
+  let d1 = analyze
+      "subroutine s(a, n)\n  integer n, i\n  real a(100000)\n  do i = 2, n\n    a(i) = a(i-1) + 1.0\n  end do\nend\n" in
+  let d2 = analyze
+      "subroutine s(a, n)\n  integer n, i\n  real a(100000)\n  do i = 3, n\n    a(i) = a(i-2) + 1.0\n  end do\nend\n" in
+  let n1 = List.hd d1.nests and n2 = List.hd d2.nests in
+  Alcotest.(check int) "distance 2 detected" 2 (List.hd n2.carried).cdistance;
+  Alcotest.(check bool) "ratio halves with distance" true
+    (Rat.equal n2.lcd_per_iter (Rat.div n1.lcd_per_iter (Rat.of_int 2)))
+
+let test_memory_bound_classification () =
+  let src =
+    "subroutine stream(a, b, n)\n  integer n, i, j\n  real a(1000,1000), b(1000,1000)\n  do i = 1, n\n    do j = 1, n\n      a(i,j) = b(j,i) + 1.0\n    end do\n  end do\nend\n"
+  in
+  let with_mem = analyze ~include_memory:true src in
+  let n = List.hd with_mem.nests in
+  Alcotest.(check bool) "mem bound present" true (n.mem_bound <> None);
+  Alcotest.(check bool) "memory-bound" true (n.classification = Memory_bound);
+  (* without the cache model the same nest is compute-bound *)
+  let without = analyze src in
+  let n0 = List.hd without.nests in
+  Alcotest.(check bool) "no mem bound when off" true (n0.mem_bound = None);
+  Alcotest.(check bool) "compute-bound when off" true (n0.classification = Compute_bound)
+
+let test_steady_total_takes_max () =
+  let r = analyze recurrence_src in
+  let n = List.hd r.nests in
+  Alcotest.(check bool) "steady total includes the LCD bound" true
+    (Poly.equal (Bounds.steady_total r) n.lcd_bound)
+
+let test_aggregate_bound_events () =
+  let checked = check_src recurrence_src in
+  let has_event (p : Pperf_core.Aggregate.prediction) =
+    List.exists
+      (fun (d : Pperf_lint.Diagnostic.t) -> String.equal d.check "bound-disagreement")
+      p.diagnostics
+  in
+  let off = Pperf_core.Aggregate.routine ~machine:p1 checked in
+  Alcotest.(check bool) "off by default" false (has_event off);
+  let options =
+    { Pperf_core.Aggregate.default_options with bound_events = true }
+  in
+  let on = Pperf_core.Aggregate.routine ~machine:p1 ~options checked in
+  Alcotest.(check bool) "on when enabled" true (has_event on)
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "recurrence LCD" `Quick test_recurrence_lcd;
+          Alcotest.test_case "no carry" `Quick test_no_carry_compute_bound;
+          Alcotest.test_case "distance 2" `Quick test_distance_two_halves_ratio;
+          Alcotest.test_case "memory bound" `Quick test_memory_bound_classification;
+          Alcotest.test_case "steady total" `Quick test_steady_total_takes_max;
+          Alcotest.test_case "aggregate events" `Quick test_aggregate_bound_events;
+        ] );
+    ]

@@ -47,6 +47,19 @@ let test_invariant_ref_one_line () =
   (* only x is an array ref; scalar c is register business *)
   Alcotest.(check int) "one group" 1 (List.length groups)
 
+let test_stride_negative_and_unknown () =
+  (* a reversed walk x(n - i + 1) has coefficient -1 in i: the stride is
+     reported by magnitude, not sign *)
+  let tab, loops, body = nest_of
+      "subroutine s(x, n)\n  integer n, i\n  real x(100000)\n  do i = 1, n\n    x(n - i + 1) = 0.0\n  end do\nend\n" in
+  let g = List.hd (analyze_nest ~machine:p1 ~symtab:tab loops body) in
+  Alcotest.(check (option int)) "reversed walk stride 4B" (Some 4) g.min_stride_bytes;
+  (* a non-affine subscript x(i*i) has no constant stride at all *)
+  let tab2, loops2, body2 = nest_of
+      "subroutine s(x, n)\n  integer n, i\n  real x(100000)\n  do i = 1, n\n    x(i * i) = 0.0\n  end do\nend\n" in
+  let g2 = List.hd (analyze_nest ~machine:p1 ~symtab:tab2 loops2 body2) in
+  Alcotest.(check (option int)) "non-affine stride unknown" None g2.min_stride_bytes
+
 let test_jacobi_grouping () =
   let tab, loops, body = nest_of
       "subroutine s(a, b, n)\n  integer n, i, j\n  real a(1000,1000), b(1000,1000)\n  do i = 2, n\n    do j = 2, n\n      a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))\n    end do\n  end do\nend\n" in
@@ -148,6 +161,7 @@ let () =
           Alcotest.test_case "stride-1 stream" `Quick test_stream_lines;
           Alcotest.test_case "column vs row order" `Quick test_column_vs_row;
           Alcotest.test_case "invariant ref" `Quick test_invariant_ref_one_line;
+          Alcotest.test_case "negative/unknown strides" `Quick test_stride_negative_and_unknown;
           Alcotest.test_case "jacobi grouping" `Quick test_jacobi_grouping;
           Alcotest.test_case "footprint" `Quick test_footprint;
           Alcotest.test_case "tlb term" `Quick test_tlb_term;

@@ -256,6 +256,23 @@ let test_dag_repeat () =
   let b = Bins.create p1 in
   Alcotest.(check int) "repeat with carry = chain" 8 (Bins.drop_dag b r).cost
 
+let test_critical_path_edges () =
+  Alcotest.(check int) "empty dag" 0 (Dag.critical_path (Dag.make [||]));
+  Alcotest.(check int) "single node = its latency" (Atomic_op.result_latency fadd)
+    (Dag.critical_path (Dag.of_ops [ (fadd, []) ]));
+  (* diamond: two independent loads join at an fadd; the join waits for the
+     slower arm but pays the load latency only once *)
+  let store = op "store_fp" in
+  let diamond = Dag.of_ops [ (load, []); (load, []); (fadd, [ 0; 1 ]); (store, [ 2 ]) ] in
+  Alcotest.(check int) "diamond join"
+    (Atomic_op.result_latency load + Atomic_op.result_latency fadd
+    + Atomic_op.result_latency store)
+    (Dag.critical_path diamond);
+  (* two equal-length competing chains: the max is either one, not the sum *)
+  let chain2 = Dag.of_ops [ (fadd, []); (fadd, [ 0 ]); (fadd, []); (fadd, [ 2 ]) ] in
+  Alcotest.(check int) "equal competing chains" (2 * Atomic_op.result_latency fadd)
+    (Dag.critical_path chain2)
+
 let test_dag_errors () =
   Alcotest.(check bool) "forward dep rejected" true
     (try ignore (Dag.of_ops [ (fadd, [ 0 ]) ]); false with Invalid_argument _ -> true)
@@ -332,6 +349,7 @@ let () =
       ( "dag",
         [
           Alcotest.test_case "repeat/carry" `Quick test_dag_repeat;
+          Alcotest.test_case "critical path edges" `Quick test_critical_path_edges;
           Alcotest.test_case "errors" `Quick test_dag_errors;
           Alcotest.test_case "opcount baseline" `Quick test_opcount_baseline;
         ] );
