@@ -674,7 +674,8 @@ let read_json file =
 
 (* the benches whose trajectory is gated in CI *)
 let gated_prefixes =
-  [ "pperf/slots/"; "pperf/drop/"; "pperf/predict/"; "pperf/repredict/"; "pperf/serve/" ]
+  [ "pperf/slots/"; "pperf/drop/"; "pperf/predict/"; "pperf/repredict/"; "pperf/serve/";
+    "pperf/roots/"; "pperf/compare/" ]
 
 let check baseline_file current_file =
   let base = read_json baseline_file and cur = read_json current_file in
@@ -704,6 +705,17 @@ let check baseline_file current_file =
      incr failures;
      Printf.printf
        "FAIL: serve/session-warm (%.1f ns) is not faster than serve/session-cold (%.1f ns)\n"
+       warm cold
+   | _ -> ());
+  (* the decision memo must make repeated identical compares cheaper than
+     fresh ones, same shape of gate as serve warm-vs-cold above *)
+  (match
+     (List.assoc_opt "pperf/compare/decide-warm" cur, List.assoc_opt "pperf/compare/decide-cold" cur)
+   with
+   | Some warm, Some cold when warm >= cold ->
+     incr failures;
+     Printf.printf
+       "FAIL: compare/decide-warm (%.1f ns) is not faster than compare/decide-cold (%.1f ns)\n"
        warm cold
    | _ -> ());
   if !failures > 0 then (
@@ -807,6 +819,54 @@ let timing ?json () =
     Test.make ~name:"repredict/incremental"
       (Staged.stage (fun () -> ignore (Incremental.predict inc big_checked)))
   in
+  (* the exact comparison path: Sturm-chain root isolation and symbolic
+     compare decisions. Wilkinson-style products of linear factors give
+     the remainder sequence its classic coefficient growth; the warm
+     variants repeat one query (chain cache + decision memo), the cold
+     variants cycle distinct inputs so every iteration pays the full
+     analytical cost. *)
+  let wilkinson8 =
+    List.fold_left
+      (fun acc k -> Poly.mul acc (Poly.Infix.(Poly.var "x" - Poly.of_int k)))
+      Poly.one
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let roots_iv = Interval.of_ints (-1) 20 in
+  let roots_warm_test =
+    Test.make ~name:"roots/isolate-warm"
+      (Staged.stage (fun () -> ignore (Roots.isolate wilkinson8 "x" roots_iv)))
+  in
+  let roots_cold_test =
+    (* 512 distinct constant shifts cycled: far beyond the chain cache
+       cap, so every count pays a full Sturm-chain construction (the
+       per-iteration add_const is noise next to the chain build) *)
+    let i = ref 0 in
+    Test.make ~name:"roots/chain-cold"
+      (Staged.stage (fun () ->
+           i := (!i + 1) land 511;
+           ignore
+             (Roots.count_in (Poly.add_const (Rat.of_int (!i + 1)) wilkinson8) "x" roots_iv)))
+  in
+  let cmp_env = Interval.Env.of_list [ ("n", Interval.of_ints 8 512) ] in
+  let cmp_f = Perf_expr.of_cpu (Poly.add_const (Rat.of_int 200) (Poly.scale_int 6 (Poly.var "n"))) in
+  let cmp_g = Perf_expr.of_cpu (Poly.scale_int 8 (Poly.var "n")) in
+  let compare_warm_test =
+    Test.make ~name:"compare/decide-warm"
+      (Staged.stage (fun () -> ignore (Compare.decide cmp_env cmp_f cmp_g)))
+  in
+  let compare_cold_test =
+    (* distinct difference polynomials every iteration: the decision memo
+       can never hit, so this measures the underlying exact machinery *)
+    let i = ref 0 in
+    Test.make ~name:"compare/decide-cold"
+      (Staged.stage (fun () ->
+           i := (!i + 1) land 511;
+           let f =
+             Perf_expr.of_cpu
+               (Poly.add_const (Rat.of_int (200 + !i)) (Poly.scale_int 6 (Poly.var "n")))
+           in
+           ignore (Compare.decide cmp_env f cmp_g)))
+  in
   (* serve-mode throughput: a mixed JSON-lines session over the fig7
      kernels, one predict + one lint per kernel *)
   let serve_lines =
@@ -850,6 +910,7 @@ let timing ?json () =
     [ drop_test 10; drop_test 100; drop_test 1000; drop_test 10000;
       oracle_test 100; oracle_test 1000;
       slots_test; slots_naive_test; predict_test; predict_traced_test;
+      roots_warm_test; roots_cold_test; compare_warm_test; compare_cold_test;
       full_test; inc_test;
       obs_counter_test; obs_hist_test; obs_span_test;
       serve_cold_test; serve_cold_j4_test; serve_warm_test ]

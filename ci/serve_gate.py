@@ -5,7 +5,8 @@ Drives a scripted session through `ppredict serve` and asserts:
   1. every query response's "output" is byte-identical to the one-shot
      CLI subcommand's stdout (and "status" to its exit code);
   2. repeating the whole query block is served from the warm result
-     cache (cached:true, nonzero hit count in the stats verb);
+     cache (cached:true, nonzero hit count in the stats verb), and
+     back-to-back repeats of the same compare all report cached:true;
   3. malformed / unknown-verb / ill-formed / oversized requests get
      structured error responses and the server keeps answering;
   4. a parallel session (--jobs 4) produces the same responses in the
@@ -95,6 +96,16 @@ ERRORS = [
 ]
 lines += [l for l, _ in ERRORS]
 lines.append(json.dumps({"id": "after-errors", "verb": "ping"}))
+
+# back-to-back repeats of the same compare: the comparison path is the most
+# expensive verb, and every repeat must come straight from the result cache
+CMP = {"verb": "compare", "file": "samples/daxpy.pf", "file2": "samples/jacobi.pf"}
+N_CMP = 3
+for k in range(N_CMP):
+    r = dict(CMP)
+    r["id"] = f"cmp{k}"
+    lines.append(json.dumps(r))
+
 lines.append(json.dumps({"id": "stats", "verb": "stats"}))
 lines.append(json.dumps({"id": "bye", "verb": "shutdown"}))
 
@@ -128,7 +139,15 @@ ping = outs[2 * n + len(ERRORS)]
 if not ping.get("ok") or ping.get("output") != "pong":
     err(f"server did not answer ping after the error block: {json.dumps(ping)}")
 
-stats = outs[2 * n + len(ERRORS) + 1]
+# repeated compare block: identical to the compare in the warm pass, so
+# every one of the repeats must report cached:true
+cmp_base = 2 * n + len(ERRORS) + 1
+for k in range(N_CMP):
+    r = outs[cmp_base + k]
+    if not r.get("ok") or not r.get("cached"):
+        err(f"repeated compare {k}: expected a cache hit, got {json.dumps(r)}")
+
+stats = outs[cmp_base + N_CMP]
 hits = stats.get("stats", {}).get("cache", {}).get("hits", 0)
 if hits < n:
     err(f"warm pass should give >= {n} cache hits, stats reports {hits}")

@@ -122,6 +122,60 @@ let count_decided rel verdict =
     Pperf_obs.Obs.incr c
   | Signs.Crossover _ | Signs.Undecided _ -> ()
 
+(* ---- comparison-level memo ----
+
+   The sign analysis is the expensive half of [decide]; its verdict is a
+   pure function of the two (rewritten, point-substituted) totals, the
+   widened environment restricted to their variables, the subdivision
+   parameters, and the relational facts feeding the oracle. We key a
+   per-domain capped memo on a digest of exactly those inputs. Worker
+   domains never share the table (same DLS pattern as the Sturm-chain
+   memo in {!Pperf_symbolic.Roots}), so the hot path takes no locks. *)
+
+let c_memo_hits = Pperf_obs.Obs.counter "compare.memo.hits"
+let c_memo_misses = Pperf_obs.Obs.counter "compare.memo.misses"
+let memo_cap = 256
+
+let memo_key : (string, Signs.verdict) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let verdict_digest ?eps ?depth ~rel ~env f g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Poly.to_string f);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (Poly.to_string g);
+  Buffer.add_char buf '|';
+  (* env restricted to the variables the analysis can see, in sorted
+     binding order so equal environments digest equally *)
+  let vars = List.sort_uniq String.compare (Poly.vars f @ Poly.vars g) in
+  List.iter
+    (fun v ->
+      match Interval.Env.find_opt v env with
+      | Some iv ->
+        Buffer.add_string buf v;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf (Interval.to_string iv);
+        Buffer.add_char buf ';'
+      | None -> ())
+    vars;
+  Buffer.add_char buf '|';
+  Option.iter (fun e -> Buffer.add_string buf (Pperf_num.Rat.to_string e)) eps;
+  Buffer.add_char buf '|';
+  Option.iter (fun d -> Buffer.add_string buf (string_of_int d)) depth;
+  Buffer.add_char buf '|';
+  (* rewrites are already applied to f/g; the oracle's influence is pinned
+     by the rendered relations + domain *)
+  Option.iter
+    (fun r ->
+      Buffer.add_string buf (Pperf_absint.Absint.domain_to_string r.rel_domain);
+      List.iter
+        (fun s ->
+          Buffer.add_char buf ';';
+          Buffer.add_string buf s)
+        r.rel_show)
+    rel;
+  Digest.string (Buffer.contents buf)
+
 let apply_rewrites rel p =
   match rel with
   | None -> p
@@ -139,8 +193,19 @@ let decide ?eps ?depth ?rel env (cf : Perf_expr.t) (cg : Perf_expr.t) : decision
   and g = subst_points env (apply_rewrites rel (Perf_expr.total cg)) in
   let diff = Poly.sub f g in
   let env = widen_env env diff in
-  let oracle = Option.map (fun r -> r.rel_oracle) rel in
-  let verdict = Signs.compare_over ?eps ?depth ?oracle env f g in
+  let key = verdict_digest ?eps ?depth ~rel ~env f g in
+  let tbl = Domain.DLS.get memo_key in
+  let verdict =
+    match Hashtbl.find_opt tbl key with
+    | Some v -> Pperf_obs.Obs.incr c_memo_hits; v
+    | None ->
+      Pperf_obs.Obs.incr c_memo_misses;
+      let oracle = Option.map (fun r -> r.rel_oracle) rel in
+      let v = Signs.compare_over ?eps ?depth ?oracle env f g in
+      if Hashtbl.length tbl >= memo_cap then Hashtbl.reset tbl;
+      Hashtbl.add tbl key v;
+      v
+  in
   count_decided rel verdict;
   let recommended =
     match verdict with

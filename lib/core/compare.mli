@@ -57,7 +57,13 @@ val decide :
     turns a multivariate difference into a decidable univariate one.
     [rel] applies its affine rewrites to both expressions first and feeds
     its oracle to the sign analysis; decided verdicts bump a per-domain
-    [compare.decided.<domain>] counter. *)
+    [compare.decided.<domain>] counter.
+
+    Verdicts are memoized per worker domain behind a capped table keyed on
+    a digest of the rewritten totals, the environment restricted to their
+    variables, [eps]/[depth], and the relational facts; repeat comparisons
+    skip the sign analysis entirely ([compare.memo.hits] /
+    [compare.memo.misses] counters). *)
 
 val pp_choice : Format.formatter -> choice -> unit
 val pp_decision : Format.formatter -> decision -> unit

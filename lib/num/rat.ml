@@ -98,21 +98,28 @@ let of_float f =
 let of_float_approx ?(tol = 1e-9) f =
   if not (Float.is_finite f) then invalid_arg "Rat.of_float_approx: not finite";
   if Float.abs f < 1e-300 then zero
+  else if Float.abs f >= 9007199254740992.0 (* 2^53 *) then
+    (* every such float is an exact integer; [of_float] is both exact and
+       safe where [int_of_float] is unspecified (|f| ≳ 4.6e18) *)
+    of_float f
   else (
     let neg_in = f < 0.0 in
     let x = Float.abs f in
-    (* continued-fraction convergents h_k / k_k until within tolerance *)
+    (* continued-fraction convergents h_k / k_k until within tolerance.
+       Partial quotients fit native ints here (a_0 <= x < 2^53), but the
+       convergent numerators do not: accumulate them in Bigint so
+       [ai * h1 + h2] cannot silently wrap. *)
     let rec go a (h1, k1) (h2, k2) depth =
       let ai = int_of_float a in
-      let h = (ai * h1) + h2 and k = (ai * k1) + k2 in
-      let approx = float_of_int h /. float_of_int k in
-      if Float.abs (approx -. x) <= tol *. x || depth > 40 then of_ints h k
+      let h = B.add (B.mul_int h1 ai) h2 and k = B.add (B.mul_int k1 ai) k2 in
+      let approx = B.to_float h /. B.to_float k in
+      if Float.abs (approx -. x) <= tol *. x || depth > 40 then make h k
       else (
         let frac = a -. float_of_int ai in
-        if frac <= 1e-12 then of_ints h k
+        if frac <= 1e-12 then make h k
         else go (1.0 /. frac) (h, k) (h1, k1) (depth + 1))
     in
-    let r = go x (1, 0) (0, 1) 0 in
+    let r = go x (B.one, B.zero) (B.zero, B.one) 0 in
     if neg_in then neg r else r)
 
 let to_string t =

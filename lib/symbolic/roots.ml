@@ -1,4 +1,11 @@
 open Pperf_num
+module B = Bigint
+module Obs = Pperf_obs.Obs
+
+let c_chain_builds = Obs.counter "roots.chain_builds"
+let c_chain_hits = Obs.counter "roots.chain_cache_hits"
+let c_variations = Obs.counter "roots.variations"
+let sp_sturm = Obs.span "sturm"
 
 (* ---- dense univariate utilities (internal) ---- *)
 
@@ -11,68 +18,147 @@ let trim (a : Rat.t array) =
 
 let degree a = Array.length a - 1 (* -1 for zero poly *)
 
-let eval_dense a x =
-  let acc = ref Rat.zero in
-  for i = Array.length a - 1 downto 0 do
-    acc := Rat.add (Rat.mul !acc x) a.(i)
-  done;
-  !acc
+(* ---- integer dense polynomials (the Sturm-chain representation) ----
 
-let deriv_dense a =
+   The remainder sequence is computed over primitive integer polynomials:
+   coefficient denominators are cleared once up front, every
+   pseudo-remainder is divided by its content, and the pseudo-remainder
+   multiplier is kept positive so each chain element is a positive
+   rational multiple of the classical Sturm chain element — same signs
+   everywhere, hence the same variation counts — while coefficient digit
+   counts grow linearly instead of doubling per step as they do under the
+   naive Euclidean sequence over {!Rat}. *)
+
+let btrim (a : B.t array) =
+  let n = ref (Array.length a) in
+  while !n > 0 && B.is_zero a.(!n - 1) do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+(* clear denominators: lcm of the denominators times the array, giving a
+   primitive-up-to-content integer polynomial with the same roots/signs *)
+let bigint_of_rat_dense (a : Rat.t array) : B.t array =
+  let l = Array.fold_left (fun acc r -> B.lcm acc (Rat.den r)) B.one a in
+  Array.map (fun r -> B.mul (Rat.num r) (B.div l (Rat.den r))) a
+
+let content a = Array.fold_left (fun g c -> B.gcd g c) B.zero a
+
+let primitive a =
+  let g = content a in
+  if B.is_zero g || B.is_one g then a else Array.map (fun c -> B.div c g) a
+
+let bderiv a =
   if Array.length a <= 1 then [||]
-  else Array.init (Array.length a - 1) (fun i -> Rat.mul (Rat.of_int (i + 1)) a.(i + 1))
+  else Array.init (Array.length a - 1) (fun i -> B.mul_int a.(i + 1) (i + 1))
 
-(* remainder of a / b, b nonzero *)
-let rem_dense a b =
-  let b = trim b in
-  let db = degree b in
-  if db < 0 then raise Division_by_zero;
+(* sign-preserving pseudo-remainder: repeatedly
+     r <- |lc(b)| * r - sign(lc(b)) * lead(r) * x^(deg r - deg b) * b
+   so each step scales r by the positive |lc(b)| and cancels the leading
+   term exactly; the result is a positive multiple of (a mod b) *)
+let sprem (a : B.t array) (b : B.t array) : B.t array =
+  let db = Array.length b - 1 in
+  let lc = b.(db) in
+  let alc = B.abs lc in
+  let neg_lead = B.sign lc < 0 in
   let r = Array.copy a in
-  let lead_b = b.(db) in
-  let dr = ref (degree (trim r)) in
+  let dr = ref (Array.length r - 1) in
   while !dr >= db do
-    let q = Rat.div r.(!dr) lead_b in
-    for i = 0 to db do
-      r.(!dr - db + i) <- Rat.sub r.(!dr - db + i) (Rat.mul q b.(i))
-    done;
-    (* the leading term cancels exactly *)
-    r.(!dr) <- Rat.zero;
-    let r' = trim r in
-    dr := degree r'
+    let top = r.(!dr) in
+    if B.is_zero top then decr dr
+    else (
+      let top = if neg_lead then B.neg top else top in
+      for i = 0 to !dr - 1 do
+        r.(i) <- B.mul alc r.(i)
+      done;
+      let shift = !dr - db in
+      for i = 0 to db - 1 do
+        r.(shift + i) <- B.sub r.(shift + i) (B.mul top b.(i))
+      done;
+      (* the leading term cancels exactly: |lc|*lead(r) - sign(lc)*lead(r)*lc = 0 *)
+      r.(!dr) <- B.zero;
+      decr dr)
   done;
-  trim r
+  btrim r
 
-(* Sturm chain: p, p', then negated remainders *)
-let sturm_chain p =
-  let p = trim p in
-  if degree p <= 0 then [ p ]
+(* Sturm chain over primitive integer polynomials: p, p', then negated
+   primitive pseudo-remainders *)
+let sturm_chain_int (p : B.t array) =
+  if Array.length p <= 1 then [ p ]
   else (
     let rec go acc p0 p1 =
       if Array.length p1 = 0 then List.rev (p0 :: acc)
       else (
-        let r = rem_dense p0 p1 in
-        go (p0 :: acc) p1 (Array.map Rat.neg r))
+        let r = sprem p0 p1 in
+        go (p0 :: acc) p1 (Array.map B.neg (primitive r)))
     in
-    go [] p (trim (deriv_dense p)))
+    go [] (primitive p) (primitive (btrim (bderiv p))))
 
-let variations chain x =
-  (* all queries are at finite points: infinities are clipped at the Cauchy
-     bound before any Sturm query *)
-  let signs =
-    List.filter_map
-      (fun p ->
-        let s = Rat.sign (eval_dense p x) in
-        if s = 0 then None else Some s)
-      chain
-  in
-  let rec count = function
-    | a :: (b :: _ as rest) -> (if a <> b then 1 else 0) + count rest
-    | _ -> 0
-  in
-  count signs
+(* sign of a(n/d) for d > 0: sum a_i n^i d^(deg-i), pure integer Horner *)
+let beval_sign (a : B.t array) ~num ~den =
+  let deg = Array.length a - 1 in
+  if deg < 0 then 0
+  else (
+    let acc = ref a.(deg) in
+    let dp = ref B.one in
+    for i = deg - 1 downto 0 do
+      dp := B.mul !dp den;
+      acc := B.add (B.mul !acc num) (B.mul a.(i) !dp)
+    done;
+    B.sign !acc)
+
+(* ---- cached chains ----
+
+   A chain is built once per distinct dense polynomial and kept in a
+   capped per-domain memo (same domain-safety pattern as the per-machine
+   atomic-chain memos: worker domains never share mutable state, so no
+   locks on this hot path). Endpoint variation counts are memoized inside
+   the chain record, because bisection in [isolate] and the region walk
+   in [Signs.regions] re-query the full chain at every shared midpoint. *)
+
+module Rat_tbl = Hashtbl.Make (struct
+  type t = Rat.t
+
+  let equal = Rat.equal
+  let hash = Rat.hash
+end)
+
+type chain = {
+  polys : B.t array list;  (* primitive Sturm chain, first element = p *)
+  bound : Rat.t;  (* Cauchy root bound of p *)
+  var_memo : int Rat_tbl.t;  (* endpoint -> variation count *)
+}
+
+let var_memo_cap = 8192
+
+let variations ch x =
+  match Rat_tbl.find_opt ch.var_memo x with
+  | Some v -> v
+  | None ->
+    Obs.incr c_variations;
+    let num = Rat.num x and den = Rat.den x in
+    let signs =
+      List.filter_map
+        (fun p ->
+          let s = beval_sign p ~num ~den in
+          if s = 0 then None else Some s)
+        ch.polys
+    in
+    let rec count = function
+      | a :: (b :: _ as rest) -> (if a <> b then 1 else 0) + count rest
+      | _ -> 0
+    in
+    let v = count signs in
+    if Rat_tbl.length ch.var_memo < var_memo_cap then Rat_tbl.add ch.var_memo x v;
+    v
 
 (* distinct roots in (a, b] by Sturm *)
-let count_half_open chain a b = variations chain a - variations chain b
+let count_half_open ch a b = variations ch a - variations ch b
+
+(* sign of p at a rational point, via the chain's primitive first element:
+   pure-Bigint Horner, no Rat normalization — this is the bisection's
+   zero-check hot path (a dense Rat eval at a depth-k dyadic midpoint costs
+   ~0.3ms in gcd work; this is microseconds) *)
+let point_sign ch x = beval_sign (List.hd ch.polys) ~num:(Rat.num x) ~den:(Rat.den x)
+let is_root ch x = point_sign ch x = 0
 
 (* Cauchy root bound: all roots have |x| <= 1 + max|a_i|/|a_n| *)
 let cauchy_bound p =
@@ -85,6 +171,33 @@ let cauchy_bound p =
       m := Rat.max !m (Rat.abs p.(i))
     done;
     Rat.add Rat.one (Rat.div !m lead))
+
+let chain_cache_cap = 128
+
+(* per-domain chain memo, keyed on the dense coefficient array (canonical:
+   trimmed, exact rationals), so the same difference polynomial queried in
+   different variables or re-derived from different sources still shares
+   one chain. Capped by wholesale flush: the working set of distinct
+   polynomials per domain is tiny, and a flush only costs rebuilds. *)
+let chain_tbl_key : (Rat.t array, chain) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let build_chain (d : Rat.t array) =
+  Obs.incr c_chain_builds;
+  Obs.time sp_sturm @@ fun () ->
+  { polys = sturm_chain_int (bigint_of_rat_dense d);
+    bound = cauchy_bound d;
+    var_memo = Rat_tbl.create 64 }
+
+let chain_for (d : Rat.t array) =
+  let tbl = Domain.DLS.get chain_tbl_key in
+  match Hashtbl.find_opt tbl d with
+  | Some ch -> Obs.incr c_chain_hits; ch
+  | None ->
+    let ch = build_chain d in
+    if Hashtbl.length tbl >= chain_cache_cap then Hashtbl.reset tbl;
+    Hashtbl.add tbl d ch;
+    ch
 
 (* ---- public interface over Poly ---- *)
 
@@ -125,14 +238,14 @@ let count_in p x iv =
   let d = dense_of_poly p x in
   if degree d <= 0 then 0
   else (
-    let chain = sturm_chain d in
-    let b = cauchy_bound d in
+    let chain = chain_for d in
+    let b = chain.bound in
     let lo, hi = interval_points iv b in
-    if Rat.compare lo hi >= 0 then (if Interval.contains iv lo && Rat.is_zero (eval_dense d lo) then 1 else 0)
+    if Rat.compare lo hi >= 0 then (if Interval.contains iv lo && is_root chain lo then 1 else 0)
     else (
       let n = count_half_open chain lo hi in
       (* (lo, hi] -> adjust for lo itself being a root *)
-      let n = if Rat.is_zero (eval_dense d lo) then n + 1 else n in
+      let n = if is_root chain lo then n + 1 else n in
       n))
 
 let default_eps = Rat.make Pperf_num.Bigint.one (Pperf_num.Bigint.shift_left Pperf_num.Bigint.one 20)
@@ -162,8 +275,8 @@ let isolate ?(eps = default_eps) p x iv =
   let d = dense_of_poly p x in
   if degree d <= 0 then []
   else (
-    let chain = sturm_chain d in
-    let b = cauchy_bound d in
+    let chain = chain_for d in
+    let b = chain.bound in
     let lo, hi = interval_points iv b in
     if Rat.compare lo hi > 0 then []
     else (
@@ -180,14 +293,14 @@ let isolate ?(eps = default_eps) p x iv =
             if Rat.compare (Rat.sub b a) eps <= 0 then (
               (* recognize exact rational roots: endpoints, then the
                  simplest rational inside the enclosure *)
-              if Rat.is_zero (eval_dense d b) then acc := { lo = b; hi = b } :: !acc
+              if is_root chain b then acc := { lo = b; hi = b } :: !acc
               else (
                 let cand = simplest_in a b in
-                if Rat.is_zero (eval_dense d cand) then acc := { lo = cand; hi = cand } :: !acc
+                if is_root chain cand then acc := { lo = cand; hi = cand } :: !acc
                 else acc := { lo = a; hi = b } :: !acc))
             else (
               let m = Rat.mul Rat.half (Rat.add a b) in
-              if Rat.is_zero (eval_dense d m) then acc := { lo = m; hi = m } :: !acc
+              if is_root chain m then acc := { lo = m; hi = m } :: !acc
               else if roots_in a m = 1 then go a m
               else go m b)
           in
@@ -198,7 +311,7 @@ let isolate ?(eps = default_eps) p x iv =
           refine a m nl;
           refine m b (n - nl))
       in
-      (if Rat.is_zero (eval_dense d lo) && Interval.contains iv lo then
+      (if is_root chain lo && Interval.contains iv lo then
          acc := { lo; hi = lo } :: !acc);
       if Rat.compare lo hi < 0 then refine lo hi (roots_in lo hi);
       List.sort (fun e1 e2 -> Rat.compare e1.lo e2.lo) !acc))
@@ -244,13 +357,24 @@ module Closed_form = struct
       let q = ((2.0 *. b *. b *. b) -. (9.0 *. b *. cc)) /. 27.0 +. d in
       let shift = b /. 3.0 in
       let disc = ((q *. q) /. 4.0) +. ((p *. p *. p) /. 27.0) in
+      (* all multiplicity tests are against magnitude-normalized
+         tolerances: an absolute cutoff like [disc > 1e-13] flips the
+         classification when the coefficients are uniformly scaled (the
+         discriminant of (x-λ)(x-2λ)(x-3λ) scales as λ^6) *)
+      let eps = 1e-12 in
+      let disc_scale = ((q *. q) /. 4.0) +. (Float.abs (p *. p *. p) /. 27.0) in
+      let p_scale = Float.abs cc +. (b *. b /. 3.0) in
+      let q_scale =
+        ((2.0 *. Float.abs (b *. b *. b)) +. (9.0 *. Float.abs (b *. cc))) /. 27.0
+        +. Float.abs d
+      in
       let roots =
-        if disc > 1e-13 then (
+        if disc > eps *. disc_scale then (
           let sq = sqrt disc in
           let cbrt v = if v >= 0.0 then v ** (1.0 /. 3.0) else -.((-.v) ** (1.0 /. 3.0)) in
           [ cbrt ((-.q /. 2.0) +. sq) +. cbrt ((-.q /. 2.0) -. sq) ])
-        else if Float.abs disc <= 1e-13 then
-          if Float.abs q <= 1e-13 && Float.abs p <= 1e-13 then [ 0.0 ]
+        else if Float.abs disc <= eps *. disc_scale then
+          if Float.abs q <= eps *. q_scale && Float.abs p <= eps *. p_scale then [ 0.0 ]
           else dedup_sorted [ 3.0 *. q /. p; -3.0 *. q /. (2.0 *. p) ]
         else (
           (* three real roots: trigonometric method *)
@@ -275,15 +399,24 @@ module Closed_form = struct
         e -. (b *. d /. 4.0) +. (b *. b *. cc /. 16.0) -. (3.0 *. b *. b *. b *. b /. 256.0)
       in
       let shift = b /. 4.0 in
+      (* same scale-normalization story as [cubic]: q and the resolvent
+         roots are compared against the magnitudes of their formation
+         terms, not absolute cutoffs *)
+      let q_scale =
+        Float.abs d +. (Float.abs (b *. cc) /. 2.0) +. (Float.abs (b *. b *. b) /. 8.0)
+      in
+      let z_scale =
+        Float.max (Float.abs p) (Float.max (sqrt (Float.abs r)) ((q *. q) ** (1.0 /. 3.0)))
+      in
       let ys =
-        if Float.abs q <= 1e-12 then (
+        if Float.abs q <= 1e-12 *. q_scale then (
           (* biquadratic *)
           let zs = quadratic [| r; p; 1.0 |] in
           List.concat_map (fun z -> if z > 0.0 then [ sqrt z; -.sqrt z ] else if z = 0.0 then [ 0.0 ] else []) zs)
         else (
           (* resolvent cubic: z^3 + 2p z^2 + (p^2 - 4r) z - q^2 = 0, pick a positive root *)
           let res = cubic [| -.(q *. q); (p *. p) -. (4.0 *. r); 2.0 *. p; 1.0 |] in
-          match List.filter (fun z -> z > 1e-12) res with
+          match List.filter (fun z -> z > 1e-12 *. z_scale) res with
           | [] -> []
           | z :: _ ->
             let w = sqrt z in

@@ -6,9 +6,14 @@
     transformation changes one structure at a time) and that its sign
     regions can be found from its real roots. We provide:
 
-    - an exact path: Sturm sequences over {!Pperf_num.Rat}, giving isolating
-      intervals refined by bisection to any requested width, correct for
-      roots of any multiplicity and any degree;
+    - an exact path: Sturm sequences computed as integer primitive-part
+      pseudo-remainder sequences (denominators cleared once, each
+      remainder divided by its content, signs preserved), giving
+      isolating intervals refined by bisection to any requested width,
+      correct for roots of any multiplicity and any degree. Chains and
+      endpoint variation counts are memoized per worker domain behind
+      capped tables ([roots.chain_builds] / [roots.chain_cache_hits] /
+      [roots.variations] counters, [sturm] span; DESIGN.md §2.6);
     - a fast float path with the closed-form formulas the paper alludes to
       (quadratic, Cardano cubic, Ferrari quartic), used by benchmarks. *)
 

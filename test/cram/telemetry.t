@@ -46,11 +46,16 @@ pin the TYPE lines:
   # TYPE pperf_bounds_lcd_chains_total counter
   # TYPE pperf_bounds_memory_bound_total counter
   # TYPE pperf_bounds_nests_total counter
+  # TYPE pperf_compare_memo_hits_total counter
+  # TYPE pperf_compare_memo_misses_total counter
   # TYPE pperf_monomial_alloc_total counter
   # TYPE pperf_poly_add_total counter
   # TYPE pperf_poly_eval_total counter
   # TYPE pperf_poly_mul_total counter
   # TYPE pperf_poly_subst_total counter
+  # TYPE pperf_roots_chain_builds_total counter
+  # TYPE pperf_roots_chain_cache_hits_total counter
+  # TYPE pperf_roots_variations_total counter
   # TYPE pperf_obs_span_unbalanced gauge
   # TYPE pperf_server_cache_entries gauge
   # TYPE pperf_server_cache_hits gauge

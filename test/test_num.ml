@@ -123,6 +123,36 @@ let prop_gcd_divides =
       let g = B.gcd (bi a) (bi b) in
       B.is_zero (B.rem (bi a) g) && B.is_zero (B.rem (bi b) g))
 
+(* values straddling the 2^30 small/big representation boundary: every
+   mixed-representation pairing (small op small overflowing, small op big,
+   big op big cancelling back to small) is exercised *)
+let boundary =
+  QCheck.map
+    (fun (off, s) -> s * ((1 lsl 30) + off))
+    (QCheck.pair (QCheck.int_range (-3000) 3000) (QCheck.oneofl [ 1; -1 ]))
+
+let prop_boundary_add_mul =
+  QCheck.Test.make ~name:"add/mul match int across 2^30" ~count:500
+    (QCheck.pair boundary boundary) (fun (a, b) ->
+      B.to_int_exn (B.add (bi a) (bi b)) = a + b
+      && B.to_int_exn (B.sub (bi a) (bi b)) = a - b
+      && B.to_int_exn (B.mul (bi a) (bi b)) = a * b)
+
+let prop_boundary_divmod =
+  QCheck.Test.make ~name:"divmod matches int across 2^30" ~count:500
+    (QCheck.pair boundary (QCheck.pair boundary small)) (fun (a, (b, c)) ->
+      let d = if c = 0 then b else c in
+      B.to_int_exn (fst (B.divmod (bi a) (bi d))) = a / d
+      && B.to_int_exn (snd (B.divmod (bi a) (bi d))) = a mod d)
+
+let prop_boundary_shift =
+  QCheck.Test.make ~name:"shifts match int across 2^30" ~count:500
+    (QCheck.pair boundary (QCheck.int_range 0 25)) (fun (a, k) ->
+      (* keep a lsl k within 62 bits so the native oracle is exact; asr is
+         the same floor division shift_right implements *)
+      B.to_int_exn (B.shift_left (bi a) k) = a * (1 lsl k)
+      && B.to_int_exn (B.shift_right (bi a) k) = a asr k)
+
 (* ---- rationals ---- *)
 
 let test_rat_basic () =
@@ -157,6 +187,24 @@ let test_rat_of_float_approx () =
   Alcotest.(check string) "negative" "-1/3" (R.to_string (R.of_float_approx (-0.333333333333)));
   Alcotest.(check string) "integer" "7" (R.to_string (R.of_float_approx 7.0));
   Alcotest.(check string) "zero" "0" (R.to_string (R.of_float_approx 0.0))
+
+(* regression: |f| beyond the native-int range used to go through
+   [int_of_float] (unspecified result) and wrapping convergent products,
+   yielding garbage rationals; 1e19 is exactly the integer 10^19 *)
+let test_rat_of_float_approx_huge () =
+  Alcotest.(check string) "1e19 exact" "10000000000000000000"
+    (R.to_string (R.of_float_approx 1e19));
+  Alcotest.(check string) "-1e19 exact" "-10000000000000000000"
+    (R.to_string (R.of_float_approx (-1e19)));
+  (* round-trip sanity across the 2^53 exact-integer clamp *)
+  List.iter
+    (fun f ->
+      let r = R.of_float_approx f in
+      let back = R.to_float r in
+      if Float.abs (back -. f) > 1e-9 *. Float.abs f then
+        Alcotest.failf "of_float_approx %.17g round-trips to %.17g (via %s)" f back
+          (R.to_string r))
+    [ 1e19; 4.7e18; -3.1e20; 1.5e16; 9.2e15 ]
 
 let test_rat_of_float () =
   Alcotest.(check bool) "0.5 exact" true (R.equal (R.of_float 0.5) R.half);
@@ -215,6 +263,7 @@ let () =
         [
           prop_add_matches_int; prop_mul_matches_int; prop_divmod_matches_int;
           prop_divmod_reconstructs; prop_string_roundtrip; prop_gcd_divides;
+          prop_boundary_add_mul; prop_boundary_divmod; prop_boundary_shift;
         ];
       ( "rat-unit",
         [
@@ -223,6 +272,7 @@ let () =
           Alcotest.test_case "strings" `Quick test_rat_strings;
           Alcotest.test_case "of_float" `Quick test_rat_of_float;
           Alcotest.test_case "of_float_approx" `Quick test_rat_of_float_approx;
+          Alcotest.test_case "of_float_approx huge" `Quick test_rat_of_float_approx_huge;
         ] );
       qsuite "rat-props" [ prop_rat_field; prop_rat_compare_consistent; prop_floor_ceil ];
     ]

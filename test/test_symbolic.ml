@@ -241,6 +241,47 @@ let prop_roots_found =
              Rat.compare e.lo (Rat.of_int r) <= 0 && Rat.compare (Rat.of_int r) e.hi <= 0)
            distinct encls)
 
+(* differential: the exact Sturm path (count_in/isolate) against the float
+   closed-form solvers, on rational cubics/quartics built from distinct
+   integer roots and a random rational leading coefficient *)
+let prop_sturm_vs_closed_form =
+  QCheck.Test.make ~name:"count_in/isolate agree with closed form" ~count:100
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 3 4) (QCheck.int_range (-8) 8))
+       (QCheck.pair (QCheck.int_range 1 9) (QCheck.oneofl [ 1; -1 ])))
+    (fun (roots, (num, sgn)) ->
+      let distinct = List.sort_uniq compare roots in
+      QCheck.assume (List.length distinct >= 3);
+      let scale = Rat.of_ints (sgn * num) 7 in
+      let p =
+        P.scale scale
+          (List.fold_left (fun acc r -> P.mul acc (P.sub x (pi r))) P.one distinct)
+      in
+      let coeffs = Array.map Rat.to_float (P.univariate_coeffs "x" p) in
+      match Roots.Closed_form.solve coeffs with
+      | None -> false
+      | Some cf ->
+        let iv = Interval.of_ints (-9) 9 in
+        Roots.count_in p "x" iv = List.length cf
+        && (let encls = Roots.isolate p "x" iv in
+            List.length encls = List.length cf
+            && List.for_all2
+                 (fun r (e : Roots.enclosure) ->
+                   Rat.to_float e.lo -. 1e-6 <= r && r <= Rat.to_float e.hi +. 1e-6)
+                 cf encls))
+
+(* the primitive-part remainder sequence divides every chain element by its
+   content: Sturm counts must be invariant under any nonzero rational
+   scaling of the polynomial (same roots, rescaled chain) *)
+let prop_sturm_scale_invariant =
+  QCheck.Test.make ~name:"sturm count invariant under rational scaling" ~count:200
+    (QCheck.pair (arb_poly [ "x" ])
+       (QCheck.pair (QCheck.int_range (-40) 40) (QCheck.int_range 1 12)))
+    (fun (p, (num, den)) ->
+      QCheck.assume (num <> 0);
+      let iv = Interval.of_ints (-8) 8 in
+      Roots.count_in p "x" iv = Roots.count_in (P.scale (Rat.of_ints num den) p) "x" iv)
+
 let test_closed_form () =
   let roots_of c = Roots.Closed_form.solve c in
   (match roots_of [| -6.; 11.; -6.; 1. |] with
@@ -260,6 +301,47 @@ let test_closed_form () =
    | Some [ r ] -> Alcotest.(check (float 1e-9)) "double root" 1.0 r
    | _ -> Alcotest.fail "quadratic double root");
   Alcotest.(check bool) "degree 5 unsupported" true (roots_of [| 1.; 0.; 0.; 0.; 0.; 1. |] = None)
+
+(* regression: the cubic classifier used absolute epsilons (disc > 1e-13,
+   |q| <= 1e-13), so uniformly scaling the roots re-classified the
+   polynomial. (x-l)(x-2l)(x-3l) for l = 1/100 has three distinct real
+   roots but a discriminant of -l^6/27 ~ -3.7e-14, which the absolute
+   threshold read as "multiple root": the old code returned one root. *)
+let test_closed_form_scaled () =
+  let l = 0.01 in
+  (* (x-l)(x-2l)(x-3l), coefficients low-to-high *)
+  let c = [| -6.0 *. (l ** 3.0); 11.0 *. (l ** 2.0); -6.0 *. l; 1.0 |] in
+  (match Roots.Closed_form.cubic c with
+   | [ a; b; c ] ->
+     Alcotest.(check (float 1e-8)) "scaled r1" l a;
+     Alcotest.(check (float 1e-8)) "scaled r2" (2.0 *. l) b;
+     Alcotest.(check (float 1e-8)) "scaled r3" (3.0 *. l) c
+   | rs -> Alcotest.failf "scaled-down cubic: expected 3 roots, got %d" (List.length rs));
+  (* scaled the other way: a genuine double root at 1000 whose discriminant
+     rounds to ~1e1 in absolute terms, far above the old 1e-13 cutoff *)
+  (match Roots.Closed_form.cubic [| -3e9; 7e6; -5000.0; 1.0 |] with
+   | [ a; b ] ->
+     Alcotest.(check (float 1e-3)) "double root" 1000.0 a;
+     Alcotest.(check (float 1e-3)) "simple root" 3000.0 b
+   | rs -> Alcotest.failf "scaled-up cubic: expected 2 roots, got %d" (List.length rs));
+  (* same misclassification in the quartic's biquadratic test: distinct
+     roots {l,2l,3l,5l} have q ~ l^3, under the old absolute 1e-12 cutoff *)
+  let l = 1e-5 in
+  let quartic_coeffs =
+    let p =
+      List.fold_left
+        (fun acc k -> P.mul acc (P.sub x (P.const (Rat.of_float_approx (float_of_int k *. l)))))
+        P.one [ 1; 2; 3; 5 ]
+    in
+    Array.map Rat.to_float (P.univariate_coeffs "x" p)
+  in
+  match Roots.Closed_form.quartic quartic_coeffs with
+  | [ a; b; c; d ] ->
+    Alcotest.(check (float 1e-9)) "quartic r1" l a;
+    Alcotest.(check (float 1e-9)) "quartic r2" (2.0 *. l) b;
+    Alcotest.(check (float 1e-9)) "quartic r3" (3.0 *. l) c;
+    Alcotest.(check (float 1e-9)) "quartic r4" (5.0 *. l) d
+  | rs -> Alcotest.failf "scaled quartic: expected 4 roots, got %d" (List.length rs)
 
 (* ---- signs ---- *)
 
@@ -427,8 +509,10 @@ let () =
           Alcotest.test_case "no roots" `Quick test_roots_none;
           Alcotest.test_case "rational root" `Quick test_roots_rational;
           Alcotest.test_case "closed form" `Quick test_closed_form;
+          Alcotest.test_case "closed form scaled" `Quick test_closed_form_scaled;
         ] );
-      qsuite "roots-props" [ prop_roots_found ];
+      qsuite "roots-props"
+        [ prop_roots_found; prop_sturm_vs_closed_form; prop_sturm_scale_invariant ];
       qsuite "signs-props" [ prop_regions_signs_correct; prop_regions_tile ];
       ( "signs",
         [
