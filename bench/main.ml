@@ -675,7 +675,7 @@ let read_json file =
 (* the benches whose trajectory is gated in CI *)
 let gated_prefixes =
   [ "pperf/slots/"; "pperf/drop/"; "pperf/predict/"; "pperf/repredict/"; "pperf/serve/";
-    "pperf/roots/"; "pperf/compare/" ]
+    "pperf/roots/"; "pperf/compare/"; "pperf/fleet/" ]
 
 let check baseline_file current_file =
   let base = read_json baseline_file and cur = read_json current_file in
@@ -705,6 +705,17 @@ let check baseline_file current_file =
      incr failures;
      Printf.printf
        "FAIL: serve/session-warm (%.1f ns) is not faster than serve/session-cold (%.1f ns)\n"
+       warm cold
+   | _ -> ());
+  (* a warm fleet session rides its resident caches; paying a fresh core
+     per session must cost more, or affinity sharding buys nothing *)
+  (match
+     (List.assoc_opt "pperf/fleet/session-warm" cur, List.assoc_opt "pperf/fleet/session-cold" cur)
+   with
+   | Some warm, Some cold when warm >= cold ->
+     incr failures;
+     Printf.printf
+       "FAIL: fleet/session-warm (%.1f ns) is not faster than fleet/session-cold (%.1f ns)\n"
        warm cold
    | _ -> ());
   (* the decision memo must make repeated identical compares cheaper than
@@ -906,6 +917,37 @@ let timing ?json () =
     run ();
     Test.make ~name:"serve/session-warm" (Staged.stage run)
   in
+  (* fleet-mode throughput over the same session: cold pays a fresh core
+     (shard spawn + empty caches) per run, warm reuses a resident core
+     whose result cache and shard-affine incremental predictors are hot,
+     overload drives a core admitting one request at a time so most of
+     the session is answered by the load-shedding path *)
+  let fleet_core cfg =
+    let module Fleet = Pperf_fleet.Fleet in
+    Fleet.Core.create cfg
+  in
+  let fleet_cold_test =
+    let module Fleet = Pperf_fleet.Fleet in
+    let cfg = Fleet.config ~jobs:2 () in
+    Test.make ~name:"fleet/session-cold"
+      (Staged.stage (fun () ->
+           let core = fleet_core cfg in
+           ignore (Fleet.run_lines core serve_lines);
+           Fleet.Core.stop core))
+  in
+  let fleet_warm_test =
+    let module Fleet = Pperf_fleet.Fleet in
+    let core = fleet_core (Fleet.config ~jobs:2 ()) in
+    let run () = ignore (Fleet.run_lines core serve_lines) in
+    run ();
+    Test.make ~name:"fleet/session-warm" (Staged.stage run)
+  in
+  let fleet_overload_test =
+    let module Fleet = Pperf_fleet.Fleet in
+    let core = fleet_core (Fleet.config ~jobs:1 ~max_queue:1 ()) in
+    Test.make ~name:"fleet/session-overload"
+      (Staged.stage (fun () -> ignore (Fleet.run_lines core serve_lines)))
+  in
   let tests =
     [ drop_test 10; drop_test 100; drop_test 1000; drop_test 10000;
       oracle_test 100; oracle_test 1000;
@@ -913,7 +955,8 @@ let timing ?json () =
       roots_warm_test; roots_cold_test; compare_warm_test; compare_cold_test;
       full_test; inc_test;
       obs_counter_test; obs_hist_test; obs_span_test;
-      serve_cold_test; serve_cold_j4_test; serve_warm_test ]
+      serve_cold_test; serve_cold_j4_test; serve_warm_test;
+      fleet_cold_test; fleet_warm_test; fleet_overload_test ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let grouped = Test.make_grouped ~name:"pperf" tests in

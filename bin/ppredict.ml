@@ -467,12 +467,24 @@ let machine_cmd =
 
 (* ---- batch / serve ---- *)
 
+(* jobs / shard counts are validated at parse time: 0 or negative is a
+   usage error, not something to silently clamp *)
+let pos_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Error _ as e -> e
+    | Ok n when n < 1 ->
+      Error (`Msg (Printf.sprintf "expected a positive count, got %d" n))
+    | Ok n -> Ok n
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
 let jobs_arg =
   let doc =
     "Worker domains evaluating requests in parallel (default: the recommended \
-     domain count of the machine)."
+     domain count of the machine). Must be positive."
   in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some pos_int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let max_request_bytes_arg =
   let doc = "Answer request lines longer than $(docv) with an oversized error." in
@@ -485,7 +497,7 @@ let cache_capacity_arg =
   Arg.(value & opt (some int) None & info [ "cache-capacity" ] ~docv:"N" ~doc)
 
 let resolve_jobs = function
-  | Some n -> max 1 n
+  | Some n -> n
   | None -> Pperf_server.Pool.recommended_jobs ()
 
 let batch_cmd =
@@ -514,31 +526,199 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(const run $ jobs_arg $ max_request_bytes_arg $ cache_capacity_arg $ file)
 
+let hostport =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg "expected HOST:PORT (e.g. 127.0.0.1:7070)")
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let p = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt p with
+      | Some port when port >= 0 && port <= 65535 -> Ok (host, port)
+      | _ -> Error (`Msg (Printf.sprintf "bad port %S (expected 0..65535)" p)))
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let sched_conv =
+  let parse s =
+    match Pperf_fleet.Sched.of_string s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf p = Format.pp_print_string ppf (Pperf_fleet.Sched.name p) in
+  Arg.conv (parse, print)
+
+let tcp_arg ~doc = Arg.(value & opt (some hostport) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
 let serve_cmd =
-  let run jobs max_bytes cache_capacity socket =
+  let run jobs max_bytes cache_capacity socket tcp sched max_queue port_file
+      no_affinity =
     let jobs = resolve_jobs jobs in
-    Pperf_server.Server.serve ?cache_capacity ~max_request_bytes:max_bytes ?socket ~jobs
-      ()
+    try
+      match tcp with
+      | Some (host, port) ->
+        let cfg =
+          Pperf_fleet.Fleet.config ~sched ~max_queue ?cache_capacity
+            ~max_request_bytes:max_bytes ~affinity:(not no_affinity) ~jobs ()
+        in
+        let code = Pperf_fleet.Fleet.serve_tcp cfg ~host ~port ?port_file () in
+        (* All connections are drained and the listener closed by now; the
+           OCaml 5.1 runtime sometimes stalls ~2s tearing down the
+           domain+systhread mix, so skip at_exit and leave immediately. *)
+        flush stdout;
+        flush stderr;
+        Unix._exit code
+      | None ->
+        Pperf_server.Server.serve ?cache_capacity ~max_request_bytes:max_bytes
+          ?socket ~jobs ()
+    with
+    | Pperf_server.Server.Already_serving p ->
+      Printf.eprintf "ppredict: %s is owned by a live daemon; not starting\n" p;
+      1
+    | Failure msg | Sys_error msg ->
+      Printf.eprintf "ppredict: %s\n" msg;
+      1
+    | Unix.Unix_error (e, fn, _) ->
+      Printf.eprintf "ppredict: %s: %s\n" fn (Unix.error_message e);
+      1
   in
   let socket_arg =
     let doc =
       "Serve connections on a Unix socket at $(docv) instead of stdin/stdout. \
        The engine (and its warm result cache) is shared across connections; a \
-       shutdown request stops the daemon, end of a connection does not."
+       shutdown request stops the daemon, end of a connection does not. A stale \
+       socket file left by a dead daemon is replaced; a live one is refused."
     in
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let tcp =
+    tcp_arg
+      ~doc:
+        "Serve many concurrent connections on a TCP listener at $(docv) (port 0 \
+         picks an ephemeral port). Requests are dispatched to $(b,--jobs) shards \
+         by cache-key affinity so repeat queries for a kernel stay on the worker \
+         whose incremental predictor is already warm. See $(b,--sched), \
+         $(b,--max-queue), $(b,--port-file)."
+  in
+  let sched_arg =
+    let doc =
+      "Scheduling policy for the TCP fleet: $(b,fifo) (admission order), \
+       $(b,lifo) (newest first), or $(b,ws) (fifo plus work stealing of \
+       affinity-free requests by idle shards)."
+    in
+    Arg.(value & opt sched_conv (module Pperf_fleet.Sched.Fifo : Pperf_fleet.Sched.POLICY)
+         & info [ "sched" ] ~docv:"POLICY" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Admission bound for the TCP fleet: beyond $(docv) queued requests, new \
+       ones are shed with a structured $(i,overloaded) error carrying a \
+       retry_after_ms hint."
+    in
+    Arg.(value & opt pos_int Pperf_fleet.Fleet.default_max_queue
+         & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let port_file_arg =
+    let doc = "Write the bound TCP port to $(docv) once listening (for port 0)." in
+    Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"PATH" ~doc)
+  in
+  let no_affinity_arg =
+    let doc =
+      "Disable affinity routing: place every request on the least-loaded shard \
+       (baseline for measuring what affinity buys)."
+    in
+    Arg.(value & flag & info [ "no-affinity" ] ~doc)
   in
   let doc =
     "Long-lived prediction daemon speaking the JSON-lines protocol of \
      $(b,ppredict batch): hot machine descriptions, a content-addressed result \
      cache, and a pool of worker domains stay resident between requests. Every \
      response is flushed as soon as it is in order; malformed input yields a \
-     structured error response and the server keeps running."
+     structured error response and the server keeps running. With $(b,--tcp), a \
+     fleet of affinity-sharded workers serves many connections concurrently; \
+     SIGTERM/SIGINT drain in-flight requests before exit."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ jobs_arg $ max_request_bytes_arg $ cache_capacity_arg $ socket_arg)
+    Term.(const run $ jobs_arg $ max_request_bytes_arg $ cache_capacity_arg
+          $ socket_arg $ tcp $ sched_arg $ max_queue_arg $ port_file_arg
+          $ no_affinity_arg)
+
+let loadgen_cmd =
+  let run tcp socket script requests connections window seed samples json =
+    let target =
+      match (tcp, socket) with
+      | Some (h, p), None -> Some (Pperf_fleet.Loadgen.Tcp (h, p))
+      | None, Some path -> Some (Pperf_fleet.Loadgen.Unix_path path)
+      | _ -> None
+    in
+    match target with
+    | None ->
+      prerr_endline "ppredict loadgen: pass exactly one of --tcp HOST:PORT or --socket PATH";
+      2
+    | Some target -> (
+      try
+        match script with
+        | Some f -> Pperf_fleet.Loadgen.run_script target f
+        | None ->
+          Pperf_fleet.Loadgen.run_load target ~requests ~connections ~window ~seed
+            ~samples ~json ()
+      with
+      | Failure msg | Sys_error msg ->
+        Printf.eprintf "ppredict loadgen: %s\n" msg;
+        1
+      | Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "ppredict loadgen: %s: %s\n" fn (Unix.error_message e);
+        1)
+  in
+  let tcp = tcp_arg ~doc:"Target daemon's TCP listener address." in
+  let socket_arg =
+    let doc = "Target daemon's Unix socket path." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let script_arg =
+    let doc =
+      "Replay $(docv) (one JSON request per line) serially and print each \
+       response: the deterministic mode. Without it, run the synthetic load."
+    in
+    Arg.(value & opt (some file) None & info [ "script" ] ~docv:"FILE" ~doc)
+  in
+  let requests_arg =
+    let doc = "Total synthetic requests across all connections." in
+    Arg.(value & opt pos_int 1000 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let connections_arg =
+    let doc = "Concurrent client connections." in
+    Arg.(value & opt pos_int 8 & info [ "c"; "connections" ] ~docv:"N" ~doc)
+  in
+  let window_arg =
+    let doc = "Pipelined requests kept outstanding per connection." in
+    Arg.(value & opt pos_int 32 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed for the request mix (reproducible runs)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let samples_arg =
+    let doc = "Directory of *.pf kernels to build the corpus from." in
+    Arg.(value & opt dir "samples" & info [ "samples" ] ~docv:"DIR" ~doc)
+  in
+  let json_arg =
+    let doc = "Machine-readable output only (the JSON summary)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let doc =
+    "Drive a prediction daemon with load: either replay a request script \
+     deterministically, or storm it with a seeded mix of hot and cold queries, \
+     control verbs, malformed lines and deadline churn over many pipelined \
+     connections, verifying in-order exactly-once responses and reporting \
+     latency percentiles and throughput as JSON."
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(const run $ tcp $ socket_arg $ script_arg $ requests_arg
+          $ connections_arg $ window_arg $ seed_arg $ samples_arg $ json_arg)
 
 let () =
   let doc = "compile-time performance prediction for superscalar machines" in
   let info = Cmd.info "ppredict" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; bounds_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; ranges_cmd; machine_cmd; batch_cmd; serve_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; bounds_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; ranges_cmd; machine_cmd; batch_cmd; serve_cmd; loadgen_cmd ]))

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""CI gate for the TCP serving fleet.
+
+Drives `ppredict loadgen` storms against `ppredict serve --tcp` and
+asserts, in order:
+
+  1. main storm: >= 100k mixed requests over many pipelined
+     connections — every request answered exactly once, per-connection
+     responses in request order, zero unexpected protocol errors and
+     zero transport errors, p99 latency and throughput within bounds;
+  2. affinity: the shard-affinity warm-hit rate of the incremental
+     predictors (scraped from the Prometheus `metrics` verb) beats the
+     same storm under --no-affinity routing;
+  3. overload: a deliberately under-provisioned fleet (--jobs 1
+     --max-queue 4) sheds with structured `overloaded` errors carrying
+     a retry_after_ms hint — it neither hangs nor crashes, and keeps
+     answering after the flood;
+  4. drain: SIGTERM answers what is in flight and exits cleanly.
+
+Environment knobs (all optional): LOAD_GATE_REQUESTS (default 100000),
+LOAD_GATE_BASELINE_REQUESTS (20000), LOAD_GATE_P99_US (1000000),
+LOAD_GATE_MIN_RPS (500), LOAD_GATE_CONNECTIONS (16), LOAD_GATE_WINDOW (64).
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+PP = os.environ.get("PPREDICT", "./_build/default/bin/ppredict.exe")
+REQUESTS = int(os.environ.get("LOAD_GATE_REQUESTS", "100000"))
+BASELINE_REQUESTS = int(os.environ.get("LOAD_GATE_BASELINE_REQUESTS", "20000"))
+P99_US = float(os.environ.get("LOAD_GATE_P99_US", "1000000"))
+MIN_RPS = float(os.environ.get("LOAD_GATE_MIN_RPS", "500"))
+CONNECTIONS = int(os.environ.get("LOAD_GATE_CONNECTIONS", "16"))
+WINDOW = int(os.environ.get("LOAD_GATE_WINDOW", "64"))
+
+fail = 0
+
+
+def err(msg):
+    global fail
+    fail += 1
+    print("::error::" + msg)
+
+
+def start_daemon(extra):
+    pf = tempfile.NamedTemporaryFile(prefix="ppredict-port-", delete=False)
+    pf.close()
+    os.unlink(pf.name)
+    proc = subprocess.Popen(
+        [PP, "serve", "--tcp", "127.0.0.1:0", "--port-file", pf.name] + extra,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.time() + 20
+    while time.time() < deadline:
+        try:
+            with open(pf.name) as f:
+                port = int(f.read().strip())
+            os.unlink(pf.name)
+            return proc, port
+        except (FileNotFoundError, ValueError):
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+    out = proc.stderr.read() if proc.poll() is not None else ""
+    err(f"daemon did not come up: {out.strip()}")
+    sys.exit(1)
+
+
+def tcp_session(port, lines, timeout=120):
+    """Send all lines, read one response per line, in order."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        s.sendall(("\n".join(lines) + "\n").encode())
+        buf = b""
+        out = []
+        while len(out) < len(lines):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n" in buf and len(out) < len(lines):
+                line, buf = buf.split(b"\n", 1)
+                out.append(line.decode())
+        return out
+
+
+def scrape_metrics(port):
+    (resp,) = tcp_session(port, [json.dumps({"id": "m", "verb": "metrics"})])
+    body = json.loads(resp)["output"]
+    samples = {}
+    for line in body.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            samples[name] = float(value)
+        except ValueError:
+            pass
+    return samples
+
+
+def warm_hit_rate(samples):
+    hits = samples.get("pperf_server_incremental_hits", 0.0)
+    misses = samples.get("pperf_server_incremental_misses", 0.0)
+    return hits / max(hits + misses, 1.0)
+
+
+def loadgen(port, requests, connections=CONNECTIONS, window=WINDOW, seed=42):
+    proc = subprocess.run(
+        [PP, "loadgen", "--tcp", f"127.0.0.1:{port}", "--requests", str(requests),
+         "--connections", str(connections), "--window", str(window),
+         "--seed", str(seed), "--json"],
+        capture_output=True,
+        text=True,
+    )
+    try:
+        summary = json.loads(proc.stdout.splitlines()[-1])
+    except (IndexError, json.JSONDecodeError):
+        err(f"loadgen produced no summary (exit {proc.returncode}): "
+            f"{proc.stderr.strip()}")
+        sys.exit(1)
+    summary["_exit"] = proc.returncode
+    summary["_stderr"] = proc.stderr.strip()
+    return summary
+
+
+def shutdown(proc, port, timeout=30):
+    try:
+        tcp_session(port, [json.dumps({"id": "bye", "verb": "shutdown"})])
+    except OSError:
+        pass
+    try:
+        return proc.wait(timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        err("daemon did not exit within %ds of shutdown" % timeout)
+        return None
+
+
+# ---- 1. main storm -------------------------------------------------
+
+proc, port = start_daemon(["--jobs", "4", "--sched", "ws"])
+s = loadgen(port, REQUESTS)
+if not s.get("pass") or s["_exit"] != 0:
+    err(f"main storm failed: {json.dumps(s)}")
+if s.get("sent") != REQUESTS:
+    err(f"main storm sent {s.get('sent')} of {REQUESTS} requests")
+if s.get("responses") != s.get("sent"):
+    err(f"dropped/duplicated responses: sent {s.get('sent')}, "
+        f"answered {s.get('responses')}")
+for k in ("unexpected_errors", "out_of_order", "transport_errors"):
+    if s.get(k, 1) != 0:
+        err(f"main storm: {k} = {s.get(k)} ({s['_stderr']})")
+if s.get("p99_us", 1e18) > P99_US:
+    err(f"p99 {s['p99_us']:.0f}us exceeds the {P99_US:.0f}us bound")
+if s.get("rps", 0.0) < MIN_RPS:
+    err(f"throughput {s['rps']:.0f} req/s below the {MIN_RPS:.0f} floor")
+metrics = scrape_metrics(port)
+affinity_rate = warm_hit_rate(metrics)
+admitted = metrics.get("pperf_fleet_admitted_total", 0)
+completed = metrics.get("pperf_fleet_completed_total", 0)
+# the scrape request itself is admitted and still in flight while it
+# reads the counters, so it may legitimately be the one not yet completed
+if not 0 <= admitted - completed <= 1:
+    err(f"fleet admitted {admitted:.0f} but completed {completed:.0f}")
+code = shutdown(proc, port)
+if code not in (0, None):
+    err(f"main daemon exited {code}")
+print(f"load gate 1/4: {s['responses']}/{REQUESTS} answered, "
+      f"{s['rps']:.0f} req/s, p99 {s['p99_us']:.0f}us, "
+      f"{s['overloaded']} shed, warm-hit rate {affinity_rate:.3f}")
+
+# ---- 2. affinity beats --no-affinity -------------------------------
+
+proc, port = start_daemon(["--jobs", "4", "--sched", "ws"])
+sa = loadgen(port, BASELINE_REQUESTS, seed=7)
+rate_affinity = warm_hit_rate(scrape_metrics(port))
+shutdown(proc, port)
+if not sa.get("pass"):
+    err(f"affinity storm failed: {json.dumps(sa)}")
+
+proc, port = start_daemon(["--jobs", "4", "--sched", "ws", "--no-affinity"])
+sb = loadgen(port, BASELINE_REQUESTS, seed=7)
+rate_baseline = warm_hit_rate(scrape_metrics(port))
+shutdown(proc, port)
+if not sb.get("pass"):
+    err(f"no-affinity storm failed: {json.dumps(sb)}")
+if rate_affinity <= rate_baseline:
+    err(f"affinity warm-hit rate {rate_affinity:.3f} does not beat the "
+        f"--no-affinity baseline {rate_baseline:.3f}")
+print(f"load gate 2/4: warm-hit rate {rate_affinity:.3f} with affinity "
+      f"vs {rate_baseline:.3f} without")
+
+# ---- 3. overload sheds, does not hang ------------------------------
+
+proc, port = start_daemon(["--jobs", "1", "--max-queue", "4"])
+so = loadgen(port, 5000, connections=8, window=64, seed=3)
+if not so.get("pass"):
+    err(f"overload storm failed: {json.dumps(so)}")
+if so.get("overloaded", 0) == 0:
+    err("overload storm: --max-queue 4 never shed a request")
+# a hand-rolled cold flood confirms the structured rejection shape
+flood = [json.dumps({"id": i, "verb": "predict",
+                     "file": "samples/jacobi.pf",
+                     "flags": {"eval": [f"n={1000 + i}"]}})
+         for i in range(300)]
+answers = [json.loads(l) for l in tcp_session(port, flood)]
+if len(answers) != len(flood):
+    err(f"overload flood: {len(flood)} requests, {len(answers)} responses")
+shed = [a for a in answers if not a.get("ok")
+        and a.get("error", {}).get("code") == "overloaded"]
+bad = [a for a in answers if not a.get("ok")
+       and a.get("error", {}).get("code") != "overloaded"]
+if bad:
+    err(f"overload flood: unexpected error {json.dumps(bad[0])}")
+for a in shed:
+    if not isinstance(a["error"].get("retry_after_ms"), (int, float)):
+        err(f"overloaded response lacks retry_after_ms: {json.dumps(a)}")
+        break
+(ping,) = tcp_session(port, [json.dumps({"id": "p", "verb": "ping"})])
+if json.loads(ping).get("output") != "pong":
+    err(f"daemon wedged after overload: {ping}")
+shutdown(proc, port)
+print(f"load gate 3/4: {so['overloaded']} + {len(shed)} requests shed "
+      f"with retry hints, daemon stayed live")
+
+# ---- 4. SIGTERM drains ---------------------------------------------
+
+proc, port = start_daemon(["--jobs", "2"])
+with socket.create_connection(("127.0.0.1", port), timeout=30) as sck:
+    reqs = [json.dumps({"id": i, "verb": "predict", "file": "samples/daxpy.pf"})
+            for i in range(20)]
+    sck.sendall(("\n".join(reqs) + "\n").encode())
+    got = b""
+    while got.count(b"\n") < len(reqs):
+        chunk = sck.recv(65536)
+        if not chunk:
+            break
+        got += chunk
+    answered = got.count(b"\n")
+    if answered != len(reqs):
+        err(f"pre-SIGTERM session answered {answered} of {len(reqs)}")
+    proc.send_signal(signal.SIGTERM)
+    try:
+        code = proc.wait(30)
+        if code != 0:
+            err(f"SIGTERM exit code {code}")
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        err("daemon did not exit within 30s of SIGTERM")
+print("load gate 4/4: SIGTERM drained and exited cleanly")
+
+sys.exit(1 if fail else 0)

@@ -10,14 +10,22 @@ Drives a scripted session through `ppredict serve` and asserts:
   3. malformed / unknown-verb / ill-formed / oversized requests get
      structured error responses and the server keeps answering;
   4. a parallel session (--jobs 4) produces the same responses in the
-     same order as --jobs 1 (timings and cache bits aside).
+     same order as --jobs 1 (timings and cache bits aside);
+  5. the same session over the TCP fleet (--sched fifo --jobs 1) is
+     byte-identical to the stdio transport (timings aside);
+  6. a restart over a stale Unix-socket file (previous daemon killed
+     hard) succeeds, while a second daemon on a live socket is refused.
 """
 
 import glob
 import json
 import os
+import signal
+import socket
 import subprocess
 import sys
+import tempfile
+import time
 
 PP = os.environ.get("PPREDICT", "./_build/default/bin/ppredict.exe")
 
@@ -168,6 +176,138 @@ par = serve(lines, jobs=4)
 if [strip(o) for o in par] != [strip(o) for o in outs]:
     err("--jobs 4 session differs from --jobs 1 session")
 
+
+# 5: the same session over TCP must be byte-identical to stdio (the
+# fleet under --sched fifo --jobs 1 is the deterministic baseline); here
+# only timings and the stats payload may differ, cache bits included
+def start_tcp(extra):
+    pf = tempfile.NamedTemporaryFile(prefix="ppredict-port-", delete=False)
+    pf.close()
+    os.unlink(pf.name)
+    proc = subprocess.Popen(
+        [PP, "serve", "--tcp", "127.0.0.1:0", "--port-file", pf.name] + extra,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.time() + 20
+    while time.time() < deadline:
+        try:
+            with open(pf.name) as f:
+                port = int(f.read().strip())
+            os.unlink(pf.name)
+            return proc, port
+        except (FileNotFoundError, ValueError):
+            if proc.poll() is not None:
+                err("tcp daemon died: " + proc.stderr.read().strip())
+                sys.exit(1)
+            time.sleep(0.05)
+    err("tcp daemon did not write its port file")
+    sys.exit(1)
+
+
+def session_over(sock, session_lines):
+    sock.sendall(("\n".join(session_lines) + "\n").encode())
+    buf, resp = b"", []
+    while len(resp) < len(session_lines):
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        buf += chunk
+        while b"\n" in buf and len(resp) < len(session_lines):
+            one, buf = buf.split(b"\n", 1)
+            resp.append(json.loads(one.decode()))
+    return resp
+
+
+def strip_t(o):
+    o = dict(o)
+    o.pop("t", None)
+    if o.get("verb") == "stats":
+        o.pop("stats", None)
+    return json.dumps(o, sort_keys=True)
+
+
+proc, port = start_tcp(["--sched", "fifo", "--jobs", "1",
+                        "--max-request-bytes", "4096"])
+with socket.create_connection(("127.0.0.1", port), timeout=120) as s:
+    tcp_outs = session_over(s, lines)
+proc.wait(30)  # the session ends in a shutdown verb
+if len(tcp_outs) != len(lines):
+    err(f"tcp transport: {len(lines)} requests but {len(tcp_outs)} responses")
+elif [strip_t(o) for o in tcp_outs] != [strip_t(o) for o in outs]:
+    for a, b in zip(tcp_outs, outs):
+        if strip_t(a) != strip_t(b):
+            err(f"tcp response differs from stdio: {strip_t(a)} != {strip_t(b)}")
+            break
+
+# 6: socket-file lifecycle — a hard-killed daemon leaves a stale file a
+# restart must claim, while a live daemon's socket is refused
+sockdir = tempfile.mkdtemp(prefix="ppredict-sock-")
+spath = os.path.join(sockdir, "daemon.sock")
+
+
+def start_unix():
+    proc = subprocess.Popen(
+        [PP, "serve", "--socket", spath, "--jobs", "1"],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.time() + 20
+    while time.time() < deadline and not os.path.exists(spath):
+        if proc.poll() is not None:
+            err("unix daemon died: " + proc.stderr.read().strip())
+            sys.exit(1)
+        time.sleep(0.05)
+    return proc
+
+
+def unix_request(req):
+    deadline = time.time() + 10
+    while True:
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+                s.settimeout(30)
+                s.connect(spath)
+                s.sendall((json.dumps(req) + "\n").encode())
+                buf = b""
+                while b"\n" not in buf:
+                    chunk = s.recv(65536)
+                    if not chunk:
+                        break
+                    buf += chunk
+                return json.loads(buf.split(b"\n", 1)[0].decode())
+        except (ConnectionRefusedError, FileNotFoundError):
+            if time.time() > deadline:
+                raise
+            time.sleep(0.1)
+
+
+first = start_unix()
+second = subprocess.run(
+    [PP, "serve", "--socket", spath, "--jobs", "1"],
+    capture_output=True, text=True,
+)
+if second.returncode == 0 or "live daemon" not in second.stderr:
+    err(f"live socket not refused: exit {second.returncode}, "
+        f"stderr {second.stderr.strip()!r}")
+first.send_signal(signal.SIGKILL)
+first.wait(30)
+if not os.path.exists(spath):
+    err("SIGKILL should leave the stale socket file behind")
+restarted = start_unix()
+pong = unix_request({"id": "p", "verb": "ping"})
+if pong.get("output") != "pong":
+    err(f"restart over stale socket did not answer: {json.dumps(pong)}")
+unix_request({"id": "bye", "verb": "shutdown"})
+if restarted.wait(30) != 0:
+    err("restarted daemon exited nonzero after shutdown")
+if os.path.exists(spath):
+    err("socket file not unlinked on clean exit")
+os.rmdir(sockdir)
+
 print(f"serve gate: {len(lines)} requests, {2 * n} outputs matched the CLI, "
-      f"{hits} warm cache hits, {len(ERRORS)} structured errors, jobs 1 == jobs 4")
+      f"{hits} warm cache hits, {len(ERRORS)} structured errors, "
+      f"jobs 1 == jobs 4 == tcp, stale socket reclaimed, live socket refused")
 sys.exit(1 if fail else 0)

@@ -1,0 +1,445 @@
+(* The serving fleet: TCP connections framed onto the JSON-lines
+   protocol, dispatched to worker-domain shards by cache-key affinity.
+
+   Layering: one shared Engine (shared content-addressed result cache —
+   answers stay byte-identical wherever a request runs) evaluated on N
+   shard domains. What affinity buys is the *incremental* layer: the
+   per-domain Domain.DLS predictors in Engine are warm exactly for the
+   (machine, source) pairs that domain has seen, so hashing
+   machine ‖ source onto a stable shard keeps repeat traffic on the
+   domain that already holds its predictor.
+
+   Concurrency shape: reader systhreads (one per connection) parse and
+   dispatch; worker domains evaluate; a per-connection Server.Sequencer
+   restores request order on the way out. All queue state sits under one
+   scheduler lock — queue operations are a few list cells, evaluation is
+   micro- to milliseconds, so a single lock is contention-free at fleet
+   scale and makes admission + routing + stealing atomic. *)
+
+module Server = Pperf_server.Server
+module Engine = Pperf_server.Engine
+module Protocol = Pperf_server.Protocol
+module Json = Pperf_server.Json
+module Obs = Pperf_obs.Obs
+
+(* fleet.*: admission and routing; sched.*: scheduler actions.
+   Documented in README "Serving fleet" and DESIGN §2.7. *)
+let c_admitted = Obs.counter "fleet.admitted"
+let c_rejected = Obs.counter "fleet.rejected"
+let c_completed = Obs.counter "fleet.completed"
+let c_routed_affinity = Obs.counter "fleet.routed.affinity"
+let c_routed_free = Obs.counter "fleet.routed.free"
+let c_connections = Obs.counter "fleet.connections"
+let g_queue_depth = Obs.gauge "fleet.queue.depth"
+let g_inflight = Obs.gauge "fleet.inflight"
+let g_connections = Obs.gauge "fleet.connections.active"
+let c_pops = Obs.counter "sched.pops"
+let c_steals = Obs.counter "sched.steals"
+
+type config = {
+  jobs : int;
+  sched : Sched.policy;
+  max_queue : int;
+  cache_capacity : int option;
+  max_request_bytes : int;
+  affinity : bool;
+}
+
+let default_max_queue = 1024
+
+let config ?(sched = (module Sched.Fifo : Sched.POLICY)) ?(max_queue = default_max_queue)
+    ?cache_capacity ?(max_request_bytes = Server.default_max_request_bytes)
+    ?(affinity = true) ~jobs () =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Fleet.config: jobs must be >= 1 (got %d)" jobs);
+  if max_queue < 1 then
+    invalid_arg (Printf.sprintf "Fleet.config: max_queue must be >= 1 (got %d)" max_queue);
+  { jobs; sched; max_queue; cache_capacity; max_request_bytes; affinity }
+
+(* best effort at correlating an error with the request's id *)
+let id_of_line line =
+  match Json.of_string line with
+  | exception _ -> Json.Null
+  | j -> Option.value (Json.member "id" j) ~default:Json.Null
+
+(* ----------------------------------------------------------- core *)
+
+module Core = struct
+  type item = { run : unit -> unit }
+
+  type t = {
+    cfg : config;
+    engine : Engine.t;
+    lock : Mutex.t;
+    work : Condition.t;  (** signalled on push and on stop *)
+    idle : Condition.t;  (** signalled when queued + in-flight reaches 0 *)
+    queues : item Sched.t array;
+    mutable next_seq : int;  (** global admission order, feeds Sched *)
+    mutable queued : int;
+    mutable in_flight : int;
+    mutable stopping : bool;
+    mutable workers : unit Domain.t list;
+    mutable started : bool;
+  }
+
+  let engine t = t.engine
+  let queue_depth t = Mutex.protect t.lock (fun () -> t.queued)
+
+  (* The affinity key is the stable part of the result-cache key: machine
+     spec plus source descriptor (path, or digest of inline text; compare
+     includes both variants). Flags and eval bindings are deliberately
+     excluded — the per-domain incremental predictor is keyed by
+     (machine, source, options-sans-eval), so "same kernel, different
+     bindings" is exactly the traffic affinity should keep together. *)
+  let source_key = function
+    | Protocol.File p -> "f:" ^ p
+    | Protocol.Text s -> "t:" ^ Digest.to_hex (Digest.string s)
+
+  let affinity_key (req : Protocol.request) =
+    match req.verb with
+    | Protocol.Predict | Protocol.Compare | Protocol.Ranges | Protocol.Lint
+    | Protocol.Bounds -> (
+      match req.source with
+      | None -> None
+      | Some s ->
+        let s2 =
+          match req.source2 with None -> "" | Some x -> "|" ^ source_key x
+        in
+        Some (req.machine ^ "|" ^ source_key s ^ s2))
+    | _ -> None
+
+  let shard_of_key t key = Hashtbl.hash key mod t.cfg.jobs
+
+  let least_loaded t =
+    let best = ref 0 and best_len = ref max_int in
+    Array.iteri
+      (fun i q ->
+        let l = Sched.length q in
+        if l < !best_len then (
+          best := i;
+          best_len := l))
+      t.queues;
+    !best
+
+  (* overload hint: expected time to drain the current backlog across all
+     shards, from the mean evaluation time observed so far *)
+  let retry_after_ms t =
+    let mean_ns = Engine.mean_eval_ns t.engine in
+    let mean_ns = if mean_ns = 0 then 1_000_000 else mean_ns in
+    max 1 (mean_ns * t.queued / t.cfg.jobs / 1_000_000)
+
+  let rec worker t shard =
+    let module P = (val t.cfg.sched : Sched.POLICY) in
+    let job =
+      Mutex.protect t.lock (fun () ->
+          let rec get () =
+            match P.take t.queues.(shard) with
+            | Some it ->
+              Obs.incr c_pops;
+              Some it
+            | None -> (
+              (* own queue empty: steal (policy-permitting) before sleeping *)
+              let n = Array.length t.queues in
+              let stolen = ref None in
+              (try
+                 for d = 1 to n - 1 do
+                   match P.steal t.queues.((shard + d) mod n) with
+                   | Some it ->
+                     stolen := Some it;
+                     raise Exit
+                   | None -> ()
+                 done
+               with Exit -> ());
+              match !stolen with
+              | Some it ->
+                Obs.incr c_steals;
+                Some it
+              | None ->
+                if t.stopping then None
+                else (
+                  Condition.wait t.work t.lock;
+                  get ()))
+          in
+          match get () with
+          | None -> None
+          | Some it ->
+            t.queued <- t.queued - 1;
+            t.in_flight <- t.in_flight + 1;
+            Obs.add_gauge g_queue_depth (-1);
+            Obs.add_gauge g_inflight 1;
+            Some it)
+    in
+    match job with
+    | None -> ()
+    | Some it ->
+      (* items never raise (they produce responses), but a raise must not
+         kill the shard or skew the accounting *)
+      (try it.run () with _ -> ());
+      Obs.incr c_completed;
+      Mutex.protect t.lock (fun () ->
+          t.in_flight <- t.in_flight - 1;
+          Obs.add_gauge g_inflight (-1);
+          if t.queued = 0 && t.in_flight = 0 then Condition.broadcast t.idle);
+      worker t shard
+
+  let start t =
+    Mutex.protect t.lock (fun () ->
+        if not t.started then (
+          t.started <- true;
+          t.workers <-
+            List.init t.cfg.jobs (fun i -> Domain.spawn (fun () -> worker t i))))
+
+  let create ?start:(spawn = true) cfg =
+    if cfg.jobs < 1 then
+      invalid_arg (Printf.sprintf "Fleet.Core.create: jobs must be >= 1 (got %d)" cfg.jobs);
+    if cfg.max_queue < 1 then
+      invalid_arg
+        (Printf.sprintf "Fleet.Core.create: max_queue must be >= 1 (got %d)" cfg.max_queue);
+    let t =
+      {
+        cfg;
+        engine = Engine.create ?cache_capacity:cfg.cache_capacity ~jobs:cfg.jobs ();
+        lock = Mutex.create ();
+        work = Condition.create ();
+        idle = Condition.create ();
+        queues = Array.init cfg.jobs (fun _ -> Sched.create ());
+        next_seq = 0;
+        queued = 0;
+        in_flight = 0;
+        stopping = false;
+        workers = [];
+        started = false;
+      }
+    in
+    if spawn then start t;
+    t
+
+  (* admission + routing, atomically: Ok () guarantees the item will run
+     exactly once; Error hint means it was shed and nothing was queued *)
+  let submit t ~key run =
+    Mutex.protect t.lock (fun () ->
+        if t.stopping || t.queued >= t.cfg.max_queue then (
+          Obs.incr c_rejected;
+          Error (retry_after_ms t))
+        else (
+          let seq = t.next_seq in
+          t.next_seq <- seq + 1;
+          (match key with
+          | Some k when t.cfg.affinity ->
+            Obs.incr c_routed_affinity;
+            Sched.push_bound t.queues.(shard_of_key t k) ~seq { run }
+          | _ ->
+            Obs.incr c_routed_free;
+            Sched.push_free t.queues.(least_loaded t) ~seq { run });
+          t.queued <- t.queued + 1;
+          Obs.incr c_admitted;
+          Obs.add_gauge g_queue_depth 1;
+          (* broadcast, not signal: a signal could wake only a shard that
+             cannot run this item (bound work is not stealable), losing
+             the wakeup while the home shard sleeps *)
+          Condition.broadcast t.work;
+          Ok ()))
+
+  let dispatch t seq i line =
+    let received = Unix.gettimeofday () in
+    if String.length line > t.cfg.max_request_bytes then (
+      Server.Sequencer.emit seq i
+        (Protocol.err ~id:Json.Null Protocol.Oversized
+           (Printf.sprintf "request line exceeds %d bytes" t.cfg.max_request_bytes));
+      `Dispatched)
+    else
+      match Protocol.request_of_line line with
+      | Error (code, msg) ->
+        Server.Sequencer.emit seq i (Protocol.err ~id:(id_of_line line) code msg);
+        `Dispatched
+      | Ok ({ verb = Protocol.Shutdown; _ } as req) ->
+        Server.Sequencer.emit seq i (Engine.handle t.engine ~received req);
+        `Shutdown
+      | Ok req -> (
+        let key = affinity_key req in
+        let run () = Server.Sequencer.emit seq i (Engine.handle t.engine ~received req) in
+        match submit t ~key run with
+        | Ok () -> `Dispatched
+        | Error hint ->
+          Server.Sequencer.emit seq i
+            (Protocol.err ~retry_after_ms:hint ~id:req.id Protocol.Overloaded
+               (Printf.sprintf "admission queue full (%d queued); retry in ~%dms"
+                  t.cfg.max_queue hint));
+          `Dispatched)
+
+  let drain t =
+    Mutex.protect t.lock (fun () ->
+        while t.queued > 0 || t.in_flight > 0 do
+          Condition.wait t.idle t.lock
+        done)
+
+  let stop t =
+    let workers =
+      Mutex.protect t.lock (fun () ->
+          t.stopping <- true;
+          Condition.broadcast t.work;
+          let w = t.workers in
+          t.workers <- [];
+          w)
+    in
+    List.iter Domain.join workers
+end
+
+(* --------------------------------------------------- in-memory session *)
+
+let run_lines core lines =
+  let buf = Buffer.create 4096 in
+  let seq = Server.Sequencer.create ~write:(Buffer.add_string buf) ~flush:ignore () in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  let n = List.length lines in
+  List.iteri (fun i l -> ignore (Core.dispatch core seq i l)) lines;
+  ignore (Server.Sequencer.wait seq ~upto:n);
+  String.split_on_char '\n' (String.trim (Buffer.contents buf))
+  |> List.filter (fun s -> s <> "")
+
+(* ------------------------------------------------------- TCP front end *)
+
+let resolve_host host =
+  if host = "" || host = "localhost" then Unix.inet_addr_loopback
+  else
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        failwith (Printf.sprintf "cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+
+let ignore_sigpipe () =
+  try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ()
+
+(* SIGTERM/SIGINT only flip the flag; the accept loop (which ticks every
+   0.25s) performs the actual teardown outside signal-handler context *)
+let install_stop_handlers stop =
+  let handle _ = Atomic.set stop true in
+  List.iter
+    (fun s ->
+      try ignore (Sys.signal s (Sys.Signal_handle handle))
+      with Invalid_argument _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
+(* One reader thread per connection: frame lines, dispatch to the core,
+   drain the sequencer on EOF so every admitted request's response is on
+   the wire before the socket closes. *)
+let handle_connection core ic oc ~on_shutdown =
+  Obs.incr c_connections;
+  Obs.add_gauge g_connections 1;
+  let seq =
+    Server.Sequencer.create ~flush_each:true ~write:(output_string oc)
+      ~flush:(fun () -> flush oc) ()
+  in
+  let n = ref 0 in
+  let shutdown = ref false in
+  let eof = ref false in
+  (try
+     while not (!eof || !shutdown) do
+       match
+         Server.read_line_bounded ic ~max_bytes:(Core.(core.cfg).max_request_bytes)
+       with
+       | Server.Eof -> eof := true
+       | Server.Too_long ->
+         let i = !n in
+         incr n;
+         Server.Sequencer.emit seq i
+           (Protocol.err ~id:Json.Null Protocol.Oversized
+              (Printf.sprintf "request line exceeds %d bytes"
+                 Core.(core.cfg).max_request_bytes))
+       | Server.Line l when String.trim l = "" -> ()
+       | Server.Line l -> (
+         let i = !n in
+         incr n;
+         match Core.dispatch core seq i l with
+         | `Dispatched -> ()
+         | `Shutdown -> shutdown := true)
+     done
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  ignore (Server.Sequencer.wait seq ~upto:!n);
+  (try flush oc with Sys_error _ | Unix.Unix_error _ -> ());
+  Obs.add_gauge g_connections (-1);
+  if !shutdown then on_shutdown ()
+
+let write_port_file path port =
+  let oc = open_out path in
+  output_string oc (string_of_int port);
+  output_char oc '\n';
+  close_out oc
+
+let serve_tcp cfg ~host ~port ?port_file () =
+  let core = Core.create cfg in
+  ignore_sigpipe ();
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let stop = Atomic.make false in
+  (* live connection fds, so teardown can force EOF on blocked readers *)
+  let conns : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 32 in
+  let conns_lock = Mutex.create () in
+  let threads = ref [] in
+  let conn_id = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (resolve_host host, port));
+      Unix.listen sock 64;
+      let bound_port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      Option.iter (fun f -> write_port_file f bound_port) port_file;
+      Printf.eprintf "ppredict: fleet listening on %s:%d (%d shard%s, sched %s)\n%!"
+        host bound_port cfg.jobs
+        (if cfg.jobs = 1 then "" else "s")
+        (Sched.name cfg.sched);
+      install_stop_handlers stop;
+      while not (Atomic.get stop) do
+        (* poll-accept: a stop request (signal or shutdown verb) is
+           noticed within a tick, never blocked on accept *)
+        match Unix.select [ sock ] [] [] 0.25 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ -> ()
+        | _ -> (
+          match Unix.accept sock with
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+          | conn, _ ->
+            (try Unix.setsockopt conn Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            let id = !conn_id in
+            incr conn_id;
+            Mutex.protect conns_lock (fun () -> Hashtbl.replace conns id conn);
+            let th =
+              Thread.create
+                (fun () ->
+                  let ic = Unix.in_channel_of_descr conn in
+                  (* the write side gets its own duplicated fd so each
+                     channel can be closed exactly once — a shared fd
+                     closed twice could tear down an unrelated connection
+                     that reused the number in between *)
+                  let oc = Unix.out_channel_of_descr (Unix.dup conn) in
+                  handle_connection core ic oc ~on_shutdown:(fun () ->
+                      Atomic.set stop true);
+                  Mutex.protect conns_lock (fun () -> Hashtbl.remove conns id);
+                  (* close the channels, not just the fds: a leaked channel
+                     stays on the runtime's open-channel list forever and
+                     stretches process exit *)
+                  close_in_noerr ic;
+                  close_out_noerr oc)
+                ()
+            in
+            threads := th :: !threads)
+      done;
+      (* drain: force EOF on blocked readers, let every connection flush
+         its in-order tail, then retire the shard domains *)
+      Mutex.protect conns_lock (fun () ->
+          Hashtbl.iter
+            (fun _ fd ->
+              try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+            conns);
+      List.iter Thread.join !threads;
+      Core.drain core;
+      Core.stop core;
+      0)

@@ -1,0 +1,89 @@
+(** The serving fleet: a TCP front end multiplexing many concurrent
+    JSON-lines connections onto N worker-domain shards.
+
+    Requests are routed by {e cache-key affinity}: the hash of
+    (machine ‖ source digest) picks the shard, so repeat queries for the
+    same kernel land on the same domain and hit its warm per-domain
+    incremental predictor. Requests with no source (ping/stats/metrics,
+    or with [affinity = false]) are {e affinity-free}: they go to the
+    least-loaded shard and — under [--sched ws] — may be stolen by idle
+    shards. Admission is bounded: beyond [max_queue] queued requests the
+    fleet sheds load with a structured [overloaded] error carrying a
+    [retry_after_ms] hint instead of queueing without bound.
+
+    Responses leave each connection in request order (one
+    {!Pperf_server.Server.Sequencer} per connection) and every admitted
+    request is answered exactly once. Deadlines are honored across the
+    queue: a request still queued past its [deadline_ms] is answered
+    [deadline_exceeded], not silently evaluated late. *)
+
+type config = {
+  jobs : int;  (** shard (worker domain) count, >= 1 *)
+  sched : Sched.policy;
+  max_queue : int;  (** global admission bound, >= 1 *)
+  cache_capacity : int option;  (** result-cache entries (engine default) *)
+  max_request_bytes : int;
+  affinity : bool;  (** [false]: route everything least-loaded (baseline) *)
+}
+
+val default_max_queue : int
+(** 1024. *)
+
+val config :
+  ?sched:Sched.policy ->
+  ?max_queue:int ->
+  ?cache_capacity:int ->
+  ?max_request_bytes:int ->
+  ?affinity:bool ->
+  jobs:int ->
+  unit ->
+  config
+(** @raise Invalid_argument when [jobs < 1] or [max_queue < 1]. *)
+
+(** The engine-side core, independent of any transport: shards, queues,
+    admission control, dispatch. *)
+module Core : sig
+  type t
+
+  val create : ?start:bool -> config -> t
+  (** One shared {!Pperf_server.Engine} (shared result cache; per-domain
+      incremental predictors) and [jobs] shard queues. [start] (default
+      [true]) spawns the worker domains; [start:false] leaves the queues
+      frozen so tests can fill them deterministically, then {!start}. *)
+
+  val start : t -> unit
+  (** Spawn the worker domains (idempotent). *)
+
+  val engine : t -> Pperf_server.Engine.t
+
+  val dispatch :
+    t -> Pperf_server.Server.Sequencer.t -> int -> string -> [ `Dispatched | `Shutdown ]
+  (** Handle one request line for slot [i] of the connection's sequencer:
+      parse errors, oversized lines, and admission rejections are emitted
+      immediately; [shutdown] is answered inline and reported as
+      [`Shutdown]; anything else is enqueued on its shard and will emit
+      exactly once when evaluated. *)
+
+  val drain : t -> unit
+  (** Block until no request is queued or in flight. *)
+
+  val stop : t -> unit
+  (** Drain queued work, then stop and join the worker domains.
+      Subsequent {!dispatch} calls shed with [overloaded]. Idempotent. *)
+
+  val queue_depth : t -> int
+end
+
+val run_lines : Core.t -> string list -> string list
+(** In-memory session against a started core: request lines in, response
+    lines out in request order (blank lines skipped). The fleet analogue
+    of {!Pperf_server.Server.batch_lines}, for tests and benchmarks. *)
+
+val serve_tcp :
+  config -> host:string -> port:int -> ?port_file:string -> unit -> int
+(** Bind [host:port] (port [0] picks an ephemeral port; the bound port is
+    written to [port_file] when given) and serve concurrent connections,
+    one reader thread each, until a [shutdown] request or
+    SIGTERM/SIGINT. Both paths drain: in-flight and queued requests are
+    answered, per-connection sequencers flushed, connections closed, the
+    listener closed, worker domains joined; then returns 0. *)

@@ -1,0 +1,41 @@
+(** Load-generation client for the serving fleet ([ppredict loadgen]).
+
+    Two modes against a TCP or Unix-socket daemon:
+
+    {ul
+    {- {!run_script}: replay a JSON-lines request file serially (send one,
+       await one, print the response) — the deterministic mode the cram
+       tests and the serve gate use to pin byte-identical transcripts.}
+    {- {!run_load}: a seeded synthetic storm — [connections] client
+       threads each pipelining up to [window] outstanding requests, a
+       mixed verb corpus (predict/compare/bounds/ranges over every
+       sample, hot repeats and cold eval-binding variants, some malformed
+       lines, some near-zero deadlines), verifying per-connection
+       response order and exactly-one response per request, and printing
+       a JSON summary (counts, throughput, latency percentiles).}}
+
+    Exit codes: [run_load] returns 0 only if every request got exactly
+    one response, in order, with no unexpected protocol errors —
+    [overloaded] and deadline responses are expected outcomes, counted
+    but not failures. *)
+
+type target = Tcp of string * int | Unix_path of string
+
+val run_script : target -> string -> int
+(** [run_script target file] replays [file] (one JSON request per line;
+    blank lines skipped), printing each response line to stdout. *)
+
+val run_load :
+  target ->
+  requests:int ->
+  connections:int ->
+  window:int ->
+  seed:int ->
+  samples:string ->
+  json:bool ->
+  unit ->
+  int
+(** [samples] is a directory of [*.pf] kernels the corpus is built over.
+    [json] selects machine-readable summary output (always one summary
+    object on stdout; [json:false] adds a human-readable line on
+    stderr). *)

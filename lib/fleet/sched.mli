@@ -1,0 +1,59 @@
+(** Per-shard run queues and pluggable scheduling policies for the fleet.
+
+    Each shard owns one {!t}: a pair of bounded-front deques separating
+    {e affinity-bound} items (routed here because their cache key hashes
+    to this shard — moving them would cool a warm per-domain incremental
+    predictor) from {e affinity-free} items (no source to be warm for:
+    ping/stats/metrics, or affinity disabled). Items carry the global
+    admission sequence number, so policies can order across the two
+    classes exactly.
+
+    A policy is a first-class module ({!POLICY}): [take] picks the next
+    item for the owning shard, [steal] removes work on behalf of
+    {e another} shard. Only [ws] steals, and it steals only affinity-free
+    items — bound work never migrates off its home shard.
+
+    Queues are not internally synchronised; the fleet core serialises all
+    access under its scheduler lock. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Total queued items, both classes. *)
+
+val push_bound : 'a t -> seq:int -> 'a -> unit
+val push_free : 'a t -> seq:int -> 'a -> unit
+
+(** A scheduling discipline over one shard's two-class queue. *)
+module type POLICY = sig
+  val name : string
+
+  val take : 'a t -> 'a option
+  (** Next item for the shard that owns this queue. *)
+
+  val steal : 'a t -> 'a option
+  (** Remove an item on behalf of an idle {e other} shard; [None] when
+      the policy forbids migration or nothing is stealable. *)
+end
+
+module Fifo : POLICY
+(** Globally oldest-first (admission order across both classes); never
+    steals. [--sched fifo --jobs 1] is the deterministic baseline. *)
+
+module Lifo : POLICY
+(** Newest-first; never steals. *)
+
+module Ws : POLICY
+(** FIFO locally; an idle shard steals the oldest {e affinity-free} item
+    from a busy peer. Affinity-bound work stays home so warm predictors
+    stay warm. *)
+
+type policy = (module POLICY)
+
+val all : (string * policy) list
+(** Selection table for the CLI: [fifo], [lifo], [ws]. *)
+
+val of_string : string -> (policy, string) result
+val name : policy -> string

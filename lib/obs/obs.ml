@@ -47,6 +47,7 @@ let gauge gname =
 
 let set_gauge g v = Atomic.set g.gvalue v
 let incr_gauge g = Atomic.incr g.gvalue
+let add_gauge g n = if n <> 0 then ignore (Atomic.fetch_and_add g.gvalue n)
 let gauge_value g = Atomic.get g.gvalue
 
 (* ----------------------------------------------------------- histograms *)

@@ -52,6 +52,12 @@ type gauge
 val gauge : string -> gauge
 val set_gauge : gauge -> int -> unit
 val incr_gauge : gauge -> unit
+
+val add_gauge : gauge -> int -> unit
+(** Atomic delta on a gauge — the shape live-level instruments need
+    (queue depths, in-flight request counts) where increments and
+    decrements race from different domains. *)
+
 val gauge_value : gauge -> int
 
 (** {1 Histograms} *)

@@ -52,9 +52,11 @@ let g_jobs = Obs.gauge "server.jobs"
 let g_machines = Obs.gauge "server.machines"
 
 let create ?cache_capacity ~jobs () =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Engine.create: jobs must be >= 1 (got %d)" jobs);
   {
     cache = Cache.create ?capacity:cache_capacity ();
-    jobs = max 1 jobs;
+    jobs;
     requests = Atomic.make 0;
     ok_count = Atomic.make 0;
     err_count = Atomic.make 0;
@@ -66,6 +68,12 @@ let create ?cache_capacity ~jobs () =
 
 let jobs t = t.jobs
 let cache_stats t = Cache.stats t.cache
+
+(* mean wall time of one evaluated request so far — the unit behind the
+   fleet's retry-after hint. Zero before the first request completes. *)
+let mean_eval_ns t =
+  let n = Atomic.get t.ok_count + Atomic.get t.err_count in
+  if n = 0 then 0 else Atomic.get t.eval_ns_total / n
 
 let now = Unix.gettimeofday
 let ns_of_span s = int_of_float (s *. 1e9)

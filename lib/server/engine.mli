@@ -15,9 +15,15 @@
 type t
 
 val create : ?cache_capacity:int -> jobs:int -> unit -> t
-(** [jobs] is reported by the [stats] verb; clamped to at least 1. *)
+(** [jobs] is reported by the [stats] verb.
+    @raise Invalid_argument when [jobs < 1]. *)
 
 val jobs : t -> int
+
+val mean_eval_ns : t -> int
+(** Mean evaluation wall time per answered request so far (0 before any
+    request completes); the fleet's admission control scales its
+    [retry_after_ms] hint by it. *)
 
 val handle : t -> received:float -> Protocol.request -> Protocol.response
 (** [received] is [Unix.gettimeofday ()] at the moment the request line

@@ -38,7 +38,8 @@ let rec worker t =
     worker t
 
 let create ~jobs =
-  let jobs = max 1 jobs in
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Pool.create: jobs must be >= 1 (got %d)" jobs);
   let t =
     {
       jobs;

@@ -11,6 +11,10 @@ val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count], at least 1. *)
 
 val create : jobs:int -> t
+(** @raise Invalid_argument when [jobs < 1] — callers validate user input
+    (the CLI rejects [--jobs 0] at parse time) rather than silently
+    clamping. *)
+
 val jobs : t -> int
 
 val submit : t -> (unit -> unit) -> unit

@@ -72,6 +72,7 @@ type error_code =
   | Type_error
   | Machine_error
   | Deadline_exceeded
+  | Overloaded
   | Failed
   | Internal
 
@@ -84,6 +85,7 @@ let error_code_string = function
   | Type_error -> "type_error"
   | Machine_error -> "machine_error"
   | Deadline_exceeded -> "deadline_exceeded"
+  | Overloaded -> "overloaded"
   | Failed -> "error"
   | Internal -> "internal"
 
@@ -261,14 +263,22 @@ type response =
       trace : Json.t option;
       timing : timing;
     }
-  | Err_response of { id : Json.t; code : error_code; message : string }
+  | Err_response of {
+      id : Json.t;
+      code : error_code;
+      message : string;
+      retry_after_ms : int option;
+          (** backpressure hint: when the fleet sheds a request
+              ([Overloaded]), roughly how long the client should wait
+              before retrying *)
+    }
 
 let ok ?(status = 0) ?(cached = false) ?(deadline_missed = false) ?(warnings = [])
     ?stats ?trace ~id ~verb ~timing output =
   Ok_response
     { id; verb; status; cached; deadline_missed; warnings; output; stats; trace; timing }
 
-let err ~id code message = Err_response { id; code; message }
+let err ?retry_after_ms ~id code message = Err_response { id; code; message; retry_after_ms }
 
 let response_id = function Ok_response { id; _ } | Err_response { id; _ } -> id
 
@@ -289,7 +299,11 @@ let response_to_json = function
       [ ("id", r.id); ("ok", Json.Bool false);
         ("error",
          Json.Obj
-           [ ("code", Json.String (error_code_string r.code));
-             ("message", Json.String r.message) ]) ]
+           ([ ("code", Json.String (error_code_string r.code));
+              ("message", Json.String r.message) ]
+           @
+           match r.retry_after_ms with
+           | Some ms -> [ ("retry_after_ms", Json.Int ms) ]
+           | None -> [])) ]
 
 let response_line r = Json.to_string (response_to_json r)

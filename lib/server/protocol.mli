@@ -65,6 +65,9 @@ type error_code =
   | Type_error  (** PF source failed to typecheck *)
   | Machine_error  (** unknown machine, bad description, missing atomic *)
   | Deadline_exceeded
+  | Overloaded
+      (** admission control shed the request (fleet queue full); the
+          response carries a [retry_after_ms] hint *)
   | Failed  (** the analysis itself reported an error ([Failure]) *)
   | Internal  (** anything else; the server stays up *)
 
@@ -94,7 +97,14 @@ type response =
       trace : Json.t option;  (** span tree, present iff [flags.trace] *)
       timing : timing;
     }
-  | Err_response of { id : Json.t; code : error_code; message : string }
+  | Err_response of {
+      id : Json.t;
+      code : error_code;
+      message : string;
+      retry_after_ms : int option;
+          (** rendered as ["retry_after_ms"] in the error object; only
+              admission-control rejections set it *)
+    }
 
 val ok :
   ?status:int ->
@@ -109,7 +119,7 @@ val ok :
   string ->
   response
 
-val err : id:Json.t -> error_code -> string -> response
+val err : ?retry_after_ms:int -> id:Json.t -> error_code -> string -> response
 val response_id : response -> Json.t
 val response_to_json : response -> Json.t
 val response_line : response -> string

@@ -4,7 +4,11 @@
    in request order even though evaluation fans out to the domain pool —
    a sequencer holds out-of-order completions until their turn. The loop
    never dies on input: unparsable, ill-formed, or oversized lines get
-   structured error responses and reading continues. *)
+   structured error responses and reading continues.
+
+   The sequencer and the bounded line reader are exposed because the TCP
+   fleet (lib/fleet) frames many concurrent connections onto the same
+   protocol: one sequencer per connection, same reader per socket. *)
 
 let default_max_request_bytes = 1 lsl 20
 
@@ -41,49 +45,71 @@ let read_line_bounded ic ~max_bytes =
 
 (* responses leave in request order: a worker finishing request [n] parks
    its response and whoever holds the next-to-emit response drains the run *)
-type sequencer = {
-  write : string -> unit;
-  flush_out : unit -> unit;
-  flush_each : bool;
-  lock : Mutex.t;
-  parked : (int, Protocol.response) Hashtbl.t;
-  mutable next : int;
-  mutable dead : bool;
-      (** a write failed (peer hung up): stop emitting so the session can
-          unwind instead of parking every later response forever *)
-}
+module Sequencer = struct
+  type t = {
+    write : string -> unit;
+    flush_out : unit -> unit;
+    flush_each : bool;
+    lock : Mutex.t;
+    advanced : Condition.t;  (** signalled whenever [next] moves or the peer dies *)
+    parked : (int, Protocol.response) Hashtbl.t;
+    mutable next : int;
+    mutable dead : bool;
+        (** a write failed (peer hung up): stop emitting so the session can
+            unwind instead of parking every later response forever *)
+  }
+
+  let create ?(flush_each = false) ~write ~flush () =
+    { write; flush_out = flush; flush_each; lock = Mutex.create ();
+      advanced = Condition.create (); parked = Hashtbl.create 16; next = 0; dead = false }
+
+  (* emit is called from worker domains whose exceptions the pool swallows,
+     so a failed write must not be silently dropped: the entry stays parked,
+     [next] only advances on success, and [dead] tells the read loop to stop *)
+  let emit seq n response =
+    Mutex.protect seq.lock (fun () ->
+        Hashtbl.replace seq.parked n response;
+        let advanced = ref false in
+        let rec pump () =
+          if not seq.dead then
+            match Hashtbl.find_opt seq.parked seq.next with
+            | None -> ()
+            | Some r -> (
+              let t0 = Unix.gettimeofday () in
+              match seq.write (Protocol.response_line r ^ "\n") with
+              | () ->
+                Pperf_obs.Obs.record h_write
+                  (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+                Hashtbl.remove seq.parked seq.next;
+                seq.next <- seq.next + 1;
+                advanced := true;
+                pump ()
+              | exception (Sys_error _ | Unix.Unix_error _) -> seq.dead <- true)
+        in
+        pump ();
+        if seq.flush_each && not seq.dead then (
+          try seq.flush_out ()
+          with Sys_error _ | Unix.Unix_error _ -> seq.dead <- true);
+        if !advanced || seq.dead then Condition.broadcast seq.advanced)
+
+  let dead seq = Mutex.protect seq.lock (fun () -> seq.dead)
+  let emitted seq = Mutex.protect seq.lock (fun () -> seq.next)
+
+  (* block until every response below [upto] has left (or the peer died);
+     [true] iff they were all written — the fleet's per-connection drain *)
+  let wait seq ~upto =
+    Mutex.protect seq.lock (fun () ->
+        while seq.next < upto && not seq.dead do
+          Condition.wait seq.advanced seq.lock
+        done;
+        not seq.dead)
+end
 
 let sequencer ~flush_each ~write ~flush_out =
-  { write; flush_out; flush_each; lock = Mutex.create (); parked = Hashtbl.create 16;
-    next = 0; dead = false }
+  Sequencer.create ~flush_each ~write ~flush:flush_out ()
 
-(* emit is called from worker domains whose exceptions the pool swallows,
-   so a failed write must not be silently dropped: the entry stays parked,
-   [next] only advances on success, and [dead] tells the read loop to stop *)
-let emit seq n response =
-  Mutex.protect seq.lock (fun () ->
-      Hashtbl.replace seq.parked n response;
-      let rec pump () =
-        if not seq.dead then
-          match Hashtbl.find_opt seq.parked seq.next with
-          | None -> ()
-          | Some r -> (
-            let t0 = Unix.gettimeofday () in
-            match seq.write (Protocol.response_line r ^ "\n") with
-            | () ->
-              Pperf_obs.Obs.record h_write
-                (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
-              Hashtbl.remove seq.parked seq.next;
-              seq.next <- seq.next + 1;
-              pump ()
-            | exception (Sys_error _ | Unix.Unix_error _) -> seq.dead <- true)
-      in
-      pump ();
-      if seq.flush_each && not seq.dead then
-        try seq.flush_out ()
-        with Sys_error _ | Unix.Unix_error _ -> seq.dead <- true)
-
-let sequencer_dead seq = Mutex.protect seq.lock (fun () -> seq.dead)
+let emit = Sequencer.emit
+let sequencer_dead = Sequencer.dead
 
 (* ----------------------------------------------------------- session *)
 
@@ -150,14 +176,61 @@ let serve_channels ?cache_capacity ?(max_request_bytes = default_max_request_byt
            (output_string oc) (fun () -> flush oc));
       0)
 
+(* ------------------------------------------ socket daemon plumbing *)
+
+exception Already_serving of string
+
+(* A leftover socket file from a killed daemon must not block restart,
+   but hijacking a live daemon's socket would silently split traffic: a
+   connect probe tells the two apart. Refused/ENOENT means nobody is
+   accepting — stale, unlink it; an accepted connect means a live daemon. *)
+let claim_socket_path path =
+  if Sys.file_exists path then (
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then raise (Already_serving path);
+    try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+
+let ignore_sigpipe () =
+  try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ()
+
+(* SIGTERM/SIGINT ask for a drain, not an abort: [on_stop] runs inside the
+   handler (normal OCaml code at a safepoint) and must unblock whatever
+   the accept/read loop is waiting on. Best-effort on platforms without
+   signals. *)
+let install_stop_handlers on_stop =
+  let handle _ = on_stop () in
+  List.iter
+    (fun s -> try ignore (Sys.signal s (Sys.Signal_handle handle)) with Invalid_argument _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
 (* Unix-socket daemon: one engine (one warm cache) across connections,
    served one at a time; a shutdown verb ends the whole daemon, EOF just
-   the connection. *)
+   the connection. SIGTERM/SIGINT drain the in-flight session and exit 0,
+   unlinking the socket file on the way out. *)
 let serve_socket ?cache_capacity ?(max_request_bytes = default_max_request_bytes)
     ~jobs path =
-  if Sys.file_exists path then Unix.unlink path;
+  claim_socket_path path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  ignore_sigpipe ();
+  let stop = Atomic.make false in
+  (* the fd the current session is reading; the signal handler shuts its
+     receive side down so the blocked read sees EOF and the session winds
+     down through its normal drain path. Atomic, not mutex: the handler
+     runs at a safepoint of the main thread and must never try to take a
+     lock that thread may hold *)
+  let current = Atomic.make None in
+  install_stop_handlers (fun () ->
+      Atomic.set stop true;
+      match Atomic.get current with
+      | Some fd -> (
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      | None -> ());
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -166,23 +239,32 @@ let serve_socket ?cache_capacity ?(max_request_bytes = default_max_request_bytes
       Unix.bind sock (Unix.ADDR_UNIX path);
       Unix.listen sock 8;
       with_engine ?cache_capacity ~jobs (fun engine pool ->
-          let stop = ref false in
-          while not !stop do
-            let conn, _ = Unix.accept sock in
-            let ic = Unix.in_channel_of_descr conn in
-            let oc = Unix.out_channel_of_descr conn in
-            let shutdown =
-              try
-                session ~engine ~pool ~max_request_bytes ~flush_each:true ic
-                  (output_string oc) (fun () -> flush oc)
-              with Sys_error _ | Unix.Unix_error _ ->
-                (* peer hung up mid-session: drop the connection, keep serving *)
-                Pool.drain pool;
-                false
-            in
-            (try flush oc with Sys_error _ -> ());
-            (try Unix.close conn with Unix.Unix_error _ -> ());
-            if shutdown then stop := true
+          while not (Atomic.get stop) do
+            (* poll-accept so a signal between sessions is noticed within
+               a tick instead of blocking in accept forever *)
+            match Unix.select [ sock ] [] [] 0.25 with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | [], _, _ -> ()
+            | _ -> (
+              match Unix.accept sock with
+              | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+              | conn, _ ->
+                Atomic.set current (Some conn);
+                let ic = Unix.in_channel_of_descr conn in
+                let oc = Unix.out_channel_of_descr conn in
+                let shutdown =
+                  try
+                    session ~engine ~pool ~max_request_bytes ~flush_each:true ic
+                      (output_string oc) (fun () -> flush oc)
+                  with Sys_error _ | Unix.Unix_error _ ->
+                    (* peer hung up mid-session: drop the connection, keep serving *)
+                    Pool.drain pool;
+                    false
+                in
+                Atomic.set current None;
+                (try flush oc with Sys_error _ -> ());
+                (try Unix.close conn with Unix.Unix_error _ -> ());
+                if shutdown then Atomic.set stop true)
           done;
           0))
 

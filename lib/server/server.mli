@@ -4,10 +4,47 @@
     one response per output line, responses in request order even though
     evaluation fans out to a {!Pool} of worker domains. Malformed,
     unknown-verb, and oversized lines produce structured error responses;
-    the loop itself never dies on input. *)
+    the loop itself never dies on input.
+
+    The building blocks ({!Sequencer}, {!read_line_bounded}) are exposed
+    for the TCP fleet (lib/fleet), which frames many concurrent
+    connections onto this same protocol. *)
 
 val default_max_request_bytes : int
 (** 1 MiB. *)
+
+type line = Line of string | Too_long | Eof
+
+val read_line_bounded : in_channel -> max_bytes:int -> line
+(** Read one newline-terminated line of at most [max_bytes] bytes. A
+    longer line is consumed up to its newline and reported as [Too_long],
+    so an oversized request cannot wedge the connection. A final unterminated
+    line is returned as [Line]. *)
+
+(** Per-connection in-order response emission. Workers finish in any
+    order; [emit t n r] parks response [n] and writes out the maximal
+    contiguous run starting at the next unemitted index. A failed write
+    marks the sequencer {!Sequencer.dead} (the peer hung up) and further
+    emissions are dropped so the session can unwind. *)
+module Sequencer : sig
+  type t
+
+  val create :
+    ?flush_each:bool -> write:(string -> unit) -> flush:(unit -> unit) -> unit -> t
+  (** [flush_each] flushes after every [emit] that wrote something —
+      daemon mode; batch mode flushes once at the end. *)
+
+  val emit : t -> int -> Protocol.response -> unit
+  (** Thread- and domain-safe. *)
+
+  val dead : t -> bool
+  val emitted : t -> int
+  (** Number of responses written so far (= next index awaited). *)
+
+  val wait : t -> upto:int -> bool
+  (** Block until all responses below [upto] have been written, or the
+      sequencer died; [true] iff they were all written. *)
+end
 
 val batch :
   ?cache_capacity:int ->
@@ -19,6 +56,16 @@ val batch :
 (** Read requests until EOF (or a [shutdown] verb), answer all, flush
     once at the end. Returns the process exit code (0). *)
 
+exception Already_serving of string
+(** Raised when the requested Unix-socket path is owned by a live daemon
+    (a probe connect was accepted). *)
+
+val claim_socket_path : string -> unit
+(** Prepare to bind a Unix socket at the path: nothing to do if the file
+    is absent; if present, probe-connect — refused means a stale file
+    from a dead daemon (unlink it), accepted means a live daemon
+    (@raise Already_serving). *)
+
 val serve :
   ?cache_capacity:int ->
   ?max_request_bytes:int ->
@@ -28,10 +75,12 @@ val serve :
   int
 (** Long-lived daemon. Without [socket]: stdin/stdout, one response
     flushed per request, until EOF or [shutdown]. With [socket]: bind a
-    Unix socket at the path (replacing any stale file) and serve
-    connections one at a time with a single shared engine — a warm cache
-    survives across connections; EOF ends a connection, [shutdown] ends
-    the daemon. *)
+    Unix socket at the path (replacing a stale socket file, refusing a
+    live one — see {!claim_socket_path}) and serve connections one at a
+    time with a single shared engine — a warm cache survives across
+    connections; EOF ends a connection, [shutdown] ends the daemon.
+    SIGTERM/SIGINT drain the in-flight session, then exit cleanly (the
+    socket file is unlinked on every exit path). *)
 
 val batch_lines :
   ?cache_capacity:int -> ?max_request_bytes:int -> jobs:int -> string list -> string list

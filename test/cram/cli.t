@@ -314,4 +314,4 @@ with the floating-point ops cut off):
 --stats appends a JSON object of internal operation counters:
 
   $ ppredict predict ../../samples/daxpy.pf --stats | tail -1 | tr ',' '\n' | grep -c ':'
-  20
+  28

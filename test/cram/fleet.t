@@ -1,0 +1,86 @@
+The TCP serving fleet, pinned end to end. Under --sched fifo --jobs 1 a
+serial session over TCP must be byte-identical to the single-daemon
+stdio transcript (see serve.t); timings are redacted the same way.
+
+  $ redact() { sed -e 's/"t":{"queue_ns":[0-9]*,"eval_ns":[0-9]*}/"t":{}/' ; }
+
+Start a fleet daemon on an ephemeral port, replay the serve.t session
+through the loadgen script client, and let the shutdown verb drain it:
+
+  $ cat > session.jsonl <<'EOF'
+  > {"id":1,"verb":"ping"}
+  > {"id":2,"verb":"predict","file":"../../samples/daxpy.pf"}
+  > {"id":3,"verb":"predict","file":"../../samples/daxpy.pf"}
+  > {"id":4,"verb":"predict","file":"../../samples/daxpy.pf","flags":{"eval":["n=500"]}}
+  > {"id":5,"verb":"compare","file":"../../samples/daxpy.pf","file2":"../../samples/daxpy.pf"}
+  > {"id":7,"verb":"shutdown"}
+  > EOF
+  $ ppredict serve --tcp 127.0.0.1:0 --port-file port --sched fifo --jobs 1 2> server.log &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -s port ] && break; sleep 0.1; done
+  $ ppredict loadgen --tcp 127.0.0.1:$(cat port) --script session.jsonl | redact
+  {"id":1,"ok":true,"verb":"ping","status":0,"cached":false,"output":"pong","t":{}}
+  {"id":2,"ok":true,"verb":"predict","status":0,"cached":false,"output":"daxpy on power1: 5*n + 4\n","t":{}}
+  {"id":3,"ok":true,"verb":"predict","status":0,"cached":true,"output":"daxpy on power1: 5*n + 4\n","t":{}}
+  {"id":4,"ok":true,"verb":"predict","status":0,"cached":false,"output":"daxpy on power1: 5*n + 4\n  at n=500: 2504 cycles\n","t":{}}
+  {"id":5,"ok":true,"verb":"compare","status":0,"cached":false,"output":"first:  daxpy on power1: 5*n + 4\nsecond: daxpy on power1: 5*n + 4\nequal (recommend either)\n","t":{}}
+  {"id":7,"ok":true,"verb":"shutdown","status":0,"cached":false,"output":"","t":{}}
+  $ wait $SRV
+  $ grep -c 'fleet listening' server.log
+  1
+
+Bad input gets the same structured errors over TCP as over stdio, and
+the connection stays live across them:
+
+  $ cat > errs.jsonl <<'EOF'
+  > not json
+  > {"id":2,"verb":"frobnicate"}
+  > {"id":3,"verb":"predict"}
+  > {"id":4,"verb":"predict","source":"subroutine ("}
+  > {"id":5,"verb":"ping"}
+  > {"id":6,"verb":"shutdown"}
+  > EOF
+  $ ppredict serve --tcp 127.0.0.1:0 --port-file port2 --sched fifo --jobs 1 2> /dev/null &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -s port2 ] && break; sleep 0.1; done
+  $ ppredict loadgen --tcp 127.0.0.1:$(cat port2) --script errs.jsonl | redact
+  {"id":null,"ok":false,"error":{"code":"bad_json","message":"invalid literal at offset 0"}}
+  {"id":2,"ok":false,"error":{"code":"unknown_verb","message":"unknown verb \"frobnicate\""}}
+  {"id":3,"ok":false,"error":{"code":"bad_request","message":"verb \"predict\" needs a \"source\" or \"file\" field"}}
+  {"id":4,"ok":false,"error":{"code":"parse_error","message":"parse error at 1:12: expected identifier (got ()"}}
+  {"id":5,"ok":true,"verb":"ping","status":0,"cached":false,"output":"pong","t":{}}
+  {"id":6,"ok":true,"verb":"shutdown","status":0,"cached":false,"output":"","t":{}}
+  $ wait $SRV
+
+Shard counts are validated at the command line — zero and negative
+--jobs are usage errors, not server crashes:
+
+  $ ppredict serve --tcp 127.0.0.1:0 --jobs 0 2>&1 | head -2
+  ppredict: option '--jobs': expected a positive count, got 0
+  Usage: ppredict serve [OPTION]…
+  $ ppredict batch --jobs=-2 /dev/null 2>&1 | head -1
+  ppredict: option '--jobs': expected a positive count, got -2
+
+A daemon killed hard leaves its Unix-socket file behind; a restart must
+claim the stale path instead of failing with "address already in use":
+
+  $ ppredict serve --socket sock --jobs 1 2> /dev/null &
+  $ S1=$!
+  $ for i in $(seq 1 100); do [ -S sock ] && break; sleep 0.1; done
+  $ kill -9 $S1
+  $ wait $S1
+  [137]
+  $ test -S sock && echo stale socket file remains
+  stale socket file remains
+  $ cat > bye.jsonl <<'EOF'
+  > {"id":1,"verb":"ping"}
+  > {"id":2,"verb":"shutdown"}
+  > EOF
+  $ ppredict serve --socket sock --jobs 1 2> /dev/null &
+  $ S2=$!
+  $ ppredict loadgen --socket sock --script bye.jsonl | redact
+  {"id":1,"ok":true,"verb":"ping","status":0,"cached":false,"output":"pong","t":{}}
+  {"id":2,"ok":true,"verb":"shutdown","status":0,"cached":false,"output":"","t":{}}
+  $ wait $S2
+  $ test -e sock || echo socket file unlinked
+  socket file unlinked

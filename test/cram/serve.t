@@ -82,7 +82,7 @@ shapes only, the numbers are workload-dependent:
   > {"id":1,"verb":"predict","file":"../../samples/jacobi.pf"}
   > {"id":2,"verb":"stats"}
   > EOF
-  100
+  108
 
   $ ppredict serve --jobs 1 <<'EOF' | tail -1 | tr '{,' '\n\n' | sed -n 's/^"\(latency\|stages\|spans\|counters\|p50_ns\|p90_ns\|p99_ns\)":.*/\1/p' | sort -u
   > {"id":1,"verb":"predict","file":"../../samples/jacobi.pf"}

@@ -48,6 +48,12 @@ pin the TYPE lines:
   # TYPE pperf_bounds_nests_total counter
   # TYPE pperf_compare_memo_hits_total counter
   # TYPE pperf_compare_memo_misses_total counter
+  # TYPE pperf_fleet_admitted_total counter
+  # TYPE pperf_fleet_completed_total counter
+  # TYPE pperf_fleet_connections_total counter
+  # TYPE pperf_fleet_rejected_total counter
+  # TYPE pperf_fleet_routed_affinity_total counter
+  # TYPE pperf_fleet_routed_free_total counter
   # TYPE pperf_monomial_alloc_total counter
   # TYPE pperf_poly_add_total counter
   # TYPE pperf_poly_eval_total counter
@@ -56,6 +62,11 @@ pin the TYPE lines:
   # TYPE pperf_roots_chain_builds_total counter
   # TYPE pperf_roots_chain_cache_hits_total counter
   # TYPE pperf_roots_variations_total counter
+  # TYPE pperf_sched_pops_total counter
+  # TYPE pperf_sched_steals_total counter
+  # TYPE pperf_fleet_connections_active gauge
+  # TYPE pperf_fleet_inflight gauge
+  # TYPE pperf_fleet_queue_depth gauge
   # TYPE pperf_obs_span_unbalanced gauge
   # TYPE pperf_server_cache_entries gauge
   # TYPE pperf_server_cache_hits gauge
