@@ -10,6 +10,8 @@
      lint      FILE        static diagnostics (defects + precision losses)
      ranges    FILE        interval abstract interpretation: loop/variable ranges
      machine   [NAME]      print a machine description (textual format)
+     machines              list known machines (builtins + .pmach files)
+     calibrate             fit an issue-port cost model by measurement
      batch     [FILE]      answer a file/stream of JSON-lines requests
      serve                 long-lived JSON-lines prediction daemon
 
@@ -465,6 +467,60 @@ let machine_cmd =
   let spec = Arg.(value & pos 0 string "power1" & info [] ~docv:"MACHINE" ~doc:"machine name or file") in
   Cmd.v (Cmd.info "machine" ~doc) Term.(const run $ spec)
 
+(* ---- machines ---- *)
+
+let machines_cmd =
+  let run dir = handle (fun () -> print_string (Pperf_server.Render.machines ~dir ())) in
+  let dir_arg =
+    let doc = "Directory of .pmach machine description files to list." in
+    Arg.(value & opt string "machines" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "List every known machine — the builtins plus the .pmach files of a \
+     directory — with its cost-model kind (classic or ports), unit/port \
+     count and issue width."
+  in
+  Cmd.v (Cmd.info "machines" ~doc) Term.(const run $ dir_arg)
+
+(* ---- calibrate ---- *)
+
+let calibrate_cmd =
+  let run mspec tolerance out =
+    handle_code (fun () ->
+        let machine = machine_of_spec mspec in
+        let r = Pperf_exec.Calibrate.run ~machine ?tolerance () in
+        (* same bytes as the server's calibrate verb: both print
+           Calibrate.report of a default-tolerance run *)
+        print_string (Pperf_exec.Calibrate.report r);
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc r.Pperf_exec.Calibrate.description;
+            close_out oc)
+          out;
+        if r.Pperf_exec.Calibrate.ok then 0 else 1)
+  in
+  let tolerance_arg =
+    let doc =
+      "Maximum acceptable relative error between a measurement and the \
+       fitted machine's prediction of it (default 0.25). Exceeding it \
+       makes the exit code 1."
+    in
+    Arg.(value & opt (some float) None & info [ "tolerance" ] ~docv:"T" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the fitted machine description (.pmach v2) to FILE." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Fit an issue-port cost model to a machine by measurement: run \
+     microbenchmark kernels through the interpreter, fit port structure, \
+     µop counts and latencies, and report how well the fitted machine \
+     reproduces every measurement."
+  in
+  Cmd.v (Cmd.info "calibrate" ~doc)
+    Term.(const run $ machine_arg $ tolerance_arg $ out_arg)
+
 (* ---- batch / serve ---- *)
 
 (* jobs / shard counts are validated at parse time: 0 or negative is a
@@ -721,4 +777,4 @@ let loadgen_cmd =
 let () =
   let doc = "compile-time performance prediction for superscalar machines" in
   let info = Cmd.info "ppredict" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; bounds_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; ranges_cmd; machine_cmd; batch_cmd; serve_cmd; loadgen_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ predict_cmd; schedule_cmd; compare_cmd; bounds_cmd; search_cmd; run_cmd; deps_cmd; report_cmd; lint_cmd; ranges_cmd; machine_cmd; machines_cmd; calibrate_cmd; batch_cmd; serve_cmd; loadgen_cmd ]))

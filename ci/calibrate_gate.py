@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""CI gate for machine calibration and the machines listing.
+
+Asserts:
+  1. `ppredict calibrate` on the scalar builtin and on the ooo4 ports
+     machine exits 0 with a report ending in "-> ok", and the reported
+     max relative error is within the default tolerance;
+  2. the fitted description written by --out is the canonical fixpoint
+     (`ppredict machine FITTED` re-emits the identical bytes) and is a
+     usable machine (it drives `ppredict predict` cleanly);
+  3. the server's machines and calibrate verbs answer byte-identically
+     to the one-shot CLI, and repeating each request is served from the
+     warm result cache.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+PP = os.environ.get("PPREDICT", "./_build/default/bin/ppredict.exe")
+TOLERANCE = 0.25
+
+fail = 0
+
+
+def err(msg):
+    global fail
+    fail += 1
+    print("::error::" + msg)
+
+
+def cli(args):
+    return subprocess.run([PP] + args, capture_output=True, text=True)
+
+
+# ---- 1 + 2: calibrate two machines, check the reports and fitted files ----
+
+tmpdir = tempfile.mkdtemp(prefix="ppredict-calibrate-")
+reports = {}
+for spec in ["scalar", "machines/ooo4.pmach"]:
+    tag = os.path.splitext(os.path.basename(spec))[0]
+    fitted = os.path.join(tmpdir, tag + "-fit.pmach")
+    r = cli(["calibrate", "-m", spec, "--out", fitted])
+    reports[spec] = r.stdout
+    if r.returncode != 0:
+        err(f"calibrate {spec}: exit {r.returncode}: {r.stderr.strip()}")
+        continue
+    m = re.search(r"max relative error (\d+\.\d+) -> (\w+)", r.stdout)
+    if not m:
+        err(f"calibrate {spec}: report has no max-relative-error line")
+        continue
+    rel, verdict = float(m.group(1)), m.group(2)
+    if verdict != "ok":
+        err(f"calibrate {spec}: verdict {verdict!r}, expected ok")
+    if rel > TOLERANCE:
+        err(f"calibrate {spec}: max relative error {rel} > tolerance {TOLERANCE}")
+    if not os.path.exists(fitted):
+        err(f"calibrate {spec}: --out wrote no file")
+        continue
+    with open(fitted) as f:
+        fitted_text = f.read()
+    if fitted_text not in r.stdout:
+        err(f"calibrate {spec}: the report does not contain the fitted description")
+    # the fitted description is the canonical fixpoint of the printer
+    reprint = cli(["machine", fitted])
+    if reprint.returncode != 0:
+        err(f"machine {fitted}: exit {reprint.returncode}: {reprint.stderr.strip()}")
+    elif reprint.stdout != fitted_text:
+        err(f"calibrate {spec}: fitted description is not round-trip stable")
+    # and a machine like any other: it must drive predict
+    pred = cli(["predict", "-m", fitted, "samples/daxpy.pf"])
+    if pred.returncode != 0:
+        err(f"predict with fitted {tag}: exit {pred.returncode}: {pred.stderr.strip()}")
+
+# ---- 3: server verbs match the CLI byte for byte and cache on repeat ----
+
+machines_cli = cli(["machines", "--dir", "machines"])
+if machines_cli.returncode != 0:
+    err(f"machines: exit {machines_cli.returncode}: {machines_cli.stderr.strip()}")
+
+requests = [
+    {"id": "m0", "verb": "machines"},
+    {"id": "m1", "verb": "machines"},
+    {"id": "c0", "verb": "calibrate", "machine": "scalar"},
+    {"id": "c1", "verb": "calibrate", "machine": "scalar"},
+    {"id": "bye", "verb": "shutdown"},
+]
+proc = subprocess.run(
+    [PP, "serve", "--jobs", "1"],
+    input="\n".join(json.dumps(r) for r in requests) + "\n",
+    capture_output=True,
+    text=True,
+)
+if proc.returncode != 0:
+    err(f"serve exited {proc.returncode}: {proc.stderr.strip()}")
+    sys.exit(1)
+outs = {o.get("id"): o for o in map(json.loads, proc.stdout.splitlines())}
+if len(outs) != len(requests):
+    err(f"{len(requests)} requests but {len(outs)} responses")
+
+for rid, expect_out, expect_cached in [
+    ("m0", machines_cli.stdout, False),
+    ("m1", machines_cli.stdout, True),
+    ("c0", reports["scalar"], False),
+    ("c1", reports["scalar"], True),
+]:
+    r = outs.get(rid)
+    if not r or not r.get("ok"):
+        err(f"request {rid} failed: {json.dumps(r)}")
+        continue
+    if r.get("output") != expect_out:
+        err(f"request {rid}: serve output differs from the one-shot CLI")
+    if bool(r.get("cached")) != expect_cached:
+        err(f"request {rid}: expected cached={expect_cached}")
+
+print(
+    f"calibrate gate: 2 machines fitted within tolerance {TOLERANCE}, "
+    f"fitted descriptions round-trip and predict, "
+    f"machines+calibrate verbs match the CLI with warm cache hits"
+)
+sys.exit(1 if fail else 0)

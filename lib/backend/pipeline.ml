@@ -18,9 +18,9 @@ let make_state (m : Machine.t) =
   let n = Machine.num_units m in
   let kind_candidates =
     Array.init n (fun u ->
-        let kind = m.Machine.units.(u).Funit.kind in
+        let kind = (Machine.unit_at m u).Funit.kind in
         Array.of_list
-          (Array.to_list m.Machine.units
+          (Machine.units_list m
           |> List.filter_map (fun (v : Funit.t) -> if v.kind = kind then Some v.id else None)))
   in
   { machine = m; free_at = Array.make n 0; kind_candidates }
@@ -36,8 +36,14 @@ let units_available st cycle (op : Atomic_op.t) =
     | (c : Atomic_op.component) :: rest ->
       if c.noncoverable = 0 then Option.map (fun l -> (c, -1) :: l) (choose rest)
       else (
+        let candidates =
+          (* ports components carry their own eligible set; [taken] already
+             keeps two µops of one op off the same port in one cycle *)
+          if Array.length c.eligible = 0 then st.kind_candidates.(c.unit_id)
+          else c.eligible
+        in
         let cand =
-          Array.to_list st.kind_candidates.(c.unit_id)
+          Array.to_list candidates
           |> List.find_opt (fun u -> st.free_at.(u) <= cycle && not (Hashtbl.mem taken u))
         in
         match cand with

@@ -1,4 +1,9 @@
-type component = { unit_id : int; noncoverable : int; coverable : int }
+type component = {
+  unit_id : int;
+  noncoverable : int;
+  coverable : int;
+  eligible : int array;
+}
 
 type t = { name : string; components : component list }
 
@@ -13,9 +18,25 @@ let make name comps =
         if Hashtbl.mem seen unit_id then
           invalid_arg "Atomic_op.make: duplicate unit component";
         Hashtbl.add seen unit_id ();
-        { unit_id; noncoverable; coverable })
+        { unit_id; noncoverable; coverable; eligible = [||] })
       comps
   in
+  { name; components }
+
+let of_components name components =
+  if components = [] then invalid_arg "Atomic_op.of_components: no components";
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun c ->
+      if c.noncoverable < 0 || c.coverable < 0 then
+        invalid_arg "Atomic_op.of_components: negative cost";
+      (* a unit may appear more than once only for port-eligible
+         components (two µop groups sharing a primary port) *)
+      if Array.length c.eligible = 0 then (
+        if Hashtbl.mem seen c.unit_id then
+          invalid_arg "Atomic_op.of_components: duplicate unit component";
+        Hashtbl.add seen c.unit_id ()))
+    components;
   { name; components }
 
 let result_latency t =

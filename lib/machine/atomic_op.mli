@@ -18,17 +18,30 @@ type component = {
   unit_id : int;
   noncoverable : int;  (** >= 0 *)
   coverable : int;  (** >= 0 *)
+  eligible : int array;
+      (** issue ports this component's cycles may be placed on; empty
+          means classic semantics (any unit of [unit_id]'s kind). Ports
+          machines lower every µop group to a component carrying its
+          eligible set — see {!Costmodel}. *)
 }
 
 type t = {
   name : string;
-  components : component list;  (** at most one component per unit *)
+  components : component list;
+      (** at most one component per unit for classic ops; ports ops may
+          repeat a primary unit across eligible components *)
 }
 
 val make : string -> (int * int * int) list -> t
-(** [make name [(unit, noncoverable, coverable); ...]].
+(** [make name [(unit, noncoverable, coverable); ...]] — classic
+    components (empty [eligible]).
     @raise Invalid_argument on negative costs, an empty component list, or
     duplicate units. *)
+
+val of_components : string -> component list -> t
+(** Build from explicit components (the ports-model lowering path).
+    Duplicate units are allowed only on port-eligible components.
+    @raise Invalid_argument on negative costs or an empty list. *)
 
 val result_latency : t -> int
 (** Cycles from issue until a dependent may start:

@@ -1,0 +1,171 @@
+(* The cost-model abstraction behind Machine.t: the same bins/scheduler
+   machinery speaks to two families of machines through one component
+   representation.
+
+   Classic — the paper's two-component coverable/noncoverable model: each
+   atomic op names the functional units it occupies; replication is
+   expressed by unit *kinds* (a component may be placed on any unit of
+   the named unit's kind).
+
+   Ports — a PALMED/OSACA-style issue-port model: each atomic op is a
+   multiset of µops, each µop eligible to a *set* of issue ports and
+   consuming one port-cycle. Eligibility is per-µop (carried on the
+   lowered component), not per-kind. The steady-state reciprocal
+   throughput of an op is the optimal fractional assignment of its µops
+   to eligible ports; by LP duality this equals
+
+     max over port subsets S of  #{µops whose eligible set ⊆ S} / |S|
+
+   which we compute exactly by enumerating subsets of the ports the op
+   actually mentions. *)
+
+type kind = Classic | Ports
+
+let kind_string = function Classic -> "classic" | Ports -> "ports"
+
+let kind_of_string = function
+  | "classic" -> Some Classic
+  | "ports" -> Some Ports
+  | _ -> None
+
+type uop_group = {
+  eligible : int list;  (** sorted, distinct port (unit) ids *)
+  count : int;  (** µops with this eligible set; each costs one port-cycle *)
+}
+
+(* merge groups with equal eligible sets and order them canonically, so
+   construction order, Descr.to_string order and re-parse order agree *)
+let canonical_groups groups =
+  let tbl = Hashtbl.create 8 in
+  let keys = ref [] in
+  List.iter
+    (fun g ->
+      let key = List.sort_uniq compare g.eligible in
+      if g.count < 0 then invalid_arg "Costmodel: negative uop count";
+      if key = [] then invalid_arg "Costmodel: empty eligible port set";
+      match Hashtbl.find_opt tbl key with
+      | Some n -> Hashtbl.replace tbl key (n + g.count)
+      | None ->
+        Hashtbl.add tbl key g.count;
+        keys := key :: !keys)
+    groups;
+  List.sort compare !keys |> List.map (fun k -> { eligible = k; count = Hashtbl.find tbl k })
+
+(* Lower a ports op to scheduler components: round-robin each group's
+   µops over its eligible ports (a deterministic, conservative integer
+   assignment — the exact fractional optimum is what
+   [reciprocal_throughput] reports), merging µops that land on the same
+   primary port into one component. The op's result latency is realised
+   as a coverable tail on the first component. *)
+let lower ~latency groups =
+  let groups = canonical_groups groups in
+  if groups = [] then invalid_arg "Costmodel.lower: no uops";
+  let comps = ref [] in
+  List.iter
+    (fun g ->
+      let elig = Array.of_list g.eligible in
+      let k = Array.length elig in
+      if g.count = 0 then
+        (* zero-cost op (e.g. nop): keep one empty component so the op
+           still names its eligible ports *)
+        comps := (elig.(0), 0, elig) :: !comps
+      else (
+        let per = Array.make k 0 in
+        for j = 0 to g.count - 1 do
+          per.(j mod k) <- per.(j mod k) + 1
+        done;
+        Array.iteri (fun i c -> if c > 0 then comps := (elig.(i), c, elig) :: !comps) per))
+    groups;
+  match List.rev !comps with
+  | [] -> invalid_arg "Costmodel.lower: no uops"
+  | (u, nc, elig) :: rest ->
+    { Atomic_op.unit_id = u; noncoverable = nc; coverable = max 0 (latency - nc); eligible = elig }
+    :: List.map
+         (fun (u, nc, elig) ->
+           { Atomic_op.unit_id = u; noncoverable = nc; coverable = 0; eligible = elig })
+         rest
+
+(* Recover the µop groups of a lowered ports op (inverse of [lower] up to
+   canonicalization). Components with no eligibility annotation (classic
+   ops) count as pinned to their own unit. *)
+let groups_of_op (op : Atomic_op.t) =
+  canonical_groups
+    (List.map
+       (fun (c : Atomic_op.component) ->
+         let eligible =
+           if Array.length c.eligible = 0 then [ c.unit_id ] else Array.to_list c.eligible
+         in
+         { eligible; count = c.noncoverable })
+       op.components)
+
+module type S = sig
+  val kind : kind
+
+  val reciprocal_throughput : units:Funit.t array -> Atomic_op.t -> float
+  (** Steady-state cycles per instance of the op when issued back to back
+      with no other contenders. *)
+end
+
+module Classic_model : S = struct
+  let kind = Classic
+
+  (* a component may run on any unit of its kind, so the op's rate on
+     kind k is (total noncoverable cycles on k-units) / (#k-units) *)
+  let reciprocal_throughput ~(units : Funit.t array) (op : Atomic_op.t) =
+    let kinds = Hashtbl.create 4 in
+    List.iter
+      (fun (c : Atomic_op.component) ->
+        let k = units.(c.unit_id).Funit.kind in
+        let prev = Option.value (Hashtbl.find_opt kinds k) ~default:0 in
+        Hashtbl.replace kinds k (prev + c.noncoverable))
+      op.components;
+    Hashtbl.fold
+      (fun k total acc ->
+        let replicas =
+          Array.fold_left
+            (fun n (u : Funit.t) -> if u.kind = k then n + 1 else n)
+            0 units
+        in
+        if replicas = 0 then acc else Stdlib.max acc (float_of_int total /. float_of_int replicas))
+      kinds 0.0
+end
+
+module Ports_model : S = struct
+  let kind = Ports
+
+  let reciprocal_throughput ~units:_ (op : Atomic_op.t) =
+    let groups = groups_of_op op in
+    let ports = List.sort_uniq compare (List.concat_map (fun g -> g.eligible) groups) in
+    let ports = Array.of_list ports in
+    let np = Array.length ports in
+    if np = 0 then 0.0
+    else (
+      (* bitmask of each group's eligible set over the op's own ports *)
+      let index id =
+        let rec go i = if ports.(i) = id then i else go (i + 1) in
+        go 0
+      in
+      let group_masks =
+        List.map
+          (fun g ->
+            (List.fold_left (fun m id -> m lor (1 lsl index id)) 0 g.eligible, g.count))
+          groups
+      in
+      let rec popcount m = if m = 0 then 0 else (m land 1) + popcount (m lsr 1) in
+      let best = ref 0.0 in
+      (* subsets of the ports this op mentions; np is small (µop sets) *)
+      for mask = 1 to (1 lsl np) - 1 do
+        let load =
+          List.fold_left
+            (fun acc (gm, count) -> if gm land lnot mask = 0 then acc + count else acc)
+            0 group_masks
+        in
+        let rate = float_of_int load /. float_of_int (popcount mask) in
+        if rate > !best then best := rate
+      done;
+      !best)
+end
+
+let model = function
+  | Classic -> (module Classic_model : S)
+  | Ports -> (module Ports_model : S)

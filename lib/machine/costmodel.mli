@@ -1,0 +1,56 @@
+(** The cost-model abstraction behind {!Machine.t}.
+
+    Two implementations share the scheduler-facing component
+    representation of {!Atomic_op}:
+
+    - {b Classic} — the paper's two-component coverable/noncoverable
+      model (§2.1): components name functional units, replication is by
+      unit kind.
+    - {b Ports} — a PALMED/OSACA-style issue-port model: an atomic op is
+      a multiset of µops, each eligible to a set of issue ports and
+      consuming one port-cycle; eligibility travels on the lowered
+      component ({!Atomic_op.component.eligible}), so the Tetris bins and
+      the reference pipeline honour it directly.
+
+    An op's steady-state reciprocal throughput under the ports model is
+    the optimal fractional assignment of its µops to eligible ports —
+    computed exactly as [max over port subsets S of #{µops with eligible
+    ⊆ S} / |S|] (the LP dual of the assignment problem). *)
+
+type kind = Classic | Ports
+
+val kind_string : kind -> string
+val kind_of_string : string -> kind option
+
+type uop_group = {
+  eligible : int list;  (** sorted, distinct port (unit) ids *)
+  count : int;  (** µops with this eligible set, one port-cycle each *)
+}
+
+val canonical_groups : uop_group list -> uop_group list
+(** Merge groups with equal eligible sets; sort by eligible set. The
+    canonical order used by construction and {!Descr.to_string}.
+    @raise Invalid_argument on a negative count or empty eligible set. *)
+
+val lower : latency:int -> uop_group list -> Atomic_op.component list
+(** Deterministic round-robin lowering of µop groups to scheduler
+    components; the result latency is realised as a coverable tail on
+    the first component. @raise Invalid_argument on an empty group list. *)
+
+val groups_of_op : Atomic_op.t -> uop_group list
+(** Recover the canonical µop groups of a lowered op (inverse of
+    {!lower} up to canonicalization). Classic components count as pinned
+    to their own unit. *)
+
+module type S = sig
+  val kind : kind
+
+  val reciprocal_throughput : units:Funit.t array -> Atomic_op.t -> float
+  (** Steady-state cycles per instance of the op issued back to back with
+      no other contenders. *)
+end
+
+module Classic_model : S
+module Ports_model : S
+
+val model : kind -> (module S)

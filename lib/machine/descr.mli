@@ -19,10 +19,29 @@
       (cache (line-bytes 128) (cache-bytes 65536) (associativity 4)
              (miss-cycles 12) (tlb-entries 128) (page-bytes 4096)
              (tlb-miss-cycles 36)))
+    v}
+
+    The v2 {e ports} dialect describes issue-port machines
+    ({!Costmodel.Ports}): [(model ports)] selects the model, [(ports p0 p1
+    ...)] replaces [(units ...)], and each atomic op lists µop groups —
+    [(fadd (latency 3) (uops (p0|p1 1)))] is one µop eligible on either of
+    two ports with a 3-cycle result latency. [latency] defaults to the
+    op's total µop count:
+
+    {v
+    (machine (name ooo4)
+      (model ports)
+      (issue-width 4)
+      (ports p0 p1 p2 p3)
+      (atomics
+        (fadd (latency 3) (uops (p0|p1 1)))
+        (load_fp (latency 4) (uops (p2|p3 1)))))
     v} *)
 
 exception Parse_error of string
-(** Raised with a position-annotated message on malformed input. *)
+(** Raised with a line-annotated message on malformed input — including
+    duplicate unit, port or atomic-op names, unknown units/ports, negative
+    costs and malformed fields. *)
 
 val of_string : string -> Machine.t
 val of_channel : in_channel -> Machine.t

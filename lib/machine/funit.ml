@@ -4,6 +4,7 @@ type kind =
   | Branch
   | Cr_logic
   | Load_store
+  | Port
   | Custom of string
 
 type t = { id : int; name : string; kind : kind }
@@ -14,6 +15,7 @@ let kind_to_string = function
   | Branch -> "branch"
   | Cr_logic -> "cr"
   | Load_store -> "lsu"
+  | Port -> "port"
   | Custom s -> s
 
 let kind_of_string = function
@@ -22,6 +24,7 @@ let kind_of_string = function
   | "branch" -> Branch
   | "cr" -> Cr_logic
   | "lsu" -> Load_store
+  | "port" -> Port
   | s -> Custom s
 
 let pp fmt t = Format.fprintf fmt "%s(#%d:%s)" t.name t.id (kind_to_string t.kind)

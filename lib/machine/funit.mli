@@ -11,6 +11,7 @@ type kind =
   | Branch
   | Cr_logic
   | Load_store
+  | Port  (** an issue port of a ports-model machine (see {!Costmodel}) *)
   | Custom of string
 
 type t = { id : int;  (** index into the machine's unit array *)

@@ -19,6 +19,7 @@ type t = {
   description : string;
   units : Funit.t array;
   atomics : (string, Atomic_op.t) Hashtbl.t;
+  model : Costmodel.kind;
   issue_width : int;
   branch_taken_cycles : int;
   register_load_limit : int;
@@ -68,6 +69,60 @@ let make ~name ?(description = "") ~units ~atomics ?(issue_width = 4)
     description;
     units = unit_arr;
     atomics = tbl;
+    model = Costmodel.Classic;
+    issue_width;
+    branch_taken_cycles;
+    register_load_limit;
+    has_fma;
+    cache;
+    comm;
+  }
+
+let make_ports ~name ?(description = "") ~ports ~atomics ?(issue_width = 4)
+    ?(branch_taken_cycles = 3) ?(register_load_limit = 24) ?(has_fma = false)
+    ?(cache = default_cache) ?comm () =
+  if ports = [] then invalid_arg "Machine.make_ports: no ports";
+  let unit_arr =
+    Array.of_list
+      (List.mapi (fun id pname -> { Funit.id; name = pname; kind = Funit.Port }) ports)
+  in
+  let ids = Hashtbl.create 16 in
+  Array.iter
+    (fun (u : Funit.t) ->
+      if Hashtbl.mem ids u.name then
+        invalid_arg ("Machine.make_ports: duplicate port " ^ u.name);
+      Hashtbl.add ids u.name u.id)
+    unit_arr;
+  let port_id opname p =
+    match Hashtbl.find_opt ids p with
+    | Some id -> id
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Machine.make_ports: op %s references missing port %s" opname p)
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (opname, latency, groups) ->
+      if Hashtbl.mem tbl opname then
+        invalid_arg ("Machine.make_ports: duplicate atomic op " ^ opname);
+      if latency < 0 then
+        invalid_arg ("Machine.make_ports: negative latency for " ^ opname);
+      let groups =
+        List.map
+          (fun (eligible, count) ->
+            { Costmodel.eligible = List.map (port_id opname) eligible; count })
+          groups
+      in
+      let groups = Costmodel.canonical_groups groups in
+      let components = Costmodel.lower ~latency groups in
+      Hashtbl.add tbl opname (Atomic_op.of_components opname components))
+    atomics;
+  {
+    name;
+    description;
+    units = unit_arr;
+    atomics = tbl;
+    model = Costmodel.Ports;
     issue_width;
     branch_taken_cycles;
     register_load_limit;
@@ -95,6 +150,24 @@ let num_units t = Array.length t.units
 
 let units_of_kind t kind =
   Array.to_list t.units |> List.filter (fun (u : Funit.t) -> u.kind = kind)
+
+(* ---- cost-model API: consumers outside lib/machine go through these
+   accessors rather than the raw [units]/[atomics] fields ---- *)
+
+let model t = t.model
+let unit_at t id = t.units.(id)
+let units_list t = Array.to_list t.units
+let iter_units f t = Array.iter f t.units
+let num_atomics t = Hashtbl.length t.atomics
+let iter_atomics f t = Hashtbl.iter f t.atomics
+let fold_atomics f t init = Hashtbl.fold f t.atomics init
+
+let atomic_names t =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.atomics [])
+
+let reciprocal_throughput t op =
+  let (module M : Costmodel.S) = Costmodel.model t.model in
+  M.reciprocal_throughput ~units:t.units op
 
 let pp_summary fmt t =
   Format.fprintf fmt "machine %s: %d units (%a), %d atomic ops, issue width %d%s" t.name

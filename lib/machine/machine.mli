@@ -29,8 +29,12 @@ type comm_params = {
 type t = {
   name : string;
   description : string;
-  units : Funit.t array;
-  atomics : (string, Atomic_op.t) Hashtbl.t;
+  units : Funit.t array
+      [@deprecated "access units via unit_at/units_list/iter_units/num_units"];
+  atomics : (string, Atomic_op.t) Hashtbl.t
+      [@deprecated
+        "access the cost table via atomic/atomic_opt/fold_atomics/iter_atomics"];
+  model : Costmodel.kind;  (** which cost model interprets the table *)
   issue_width : int;
   branch_taken_cycles : int;
       (** extra cycles charged for a taken branch that the schedule cannot
@@ -56,7 +60,29 @@ val make :
   ?comm:comm_params ->
   unit ->
   t
-(** @raise Invalid_argument on dangling unit ids or duplicate names. *)
+(** Build a {!Costmodel.Classic} machine.
+    @raise Invalid_argument on dangling unit ids or duplicate names. *)
+
+val make_ports :
+  name:string ->
+  ?description:string ->
+  ports:string list ->
+  atomics:(string * int * (string list * int) list) list ->
+  ?issue_width:int ->
+  ?branch_taken_cycles:int ->
+  ?register_load_limit:int ->
+  ?has_fma:bool ->
+  ?cache:cache_params ->
+  ?comm:comm_params ->
+  unit ->
+  t
+(** Build a {!Costmodel.Ports} machine. Every unit is an issue port
+    ({!Funit.Port}); each atomic op is [(name, latency, groups)] where a
+    group [(ports, count)] contributes [count] µops eligible to any port in
+    [ports]. Groups are canonicalized and lowered round-robin to scheduler
+    components (see {!Costmodel.lower}).
+    @raise Invalid_argument on missing ports, duplicate names, or negative
+    costs. *)
 
 exception Unknown_atomic of { machine : string; op : string }
 (** A required operation is missing from a machine's cost table — typically
@@ -73,6 +99,27 @@ val has_atomic : t -> string -> bool
 val num_units : t -> int
 val units_of_kind : t -> Funit.kind -> Funit.t list
 val default_cache : cache_params
+
+(** {1 Cost-model accessors}
+
+    The redesigned API: consumers outside [lib/machine] use these rather
+    than reaching into the raw [units] array / [atomics] hashtable, so both
+    cost models present one interface. *)
+
+val model : t -> Costmodel.kind
+val unit_at : t -> int -> Funit.t
+val units_list : t -> Funit.t list
+val iter_units : (Funit.t -> unit) -> t -> unit
+val num_atomics : t -> int
+val iter_atomics : (string -> Atomic_op.t -> unit) -> t -> unit
+val fold_atomics : (string -> Atomic_op.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val atomic_names : t -> string list
+(** Sorted. *)
+
+val reciprocal_throughput : t -> Atomic_op.t -> float
+(** Steady-state cycles per back-to-back instance of the op, under the
+    machine's cost model (see {!Costmodel.S.reciprocal_throughput}). *)
 
 val pp_summary : Format.formatter -> t -> unit
 

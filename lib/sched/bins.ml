@@ -30,9 +30,9 @@ let kind_candidates_of machine =
     let n = Machine.num_units machine in
     let kc =
       Array.init n (fun u ->
-          let kind = machine.Machine.units.(u).Funit.kind in
+          let kind = (Machine.unit_at machine u).Funit.kind in
           let same =
-            Array.to_list machine.Machine.units
+            Machine.units_list machine
             |> List.filter_map (fun (v : Funit.t) -> if v.kind = kind then Some v.id else None)
           in
           (* prefer the named unit itself, then its twins *)
@@ -106,24 +106,58 @@ let stacked_placement t ~floor (op : Atomic_op.t) =
   (base, choices)
 
 (* find the lowest start >= floor where every component fits simultaneously;
-   returns (start, chosen unit per component) *)
+   returns (start, chosen unit per component).
+
+   Ports-model components carry their own eligible port set instead of
+   deferring to the kind table, and two components of one op may share a
+   primary port — [claimed] tracks ranges already chosen by earlier
+   components of the same attempt so the later fill cannot collide (the
+   classic path never consults it: components there occupy distinct units). *)
 let coordinated_fit t ~floor (op : Atomic_op.t) =
   let rec attempt start guard =
     if guard > 1_000 then raise Exit;
     let worst = ref start in
+    let claimed = ref [] in
+    let fit_avoiding u ~floor ~len =
+      let rec go floor =
+        let s = Slots.first_fit t.slots.(u) ~floor ~len in
+        let bump =
+          List.fold_left
+            (fun acc (cu, cs, cl) ->
+              if cu = u && s < cs + cl && cs < s + len then Stdlib.max acc (cs + cl) else acc)
+            (-1) !claimed
+        in
+        if bump < 0 then s else go bump
+      in
+      go floor
+    in
     let choices =
       List.map
         (fun (c : Atomic_op.component) ->
-          if c.noncoverable = 0 then (c, c.unit_id, start)
+          if Array.length c.eligible = 0 then
+            if c.noncoverable = 0 then (c, c.unit_id, start)
+            else (
+              let best = ref max_int and best_u = ref c.unit_id in
+              Array.iter
+                (fun u ->
+                  let s = Slots.first_fit t.slots.(u) ~floor:start ~len:c.noncoverable in
+                  if s < !best then (
+                    best := s;
+                    best_u := u))
+                t.kind_candidates.(c.unit_id);
+              if !best > !worst then worst := !best;
+              (c, !best_u, !best))
+          else if c.noncoverable = 0 then (c, c.unit_id, start)
           else (
             let best = ref max_int and best_u = ref c.unit_id in
             Array.iter
               (fun u ->
-                let s = Slots.first_fit t.slots.(u) ~floor:start ~len:c.noncoverable in
+                let s = fit_avoiding u ~floor:start ~len:c.noncoverable in
                 if s < !best then (
                   best := s;
                   best_u := u))
-              t.kind_candidates.(c.unit_id);
+              c.eligible;
+            claimed := (!best_u, !best, c.noncoverable) :: !claimed;
             if !best > !worst then worst := !best;
             (c, !best_u, !best)))
         op.components
@@ -202,7 +236,7 @@ let fallbacks t = t.fallbacks
 let pp fmt t =
   let top = max (global_hwm t) t.makespan in
   Format.fprintf fmt "t   ";
-  Array.iter (fun (u : Funit.t) -> Format.fprintf fmt "%-6s" u.name) t.machine.Machine.units;
+  Machine.iter_units (fun (u : Funit.t) -> Format.fprintf fmt "%-6s" u.name) t.machine;
   Format.pp_print_newline fmt ();
   for row = 0 to top - 1 do
     Format.fprintf fmt "%-4d" row;

@@ -117,6 +117,25 @@ let incremental ~machine ~machine_hash ~(options : Aggregate.options) =
 
 exception Bad_req of string
 
+(* the machines verb lists this directory (the CLI's --dir default);
+   requests carry no source, so the cache key digests the directory's
+   listing and file contents instead — an added, removed or edited .pmach
+   invalidates the cached table *)
+let machines_dir = "machines"
+
+let machines_dir_digest dir =
+  let entries =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".pmach")
+      |> List.sort compare
+      |> List.map (fun f ->
+             let p = Filename.concat dir f in
+             f ^ ":" ^ (try Digest.to_hex (Digest.file p) with Sys_error _ -> "unreadable"))
+    else []
+  in
+  Digest.string (String.concat ";" entries)
+
 let require_source verb = function
   | Some s -> s
   | None ->
@@ -173,6 +192,8 @@ let run_query t (req : Protocol.request) ~src ~src2 machine : payload =
     | Protocol.Bounds ->
       let src = require_source req.verb src in
       (Render.bounds ~machine ~memory:flags.memory ~json:flags.json ~evals:flags.eval src, 0)
+    | Protocol.Machines -> (Render.machines ~dir:machines_dir (), 0)
+    | Protocol.Calibrate -> (Render.calibrate ~machine, 0)
     | Protocol.Ping | Protocol.Stats | Protocol.Metrics | Protocol.Shutdown ->
       assert false
   in
@@ -331,7 +352,7 @@ let handle t ~received (req : Protocol.request) : Protocol.response =
         (Protocol.ok ~id:req.id ~verb:req.verb ~warnings:req.proto_warnings
            ~timing:{ queue_ns; eval_ns = 0 } "")
     | Protocol.Predict | Protocol.Compare | Protocol.Ranges | Protocol.Lint
-    | Protocol.Bounds -> (
+    | Protocol.Bounds | Protocol.Machines | Protocol.Calibrate -> (
       match
         let machine = Machines.load req.machine in
         (* resolve file sources to text exactly once: digesting and
@@ -344,7 +365,10 @@ let handle t ~received (req : Protocol.request) : Protocol.response =
           if Protocol.cacheable req.verb && not req.flags.trace then
             Some
               (Cache.key ~machine_hash:(Machines.hash machine)
-                 ~source_hash:(source_key ~src ~src2)
+                 ~source_hash:
+                   (match req.verb with
+                   | Protocol.Machines -> machines_dir_digest machines_dir
+                   | _ -> source_key ~src ~src2)
                  ~kind:(Protocol.verb_string req.verb)
                  ~flags:(Protocol.flags_key req.flags))
           else None

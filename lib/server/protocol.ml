@@ -9,7 +9,9 @@
    so clients probing a future field learn about it instead of being
    silently ignored. *)
 
-type verb = Predict | Compare | Ranges | Lint | Bounds | Ping | Stats | Metrics | Shutdown
+type verb =
+  | Predict | Compare | Ranges | Lint | Bounds | Machines | Calibrate
+  | Ping | Stats | Metrics | Shutdown
 
 let protocol_version = 1
 
@@ -19,6 +21,8 @@ let verb_string = function
   | Ranges -> "ranges"
   | Lint -> "lint"
   | Bounds -> "bounds"
+  | Machines -> "machines"
+  | Calibrate -> "calibrate"
   | Ping -> "ping"
   | Stats -> "stats"
   | Metrics -> "metrics"
@@ -30,6 +34,8 @@ let verb_of_string = function
   | "ranges" -> Some Ranges
   | "lint" -> Some Lint
   | "bounds" -> Some Bounds
+  | "machines" -> Some Machines
+  | "calibrate" -> Some Calibrate
   | "ping" -> Some Ping
   | "stats" -> Some Stats
   | "metrics" -> Some Metrics
@@ -243,7 +249,7 @@ let request_of_line line =
 let flags_key = Options.to_canonical_string
 
 let cacheable = function
-  | Predict | Compare | Ranges | Lint | Bounds -> true
+  | Predict | Compare | Ranges | Lint | Bounds | Machines | Calibrate -> true
   | Ping | Stats | Metrics | Shutdown -> false
 
 (* ------------------------------------------------------------ responses *)

@@ -3,10 +3,13 @@
 
     One request object per input line; one response object per output
     line, in request order. Query verbs ([predict], [compare], [ranges],
-    [lint]) carry a machine spec, a source (inline text or a file path)
-    and CLI-mirroring flags; their [output] field is byte-identical to the
-    one-shot CLI subcommand's stdout. Control verbs: [ping], [stats],
-    [metrics], [shutdown].
+    [lint], [bounds]) carry a machine spec, a source (inline text or a
+    file path) and CLI-mirroring flags; their [output] field is
+    byte-identical to the one-shot CLI subcommand's stdout. [machines]
+    (list known machines) and [calibrate] (fit a ports cost model to the
+    request's machine by measurement) take no source; both are cached like
+    the other query verbs. Control verbs: [ping], [stats], [metrics],
+    [shutdown].
 
     {b Versioning.} Requests may carry an optional top-level [{"v": 1}]
     field; absent means version {!protocol_version}. Any other value is a
@@ -14,7 +17,9 @@
     [flags.strict] and a response warning otherwise, so old servers fail
     loudly (or at least visibly) on newer clients. *)
 
-type verb = Predict | Compare | Ranges | Lint | Bounds | Ping | Stats | Metrics | Shutdown
+type verb =
+  | Predict | Compare | Ranges | Lint | Bounds | Machines | Calibrate
+  | Ping | Stats | Metrics | Shutdown
 
 val protocol_version : int
 (** The wire version this server speaks (1). *)

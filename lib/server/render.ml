@@ -422,6 +422,48 @@ let bounds ~machine ~memory ~json ~evals src =
               r.diagnostics)
           routines)
 
+(* ---- machines ---- *)
+
+let builtin_machine_names = [ "alpha21064"; "power1"; "power1x2"; "scalar" ]
+
+let machines ~dir () =
+  Obs.time sp_render @@ fun () ->
+  let module M = Pperf_machine.Machine in
+  let module C = Pperf_machine.Costmodel in
+  let row name m origin =
+    Printf.sprintf "%-12s %-8s %5d %6d  %s" name
+      (C.kind_string (M.model m))
+      (M.num_units m) m.M.issue_width origin
+  in
+  let builtins =
+    List.map (fun n -> row n (Machines.load n) "builtin") builtin_machine_names
+  in
+  let files =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".pmach")
+      |> List.sort String.compare
+      |> List.map (fun f ->
+             let path = Filename.concat dir f in
+             match Machines.load path with
+             | m -> row m.M.name m path
+             | exception Pperf_machine.Descr.Parse_error msg ->
+               Printf.sprintf "%s: machine description error: %s" path msg
+             | exception Sys_error msg -> Printf.sprintf "%s: %s" path msg)
+    else []
+  in
+  String.concat "\n"
+    ((Printf.sprintf "%-12s %-8s %5s %6s  %s" "machine" "model" "units" "width" "source"
+     :: builtins)
+    @ files)
+  ^ "\n"
+
+(* ---- calibrate ---- *)
+
+let calibrate ~machine =
+  Obs.time sp_render @@ fun () ->
+  Pperf_exec.Calibrate.(report (run ~machine ()))
+
 (* ---- lint ---- *)
 
 let lint ?(domain = Pperf_absint.Absint.Box) ~json ~use_ranges src =

@@ -80,3 +80,19 @@ val lint :
   string * int
 (** Returns the rendered report and the lint exit code. A relational
     [domain] implies [use_ranges]. *)
+
+val builtin_machine_names : string list
+(** The builtin machine specs, in listing order. *)
+
+val machines : dir:string -> unit -> string
+(** One table of every known machine: the builtins plus each [.pmach]
+    file of [dir] (default CLI dir: ["machines"]) — name, cost-model kind
+    ([classic]/[ports]), unit/port count, issue width, and provenance.
+    Unreadable description files become one diagnostic line each instead
+    of failing the whole listing. *)
+
+val calibrate : machine:Pperf_machine.Machine.t -> string
+(** {!Pperf_exec.Calibrate.report} of a calibration run against [machine]
+    at the default tolerance — the server side of [ppredict calibrate]
+    (the CLI prints the same report via the same functions, so the two
+    surfaces stay byte-identical). *)

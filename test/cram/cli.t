@@ -315,3 +315,30 @@ with the floating-point ops cut off):
 
   $ ppredict predict ../../samples/daxpy.pf --stats | tail -1 | tr ',' '\n' | grep -c ':'
   28
+
+`ppredict machines` lists the builtin cost tables and every .pmach
+description in the machine directory, flagging each one's cost-model
+dialect (the classic unit-replication model vs issue-port µops):
+
+  $ ppredict machines --dir ../../machines
+  machine      model    units  width  source
+  alpha21064   classic      4      2  builtin
+  power1       classic      5      4  builtin
+  power1x2     classic      8      6  builtin
+  scalar       classic      1      1  builtin
+  alpha21064   classic      4      2  ../../machines/alpha21064.pmach
+  ooo4         ports        7      4  ../../machines/ooo4.pmach
+  power1       classic      5      4  ../../machines/power1.pmach
+  power1x2     classic      8      6  ../../machines/power1x2.pmach
+  scalar       classic      1      1  ../../machines/scalar.pmach
+
+A ports-model machine drives the same verbs as a classic one — the
+bound analysis prices daxpy's µops against ooo4's seven issue ports:
+
+  $ ppredict bounds -m ../../machines/ooo4.pmach ../../samples/daxpy.pf
+  routine daxpy on ooo4:
+    nest at line 5, loops [i], trips n:
+      bin-packing:   1 cycles/iter | total n
+      critical path: 10 cycles (one iteration alone packs in 10)
+      LCD:           no carried chain
+      steady state:  compute-bound

@@ -204,6 +204,67 @@ let poly_differential () =
       (Poly.equal p (Poly.of_terms (Poly.terms p)))
   done
 
+(* ---- classic renders vs committed goldens ----
+
+   The goldens under test/golden/ were captured from the CLI before the
+   cost-model API redesign. Re-rendering them through today's accessors
+   must reproduce every byte: the Classic model is a refactoring, not a
+   behaviour change. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* tests run either from the workspace root (dune exec) or from
+   _build/default/test (dune runtest); probe both spellings *)
+let locate candidates = List.find_opt Sys.file_exists candidates
+
+let golden_dir () = locate [ "golden"; "test/golden" ]
+let machines_dir () = locate [ "../machines"; "machines" ]
+let samples_dir () = locate [ "../samples"; "samples" ]
+
+let golden_renders () =
+  match (golden_dir (), machines_dir (), samples_dir ()) with
+  | Some gdir, Some mdir, Some sdir ->
+    let machine name =
+      Pperf_machine.Descr.of_string (read_file (Filename.concat mdir (name ^ ".pmach")))
+    in
+    let sample name = read_file (Filename.concat sdir (name ^ ".pf")) in
+    let options = Pperf_server.Options.(to_aggregate default) in
+    let checked = ref 0 in
+    List.iter
+      (fun mname ->
+        let m = machine mname in
+        List.iter
+          (fun kernel ->
+            let src = sample kernel in
+            let check verb rendered =
+              let path = Filename.concat gdir (Printf.sprintf "%s_%s_%s.txt" verb mname kernel) in
+              incr checked;
+              Alcotest.(check string) (Filename.basename path) (read_file path) rendered
+            in
+            check "predict"
+              (Pperf_server.Render.predict ~machine:m ~options ~interproc:false
+                 ~strict:false ~evals:[] ~warn:ignore src);
+            check "bounds"
+              (Pperf_server.Render.bounds ~machine:m ~memory:false ~json:false
+                 ~evals:[] src))
+          [ "daxpy"; "lcd"; "jacobi" ];
+        let rendered =
+          Pperf_server.Render.compare ~machine:m ~options ~use_ranges:false
+            ~ranges:[] (sample "reldemo") (sample "reldemo2")
+        in
+        incr checked;
+        Alcotest.(check string)
+          (Printf.sprintf "compare_%s_reldemo.txt" mname)
+          (read_file (Filename.concat gdir (Printf.sprintf "compare_%s_reldemo.txt" mname)))
+          rendered)
+      [ "scalar"; "power1"; "power1x2"; "alpha21064" ];
+    Alcotest.(check int) "all 28 goldens exercised" 28 !checked
+  | _ -> ()
+
 let () =
   Alcotest.run "differential"
     [
@@ -214,4 +275,6 @@ let () =
         ] );
       ( "poly",
         [ Alcotest.test_case "poly vs oracle, 300 random chains" `Quick poly_differential ] );
+      ( "golden",
+        [ Alcotest.test_case "classic renders byte-identical" `Quick golden_renders ] );
     ]

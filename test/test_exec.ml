@@ -231,6 +231,52 @@ let prop_static_matches_dynamic =
         in
         Float.abs (static -. res.cycles) <= (0.05 *. res.cycles) +. 6.0)
 
+(* ---- calibration ---- *)
+
+(* Calibrating the scalar builtin recovers an exactly-equivalent one-port
+   model: every probe kernel re-predicts to the oracle's cycle count. *)
+let test_calibrate_scalar () =
+  let r = Calibrate.run ~machine:Machine.scalar () in
+  Alcotest.(check bool) "ok" true r.Calibrate.ok;
+  Alcotest.(check bool) "exact recovery"
+    true
+    (r.Calibrate.max_rel_err <= 0.01);
+  let fitted = Descr.of_string r.Calibrate.description in
+  Alcotest.(check bool) "ports model" true (Machine.model fitted = Costmodel.Ports);
+  Alcotest.(check int) "one port suffices" 1 (Machine.num_units fitted);
+  Alcotest.(check string) "description round-trips" r.Calibrate.description
+    (Descr.to_string fitted)
+
+(* Calibrating the superscalar ports machine recovers the true per-op
+   reciprocal throughputs and latencies for every probed operation. *)
+let test_calibrate_ooo4 () =
+  let path =
+    if Sys.file_exists "../machines/ooo4.pmach" then "../machines/ooo4.pmach"
+    else "machines/ooo4.pmach"
+  in
+  if Sys.file_exists path then (
+    let ic = open_in path in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let truth = Descr.of_string src in
+    let r = Calibrate.run ~machine:truth () in
+    Alcotest.(check bool) "ok" true r.Calibrate.ok;
+    Alcotest.(check bool) "exact recovery" true (r.Calibrate.max_rel_err <= 0.01);
+    let fitted = Descr.of_string r.Calibrate.description in
+    List.iter
+      (fun op ->
+        let t = Machine.atomic truth op and f = Machine.atomic fitted op in
+        Alcotest.(check (float 1e-9))
+          (op ^ " reciprocal throughput")
+          (Machine.reciprocal_throughput truth t)
+          (Machine.reciprocal_throughput fitted f);
+        Alcotest.(check int)
+          (op ^ " latency")
+          (Atomic_op.result_latency t)
+          (Atomic_op.result_latency f))
+      [ "iadd"; "icmp"; "imul"; "idiv"; "fadd"; "fmul"; "fdiv"; "load_fp";
+        "load_int"; "store_fp"; "branch_cond" ])
+
 let qsuite name tests =
   ( name,
     List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |])) tests )
@@ -259,5 +305,10 @@ let () =
           Alcotest.test_case "branch counts" `Quick test_profile_counts;
           Alcotest.test_case "eliminates variables" `Quick test_profile_eliminates_variable;
           Alcotest.test_case "trip counts" `Quick test_trip_profile;
+        ] );
+      ( "calibrate",
+        [
+          Alcotest.test_case "recovers scalar" `Slow test_calibrate_scalar;
+          Alcotest.test_case "recovers ooo4" `Slow test_calibrate_ooo4;
         ] );
     ]
